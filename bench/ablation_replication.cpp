@@ -1,0 +1,34 @@
+// Ablation A1: primary-backup vs chain replication (§4.2.1 — the paper
+// chose primary-backup "as it provides low latencies compared to, e.g.,
+// chain replication"). Same cluster, same workload, only the replication
+// protocol differs. Expectation: chain pays one extra sequential hop per
+// commit, visible in write-path (Follow/Post) latency.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace lo;
+using namespace lo::bench;
+
+int main() {
+  ExperimentConfig config = MaybeQuick(ExperimentConfig{});
+
+  PrintHeader("Ablation A1: replication protocol (aggregated cluster)");
+  PrintRow("%-12s %-16s %12s %10s %10s", "Workload", "Protocol", "jobs/sec",
+           "p50(ms)", "p99(ms)");
+  for (retwis::OpType op : {retwis::OpType::kFollow, retwis::OpType::kPost}) {
+    for (auto mode : {replication::Mode::kPrimaryBackup, replication::Mode::kChain}) {
+      ExperimentConfig run_config = config;
+      run_config.replication_mode = mode;
+      auto result = RunExperiment(/*aggregated=*/true, op, run_config);
+      PrintRow("%-12s %-16s %12.0f %10.2f %10.2f", retwis::OpName(op),
+               mode == replication::Mode::kPrimaryBackup ? "primary-backup"
+                                                         : "chain",
+               result.Throughput(),
+               static_cast<double>(result.latency_us.Percentile(0.5)) / 1000.0,
+               static_cast<double>(result.latency_us.Percentile(0.99)) / 1000.0);
+    }
+  }
+  PrintRow("\nexpected: chain adds ~one sequential replica hop per commit");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Ablation A4: isolation-mechanism overhead (real wall-clock, via
+// google-benchmark). The paper relies on WebAssembly executing "at
+// almost native speed" (§4.2); here we measure our stand-in, LambdaVM:
+// native C++ vs interpreted bytecode, the incremental cost of fuel
+// metering being always-on, instantiation cost, and host-call dispatch.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "sim/simulator.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+
+namespace {
+
+using namespace lo;
+
+// sum of i*i for i in 1..n, natively.
+uint64_t NativeSumSquares(uint64_t n) {
+  uint64_t sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += i * i;
+  return sum;
+}
+
+constexpr std::string_view kSumSquaresAsm = R"(
+func main export locals i sum n
+  push 0x0
+  push 8
+  arg
+  drop
+  push 0
+  load64
+  local.set n
+  push 1
+  local.set i
+loop:
+  local.get sum
+  local.get i
+  local.get i
+  mul
+  add
+  local.set sum
+  local.get i
+  push 1
+  add
+  local.tee i
+  local.get n
+  le_u
+  br_if loop
+  push 8
+  local.get sum
+  store64
+  push 8
+  push 8
+  ret
+end
+)";
+
+class NullHost : public vm::HostApi {
+ public:
+  sim::Task<Result<std::string>> KvGet(std::string_view) override {
+    co_return Status::NotFound("");
+  }
+  sim::Task<Status> KvPut(std::string_view, std::string_view) override {
+    co_return Status::OK();
+  }
+  sim::Task<Status> KvDelete(std::string_view) override { co_return Status::OK(); }
+  sim::Task<Result<std::string>> InvokeObject(std::string_view, std::string_view,
+                                              std::string_view) override {
+    co_return std::string();
+  }
+  uint64_t TimeMillis() override { return 0; }
+};
+
+std::string EncodeArg(uint64_t n) {
+  std::string arg(8, '\0');
+  for (int i = 0; i < 8; i++) arg[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+  return arg;
+}
+
+uint64_t RunVm(const vm::Module& module, uint64_t n, vm::VmLimits limits) {
+  NullHost host;
+  vm::Instance instance(&module, limits);
+  Result<std::string> out = Status::Unavailable("");
+  bool done = false;
+  sim::Detach([](vm::Instance& inst, std::string arg, NullHost* host,
+                 Result<std::string>* out, bool* done) -> sim::Task<void> {
+    *out = co_await inst.Invoke("main", std::move(arg), host);
+    *done = true;
+  }(instance, EncodeArg(n), &host, &out, &done));
+  // No sim events are involved: the task completes synchronously.
+  LO_CHECK(done);
+  LO_CHECK(out.ok());
+  uint64_t v = 0;
+  memcpy(&v, out->data(), 8);
+  return v;
+}
+
+void BM_NativeSumSquares(benchmark::State& state) {
+  auto n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NativeSumSquares(n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_NativeSumSquares)->Arg(1000)->Arg(100000);
+
+void BM_LambdaVmSumSquares(benchmark::State& state) {
+  auto module = vm::Assemble(kSumSquaresAsm);
+  LO_CHECK(module.ok());
+  auto n = static_cast<uint64_t>(state.range(0));
+  LO_CHECK(RunVm(*module, n, {}) == NativeSumSquares(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunVm(*module, n, {}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_LambdaVmSumSquares)->Arg(1000)->Arg(100000);
+
+void BM_VmInstantiation(benchmark::State& state) {
+  auto module = vm::Assemble(kSumSquaresAsm);
+  LO_CHECK(module.ok());
+  for (auto _ : state) {
+    vm::Instance instance(&*module, {});
+    benchmark::DoNotOptimize(&instance);
+  }
+}
+BENCHMARK(BM_VmInstantiation);
+
+void BM_ModuleValidationAndDecode(benchmark::State& state) {
+  auto module = vm::Assemble(kSumSquaresAsm);
+  LO_CHECK(module.ok());
+  std::string bytes = module->Serialize();
+  for (auto _ : state) {
+    auto restored = vm::Module::Deserialize(bytes);
+    benchmark::DoNotOptimize(restored.ok());
+  }
+}
+BENCHMARK(BM_ModuleValidationAndDecode);
+
+void BM_HostCallDispatch(benchmark::State& state) {
+  // A program that is nothing but host calls: measures ABI crossing cost.
+  auto module = vm::Assemble(R"(
+data key 0 "k"
+func main export locals i
+loop:
+  push @key
+  push #key
+  push 64
+  push 8
+  kv.get
+  drop
+  local.get i
+  push 1
+  add
+  local.tee i
+  push 100
+  lt_u
+  br_if loop
+  push 0
+  push 0
+  ret
+end
+)");
+  LO_CHECK(module.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunVm(*module, 0, {}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_HostCallDispatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+#include "bench/harness.h"
+
+#include <cstdarg>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace lo::bench {
+
+ExperimentConfig MaybeQuick(ExperimentConfig config) {
+  const char* quick = std::getenv("LO_BENCH_QUICK");
+  if (quick != nullptr && quick[0] == '1') {
+    config.quick = true;
+    config.workload.num_users = 500;
+    config.num_clients = 20;
+    config.measure = sim::Millis(300);
+    config.warmup = sim::Millis(50);
+  }
+  return config;
+}
+
+AggregatedSystem::AggregatedSystem(const ExperimentConfig& config,
+                                   const retwis::Workload& workload)
+    : sim_(config.seed) {
+  LO_CHECK(retwis::RegisterUserType(&types_, /*use_vm=*/true).ok());
+  cluster::DeploymentOptions options;
+  options.node.replication_mode = config.replication_mode;
+  options.node.runtime.enable_result_cache = config.result_cache;
+  // Closed-loop measurement clients must out-wait celebrity-post fan-outs.
+  options.client.request_timeout = sim::Seconds(5);
+  deployment_ =
+      std::make_unique<cluster::AggregatedDeployment>(sim_, &types_, options);
+  deployment_->WaitUntilReady();
+  for (int i = 0; i < deployment_->num_nodes(); i++) {
+    LO_CHECK(workload.SeedDb(&deployment_->node(i).db()).ok());
+  }
+}
+
+retwis::DriverResult AggregatedSystem::Run(retwis::OpType op,
+                                           const ExperimentConfig& config,
+                                           const retwis::Workload& workload) {
+  std::vector<retwis::Invoker> invokers;
+  for (int i = 0; i < config.num_clients; i++) {
+    cluster::Client* client = &deployment_->NewClient();
+    invokers.push_back([client](const retwis::Request& request) {
+      return client->Invoke(request.oid, request.method, request.argument);
+    });
+  }
+  retwis::DriverConfig driver;
+  driver.warmup = config.warmup;
+  driver.measure = config.measure;
+  driver.seed = config.seed;
+  return retwis::RunClosedLoop(sim_, workload, op, std::move(invokers), driver);
+}
+
+DisaggregatedSystem::DisaggregatedSystem(const ExperimentConfig& config,
+                                         const retwis::Workload& workload)
+    : sim_(config.seed) {
+  LO_CHECK(retwis::RegisterUserType(&types_, /*use_vm=*/true).ok());
+  baseline::BaselineOptions options;
+  options.storage.replication_mode = config.replication_mode;
+  deployment_ = std::make_unique<baseline::DisaggregatedDeployment>(sim_, &types_,
+                                                                    options);
+  for (int i = 0; i < 3; i++) {
+    LO_CHECK(workload.SeedDb(&deployment_->storage(i).db()).ok());
+  }
+}
+
+retwis::DriverResult DisaggregatedSystem::Run(retwis::OpType op,
+                                              const ExperimentConfig& config,
+                                              const retwis::Workload& workload) {
+  std::vector<retwis::Invoker> invokers;
+  sim::NodeId entry = deployment_->entry_node();
+  std::string service = deployment_->entry_service();
+  for (int i = 0; i < config.num_clients; i++) {
+    sim::RpcEndpoint* rpc = &deployment_->NewClientEndpoint();
+    invokers.push_back([rpc, entry, service](const retwis::Request& request) {
+      std::string payload;
+      PutLengthPrefixed(&payload, request.oid);
+      PutLengthPrefixed(&payload, request.method);
+      PutLengthPrefixed(&payload, request.argument);
+      return rpc->Call(entry, service, std::move(payload), sim::Seconds(5));
+    });
+  }
+  retwis::DriverConfig driver;
+  driver.warmup = config.warmup;
+  driver.measure = config.measure;
+  driver.seed = config.seed;
+  return retwis::RunClosedLoop(sim_, workload, op, std::move(invokers), driver);
+}
+
+retwis::DriverResult RunExperiment(bool aggregated, retwis::OpType op,
+                                   const ExperimentConfig& config) {
+  retwis::Workload workload(config.workload);
+  if (aggregated) {
+    AggregatedSystem system(config, workload);
+    return system.Run(op, config, workload);
+  }
+  DisaggregatedSystem system(config, workload);
+  return system.Run(op, config, workload);
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRow(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace lo::bench

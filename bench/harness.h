@@ -1,0 +1,84 @@
+// Shared experiment harness for the figure/table benchmarks.
+//
+// Builds the paper's two deployments (§5): the aggregated LambdaStore
+// replica set and the disaggregated compute+storage baseline — both
+// seeded with byte-identical ReTwis state — and runs closed-loop
+// workloads against them.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/deployment.h"
+#include "cluster/deployment.h"
+#include "common/coding.h"
+#include "retwis/driver.h"
+#include "retwis/retwis.h"
+#include "retwis/workload.h"
+
+namespace lo::bench {
+
+struct ExperimentConfig {
+  retwis::WorkloadConfig workload;
+  int num_clients = 100;               // paper: "up to 100 concurrent"
+  sim::Duration warmup = sim::Millis(200);
+  sim::Duration measure = sim::Seconds(1);
+  uint64_t seed = 42;
+  replication::Mode replication_mode = replication::Mode::kPrimaryBackup;
+  /// The consistent result cache (§4.2.2) is evaluated separately in
+  /// ablation_caching; the headline figures run without it, like the
+  /// paper's early prototype numbers.
+  bool result_cache = false;
+  bool quick = false;  // shrunk parameters for smoke runs
+};
+
+/// Applies LO_BENCH_QUICK=1 (env) to shrink an experiment ~20x.
+ExperimentConfig MaybeQuick(ExperimentConfig config);
+
+/// The aggregated system under test (paper topology: 3 storage nodes,
+/// coordinators, 1 shard).
+class AggregatedSystem {
+ public:
+  AggregatedSystem(const ExperimentConfig& config, const retwis::Workload& workload);
+
+  retwis::DriverResult Run(retwis::OpType op, const ExperimentConfig& config,
+                           const retwis::Workload& workload);
+  cluster::AggregatedDeployment& deployment() { return *deployment_; }
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  sim::Simulator sim_;
+  runtime::TypeRegistry types_;
+  std::unique_ptr<cluster::AggregatedDeployment> deployment_;
+};
+
+/// The disaggregated baseline (paper topology: 1 compute + 3 storage).
+class DisaggregatedSystem {
+ public:
+  DisaggregatedSystem(const ExperimentConfig& config,
+                      const retwis::Workload& workload);
+
+  retwis::DriverResult Run(retwis::OpType op, const ExperimentConfig& config,
+                           const retwis::Workload& workload);
+  baseline::DisaggregatedDeployment& deployment() { return *deployment_; }
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  sim::Simulator sim_;
+  runtime::TypeRegistry types_;
+  std::unique_ptr<baseline::DisaggregatedDeployment> deployment_;
+};
+
+/// Runs one (system, op) experiment on a fresh deployment and returns
+/// the result. `aggregated` selects the system.
+retwis::DriverResult RunExperiment(bool aggregated, retwis::OpType op,
+                                   const ExperimentConfig& config);
+
+// --- output helpers ----------------------------------------------------
+
+void PrintHeader(const std::string& title);
+void PrintRow(const char* fmt, ...);
+
+}  // namespace lo::bench

@@ -1,0 +1,33 @@
+// Ablation A5: concurrency sweep. The paper: "we run up to 100
+// concurrent client requests for all workloads, which we found to yield
+// the maximum throughput". This sweep regenerates that saturation curve
+// for the aggregated system on the Follow workload.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace lo;
+using namespace lo::bench;
+
+int main() {
+  ExperimentConfig config = MaybeQuick(ExperimentConfig{});
+
+  PrintHeader("Ablation A5: closed-loop client sweep (aggregated, Follow)");
+  PrintRow("%-10s %12s %10s %10s", "Clients", "jobs/sec", "p50(ms)", "p99(ms)");
+  std::vector<int> sweep = config.quick ? std::vector<int>{1, 8, 32}
+                                        : std::vector<int>{1, 4, 16, 64, 100,
+                                                           160, 256};
+  retwis::Workload workload(config.workload);
+  for (int clients : sweep) {
+    ExperimentConfig run_config = config;
+    run_config.num_clients = clients;
+    AggregatedSystem system(run_config, workload);
+    auto result = system.Run(retwis::OpType::kFollow, run_config, workload);
+    PrintRow("%-10d %12.0f %10.2f %10.2f", clients, result.Throughput(),
+             static_cast<double>(result.latency_us.Percentile(0.5)) / 1000.0,
+             static_cast<double>(result.latency_us.Percentile(0.99)) / 1000.0);
+  }
+  PrintRow("\nexpected: throughput saturates near ~100 clients (paper's");
+  PrintRow("operating point); beyond that only latency grows");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The paper's running example (§3.2, Listing 1): the ReTwis
+// microblogging service, here with the *bytecode* (LambdaVM) user type —
+// the same modules a serverless platform would receive as uploads — and
+// a small interactive scenario: a celebrity, some fans, posts flowing to
+// follower timelines, plus a node failure mid-session.
+//
+//   $ ./build/examples/retwis_app
+#include <cstdio>
+
+#include "cluster/deployment.h"
+#include "retwis/retwis.h"
+#include "sim/simulator.h"
+
+using namespace lo;
+
+int main() {
+  sim::Simulator sim(/*seed=*/7);
+  runtime::TypeRegistry types;
+  LO_CHECK(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  cluster::AggregatedDeployment deployment(sim, &types);
+  deployment.WaitUntilReady();
+  cluster::Client& client = deployment.NewClient();
+
+  auto run = [&](auto&& coroutine) {
+    bool done = false;
+    sim::Detach([](std::decay_t<decltype(coroutine)> body, bool* done)
+                    -> sim::Task<void> {
+      co_await body();
+      *done = true;
+    }(std::move(coroutine), &done));
+    while (!done) LO_CHECK(sim.Step());
+  };
+
+  const char* fans[] = {"user/alice", "user/bob", "user/carol"};
+
+  run([&]() -> sim::Task<void> {
+    // Accounts.
+    (void)co_await client.Create("user/celebrity", "user");
+    (void)co_await client.Invoke("user/celebrity", "init", "celebrity");
+    for (const char* fan : fans) {
+      (void)co_await client.Create(fan, "user");
+      (void)co_await client.Invoke(fan, "init", fan + 5);
+      // fan follows celebrity -> fan's timeline receives the posts.
+      (void)co_await client.Invoke("user/celebrity", "follow", fan);
+    }
+    std::printf("3 fans follow user/celebrity\n");
+
+    // One create_post fans out to every follower (Listing 1).
+    auto posted = co_await client.Invoke("user/celebrity", "create_post",
+                                         "hello, timelines!");
+    std::printf("create_post delivered to %s followers\n",
+                posted.ok() ? "all" : posted.status().ToString().c_str());
+
+    for (const char* fan : fans) {
+      auto timeline =
+          co_await client.Invoke(fan, "get_timeline", retwis::EncodeU64(5));
+      auto posts = retwis::DecodeTimeline(*timeline);
+      std::printf("%s timeline: %zu post(s); newest: \"%s\" by %s\n", fan,
+                  posts->size(), (*posts)[0].message.c_str(),
+                  (*posts)[0].author.c_str());
+    }
+  });
+
+  // Kill the primary storage node; the coordinator promotes a backup and
+  // the client's next request transparently retries against it.
+  std::printf("\n-- killing primary storage node --\n");
+  deployment.KillStorageNode(0);
+  sim.RunFor(sim::Millis(300));
+
+  run([&]() -> sim::Task<void> {
+    auto posted = co_await client.Invoke("user/celebrity", "create_post",
+                                         "still here after failover");
+    std::printf("post after failover: %s\n",
+                posted.ok() ? "ok" : posted.status().ToString().c_str());
+    auto timeline = co_await client.Invoke("user/alice", "get_timeline",
+                                           retwis::EncodeU64(5));
+    auto posts = retwis::DecodeTimeline(*timeline);
+    std::printf("user/alice timeline now has %zu posts; newest: \"%s\"\n",
+                posts->size(), (*posts)[0].message.c_str());
+  });
+
+  std::printf("client retries used: %llu\n",
+              static_cast<unsigned long long>(client.metrics().retries));
+  return 0;
+}

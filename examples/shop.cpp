@@ -1,0 +1,222 @@
+// An online store — the application shape §3 motivates ("a small piece
+// of functionality, e.g., a user authentication mechanism, that is part
+// of a larger application, e.g., an online store"). Three object types
+// compose through nested invocations:
+//
+//   session/<id>    authentication: login issues a token, checkout
+//                   validates it before touching anything else
+//   item/<sku>      inventory: reserve() atomically checks & decrements
+//                   stock (invocation linearizability = no overselling)
+//   cart/<user>     the cart object orchestrates: validates the session,
+//                   reserves each item (nested calls), records the order
+//
+// Also demonstrates the §7 transaction extension: a restock that moves
+// units between two items atomically.
+//
+//   $ ./build/examples/shop
+#include <cstdio>
+#include <string>
+
+#include "cluster/deployment.h"
+#include "runtime/runtime.h"
+#include "runtime/transaction.h"
+#include "sim/simulator.h"
+
+using namespace lo;
+
+namespace {
+
+sim::Task<Result<uint64_t>> ReadCount(runtime::InvocationContext& ctx,
+                                      std::string_view field) {
+  auto raw = co_await ctx.Get(field);
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) co_return uint64_t{0};
+    co_return raw.status();
+  }
+  co_return std::stoull(*raw);
+}
+
+runtime::ObjectType MakeSessionType() {
+  runtime::ObjectType type;
+  type.name = "session";
+  type.methods["login"] = {
+      .kind = runtime::MethodKind::kReadWrite,
+      .native = [](runtime::InvocationContext& ctx, std::string password)
+          -> sim::Task<Result<std::string>> {
+        if (password != "hunter2") co_return Status::FailedPrecondition("bad password");
+        std::string token = "tok-" + std::to_string(ctx.TimeMillis());
+        LO_CO_RETURN_IF_ERROR(co_await ctx.Set("token", token));
+        co_return token;
+      }};
+  type.methods["validate"] = {
+      .kind = runtime::MethodKind::kReadOnly,
+      .deterministic = true,
+      .native = [](runtime::InvocationContext& ctx, std::string token)
+          -> sim::Task<Result<std::string>> {
+        auto stored = co_await ctx.Get("token");
+        if (!stored.ok() || *stored != token) {
+          co_return Status::FailedPrecondition("invalid session");
+        }
+        co_return std::string("valid");
+      }};
+  return type;
+}
+
+runtime::ObjectType MakeItemType() {
+  runtime::ObjectType type;
+  type.name = "item";
+  type.methods["stock"] = {
+      .kind = runtime::MethodKind::kReadWrite,
+      .native = [](runtime::InvocationContext& ctx, std::string n)
+          -> sim::Task<Result<std::string>> {
+        LO_CO_RETURN_IF_ERROR(co_await ctx.Set("units", n));
+        co_return n;
+      }};
+  type.methods["reserve"] = {
+      .kind = runtime::MethodKind::kReadWrite,
+      .native = [](runtime::InvocationContext& ctx, std::string n)
+          -> sim::Task<Result<std::string>> {
+        uint64_t want = std::stoull(n);
+        auto units = co_await ReadCount(ctx, "units");
+        if (!units.ok()) co_return units.status();
+        if (*units < want) co_return Status::FailedPrecondition("out of stock");
+        LO_CO_RETURN_IF_ERROR(
+            co_await ctx.Set("units", std::to_string(*units - want)));
+        co_return std::to_string(*units - want);
+      }};
+  type.methods["units"] = {
+      .kind = runtime::MethodKind::kReadOnly,
+      .deterministic = true,
+      .native = [](runtime::InvocationContext& ctx, std::string)
+          -> sim::Task<Result<std::string>> {
+        auto units = co_await ReadCount(ctx, "units");
+        if (!units.ok()) co_return units.status();
+        co_return std::to_string(*units);
+      }};
+  return type;
+}
+
+runtime::ObjectType MakeCartType() {
+  runtime::ObjectType type;
+  type.name = "cart";
+  // add(arg = "<sku>") — buffered in the cart's own state.
+  type.methods["add"] = {
+      .kind = runtime::MethodKind::kReadWrite,
+      .native = [](runtime::InvocationContext& ctx, std::string sku)
+          -> sim::Task<Result<std::string>> {
+        LO_CO_RETURN_IF_ERROR(co_await ctx.ListPush("items", sku));
+        co_return std::string("added");
+      }};
+  // checkout(arg = "<session-oid> <token>") — authenticate, then reserve
+  // every item via nested invocations; each reservation is atomic at its
+  // item, so the store never oversells even under concurrent checkouts.
+  type.methods["checkout"] = {
+      .kind = runtime::MethodKind::kReadWrite,
+      .native = [](runtime::InvocationContext& ctx, std::string arg)
+          -> sim::Task<Result<std::string>> {
+        auto space = arg.find(' ');
+        std::string session = arg.substr(0, space);
+        std::string token = arg.substr(space + 1);
+        auto auth = co_await ctx.InvokeObject(session, "validate", token);
+        if (!auth.ok()) co_return auth.status();
+
+        auto count = co_await ctx.ListLen("items");
+        if (!count.ok()) co_return count.status();
+        uint64_t reserved = 0;
+        for (uint64_t i = 0; i < *count; i++) {
+          auto sku = co_await ctx.ListGet("items", i);
+          if (!sku.ok()) co_return sku.status();
+          auto r = co_await ctx.InvokeObject(*sku, "reserve", "1");
+          if (!r.ok()) {
+            co_return Status::FailedPrecondition(
+                *sku + " unavailable after " + std::to_string(reserved) +
+                " reservation(s)");
+          }
+          reserved++;
+        }
+        LO_CO_RETURN_IF_ERROR(co_await ctx.Set("last_order",
+                                               std::to_string(reserved)));
+        co_return std::to_string(reserved) + " item(s) ordered";
+      }};
+  return type;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim(/*seed=*/13);
+  runtime::TypeRegistry types;
+  LO_CHECK(types.Register(MakeSessionType()).ok());
+  LO_CHECK(types.Register(MakeItemType()).ok());
+  LO_CHECK(types.Register(MakeCartType()).ok());
+  cluster::AggregatedDeployment deployment(sim, &types);
+  deployment.WaitUntilReady();
+  cluster::Client& client = deployment.NewClient();
+
+  auto run = [&](auto&& coroutine) {
+    bool done = false;
+    sim::Detach([](std::decay_t<decltype(coroutine)> body, bool* done)
+                    -> sim::Task<void> {
+      co_await body();
+      *done = true;
+    }(std::move(coroutine), &done));
+    while (!done) LO_CHECK(sim.Step());
+  };
+
+  run([&]() -> sim::Task<void> {
+    (void)co_await client.Create("session/ada", "session");
+    (void)co_await client.Create("item/widget", "item");
+    (void)co_await client.Create("item/gadget", "item");
+    (void)co_await client.Create("cart/ada", "cart");
+    (void)co_await client.Invoke("item/widget", "stock", "3");
+    (void)co_await client.Invoke("item/gadget", "stock", "1");
+
+    auto bad = co_await client.Invoke("session/ada", "login", "wrong");
+    std::printf("login with wrong password: %s\n", bad.status().ToString().c_str());
+    auto token = co_await client.Invoke("session/ada", "login", "hunter2");
+    std::printf("login: token=%s\n", token->c_str());
+
+    (void)co_await client.Invoke("cart/ada", "add", "item/widget");
+    (void)co_await client.Invoke("cart/ada", "add", "item/gadget");
+    auto order = co_await client.Invoke("cart/ada", "checkout",
+                                        "session/ada " + *token);
+    std::printf("checkout: %s\n", order->c_str());
+
+    auto widgets = co_await client.Invoke("item/widget", "units", "");
+    auto gadgets = co_await client.Invoke("item/gadget", "units", "");
+    std::printf("stock after order: widget=%s gadget=%s\n", widgets->c_str(),
+                gadgets->c_str());
+
+    // Second checkout fails on the gadget — but note the widget it
+    // reserved first STAYS reserved: nested invocations commit
+    // independently (§3.1: "these guarantees do not span across function
+    // calls"). Cross-call rollback needs the §7 transaction extension.
+    auto again = co_await client.Invoke("cart/ada", "checkout",
+                                        "session/ada " + *token);
+    std::printf("second checkout: %s\n", again.status().ToString().c_str());
+    widgets = co_await client.Invoke("item/widget", "units", "");
+    std::printf("note: widget stock is now %s — the failed checkout's first\n"
+                "      reservation committed (per-invocation atomicity only)\n",
+                widgets->c_str());
+
+    // §7 extension: restock atomically across two items with a
+    // transaction executed inside the primary node's runtime.
+    runtime::Runtime& rt = co_await [](cluster::AggregatedDeployment& d)
+        -> sim::Task<std::reference_wrapper<runtime::Runtime>> {
+      co_return std::ref(d.node(0).runtime());
+    }(deployment);
+    runtime::Transaction txn(&rt);
+    auto widget_units = co_await txn.Get("item/widget", "units");
+    txn.Set("item/widget", "units",
+            std::to_string(std::stoull(*widget_units) - 1));
+    txn.Set("item/gadget", "units", "1");
+    Status moved = co_await txn.Commit();
+    std::printf("transactional restock (move 1 widget -> gadget): %s\n",
+                moved.ToString().c_str());
+    widgets = co_await client.Invoke("item/widget", "units", "");
+    gadgets = co_await client.Invoke("item/gadget", "units", "");
+    std::printf("stock after restock: widget=%s gadget=%s\n", widgets->c_str(),
+                gadgets->c_str());
+  });
+  return 0;
+}

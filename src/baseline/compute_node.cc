@@ -1,0 +1,185 @@
+#include "baseline/compute_node.h"
+
+#include "common/coding.h"
+#include "common/log.h"
+
+namespace lo::baseline {
+namespace {
+
+std::string EncodeInvoke(std::string_view oid, std::string_view method,
+                         std::string_view argument) {
+  std::string out;
+  PutLengthPrefixed(&out, oid);
+  PutLengthPrefixed(&out, method);
+  PutLengthPrefixed(&out, argument);
+  return out;
+}
+
+}  // namespace
+
+/// HostApi whose every operation is a round-trip to the storage layer —
+/// the crux of the disaggregated design. No write buffering, no read
+/// snapshot: operations are individually visible the moment they land.
+class RemoteHostApi : public vm::HostApi {
+ public:
+  RemoteHostApi(ComputeNode* node, std::string oid)
+      : node_(node), oid_(std::move(oid)) {}
+
+  sim::Task<Result<std::string>> KvGet(std::string_view key) override {
+    node_->metrics_.storage_round_trips++;
+    co_return co_await node_->rpc_.Call(Primary(), "kv.get",
+                                        runtime::FieldKey(oid_, key),
+                                        node_->options_.storage_timeout);
+  }
+
+  sim::Task<Status> KvPut(std::string_view key, std::string_view value) override {
+    node_->metrics_.storage_round_trips++;
+    std::string payload;
+    PutLengthPrefixed(&payload, runtime::FieldKey(oid_, key));
+    PutLengthPrefixed(&payload, value);
+    payload.push_back(0);
+    auto reply = co_await node_->rpc_.Call(Primary(), "kv.put", payload,
+                                           node_->options_.storage_timeout);
+    co_return reply.status();
+  }
+
+  sim::Task<Status> KvDelete(std::string_view key) override {
+    node_->metrics_.storage_round_trips++;
+    std::string payload;
+    PutLengthPrefixed(&payload, runtime::FieldKey(oid_, key));
+    PutLengthPrefixed(&payload, "");
+    payload.push_back(1);
+    auto reply = co_await node_->rpc_.Call(Primary(), "kv.put", payload,
+                                           node_->options_.storage_timeout);
+    co_return reply.status();
+  }
+
+  sim::Task<Result<std::string>> InvokeObject(std::string_view oid,
+                                              std::string_view function,
+                                              std::string_view argument) override {
+    // §4.1: nested calls re-enter through the load balancer when there
+    // is one (another round of indirection); otherwise loop back into
+    // this compute node as a fresh invocation.
+    if (node_->load_balancer_ != 0) {
+      co_return co_await node_->rpc_.Call(
+          node_->load_balancer_, "lb.invoke", EncodeInvoke(oid, function, argument),
+          node_->options_.storage_timeout * 4);
+    }
+    co_return co_await node_->InvokeFunction(std::string(oid), std::string(function),
+                                             std::string(argument));
+  }
+
+  uint64_t TimeMillis() override {
+    return static_cast<uint64_t>(node_->rpc_.sim().Now() / 1'000'000);
+  }
+
+ private:
+  sim::NodeId Primary() const { return node_->shard_map_.PrimaryFor(oid_); }
+
+  ComputeNode* node_;
+  std::string oid_;
+};
+
+ComputeNode::ComputeNode(sim::Network& net, sim::NodeId id,
+                         const runtime::TypeRegistry* types,
+                         ComputeNodeOptions options)
+    : options_(options), rpc_(net, id), cpu_(net.sim(), options.cores),
+      types_(types) {
+  rpc_.Handle("fn.invoke", [this](sim::NodeId from, std::string payload) {
+    return HandleInvoke(from, std::move(payload));
+  });
+  rpc_.Handle("fn.create", [this](sim::NodeId from, std::string payload) {
+    return HandleCreate(from, std::move(payload));
+  });
+}
+
+sim::Task<Result<std::string>> ComputeNode::TypeNameOf(const std::string& oid) {
+  auto cached = type_cache_.find(oid);
+  if (cached != type_cache_.end()) co_return cached->second;
+  metrics_.storage_round_trips++;
+  auto reply = co_await rpc_.Call(shard_map_.PrimaryFor(oid), "kv.get",
+                                  runtime::ObjectExistsKey(oid),
+                                  options_.storage_timeout);
+  if (!reply.ok()) co_return reply.status();
+  type_cache_[oid] = *reply;
+  co_return reply;
+}
+
+sim::Task<void> ComputeNode::MaybeColdStart(const std::string& type_name) {
+  if (options_.cold_start <= 0) co_return;
+  sim::Time now = rpc_.sim().Now();
+  auto it = warm_until_.find(type_name);
+  if (it == warm_until_.end() || it->second < now) {
+    metrics_.cold_starts++;
+    co_await rpc_.sim().Sleep(options_.cold_start);
+  }
+  warm_until_[type_name] = rpc_.sim().Now() + options_.keep_alive;
+}
+
+sim::Task<Result<std::string>> ComputeNode::InvokeFunction(std::string oid,
+                                                           std::string method,
+                                                           std::string argument) {
+  metrics_.invocations++;
+  auto type_name = co_await TypeNameOf(oid);
+  if (!type_name.ok()) {
+    co_return Status::NotFound("no such object: " + oid);
+  }
+  const runtime::ObjectType* type = types_->Find(*type_name);
+  if (type == nullptr) co_return Status::NotFound("unknown type: " + *type_name);
+  const runtime::MethodImpl* impl = type->FindMethod(method);
+  if (impl == nullptr) co_return Status::NotFound("no method: " + method);
+  if (impl->module == nullptr) {
+    // The baseline executes uploaded (bytecode) functions only, exactly
+    // like a serverless platform; native methods are a LambdaStore
+    // convenience.
+    co_return Status::InvalidArgument("baseline requires a VM module for " + method);
+  }
+  co_await MaybeColdStart(*type_name);
+
+  RemoteHostApi host(this, oid);
+  vm::Instance instance(impl->module.get(), options_.vm_limits);
+  auto result = co_await instance.Invoke(method, std::move(argument), &host);
+  uint64_t fuel = instance.metrics().fuel_used;
+  metrics_.fuel_executed += fuel;
+  co_await cpu_.Execute(options_.vm_instantiation_overhead +
+                        static_cast<sim::Duration>(fuel * options_.ns_per_fuel));
+  co_return result;
+}
+
+sim::Task<Result<std::string>> ComputeNode::HandleInvoke(sim::NodeId,
+                                                         std::string payload) {
+  Reader reader{payload};
+  std::string_view oid, method, argument;
+  if (!reader.GetLengthPrefixed(&oid) || !reader.GetLengthPrefixed(&method) ||
+      !reader.GetLengthPrefixed(&argument)) {
+    co_return Status::Corruption("bad fn.invoke payload");
+  }
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  co_return co_await InvokeFunction(std::string(oid), std::string(method),
+                                    std::string(argument));
+}
+
+sim::Task<Result<std::string>> ComputeNode::HandleCreate(sim::NodeId,
+                                                         std::string payload) {
+  Reader reader{payload};
+  std::string_view oid, type_name;
+  if (!reader.GetLengthPrefixed(&oid) || !reader.GetLengthPrefixed(&type_name)) {
+    co_return Status::Corruption("bad fn.create payload");
+  }
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  if (types_->Find(*&type_name) == nullptr) {
+    co_return Status::NotFound("unknown type");
+  }
+  // Existence record written straight to storage (single put, no txn).
+  std::string put;
+  PutLengthPrefixed(&put, runtime::ObjectExistsKey(oid));
+  PutLengthPrefixed(&put, type_name);
+  put.push_back(0);
+  metrics_.storage_round_trips++;
+  auto reply = co_await rpc_.Call(shard_map_.PrimaryFor(oid), "kv.put", put,
+                                  options_.storage_timeout);
+  if (!reply.ok()) co_return reply.status();
+  co_return std::string(oid);
+}
+
+}  // namespace lo::baseline

@@ -1,0 +1,69 @@
+#include "baseline/deployment.h"
+
+namespace lo::baseline {
+
+DisaggregatedDeployment::DisaggregatedDeployment(
+    sim::Simulator& sim, const runtime::TypeRegistry* types,
+    BaselineOptions options)
+    : sim_(sim), net_(sim, options.network), options_(options) {
+  // Storage replica set: same StorageNode class as the aggregated
+  // system — the baseline uses "our prototype as its storage layer".
+  std::vector<sim::NodeId> storage_ids;
+  for (int i = 0; i < options.num_storage_nodes; i++) {
+    storage_ids.push_back(static_cast<sim::NodeId>(10 + i));
+  }
+  coord::ClusterState config;
+  {
+    coord::ShardConfig shard;
+    shard.epoch = 1;
+    shard.primary = storage_ids.front();
+    for (size_t i = 1; i < storage_ids.size(); i++) {
+      shard.backups.push_back(storage_ids[i]);
+    }
+    config.shards[0] = std::move(shard);
+  }
+  for (sim::NodeId id : storage_ids) {
+    storage_nodes_.push_back(std::make_unique<cluster::StorageNode>(
+        net_, id, types, std::vector<sim::NodeId>{}, options.storage));
+    storage_nodes_.back()->ApplyConfig(config);
+  }
+
+  // Compute pool.
+  std::vector<sim::NodeId> compute_ids;
+  for (int i = 0; i < options.num_compute_nodes; i++) {
+    auto id = static_cast<sim::NodeId>(30 + i);
+    compute_ids.push_back(id);
+    compute_nodes_.push_back(
+        std::make_unique<ComputeNode>(net_, id, types, options.compute));
+    compute_nodes_.back()->SeedConfig(config);
+  }
+
+  if (options.with_load_balancer) {
+    std::vector<sim::NodeId> follower_ids = {41, 42};
+    for (sim::NodeId id : follower_ids) {
+      log_followers_.push_back(std::make_unique<LogFollower>(net_, id));
+    }
+    load_balancer_ = std::make_unique<LoadBalancer>(
+        net_, 40, compute_ids, follower_ids, options.load_balancer);
+    for (auto& compute : compute_nodes_) {
+      compute->SetLoadBalancer(load_balancer_->id());
+    }
+  }
+}
+
+sim::NodeId DisaggregatedDeployment::entry_node() const {
+  return options_.with_load_balancer ? load_balancer_->id()
+                                     : compute_nodes_.front()->id();
+}
+
+const char* DisaggregatedDeployment::entry_service() const {
+  return options_.with_load_balancer ? "lb.invoke" : "fn.invoke";
+}
+
+sim::RpcEndpoint& DisaggregatedDeployment::NewClientEndpoint() {
+  client_endpoints_.push_back(
+      std::make_unique<sim::RpcEndpoint>(net_, next_client_id_++));
+  return *client_endpoints_.back();
+}
+
+}  // namespace lo::baseline

@@ -1,0 +1,60 @@
+// The paper's evaluation topology for the disaggregated variant (§5):
+// one compute machine + a three-node storage replica set; clients
+// contact the compute node directly (no load balancer in the measured
+// path). A variant with the load balancer + request log is used by the
+// Table 1 comparison.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/compute_node.h"
+#include "baseline/load_balancer.h"
+#include "cluster/storage_node.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace lo::baseline {
+
+struct BaselineOptions {
+  int num_compute_nodes = 1;
+  int num_storage_nodes = 3;
+  bool with_load_balancer = false;
+  sim::NetworkConfig network;
+  ComputeNodeOptions compute;
+  cluster::StorageNodeOptions storage;
+  LoadBalancerOptions load_balancer;
+};
+
+class DisaggregatedDeployment {
+ public:
+  DisaggregatedDeployment(sim::Simulator& sim, const runtime::TypeRegistry* types,
+                          BaselineOptions options = {});
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& network() { return net_; }
+  ComputeNode& compute(int index) { return *compute_nodes_[index]; }
+  cluster::StorageNode& storage(int index) { return *storage_nodes_[index]; }
+  LoadBalancer* load_balancer() { return load_balancer_.get(); }
+
+  /// Entry node id clients should call, and the service name to use
+  /// ("lb.invoke" with a load balancer, "fn.invoke" without).
+  sim::NodeId entry_node() const;
+  const char* entry_service() const;
+
+  /// A raw RPC endpoint for issuing client calls (ids 200+).
+  sim::RpcEndpoint& NewClientEndpoint();
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network net_;
+  BaselineOptions options_;
+  std::vector<std::unique_ptr<cluster::StorageNode>> storage_nodes_;
+  std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
+  std::unique_ptr<LoadBalancer> load_balancer_;
+  std::vector<std::unique_ptr<LogFollower>> log_followers_;
+  std::vector<std::unique_ptr<sim::RpcEndpoint>> client_endpoints_;
+  sim::NodeId next_client_id_ = 200;
+};
+
+}  // namespace lo::baseline

@@ -1,0 +1,63 @@
+#include "baseline/load_balancer.h"
+
+#include "common/log.h"
+
+namespace lo::baseline {
+namespace {
+
+std::unique_ptr<storage::DB> OpenDb(storage::MemEnv* env, const std::string& name) {
+  storage::Options options;
+  options.env = env;
+  return std::move(*storage::DB::Open(options, name));
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(sim::Network& net, sim::NodeId id,
+                           std::vector<sim::NodeId> compute_pool,
+                           std::vector<sim::NodeId> log_followers,
+                           LoadBalancerOptions options)
+    : options_(options),
+      rpc_(net, id),
+      db_(OpenDb(&env_, "/lb-log")),
+      log_(&rpc_, db_.get()),
+      compute_pool_(std::move(compute_pool)) {
+  LO_CHECK(!compute_pool_.empty());
+  log_.Configure(/*is_leader=*/true, std::move(log_followers));
+  rpc_.Handle("lb.invoke", [this](sim::NodeId from, std::string payload) {
+    return HandleInvoke(from, std::move(payload));
+  });
+}
+
+sim::Task<Result<std::string>> LoadBalancer::HandleInvoke(sim::NodeId,
+                                                          std::string payload) {
+  metrics_.requests++;
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  // Durability first: the request is logged before any execution, so a
+  // compute failure can be retried rather than lost.
+  co_await rpc_.sim().Sleep(options_.log_sync_latency);
+  auto index = co_await log_.Append(payload);
+  if (!index.ok()) co_return index.status();
+  metrics_.log_appends++;
+
+  // Round-robin dispatch; on failure, retry on the next compute node.
+  for (size_t attempt = 0; attempt < compute_pool_.size(); attempt++) {
+    sim::NodeId target = compute_pool_[next_compute_];
+    next_compute_ = (next_compute_ + 1) % compute_pool_.size();
+    auto result = co_await rpc_.Call(target, "fn.invoke", payload,
+                                     options_.compute_timeout);
+    if (result.ok() || (!result.status().IsTimeout() &&
+                        !result.status().IsUnavailable())) {
+      co_return result;
+    }
+    metrics_.retries_on_compute_failure++;
+  }
+  co_return Status::Unavailable("no compute node reachable");
+}
+
+LogFollower::LogFollower(sim::Network& net, sim::NodeId id)
+    : rpc_(net, id), db_(OpenDb(&env_, "/lb-follower")), log_(&rpc_, db_.get()) {
+  log_.Configure(/*is_leader=*/false, {});
+}
+
+}  // namespace lo::baseline

@@ -1,0 +1,137 @@
+#include "cluster/client.h"
+
+#include "common/coding.h"
+#include "common/log.h"
+
+namespace lo::cluster {
+
+Client::Client(sim::Network& net, sim::NodeId id,
+               std::vector<sim::NodeId> coordinators, ClientOptions options)
+    : rpc_(net, id), options_(options), coordinators_(std::move(coordinators)) {}
+
+sim::Task<void> Client::RefreshConfig() {
+  metrics_.config_refreshes++;
+  coord::CoordClient coord_client(&rpc_, coordinators_, nullptr);
+  auto state = co_await coord_client.FetchConfig();
+  if (state.ok()) shard_map_.Update(std::move(*state));
+}
+
+sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
+                                                       std::string service,
+                                                       std::string payload) {
+  metrics_.requests++;
+  Status last = Status::Unavailable("no attempts made");
+  for (int attempt = 0; attempt < options_.max_attempts; attempt++) {
+    if (attempt > 0) {
+      metrics_.retries++;
+      co_await rpc_.sim().Sleep(options_.retry_backoff);
+    }
+    if (shard_map_.empty() && !coordinators_.empty()) co_await RefreshConfig();
+    sim::NodeId primary = shard_map_.PrimaryFor(oid);
+    if (primary == 0) {
+      last = Status::Unavailable("no shard map");
+      continue;
+    }
+    auto result = co_await rpc_.Call(primary, service, payload,
+                                     options_.request_timeout);
+    if (result.ok()) co_return result;
+    last = result.status();
+    switch (last.code()) {
+      case StatusCode::kWrongNode:
+      case StatusCode::kNotPrimary:
+      case StatusCode::kTimeout:
+      case StatusCode::kUnavailable:
+        // Stale routing or mid-failover; refresh and retry.
+        if (!coordinators_.empty()) co_await RefreshConfig();
+        continue;
+      default:
+        co_return last;  // application-level error: surface it
+    }
+  }
+  co_return last;
+}
+
+sim::Task<Result<std::string>> Client::Invoke(std::string oid, std::string method,
+                                              std::string argument) {
+  std::string payload;
+  PutLengthPrefixed(&payload, oid);
+  PutLengthPrefixed(&payload, method);
+  PutLengthPrefixed(&payload, argument);
+  co_return co_await CallWithRouting(oid, "lambda.invoke", std::move(payload));
+}
+
+sim::Task<Result<std::string>> Client::InvokeReadAny(std::string oid,
+                                                     std::string method,
+                                                     std::string argument) {
+  metrics_.requests++;
+  if (shard_map_.empty() && !coordinators_.empty()) co_await RefreshConfig();
+  const coord::ShardConfig* config =
+      shard_map_.ConfigFor(shard_map_.ShardFor(oid));
+  std::string payload;
+  PutLengthPrefixed(&payload, oid);
+  PutLengthPrefixed(&payload, method);
+  PutLengthPrefixed(&payload, argument);
+  if (config != nullptr && !config->backups.empty()) {
+    // Pick any replica; fall back to the primary path on failure.
+    size_t which = rpc_.sim().rng().Uniform(config->backups.size() + 1);
+    if (which < config->backups.size()) {
+      auto reply = co_await rpc_.Call(config->backups[which], "lambda.invoke",
+                                      payload, options_.request_timeout);
+      if (reply.ok()) co_return reply;
+      metrics_.retries++;
+    }
+  }
+  co_return co_await CallWithRouting(oid, "lambda.invoke", std::move(payload));
+}
+
+sim::Task<Result<std::string>> Client::Create(std::string oid,
+                                              std::string type_name) {
+  std::string payload;
+  PutLengthPrefixed(&payload, oid);
+  PutLengthPrefixed(&payload, type_name);
+  co_return co_await CallWithRouting(oid, "lambda.create", std::move(payload));
+}
+
+sim::Task<Status> Client::MigrateObject(const std::string& oid,
+                                        coord::ShardId target_shard) {
+  if (shard_map_.empty() && !coordinators_.empty()) co_await RefreshConfig();
+  sim::NodeId source = shard_map_.PrimaryFor(oid);
+  const coord::ShardConfig* target = shard_map_.ConfigFor(target_shard);
+  if (source == 0 || target == nullptr) {
+    co_return Status::Unavailable("routing unknown for migration");
+  }
+  if (target->primary == source) co_return Status::OK();  // already there
+
+  // 1. Extract (source stops serving the object).
+  auto extracted = co_await rpc_.Call(source, "shard.extract", oid,
+                                      options_.request_timeout);
+  if (!extracted.ok()) co_return extracted.status();
+  // 2. Install at the target replica set.
+  std::string install;
+  PutVarint32(&install, target_shard);
+  install += *extracted;
+  auto installed = co_await rpc_.Call(target->primary, "shard.install",
+                                      std::move(install),
+                                      options_.request_timeout);
+  if (!installed.ok()) co_return installed.status();
+  // 3. Publish the directory update through the coordinator.
+  if (!coordinators_.empty()) {
+    std::string place;
+    PutLengthPrefixed(&place, oid);
+    PutVarint32(&place, target_shard);
+    for (sim::NodeId coordinator : coordinators_) {
+      auto reply = co_await rpc_.Call(coordinator, "coord.place", place,
+                                      options_.request_timeout);
+      if (reply.ok()) break;
+    }
+    co_await RefreshConfig();
+  } else {
+    // Coordinator-less deployments (unit tests): update locally.
+    auto state = shard_map_.state();
+    state.directory[oid] = target_shard;
+    shard_map_.Update(std::move(state));
+  }
+  co_return Status::OK();
+}
+
+}  // namespace lo::cluster

@@ -1,0 +1,71 @@
+// Client library for LambdaStore: routes invocations to the primary of
+// the owning shard, refreshes the shard map from the coordinators on
+// misroutes/timeouts, and retries — so a primary failure shows up to the
+// application as one slow request, not an error (paper §4.2.1: "clients
+// ... will reissue their request if needed").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "coord/coordinator.h"
+#include "sim/rpc.h"
+
+namespace lo::cluster {
+
+struct ClientOptions {
+  sim::Duration request_timeout = sim::Millis(100);
+  sim::Duration retry_backoff = sim::Millis(10);
+  int max_attempts = 8;
+};
+
+class Client {
+ public:
+  Client(sim::Network& net, sim::NodeId id, std::vector<sim::NodeId> coordinators,
+         ClientOptions options = {});
+
+  /// Installs a shard map directly (benchmarks skip the coordinator).
+  void SeedConfig(coord::ClusterState state) { shard_map_.Update(std::move(state)); }
+
+  sim::Task<Result<std::string>> Invoke(std::string oid, std::string method,
+                                        std::string argument);
+
+  /// Routes a *read-only* method to a randomly chosen replica of the
+  /// owning shard (paper §4.2.1: "read-only functions can execute at any
+  /// replica to increase throughput"). The nodes must be configured with
+  /// serve_reads_as_backup; mutating methods sent this way are rejected
+  /// by the backup's runtime. Reads may trail the primary by in-flight
+  /// replication (bounded staleness).
+  sim::Task<Result<std::string>> InvokeReadAny(std::string oid, std::string method,
+                                               std::string argument);
+
+  sim::Task<Result<std::string>> Create(std::string oid, std::string type_name);
+
+  /// Asks the coordinator to move `oid` to `shard` and orchestrates the
+  /// copy: extract at the current primary, install at the new one,
+  /// publish the directory update.
+  sim::Task<Status> MigrateObject(const std::string& oid, coord::ShardId shard);
+
+  struct Metrics {
+    uint64_t requests = 0;
+    uint64_t retries = 0;
+    uint64_t config_refreshes = 0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  sim::Task<Result<std::string>> CallWithRouting(const std::string& oid,
+                                                 std::string service,
+                                                 std::string payload);
+  sim::Task<void> RefreshConfig();
+
+  sim::RpcEndpoint rpc_;
+  ClientOptions options_;
+  std::vector<sim::NodeId> coordinators_;
+  ShardMap shard_map_;
+  Metrics metrics_;
+};
+
+}  // namespace lo::cluster

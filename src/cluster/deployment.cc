@@ -1,0 +1,79 @@
+#include "cluster/deployment.h"
+
+#include "common/log.h"
+
+namespace lo::cluster {
+
+AggregatedDeployment::AggregatedDeployment(sim::Simulator& sim,
+                                           const runtime::TypeRegistry* types,
+                                           DeploymentOptions options)
+    : sim_(sim), net_(sim, options.network), options_(options) {
+  for (int i = 0; i < options.num_coordinators; i++) {
+    coordinator_ids_.push_back(static_cast<sim::NodeId>(1 + i));
+  }
+  for (sim::NodeId id : coordinator_ids_) {
+    coordinator_rpcs_.push_back(std::make_unique<sim::RpcEndpoint>(net_, id));
+    coordinators_.push_back(std::make_unique<coord::CoordinatorNode>(
+        coordinator_rpcs_.back().get(), coordinator_ids_));
+  }
+
+  std::vector<sim::NodeId> storage_ids;
+  for (int i = 0; i < options.num_storage_nodes; i++) {
+    storage_ids.push_back(static_cast<sim::NodeId>(10 + i));
+  }
+  for (sim::NodeId id : storage_ids) {
+    storage_nodes_.push_back(std::make_unique<StorageNode>(
+        net_, id, types, coordinator_ids_, options.node));
+  }
+
+  // Bootstrap config: `num_shards` shards striped over the nodes; each
+  // shard gets every node as a replica, rotated so primaries differ.
+  for (int shard = 0; shard < options.num_shards; shard++) {
+    coord::ShardConfig config;
+    config.epoch = 1;
+    int n = options.num_storage_nodes;
+    config.primary = storage_ids[static_cast<size_t>(shard % n)];
+    for (int j = 1; j < n; j++) {
+      config.backups.push_back(storage_ids[static_cast<size_t>((shard + j) % n)]);
+    }
+    bootstrap_.shards[static_cast<coord::ShardId>(shard)] = std::move(config);
+  }
+
+  bool bootstrapped = false;
+  sim::Detach([](coord::CoordinatorNode* leader, coord::ClusterState state,
+                 bool* done) -> sim::Task<void> {
+    Status s = co_await leader->Bootstrap(std::move(state));
+    LO_CHECK_MSG(s.ok(), "bootstrap failed: " + s.ToString());
+    *done = true;
+  }(coordinators_.front().get(), bootstrap_, &bootstrapped));
+  sim_.RunFor(sim::Millis(50));
+  LO_CHECK_MSG(bootstrapped, "coordinator bootstrap did not converge");
+
+  // Push initial config into every storage node and start heartbeats.
+  for (auto& node : storage_nodes_) {
+    node->ApplyConfig(bootstrap_);
+    if (options.start_background_loops) node->Start();
+  }
+  if (options.start_background_loops) {
+    for (auto& coordinator : coordinators_) coordinator->Start();
+  }
+}
+
+void AggregatedDeployment::WaitUntilReady() { sim_.RunFor(sim::Millis(50)); }
+
+Client& AggregatedDeployment::NewClient() {
+  clients_.push_back(std::make_unique<Client>(net_, next_client_id_++,
+                                              coordinator_ids_, options_.client));
+  clients_.back()->SeedConfig(bootstrap_);
+  return *clients_.back();
+}
+
+void AggregatedDeployment::KillStorageNode(int index) {
+  net_.SetNodeUp(storage_nodes_[static_cast<size_t>(index)]->id(), false);
+}
+
+void AggregatedDeployment::ReviveStorageNode(int index) {
+  net_.SetNodeUp(storage_nodes_[static_cast<size_t>(index)]->id(), true);
+}
+
+}  // namespace lo::cluster

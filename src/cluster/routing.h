@@ -1,0 +1,49 @@
+// Object -> shard -> replica-set routing shared by clients and nodes.
+//
+// Objects are microshards (paper §4.2): an explicit directory entry (from
+// migration / placement) wins; otherwise the object hashes onto a shard.
+// The directory is what preserves locality under migration — hash-based
+// placement cannot express "keep this object here", which is exactly the
+// ablation in bench/ablation_sharding.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.h"
+#include "coord/coordinator.h"
+
+namespace lo::cluster {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  explicit ShardMap(coord::ClusterState state) : state_(std::move(state)) {}
+
+  void Update(coord::ClusterState state) { state_ = std::move(state); }
+  const coord::ClusterState& state() const { return state_; }
+  bool empty() const { return state_.shards.empty(); }
+
+  coord::ShardId ShardFor(std::string_view oid) const {
+    auto it = state_.directory.find(std::string(oid));
+    if (it != state_.directory.end()) return it->second;
+    if (state_.shards.empty()) return 0;
+    return static_cast<coord::ShardId>(Fnv1a64(oid) % state_.shards.size());
+  }
+
+  /// Primary node for the object, or 0 if the shard is unknown.
+  sim::NodeId PrimaryFor(std::string_view oid) const {
+    auto it = state_.shards.find(ShardFor(oid));
+    return it == state_.shards.end() ? 0 : it->second.primary;
+  }
+
+  const coord::ShardConfig* ConfigFor(coord::ShardId shard) const {
+    auto it = state_.shards.find(shard);
+    return it == state_.shards.end() ? nullptr : &it->second;
+  }
+
+ private:
+  coord::ClusterState state_;
+};
+
+}  // namespace lo::cluster

@@ -1,0 +1,316 @@
+#include "cluster/storage_node.h"
+
+#include "common/coding.h"
+#include "common/log.h"
+#include "runtime/object.h"
+
+namespace lo::cluster {
+namespace {
+
+std::string EncodeInvoke(std::string_view oid, std::string_view method,
+                         std::string_view argument) {
+  std::string out;
+  PutLengthPrefixed(&out, oid);
+  PutLengthPrefixed(&out, method);
+  PutLengthPrefixed(&out, argument);
+  return out;
+}
+
+bool DecodeInvoke(std::string_view payload, std::string_view* oid,
+                  std::string_view* method, std::string_view* argument) {
+  Reader reader{payload};
+  return reader.GetLengthPrefixed(oid) && reader.GetLengthPrefixed(method) &&
+         reader.GetLengthPrefixed(argument);
+}
+
+/// Storage keys embed the owning object id: "o\0<oid>" or
+/// "f\0<oid>\0...". Extracts it for shard routing.
+std::string_view OidFromStorageKey(std::string_view key) {
+  size_t first = key.find('\0');
+  if (first == std::string_view::npos) return {};
+  size_t second = key.find('\0', first + 1);
+  if (second == std::string_view::npos) return key.substr(first + 1);
+  return key.substr(first + 1, second - first - 1);
+}
+
+}  // namespace
+
+StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
+                         const runtime::TypeRegistry* types,
+                         std::vector<sim::NodeId> coordinators,
+                         StorageNodeOptions options)
+    : options_(options),
+      types_(types),
+      rpc_(net, id),
+      cpu_(net.sim(), options.cores) {
+  storage::Options db_options;
+  db_options.env = &env_;
+  db_options.write_buffer_size = options.db_write_buffer_size;
+  db_ = std::move(*storage::DB::Open(db_options, "/lambdastore"));
+  runtime_ = std::make_unique<runtime::Runtime>(&net.sim(), db_.get(), types,
+                                                options.runtime);
+  replicator_ = std::make_unique<replication::Replicator>(
+      &rpc_, db_.get(), options.replication_mode);
+  replicator_->SetApplyHook([this](const storage::WriteBatch& batch) {
+    runtime_->OnExternalCommit(batch);
+  });
+
+  // Commit path of the runtime: charge the WAL sync, then replicate
+  // within the object's shard.
+  runtime_->SetCommitSink(
+      [this](const runtime::ObjectId& oid,
+             storage::WriteBatch batch) -> sim::Task<Status> {
+        co_await rpc_.sim().Sleep(options_.wal_sync_latency);
+        co_return co_await replicator_->ReplicateAndApply(
+            shard_map_.ShardFor(oid), std::move(batch));
+      });
+  // CPU: sandbox instantiation plus executed fuel occupies a worker core.
+  runtime_->SetCpuCharger([this](uint64_t fuel) -> sim::Task<void> {
+    return cpu_.Execute(options_.vm_instantiation_overhead +
+                        static_cast<sim::Duration>(fuel * options_.ns_per_fuel));
+  });
+  // Nested invocations route through the shard map.
+  runtime_->SetRemoteInvoker(
+      [this](runtime::ObjectId oid, std::string method,
+             std::string argument) -> sim::Task<Result<std::string>> {
+        if (IsPrimaryFor(oid) && !migrated_away_.contains(oid)) {
+          metrics_.invokes_served++;
+          co_return co_await runtime_->Invoke(std::move(oid), std::move(method),
+                                              std::move(argument));
+        }
+        sim::NodeId target = shard_map_.PrimaryFor(oid);
+        if (target == 0) co_return Status::Unavailable("no shard map");
+        metrics_.forwarded_invokes++;
+        co_return co_await rpc_.Call(target, "lambda.invoke",
+                                     EncodeInvoke(oid, method, argument),
+                                     sim::Millis(200));
+      });
+
+  if (!coordinators.empty()) {
+    coord_client_ = std::make_unique<coord::CoordClient>(
+        &rpc_, std::move(coordinators),
+        [this](const coord::ClusterState& state) { ApplyConfig(state); });
+  }
+
+  rpc_.Handle("lambda.invoke", [this](sim::NodeId from, std::string payload) {
+    return HandleInvoke(from, std::move(payload));
+  });
+  rpc_.Handle("lambda.create", [this](sim::NodeId from, std::string payload) {
+    return HandleCreate(from, std::move(payload));
+  });
+  rpc_.Handle("kv.get", [this](sim::NodeId from, std::string payload) {
+    return HandleKvGet(from, std::move(payload));
+  });
+  rpc_.Handle("kv.put", [this](sim::NodeId from, std::string payload) {
+    return HandleKvPut(from, std::move(payload));
+  });
+  rpc_.Handle("kv.batch", [this](sim::NodeId from, std::string payload) {
+    return HandleKvBatch(from, std::move(payload));
+  });
+  rpc_.Handle("shard.extract", [this](sim::NodeId from, std::string payload) {
+    return HandleExtract(from, std::move(payload));
+  });
+  rpc_.Handle("shard.install", [this](sim::NodeId from, std::string payload) {
+    return HandleInstall(from, std::move(payload));
+  });
+}
+
+void StorageNode::Start() {
+  if (coord_client_ != nullptr) coord_client_->Start();
+}
+
+void StorageNode::ApplyConfig(const coord::ClusterState& state) {
+  shard_map_.Update(state);
+  // A node typically is primary for one shard and backup for others;
+  // replication state is kept per shard.
+  for (const auto& [shard, config] : state.shards) {
+    if (config.primary == id()) {
+      replicator_->Configure(shard, config.epoch, /*is_primary=*/true,
+                             config.backups);
+    } else {
+      for (size_t i = 0; i < config.backups.size(); i++) {
+        if (config.backups[i] != id()) continue;
+        std::vector<sim::NodeId> successors;
+        if (options_.replication_mode == replication::Mode::kChain &&
+            i + 1 < config.backups.size()) {
+          successors.push_back(config.backups[i + 1]);
+        }
+        replicator_->Configure(shard, config.epoch, /*is_primary=*/false,
+                               successors);
+      }
+    }
+  }
+}
+
+bool StorageNode::MethodIsReadOnly(std::string_view oid,
+                                   std::string_view method) const {
+  auto type_name = db_->Get({}, runtime::ObjectExistsKey(oid));
+  if (!type_name.ok()) return false;
+  const runtime::ObjectType* type = types_->Find(*type_name);
+  if (type == nullptr) return false;
+  const runtime::MethodImpl* impl = type->FindMethod(method);
+  return impl != nullptr && impl->kind == runtime::MethodKind::kReadOnly;
+}
+
+bool StorageNode::IsPrimaryFor(std::string_view oid) const {
+  return shard_map_.PrimaryFor(oid) == id();
+}
+
+bool StorageNode::IsReplicaFor(std::string_view oid) const {
+  const coord::ShardConfig* config = shard_map_.ConfigFor(shard_map_.ShardFor(oid));
+  return config != nullptr && config->Contains(id());
+}
+
+sim::Task<Result<std::string>> StorageNode::InvokeLocal(runtime::ObjectId oid,
+                                                        std::string method,
+                                                        std::string argument) {
+  metrics_.invokes_served++;
+  co_return co_await runtime_->Invoke(std::move(oid), std::move(method),
+                                      std::move(argument));
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleInvoke(sim::NodeId,
+                                                         std::string payload) {
+  std::string_view oid, method, argument;
+  if (!DecodeInvoke(payload, &oid, &method, &argument)) {
+    co_return Status::Corruption("bad invoke payload");
+  }
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  if (migrated_away_.contains(std::string(oid))) {
+    metrics_.invokes_rejected_not_primary++;
+    co_return Status::WrongNode("object migrated away");
+  }
+  if (!IsPrimaryFor(oid)) {
+    // Backups may serve *read-only* methods if configured (bounded
+    // staleness); anything mutating must go to the primary.
+    bool read_ok = options_.serve_reads_as_backup && IsReplicaFor(oid) &&
+                   MethodIsReadOnly(oid, method);
+    if (!read_ok) {
+      metrics_.invokes_rejected_not_primary++;
+      co_return Status::WrongNode("not primary for object");
+    }
+  }
+  co_return co_await InvokeLocal(runtime::ObjectId(oid), std::string(method),
+                                 std::string(argument));
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleCreate(sim::NodeId,
+                                                         std::string payload) {
+  Reader reader{payload};
+  std::string_view oid, type_name;
+  if (!reader.GetLengthPrefixed(&oid) || !reader.GetLengthPrefixed(&type_name)) {
+    co_return Status::Corruption("bad create payload");
+  }
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  if (!IsPrimaryFor(oid)) co_return Status::WrongNode("not primary for object");
+  co_return co_await runtime_->CreateObject(runtime::ObjectId(oid),
+                                            std::string(type_name));
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleKvGet(sim::NodeId,
+                                                        std::string payload) {
+  metrics_.kv_ops_served++;
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  co_await cpu_.Execute(options_.kv_op_cpu);
+  co_return db_->Get({}, payload);
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleKvPut(sim::NodeId,
+                                                        std::string payload) {
+  Reader reader{payload};
+  std::string_view key, value;
+  std::string_view is_delete;
+  if (!reader.GetLengthPrefixed(&key) || !reader.GetLengthPrefixed(&value) ||
+      !reader.GetBytes(1, &is_delete)) {
+    co_return Status::Corruption("bad kv.put payload");
+  }
+  metrics_.kv_ops_served++;
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  co_await cpu_.Execute(options_.kv_op_cpu);
+  storage::WriteBatch batch;
+  if (is_delete[0] != 0) {
+    batch.Delete(key);
+  } else {
+    batch.Put(key, value);
+  }
+  co_await rpc_.sim().Sleep(options_.wal_sync_latency);
+  coord::ShardId shard = shard_map_.ShardFor(OidFromStorageKey(key));
+  LO_CO_RETURN_IF_ERROR(
+      co_await replicator_->ReplicateAndApply(shard, std::move(batch)));
+  co_return std::string("ok");
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleKvBatch(sim::NodeId,
+                                                          std::string payload) {
+  metrics_.kv_ops_served++;
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  co_await cpu_.Execute(options_.kv_op_cpu);
+  auto batch = storage::WriteBatch::FromRep(std::move(payload));
+  if (!batch.ok()) co_return batch.status();
+  // Route by the first key's object (callers batch per object).
+  struct FirstKey : storage::WriteBatch::Handler {
+    std::string key;
+    void Put(std::string_view k, std::string_view) override {
+      if (key.empty()) key.assign(k);
+    }
+    void Delete(std::string_view k) override {
+      if (key.empty()) key.assign(k);
+    }
+  } first;
+  LO_CO_RETURN_IF_ERROR(batch->Iterate(&first));
+  co_await rpc_.sim().Sleep(options_.wal_sync_latency);
+  coord::ShardId shard = shard_map_.ShardFor(OidFromStorageKey(first.key));
+  LO_CO_RETURN_IF_ERROR(
+      co_await replicator_->ReplicateAndApply(shard, std::move(*batch)));
+  co_return std::string("ok");
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+StorageNode::CollectObjectKeys(const runtime::ObjectId& oid) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  auto existence = db_->Get({}, runtime::ObjectExistsKey(oid));
+  if (!existence.ok()) return existence.status();
+  entries.emplace_back(runtime::ObjectExistsKey(oid), *existence);
+  std::string prefix = runtime::FieldKey(oid, "");
+  auto iter = db_->NewIterator({});
+  for (iter->Seek(prefix); iter->Valid(); iter->Next()) {
+    std::string_view key = iter->key();
+    if (key.substr(0, prefix.size()) != prefix) break;
+    entries.emplace_back(std::string(key), std::string(iter->value()));
+  }
+  LO_RETURN_IF_ERROR(iter->status());
+  return entries;
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleExtract(sim::NodeId,
+                                                          std::string payload) {
+  // payload = oid. Returns a WriteBatch rep containing the whole object.
+  runtime::ObjectId oid(payload);
+  if (!IsPrimaryFor(oid)) co_return Status::WrongNode("not primary for object");
+  auto entries = CollectObjectKeys(oid);
+  if (!entries.ok()) co_return entries.status();
+  storage::WriteBatch batch;
+  for (const auto& [key, value] : *entries) batch.Put(key, value);
+  // Stop serving the object; clients will refresh the directory. The
+  // keys are deleted lazily (kept for crash-safety of the migration).
+  migrated_away_.insert(oid);
+  metrics_.objects_migrated_out++;
+  co_return batch.rep();
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleInstall(sim::NodeId,
+                                                          std::string payload) {
+  // payload = varint32 target shard | batch rep.
+  Reader reader{payload};
+  uint32_t shard = 0;
+  if (!reader.GetVarint32(&shard)) co_return Status::Corruption("bad install");
+  auto batch = storage::WriteBatch::FromRep(std::string(reader.rest()));
+  if (!batch.ok()) co_return batch.status();
+  co_await rpc_.sim().Sleep(options_.wal_sync_latency);
+  LO_CO_RETURN_IF_ERROR(
+      co_await replicator_->ReplicateAndApply(shard, std::move(*batch)));
+  metrics_.objects_migrated_in++;
+  co_return std::string("ok");
+}
+
+}  // namespace lo::cluster

@@ -1,0 +1,116 @@
+// A LambdaStore node: storage and execution co-located (paper §4.2).
+//
+// Each node owns a MiniLSM database, a LambdaObjects runtime, a
+// replicator, a CPU model (worker cores) and an RPC endpoint exposing:
+//   lambda.invoke   invoke a method (clients and peer nodes)
+//   lambda.create   instantiate an object
+//   kv.get/kv.put/kv.batch   raw storage access — this is the service the
+//                   disaggregated baseline uses, so both architectures
+//                   run on the byte-identical storage stack
+//   shard.extract / shard.install   microshard (object) migration
+//   repl.apply/repl.chain           replication (via Replicator)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "coord/coordinator.h"
+#include "replication/replicator.h"
+#include "runtime/runtime.h"
+#include "sim/cpu.h"
+#include "sim/rpc.h"
+#include "storage/db.h"
+#include "storage/env.h"
+
+namespace lo::cluster {
+
+struct StorageNodeOptions {
+  int cores = 20;                                   // Xeon Silver 4114 pair
+  size_t db_write_buffer_size = 8 << 20;            // memtable flush threshold
+  sim::Duration wal_sync_latency = sim::Micros(80); // NVMe flush per commit
+  sim::Duration dispatch_overhead = sim::Micros(15);// request demux/sched
+  /// Server-side CPU per raw kv op (parse + LSM + syscall path) — paid by
+  /// the disaggregated baseline on every storage access.
+  sim::Duration kv_op_cpu = sim::Micros(40);
+  uint64_t ns_per_fuel = 2;                         // VM "almost native"
+  /// Sandbox instantiation cost charged per invocation (WASM module
+  /// instantiation + runtime setup; wasmtime-era ~0.1-0.3 ms).
+  sim::Duration vm_instantiation_overhead = sim::Micros(100);
+  runtime::RuntimeOptions runtime;
+  replication::Mode replication_mode = replication::Mode::kPrimaryBackup;
+  /// Serve read-only invocations when this node is a backup (increases
+  /// read throughput; see §4.2.1 "read-only functions can execute at any
+  /// replica").
+  bool serve_reads_as_backup = false;
+};
+
+class StorageNode {
+ public:
+  StorageNode(sim::Network& net, sim::NodeId id,
+              const runtime::TypeRegistry* types,
+              std::vector<sim::NodeId> coordinators, StorageNodeOptions options);
+
+  sim::NodeId id() const { return rpc_.node(); }
+  runtime::Runtime& runtime() { return *runtime_; }
+  storage::DB& db() { return *db_; }
+  replication::Replicator& replicator() { return *replicator_; }
+  sim::CpuModel& cpu() { return cpu_; }
+  const ShardMap& shard_map() const { return shard_map_; }
+
+  /// Starts heartbeats to the coordinator group.
+  void Start();
+
+  /// Applies a (possibly pushed) cluster configuration: updates routing
+  /// and this node's replication role.
+  void ApplyConfig(const coord::ClusterState& state);
+
+  /// Local invocation entry (also used by the deployment's loopback path).
+  sim::Task<Result<std::string>> InvokeLocal(runtime::ObjectId oid,
+                                             std::string method,
+                                             std::string argument);
+
+  struct Metrics {
+    uint64_t invokes_served = 0;
+    uint64_t invokes_rejected_not_primary = 0;
+    uint64_t forwarded_invokes = 0;
+    uint64_t kv_ops_served = 0;
+    uint64_t objects_migrated_out = 0;
+    uint64_t objects_migrated_in = 0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  bool IsPrimaryFor(std::string_view oid) const;
+  bool IsReplicaFor(std::string_view oid) const;
+  bool MethodIsReadOnly(std::string_view oid, std::string_view method) const;
+  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleCreate(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleKvGet(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleKvPut(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleKvBatch(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleExtract(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleInstall(sim::NodeId from, std::string payload);
+
+  /// All storage keys belonging to one object (existence + fields).
+  Result<std::vector<std::pair<std::string, std::string>>> CollectObjectKeys(
+      const runtime::ObjectId& oid);
+
+  StorageNodeOptions options_;
+  const runtime::TypeRegistry* types_;
+  sim::RpcEndpoint rpc_;
+  sim::CpuModel cpu_;
+  storage::MemEnv env_;
+  std::unique_ptr<storage::DB> db_;
+  std::unique_ptr<runtime::Runtime> runtime_;
+  std::unique_ptr<replication::Replicator> replicator_;
+  std::unique_ptr<coord::CoordClient> coord_client_;
+  ShardMap shard_map_;
+  std::set<runtime::ObjectId> migrated_away_;
+  Metrics metrics_;
+};
+
+}  // namespace lo::cluster

@@ -1,0 +1,152 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace lo {
+
+void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  dst->append(buf, 2);
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; i++) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; i++) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+uint16_t DecodeFixed16(const char* p) {
+  auto b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t DecodeFixed32(const char* p) {
+  auto b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) | (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t DecodeFixed64(const char* p) {
+  uint64_t lo32 = DecodeFixed32(p);
+  uint64_t hi32 = DecodeFixed32(p + 4);
+  return lo32 | (hi32 << 32);
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* v) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<uint8_t>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* v) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<uint8_t>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool Reader::GetFixed16(uint16_t* v) {
+  if (data_.size() < 2) return false;
+  *v = DecodeFixed16(data_.data());
+  data_.remove_prefix(2);
+  return true;
+}
+
+bool Reader::GetFixed32(uint32_t* v) {
+  if (data_.size() < 4) return false;
+  *v = DecodeFixed32(data_.data());
+  data_.remove_prefix(4);
+  return true;
+}
+
+bool Reader::GetFixed64(uint64_t* v) {
+  if (data_.size() < 8) return false;
+  *v = DecodeFixed64(data_.data());
+  data_.remove_prefix(8);
+  return true;
+}
+
+bool Reader::GetVarint32(uint32_t* v) {
+  const char* p = GetVarint32Ptr(data_.data(), data_.data() + data_.size(), v);
+  if (p == nullptr) return false;
+  data_.remove_prefix(static_cast<size_t>(p - data_.data()));
+  return true;
+}
+
+bool Reader::GetVarint64(uint64_t* v) {
+  const char* p = GetVarint64Ptr(data_.data(), data_.data() + data_.size(), v);
+  if (p == nullptr) return false;
+  data_.remove_prefix(static_cast<size_t>(p - data_.data()));
+  return true;
+}
+
+bool Reader::GetLengthPrefixed(std::string_view* v) {
+  uint32_t len = 0;
+  Reader save = *this;
+  if (!GetVarint32(&len) || data_.size() < len) {
+    *this = save;
+    return false;
+  }
+  *v = data_.substr(0, len);
+  data_.remove_prefix(len);
+  return true;
+}
+
+bool Reader::GetBytes(size_t n, std::string_view* v) {
+  if (data_.size() < n) return false;
+  *v = data_.substr(0, n);
+  data_.remove_prefix(n);
+  return true;
+}
+
+bool Reader::Skip(size_t n) {
+  if (data_.size() < n) return false;
+  data_.remove_prefix(n);
+  return true;
+}
+
+}  // namespace lo

@@ -1,0 +1,56 @@
+// Binary coding primitives shared by the WAL, SSTable, RPC and VM module
+// formats: little-endian fixed-width integers, LEB128-style varints, and
+// length-prefixed strings, plus Writer/Reader cursors over std::string
+// buffers (the storage stack uses std::string as its byte-buffer type).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lo {
+
+void PutFixed16(std::string* dst, uint16_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+uint16_t DecodeFixed16(const char* p);
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+
+/// Appends v in LEB128 (7 bits per byte, MSB = continuation).
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// Appends varint32 length followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Parses a varint from [p, limit); returns pointer past it or nullptr on
+/// malformed/truncated input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* v);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* v);
+
+/// Cursor-style reader over a borrowed byte range. All getters return
+/// false (without advancing past partial data) on truncated input.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool empty() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+  std::string_view rest() const { return data_; }
+
+  bool GetFixed16(uint16_t* v);
+  bool GetFixed32(uint32_t* v);
+  bool GetFixed64(uint64_t* v);
+  bool GetVarint32(uint32_t* v);
+  bool GetVarint64(uint64_t* v);
+  bool GetLengthPrefixed(std::string_view* v);
+  bool GetBytes(size_t n, std::string_view* v);
+  bool Skip(size_t n);
+
+ private:
+  std::string_view data_;
+};
+
+}  // namespace lo

@@ -1,0 +1,23 @@
+#include "common/hash.h"
+
+namespace lo {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint32_t Fnv1a32(std::string_view data) {
+  uint32_t h = 0x811c9dc5u;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace lo

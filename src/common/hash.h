@@ -1,0 +1,24 @@
+// Non-cryptographic hashing: FNV-1a for hash tables / bloom filters and
+// a 64-bit mixer for sharding keys onto nodes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lo {
+
+/// FNV-1a 64-bit over arbitrary bytes.
+uint64_t Fnv1a64(std::string_view data);
+
+/// FNV-1a 32-bit (bloom filter probes).
+uint32_t Fnv1a32(std::string_view data);
+
+/// splitmix64 finalizer: decorrelates sequential integers.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace lo

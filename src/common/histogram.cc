@@ -1,0 +1,117 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace lo {
+namespace {
+
+// 64 power-of-two ranges, each split into 16 sub-buckets: ~6% worst-case
+// relative error at high values, exact below 16.
+constexpr size_t kSubBuckets = 16;
+constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  auto v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  int log2 = 63 - std::countl_zero(v);
+  uint64_t sub = (v >> (log2 - 4)) & (kSubBuckets - 1);
+  size_t idx = static_cast<size_t>(log2 - 3) * kSubBuckets + static_cast<size_t>(sub);
+  return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
+
+int64_t Histogram::BucketLower(size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<int64_t>(bucket);
+  size_t log2 = bucket / kSubBuckets + 3;
+  size_t sub = bucket % kSubBuckets;
+  return static_cast<int64_t>((1ull << log2) | (static_cast<uint64_t>(sub) << (log2 - 4)));
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+  buckets_[BucketFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  buckets_.assign(kNumBuckets, 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min_;
+  if (q >= 1) return max_;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      int64_t lower = BucketLower(i);
+      return std::max(min_, std::min(lower, max_));
+    }
+  }
+  return max_;
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0;
+  double mean = Mean();
+  double acc = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    if (buckets_[i] == 0) continue;
+    double mid = static_cast<double>(BucketLower(i));
+    acc += static_cast<double>(buckets_[i]) * (mid - mean) * (mid - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(count_));
+}
+
+std::string Histogram::Summary(std::string_view unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f%.*s p50=%lld%.*s p99=%lld%.*s max=%lld%.*s",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<int>(unit.size()), unit.data(),
+                static_cast<long long>(Percentile(0.5)),
+                static_cast<int>(unit.size()), unit.data(),
+                static_cast<long long>(Percentile(0.99)),
+                static_cast<int>(unit.size()), unit.data(),
+                static_cast<long long>(Max()),
+                static_cast<int>(unit.size()), unit.data());
+  return buf;
+}
+
+}  // namespace lo

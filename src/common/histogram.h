@@ -1,0 +1,45 @@
+// Latency recorder used by the benchmark harness. Log-bucketed like
+// HdrHistogram: ~1% relative error, O(1) record, exact count/sum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lo {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (e.g. microseconds). Negative values clamp to 0.
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  int64_t Min() const { return count_ ? min_ : 0; }
+  int64_t Max() const { return count_ ? max_ : 0; }
+  /// Value at quantile q in [0, 1]; e.g. Percentile(0.99).
+  int64_t Percentile(double q) const;
+  /// Population standard deviation (bucket-approximate).
+  double StdDev() const;
+
+  /// One-line summary: count/mean/p50/p99/max.
+  std::string Summary(std::string_view unit = "us") const;
+
+ private:
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketLower(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace lo

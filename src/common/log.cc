@@ -1,0 +1,40 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lo {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s:%d: %s\n", LevelName(level), file, line, msg.c_str());
+}
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "[FATAL] %s:%d: check failed: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lo

@@ -1,0 +1,65 @@
+// Minimal leveled logging plus precondition checks.
+//
+// LO_CHECK enforces internal invariants and programmer preconditions
+// (Core Guidelines I.6/E.12 spirit): it aborts with location info rather
+// than limping on with corrupted state. Expected runtime failures use
+// Status instead (see status.h).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace lo {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+/// Global threshold; messages below it are discarded. Default: kWarn
+/// (tests and benches stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lo
+
+#define LO_LOG(level)                                                  \
+  if (::lo::GetLogLevel() > (level)) {                                 \
+  } else                                                               \
+    ::lo::internal::LogMessage((level), __FILE__, __LINE__).stream()
+
+#define LO_DEBUG LO_LOG(::lo::LogLevel::kDebug)
+#define LO_INFO LO_LOG(::lo::LogLevel::kInfo)
+#define LO_WARN LO_LOG(::lo::LogLevel::kWarn)
+#define LO_ERROR LO_LOG(::lo::LogLevel::kError)
+
+// Invariant check; always on (storage code must fail loudly, not corrupt).
+#define LO_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr)) ::lo::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define LO_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) ::lo::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+  } while (0)

@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/hash.h"
+
+namespace lo {
+namespace {
+
+constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the full 256-bit state through splitmix64 so nearby seeds give
+  // uncorrelated streams.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ull;
+    s = Mix64(x);
+  }
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::string Rng::Bytes(size_t n) {
+  std::string out;
+  out.reserve(n);
+  while (out.size() < n) {
+    uint64_t r = Next();
+    for (int i = 0; i < 8 && out.size() < n; i++) {
+      out.push_back(static_cast<char>(r & 0xff));
+      r >>= 8;
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double alpha) : n_(n), cdf_(n) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace lo

@@ -1,0 +1,53 @@
+// Deterministic pseudo-randomness. Every stochastic component (network
+// jitter, workload generators, fuzzers) draws from an explicitly seeded
+// Rng so simulations replay bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lo {
+
+/// xoshiro256** — fast, high-quality, 64-bit state stream.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool Bernoulli(double p);
+  /// Exponential with mean `mean` (network jitter tails).
+  double Exponential(double mean);
+  /// Random byte string of length n.
+  std::string Bytes(size_t n);
+  /// Derive an independent stream (for per-node RNGs).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(alpha) sampler over {0, .., n-1} via precomputed inverse CDF.
+/// Social graphs (ReTwis follower counts) are Zipf-distributed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double alpha);
+
+  /// Draws a rank; rank 0 is the most popular item.
+  uint64_t Sample(Rng& rng) const;
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace lo

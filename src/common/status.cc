@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace lo {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kTrap: return "Trap";
+    case StatusCode::kWrongNode: return "WrongNode";
+    case StatusCode::kNotPrimary: return "NotPrimary";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace lo

@@ -1,0 +1,139 @@
+// Status / Result<T>: error propagation for the LambdaObjects libraries.
+//
+// The storage stack follows the LevelDB convention of returning rich
+// status objects rather than throwing: most failures (key not found,
+// corrupted block, replica unavailable, VM trap) are expected runtime
+// conditions, not programming errors. Exceptions are reserved for
+// violated preconditions (see LO_CHECK in log.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lo {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kInvalidArgument,
+  kIOError,
+  kAborted,
+  kTimeout,
+  kUnavailable,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kTrap,           // LambdaVM execution fault (bounds, fuel, bad opcode)
+  kWrongNode,      // request routed to a node that does not own the shard
+  kNotPrimary,     // mutation sent to a backup replica
+};
+
+/// Human-readable name of a status code, e.g. "NotFound".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "") { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status Corruption(std::string m = "") { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status InvalidArgument(std::string m = "") { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status IOError(std::string m = "") { return {StatusCode::kIOError, std::move(m)}; }
+  static Status Aborted(std::string m = "") { return {StatusCode::kAborted, std::move(m)}; }
+  static Status Timeout(std::string m = "") { return {StatusCode::kTimeout, std::move(m)}; }
+  static Status Unavailable(std::string m = "") { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status ResourceExhausted(std::string m = "") { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status FailedPrecondition(std::string m = "") { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Trap(std::string m = "") { return {StatusCode::kTrap, std::move(m)}; }
+  static Status WrongNode(std::string m = "") { return {StatusCode::kWrongNode, std::move(m)}; }
+  static Status NotPrimary(std::string m = "") { return {StatusCode::kNotPrimary, std::move(m)}; }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  bool IsNotFound() const noexcept { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const noexcept { return code_ == StatusCode::kCorruption; }
+  bool IsTimeout() const noexcept { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const noexcept { return code_ == StatusCode::kUnavailable; }
+  bool IsTrap() const noexcept { return code_ == StatusCode::kTrap; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Like absl::StatusOr.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {    // NOLINT implicit
+    if (status_.ok()) status_ = Status::InvalidArgument("Result built from OK status");
+  }
+
+  bool ok() const noexcept { return value_.has_value(); }
+  const Status& status() const noexcept { return status_; }
+
+  /// Precondition: ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace lo
+
+// Propagate errors up the stack; usable in functions returning Status.
+#define LO_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::lo::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Evaluate a Result<T> expression, binding the value or returning the error.
+#define LO_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto LO_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!LO_CONCAT_(_res_, __LINE__).ok())        \
+    return LO_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(LO_CONCAT_(_res_, __LINE__)).value()
+
+#define LO_CONCAT_INNER_(a, b) a##b
+#define LO_CONCAT_(a, b) LO_CONCAT_INNER_(a, b)
+
+// Coroutine flavors (functions returning Task<Status> / Task<Result<T>>).
+#define LO_CO_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::lo::Status _st = (expr);                  \
+    if (!_st.ok()) co_return _st;               \
+  } while (0)
+
+#define LO_CO_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto LO_CONCAT_(_res_, __LINE__) = (expr);     \
+  if (!LO_CONCAT_(_res_, __LINE__).ok())         \
+    co_return LO_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(LO_CONCAT_(_res_, __LINE__)).value()

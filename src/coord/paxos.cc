@@ -1,0 +1,171 @@
+#include "coord/paxos.h"
+
+#include "common/coding.h"
+#include "common/log.h"
+
+namespace lo::coord {
+
+void Ballot::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, round);
+  PutVarint32(dst, node);
+}
+
+bool Ballot::DecodeFrom(Reader* reader, Ballot* out) {
+  uint32_t node = 0;
+  if (!reader->GetVarint64(&out->round) || !reader->GetVarint32(&node)) return false;
+  out->node = node;
+  return true;
+}
+
+Acceptor::PrepareReply Acceptor::HandlePrepare(Ballot ballot) {
+  PrepareReply reply;
+  if (promised_.has_value() && *promised_ >= ballot) {
+    return reply;  // rejected: already promised a higher ballot
+  }
+  promised_ = ballot;
+  reply.promised = true;
+  reply.accepted_ballot = accepted_ballot_;
+  reply.accepted_value = accepted_value_;
+  return reply;
+}
+
+Acceptor::AcceptReply Acceptor::HandleAccept(Ballot ballot, std::string_view value) {
+  AcceptReply reply;
+  if (promised_.has_value() && *promised_ > ballot) {
+    return reply;  // rejected
+  }
+  promised_ = ballot;
+  accepted_ballot_ = ballot;
+  accepted_value_.assign(value);
+  reply.accepted = true;
+  return reply;
+}
+
+// -------------------------------------------------------------- AcceptorHost
+
+AcceptorHost::AcceptorHost(sim::RpcEndpoint* rpc) : rpc_(rpc) {
+  rpc_->Handle("paxos.prepare", [this](sim::NodeId from, std::string payload) {
+    return HandlePrepare(from, std::move(payload));
+  });
+  rpc_->Handle("paxos.accept", [this](sim::NodeId from, std::string payload) {
+    return HandleAccept(from, std::move(payload));
+  });
+}
+
+const Acceptor* AcceptorHost::acceptor(uint64_t slot) const {
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+sim::Task<Result<std::string>> AcceptorHost::HandlePrepare(sim::NodeId,
+                                                           std::string payload) {
+  Reader reader{payload};
+  uint64_t slot = 0;
+  Ballot ballot;
+  if (!reader.GetVarint64(&slot) || !Ballot::DecodeFrom(&reader, &ballot)) {
+    co_return Status::Corruption("bad prepare");
+  }
+  auto reply = slots_[slot].HandlePrepare(ballot);
+  std::string out;
+  out.push_back(reply.promised ? 1 : 0);
+  out.push_back(reply.accepted_ballot.has_value() ? 1 : 0);
+  if (reply.accepted_ballot.has_value()) {
+    reply.accepted_ballot->EncodeTo(&out);
+    PutLengthPrefixed(&out, reply.accepted_value);
+  }
+  co_return out;
+}
+
+sim::Task<Result<std::string>> AcceptorHost::HandleAccept(sim::NodeId,
+                                                          std::string payload) {
+  Reader reader{payload};
+  uint64_t slot = 0;
+  Ballot ballot;
+  std::string_view value;
+  if (!reader.GetVarint64(&slot) || !Ballot::DecodeFrom(&reader, &ballot) ||
+      !reader.GetLengthPrefixed(&value)) {
+    co_return Status::Corruption("bad accept");
+  }
+  auto reply = slots_[slot].HandleAccept(ballot, value);
+  std::string out;
+  out.push_back(reply.accepted ? 1 : 0);
+  co_return out;
+}
+
+// ------------------------------------------------------------------ Proposer
+
+Proposer::Proposer(sim::RpcEndpoint* rpc, std::vector<sim::NodeId> acceptors)
+    : rpc_(rpc), acceptors_(std::move(acceptors)) {
+  LO_CHECK_MSG(!acceptors_.empty(), "empty acceptor set");
+}
+
+sim::Task<Result<std::string>> Proposer::Propose(uint64_t slot, std::string value) {
+  size_t majority = acceptors_.size() / 2 + 1;
+
+  for (int attempt = 0; attempt < max_rounds; attempt++) {
+    Ballot ballot{next_round_++, rpc_->node()};
+
+    // Phase 1: prepare.
+    std::string prepare;
+    PutVarint64(&prepare, slot);
+    ballot.EncodeTo(&prepare);
+    std::vector<sim::Future<Result<std::string>>> prepare_acks;
+    for (sim::NodeId acceptor : acceptors_) {
+      prepare_acks.emplace_back(
+          rpc_->Call(acceptor, "paxos.prepare", prepare, rpc_timeout));
+    }
+    size_t promises = 0;
+    Ballot best_accepted{};
+    std::string adopted = value;
+    bool saw_accepted = false;
+    for (auto& ack : prepare_acks) {
+      auto reply = co_await ack.Wait();
+      if (!reply.ok() || reply->size() < 2) continue;
+      if ((*reply)[0] != 1) continue;
+      promises++;
+      if ((*reply)[1] == 1) {
+        Reader reader{std::string_view(*reply).substr(2)};
+        Ballot accepted_ballot;
+        std::string_view accepted_value;
+        if (Ballot::DecodeFrom(&reader, &accepted_ballot) &&
+            reader.GetLengthPrefixed(&accepted_value)) {
+          if (!saw_accepted || accepted_ballot > best_accepted) {
+            best_accepted = accepted_ballot;
+            adopted.assign(accepted_value);
+            saw_accepted = true;
+          }
+        }
+      }
+    }
+    if (promises < majority) {
+      // Contention or partition: back off (jittered) and retry higher.
+      co_await rpc_->sim().Sleep(static_cast<sim::Duration>(
+          rpc_->sim().rng().Uniform(static_cast<uint64_t>(sim::Millis(2)))));
+      continue;
+    }
+
+    // Phase 2: accept (must propose the adopted value).
+    std::string accept;
+    PutVarint64(&accept, slot);
+    ballot.EncodeTo(&accept);
+    PutLengthPrefixed(&accept, adopted);
+    std::vector<sim::Future<Result<std::string>>> accept_acks;
+    for (sim::NodeId acceptor : acceptors_) {
+      accept_acks.emplace_back(
+          rpc_->Call(acceptor, "paxos.accept", accept, rpc_timeout));
+    }
+    size_t accepts = 0;
+    for (auto& ack : accept_acks) {
+      auto reply = co_await ack.Wait();
+      if (reply.ok() && !reply->empty() && (*reply)[0] == 1) accepts++;
+    }
+    if (accepts >= majority) {
+      co_return adopted;  // chosen
+    }
+    co_await rpc_->sim().Sleep(static_cast<sim::Duration>(
+        rpc_->sim().rng().Uniform(static_cast<uint64_t>(sim::Millis(2)))));
+  }
+  co_return Status::Unavailable("paxos: no majority after max rounds");
+}
+
+}  // namespace lo::coord

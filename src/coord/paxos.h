@@ -1,0 +1,96 @@
+// Single-decree Paxos (Lamport's Synod), the consensus core of the
+// cluster coordination service (paper §4.2.1: "replicated using Paxos to
+// ensure availability at all times").
+//
+// One Acceptor instance exists per log slot on each coordinator node; a
+// Proposer drives one slot to a decision over RPC. Safety holds under
+// arbitrary message loss, duplication and reordering; liveness needs a
+// majority reachable and (as always) eventually one active proposer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status.h"
+#include "sim/rpc.h"
+
+namespace lo::coord {
+
+/// Totally ordered ballot: (round, proposing node) — node id breaks ties.
+struct Ballot {
+  uint64_t round = 0;
+  sim::NodeId node = 0;
+
+  friend auto operator<=>(const Ballot&, const Ballot&) = default;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Reader* reader, Ballot* out);
+};
+
+/// Acceptor state for one slot.
+class Acceptor {
+ public:
+  struct PrepareReply {
+    bool promised = false;
+    std::optional<Ballot> accepted_ballot;
+    std::string accepted_value;
+  };
+  PrepareReply HandlePrepare(Ballot ballot);
+
+  struct AcceptReply {
+    bool accepted = false;
+  };
+  AcceptReply HandleAccept(Ballot ballot, std::string_view value);
+
+  const std::optional<Ballot>& promised() const { return promised_; }
+  const std::optional<Ballot>& accepted_ballot() const { return accepted_ballot_; }
+  const std::string& accepted_value() const { return accepted_value_; }
+
+ private:
+  std::optional<Ballot> promised_;
+  std::optional<Ballot> accepted_ballot_;
+  std::string accepted_value_;
+};
+
+/// Hosts the acceptor side for all slots on one coordinator node:
+/// services "paxos.prepare" and "paxos.accept".
+class AcceptorHost {
+ public:
+  explicit AcceptorHost(sim::RpcEndpoint* rpc);
+
+  /// Learned decision for a slot, if any (updated on accepts this node
+  /// saw; the ReplicatedCommandLog fills gaps by re-proposing).
+  const Acceptor* acceptor(uint64_t slot) const;
+
+ private:
+  sim::Task<Result<std::string>> HandlePrepare(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleAccept(sim::NodeId from, std::string payload);
+
+  sim::RpcEndpoint* rpc_;
+  std::map<uint64_t, Acceptor> slots_;
+};
+
+/// Drives slots to consensus against a set of acceptor nodes.
+class Proposer {
+ public:
+  Proposer(sim::RpcEndpoint* rpc, std::vector<sim::NodeId> acceptors);
+
+  /// Runs the full two-phase protocol for `slot` proposing `value`.
+  /// Returns the *chosen* value, which may differ from `value` if an
+  /// earlier proposal was already accepted — the caller must check.
+  sim::Task<Result<std::string>> Propose(uint64_t slot, std::string value);
+
+  sim::Duration rpc_timeout = sim::Millis(20);
+  int max_rounds = 16;
+
+ private:
+  sim::RpcEndpoint* rpc_;
+  std::vector<sim::NodeId> acceptors_;
+  uint64_t next_round_ = 1;
+};
+
+}  // namespace lo::coord

@@ -1,0 +1,265 @@
+#include "replication/replicator.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/log.h"
+
+namespace lo::replication {
+namespace {
+
+std::string EncodeShipment(ShardId shard, uint64_t epoch, uint64_t seq,
+                           const std::string& rep) {
+  std::string out;
+  PutVarint32(&out, shard);
+  PutVarint64(&out, epoch);
+  PutVarint64(&out, seq);
+  PutLengthPrefixed(&out, rep);
+  return out;
+}
+
+Status DecodeShipment(std::string_view payload, ShardId* shard, uint64_t* epoch,
+                      uint64_t* seq, storage::WriteBatch* batch) {
+  Reader reader{payload};
+  std::string_view rep;
+  if (!reader.GetVarint32(shard) || !reader.GetVarint64(epoch) ||
+      !reader.GetVarint64(seq) || !reader.GetLengthPrefixed(&rep)) {
+    return Status::Corruption("bad replication shipment");
+  }
+  LO_ASSIGN_OR_RETURN(*batch, storage::WriteBatch::FromRep(std::string(rep)));
+  return Status::OK();
+}
+
+}  // namespace
+
+Replicator::Replicator(sim::RpcEndpoint* rpc, storage::DB* db, Mode mode)
+    : rpc_(rpc), db_(db), mode_(mode) {
+  rpc_->Handle("repl.apply", [this](sim::NodeId from, std::string payload) {
+    return HandleApply(from, std::move(payload));
+  });
+  rpc_->Handle("repl.chain", [this](sim::NodeId from, std::string payload) {
+    return HandleChain(from, std::move(payload));
+  });
+}
+
+void Replicator::Configure(ShardId shard, uint64_t epoch, bool is_primary,
+                           std::vector<sim::NodeId> peers) {
+  ShardState& state = shards_[shard];
+  state.epoch = epoch;
+  state.is_primary = is_primary;
+  state.peers = std::move(peers);
+  // A new epoch continues sequencing from the successor's applied state.
+  if (state.is_primary) state.next_seq = state.applied_seq + 1;
+  state.reorder_buffer.clear();
+}
+
+bool Replicator::is_primary(ShardId shard) const {
+  auto it = shards_.find(shard);
+  return it != shards_.end() && it->second.is_primary;
+}
+
+uint64_t Replicator::epoch(ShardId shard) const {
+  auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.epoch;
+}
+
+uint64_t Replicator::applied_seq(ShardId shard) const {
+  auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.applied_seq;
+}
+
+Status Replicator::ApplyLocal(const storage::WriteBatch& batch) {
+  storage::WriteBatch copy = batch;
+  LO_RETURN_IF_ERROR(db_->Write({.sync = true}, &copy));
+  metrics_.applied_batches++;
+  if (apply_hook_) apply_hook_(batch);
+  return Status::OK();
+}
+
+sim::Task<Status> Replicator::ReplicateAndApply(ShardId shard,
+                                                storage::WriteBatch batch) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end() || !it->second.is_primary) {
+    co_return Status::NotPrimary("replicate on non-primary");
+  }
+  ShardState& state = it->second;
+  uint64_t seq = state.next_seq++;
+  metrics_.replicated_batches++;
+
+  // Apply locally first (synchronously, so the local apply order equals
+  // the sequence order), then ship.
+  LO_CO_RETURN_IF_ERROR(ApplyLocal(batch));
+  state.applied_seq = std::max(state.applied_seq, seq);
+
+  if (state.peers.empty()) co_return Status::OK();
+  std::string payload = EncodeShipment(shard, state.epoch, seq, batch.rep());
+
+  if (mode_ == Mode::kChain) {
+    // The write flows down the chain; the deepest ack unwinds back
+    // through the nested RPCs.
+    auto ack = co_await rpc_->Call(
+        state.peers.front(), "repl.chain", payload,
+        ack_timeout * static_cast<int64_t>(state.peers.size()));
+    if (!ack.ok()) co_return ack.status();
+    co_return Status::OK();
+  }
+
+  // Primary-backup: fan out in parallel, await all acks.
+  std::vector<sim::Future<Result<std::string>>> acks;
+  acks.reserve(state.peers.size());
+  for (sim::NodeId peer : state.peers) {
+    acks.emplace_back(rpc_->Call(peer, "repl.apply", payload, ack_timeout));
+  }
+  Status failure = Status::OK();
+  for (auto& ack : acks) {
+    auto reply = co_await ack.Wait();
+    if (!reply.ok() && failure.ok()) failure = reply.status();
+  }
+  if (!failure.ok()) {
+    // A backup is unreachable: surface Unavailable so the client retries
+    // after the coordinator reconfigures the replica set. The local
+    // apply stands; the reconfigured epoch's primary has the data.
+    co_return Status::Unavailable("backup unreachable: " + failure.ToString());
+  }
+  co_return Status::OK();
+}
+
+void Replicator::DrainReorderBuffer(ShardState& state) {
+  auto it = state.reorder_buffer.begin();
+  while (it != state.reorder_buffer.end() && it->first == state.applied_seq + 1) {
+    if (!ApplyLocal(it->second).ok()) break;
+    state.applied_seq = it->first;
+    it = state.reorder_buffer.erase(it);
+  }
+}
+
+sim::Task<Status> Replicator::AwaitInOrderApply(ShardState& state, uint64_t seq) {
+  for (int spins = 0; state.applied_seq < seq; spins++) {
+    DrainReorderBuffer(state);
+    if (state.applied_seq >= seq) break;
+    if (spins > 10'000) {
+      // The gap never filled (lost predecessor); let the primary's
+      // timeout machinery handle it rather than acking out of order.
+      state.reorder_buffer.erase(seq);
+      co_return Status::Timeout("replication gap never filled");
+    }
+    co_await rpc_->sim().Sleep(sim::Micros(20));
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Result<std::string>> Replicator::HandleApply(sim::NodeId,
+                                                       std::string payload) {
+  ShardId shard = 0;
+  uint64_t epoch = 0, seq = 0;
+  storage::WriteBatch batch;
+  LO_CO_RETURN_IF_ERROR(DecodeShipment(payload, &shard, &epoch, &seq, &batch));
+  ShardState& state = shards_[shard];
+  if (epoch < state.epoch) {
+    metrics_.stale_epoch_rejections++;
+    co_return Status::Aborted("stale epoch");
+  }
+  if (seq <= state.applied_seq) co_return std::string("dup");  // re-send
+  if (seq != state.applied_seq + 1) {
+    metrics_.reordered_arrivals++;
+    state.reorder_buffer.emplace(seq, std::move(batch));
+    LO_CO_RETURN_IF_ERROR(co_await AwaitInOrderApply(state, seq));
+    co_return std::string("ok");
+  }
+  LO_CO_RETURN_IF_ERROR(ApplyLocal(batch));
+  state.applied_seq = seq;
+  DrainReorderBuffer(state);
+  co_return std::string("ok");
+}
+
+sim::Task<Result<std::string>> Replicator::HandleChain(sim::NodeId,
+                                                       std::string payload) {
+  ShardId shard = 0;
+  uint64_t epoch = 0, seq = 0;
+  storage::WriteBatch batch;
+  LO_CO_RETURN_IF_ERROR(DecodeShipment(payload, &shard, &epoch, &seq, &batch));
+  ShardState& state = shards_[shard];
+  if (epoch < state.epoch) {
+    metrics_.stale_epoch_rejections++;
+    co_return Status::Aborted("stale epoch");
+  }
+  if (seq > state.applied_seq) {
+    if (seq != state.applied_seq + 1) {
+      metrics_.reordered_arrivals++;
+      state.reorder_buffer.emplace(seq, std::move(batch));
+      LO_CO_RETURN_IF_ERROR(co_await AwaitInOrderApply(state, seq));
+    } else {
+      LO_CO_RETURN_IF_ERROR(ApplyLocal(batch));
+      state.applied_seq = seq;
+      DrainReorderBuffer(state);
+    }
+  }
+  // Forward down the chain (peers holds this node's successors only).
+  if (!state.peers.empty()) {
+    auto ack = co_await rpc_->Call(
+        state.peers.front(), "repl.chain", payload,
+        ack_timeout * static_cast<int64_t>(state.peers.size()));
+    if (!ack.ok()) co_return ack.status();
+  }
+  co_return std::string("ok");
+}
+
+// ------------------------------------------------------------ ReplicatedLog
+
+ReplicatedLog::ReplicatedLog(sim::RpcEndpoint* rpc, storage::DB* db)
+    : rpc_(rpc), db_(db) {
+  rpc_->Handle("log.replicate", [this](sim::NodeId from, std::string payload) {
+    return HandleReplicate(from, std::move(payload));
+  });
+}
+
+void ReplicatedLog::Configure(bool is_leader, std::vector<sim::NodeId> followers) {
+  is_leader_ = is_leader;
+  followers_ = std::move(followers);
+}
+
+std::string ReplicatedLog::IndexKey(uint64_t index) {
+  std::string key = "rlog/";
+  for (int i = 7; i >= 0; i--) {
+    key.push_back(static_cast<char>((index >> (8 * i)) & 0xff));
+  }
+  return key;
+}
+
+sim::Task<Result<uint64_t>> ReplicatedLog::Append(std::string record) {
+  if (!is_leader_) co_return Status::NotPrimary("append on follower");
+  uint64_t index = next_index_++;
+  LO_CO_RETURN_IF_ERROR(db_->Put({.sync = true}, IndexKey(index), record));
+  std::string payload;
+  PutVarint64(&payload, index);
+  PutLengthPrefixed(&payload, record);
+  std::vector<sim::Future<Result<std::string>>> acks;
+  acks.reserve(followers_.size());
+  for (sim::NodeId follower : followers_) {
+    acks.emplace_back(rpc_->Call(follower, "log.replicate", payload, sim::Millis(50)));
+  }
+  for (auto& ack : acks) {
+    auto reply = co_await ack.Wait();
+    if (!reply.ok()) co_return reply.status();
+  }
+  co_return index;
+}
+
+Result<std::string> ReplicatedLog::Read(uint64_t index) const {
+  return db_->Get({}, IndexKey(index));
+}
+
+sim::Task<Result<std::string>> ReplicatedLog::HandleReplicate(sim::NodeId,
+                                                              std::string payload) {
+  Reader reader{payload};
+  uint64_t index = 0;
+  std::string_view record;
+  if (!reader.GetVarint64(&index) || !reader.GetLengthPrefixed(&record)) {
+    co_return Status::Corruption("bad log replicate");
+  }
+  LO_CO_RETURN_IF_ERROR(db_->Put({.sync = true}, IndexKey(index), record));
+  if (index >= next_index_) next_index_ = index + 1;
+  co_return std::string("ok");
+}
+
+}  // namespace lo::replication

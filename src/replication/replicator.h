@@ -1,0 +1,125 @@
+// Replication of LambdaStore write batches (paper §4.2.1).
+//
+// Primary-backup: a mutating invocation executes at the shard's primary;
+// the resulting WriteBatch is applied locally, shipped to every backup,
+// applied there in sequence order, and acknowledged — one network
+// round-trip inside the replica set.
+//
+// Chain mode (the design the paper decided *against*, kept for the
+// ablation benchmark): the batch hops head -> ... -> tail, each node
+// applying before forwarding, and the ack travels back up the chain, so
+// commit latency grows with chain length.
+//
+// A node may play different roles for different shards (it is typically
+// primary for one shard and backup for its neighbours'), so all state is
+// kept per shard.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/rpc.h"
+#include "storage/db.h"
+
+namespace lo::replication {
+
+enum class Mode { kPrimaryBackup, kChain };
+
+using ShardId = uint32_t;
+
+class Replicator {
+ public:
+  /// Registers the "repl.apply" / "repl.chain" services on `rpc`.
+  Replicator(sim::RpcEndpoint* rpc, storage::DB* db, Mode mode = Mode::kPrimaryBackup);
+
+  /// (Re)configures this node's role for one shard. `peers` excludes this
+  /// node: the backups for a primary; the chain successors for kChain.
+  void Configure(ShardId shard, uint64_t epoch, bool is_primary,
+                 std::vector<sim::NodeId> peers);
+
+  /// Primary path: apply locally, replicate to all peers, return once
+  /// the batch is durable on every reachable replica.
+  sim::Task<Status> ReplicateAndApply(ShardId shard, storage::WriteBatch batch);
+
+  /// Called on every locally applied batch (primary and backups) —
+  /// the runtime hooks cache invalidation here.
+  void SetApplyHook(std::function<void(const storage::WriteBatch&)> hook) {
+    apply_hook_ = std::move(hook);
+  }
+
+  bool is_primary(ShardId shard) const;
+  uint64_t epoch(ShardId shard) const;
+  uint64_t applied_seq(ShardId shard) const;
+
+  struct Metrics {
+    uint64_t replicated_batches = 0;
+    uint64_t applied_batches = 0;
+    uint64_t reordered_arrivals = 0;
+    uint64_t stale_epoch_rejections = 0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Ack timeout for one peer before the batch is considered failed
+  /// (the coordinator will reconfigure; callers retry).
+  sim::Duration ack_timeout = sim::Millis(50);
+
+ private:
+  struct ShardState {
+    uint64_t epoch = 0;
+    bool is_primary = false;
+    std::vector<sim::NodeId> peers;
+    uint64_t next_seq = 1;     // primary: next sequence to assign
+    uint64_t applied_seq = 0;  // last applied in-order sequence
+    std::map<uint64_t, storage::WriteBatch> reorder_buffer;
+  };
+
+  sim::Task<Result<std::string>> HandleApply(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleChain(sim::NodeId from, std::string payload);
+  Status ApplyLocal(const storage::WriteBatch& batch);
+  void DrainReorderBuffer(ShardState& state);
+  /// Parks until `seq` has been applied in order (or times out).
+  sim::Task<Status> AwaitInOrderApply(ShardState& state, uint64_t seq);
+
+  sim::RpcEndpoint* rpc_;
+  storage::DB* db_;
+  Mode mode_;
+  std::map<ShardId, ShardState> shards_;
+  std::function<void(const storage::WriteBatch&)> apply_hook_;
+  Metrics metrics_;
+};
+
+/// Durable, replicated append-only log — the OpenWhisk-style load
+/// balancer's request log (paper §4.1: "implemented using Apache Kafka"
+/// in OpenWhisk). The leader appends locally (synced WAL-backed DB) and
+/// replicates each record to its followers before acknowledging.
+class ReplicatedLog {
+ public:
+  ReplicatedLog(sim::RpcEndpoint* rpc, storage::DB* db);
+
+  void Configure(bool is_leader, std::vector<sim::NodeId> followers);
+
+  /// Appends a record; resolves once every follower acked. Returns the
+  /// assigned log index.
+  sim::Task<Result<uint64_t>> Append(std::string record);
+
+  /// Reads record `index` (for recovery/auditing).
+  Result<std::string> Read(uint64_t index) const;
+  uint64_t size() const { return next_index_; }
+
+ private:
+  sim::Task<Result<std::string>> HandleReplicate(sim::NodeId from,
+                                                 std::string payload);
+  static std::string IndexKey(uint64_t index);
+
+  sim::RpcEndpoint* rpc_;
+  storage::DB* db_;
+  bool is_leader_ = false;
+  std::vector<sim::NodeId> followers_;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace lo::replication

@@ -1,0 +1,76 @@
+#include "retwis/driver.h"
+
+#include "common/log.h"
+
+namespace lo::retwis {
+namespace {
+
+OpType PickOp(const std::vector<std::pair<OpType, double>>& mix, Rng& rng) {
+  if (mix.size() == 1) return mix.front().first;
+  double total = 0;
+  for (const auto& [op, weight] : mix) total += weight;
+  double draw = rng.NextDouble() * total;
+  for (const auto& [op, weight] : mix) {
+    draw -= weight;
+    if (draw <= 0) return op;
+  }
+  return mix.back().first;
+}
+
+}  // namespace
+
+DriverResult RunClosedLoop(sim::Simulator& sim, const Workload& workload,
+                           std::vector<Invoker> clients, DriverConfig config) {
+  LO_CHECK(!clients.empty());
+  LO_CHECK(!config.mix.empty());
+  DriverResult result;
+  sim::Time start = sim.Now();
+  sim::Time measure_start = start + config.warmup;
+  sim::Time end = measure_start + config.measure;
+  size_t done = 0;
+
+  for (size_t i = 0; i < clients.size(); i++) {
+    auto loop = [](sim::Simulator* sim, const Workload* workload,
+                   Invoker* invoker, DriverConfig* config, DriverResult* result,
+                   sim::Time measure_start, sim::Time end, uint64_t seed,
+                   size_t* done) -> sim::Task<void> {
+      Rng rng(seed);
+      while (sim->Now() < end) {
+        OpType op = PickOp(config->mix, rng);
+        Request request = workload->Next(op, rng);
+        sim::Time issued = sim->Now();
+        auto reply = co_await (*invoker)(request);
+        sim::Time finished = sim->Now();
+        if (finished >= measure_start && finished < end) {
+          if (reply.ok()) {
+            result->completed++;
+            result->latency_us.Record(
+                static_cast<int64_t>(sim::ToMicros(finished - issued)));
+          } else {
+            result->errors++;
+          }
+        }
+      }
+      (*done)++;
+    };
+    sim::Detach(loop(&sim, &workload, &clients[i], &config, &result,
+                     measure_start, end, config.seed * 1000003 + i, &done));
+  }
+
+  // Deployments keep heartbeat loops alive forever, so drain by stepping
+  // until every client loop exits rather than until the queue is empty.
+  while (done < clients.size()) {
+    LO_CHECK_MSG(sim.Step(), "driver deadlocked: no events but clients pending");
+  }
+  result.seconds = sim::ToSeconds(config.measure);
+  return result;
+}
+
+DriverResult RunClosedLoop(sim::Simulator& sim, const Workload& workload,
+                           OpType op, std::vector<Invoker> clients,
+                           DriverConfig config) {
+  config.mix = {{op, 1.0}};
+  return RunClosedLoop(sim, workload, std::move(clients), std::move(config));
+}
+
+}  // namespace lo::retwis

@@ -1,0 +1,53 @@
+// Closed-loop workload driver: N concurrent clients, each issuing the
+// next request as soon as the previous one completes (paper §5: "up to
+// 100 concurrent client requests"). Latencies are recorded into a
+// histogram after a warmup window; throughput = completions / measured
+// virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "retwis/workload.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace lo::retwis {
+
+/// One client's way of issuing a request (cluster client, raw baseline
+/// RPC, ...). Must be callable repeatedly.
+using Invoker = std::function<sim::Task<Result<std::string>>(const Request&)>;
+
+struct DriverConfig {
+  sim::Duration warmup = sim::Millis(200);
+  sim::Duration measure = sim::Seconds(2);
+  uint64_t seed = 7;
+  /// Mix of operations; single-op runs pass exactly one entry.
+  std::vector<std::pair<OpType, double>> mix;
+};
+
+struct DriverResult {
+  Histogram latency_us;   // request latency in microseconds
+  uint64_t completed = 0; // completions inside the measure window
+  uint64_t errors = 0;
+  double seconds = 0;     // measured virtual seconds
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(completed) / seconds : 0;
+  }
+};
+
+/// Runs the closed loop; `clients[i]` is client i's invoker.
+DriverResult RunClosedLoop(sim::Simulator& sim, const Workload& workload,
+                           std::vector<Invoker> clients, DriverConfig config);
+
+/// Convenience for a single-op run.
+DriverResult RunClosedLoop(sim::Simulator& sim, const Workload& workload,
+                           OpType op, std::vector<Invoker> clients,
+                           DriverConfig config = {});
+
+}  // namespace lo::retwis

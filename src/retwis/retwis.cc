@@ -1,0 +1,529 @@
+#include "retwis/retwis.h"
+
+#include "common/coding.h"
+#include "common/log.h"
+#include "runtime/context.h"
+#include "vm/assembler.h"
+
+namespace lo::retwis {
+
+std::string EncodeU64(uint64_t value) {
+  std::string out;
+  for (int i = 0; i < 8; i++) out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  return out;
+}
+
+std::string FollowerEntryKey(uint64_t index) { return "f" + EncodeU64(index); }
+std::string TimelineEntryKey(uint64_t index) { return "t" + EncodeU64(index); }
+
+std::string Post::Encode() const {
+  LO_CHECK(author.size() <= 64);
+  std::string out;
+  out.push_back(static_cast<char>(author.size()));
+  out += author;
+  out += EncodeU64(time_ms);
+  out += message;
+  return out;
+}
+
+Result<Post> Post::Decode(std::string_view blob) {
+  if (blob.empty()) return Status::Corruption("empty post");
+  size_t name_len = static_cast<uint8_t>(blob[0]);
+  if (blob.size() < 1 + name_len + 8) return Status::Corruption("short post");
+  Post post;
+  post.author.assign(blob.substr(1, name_len));
+  post.time_ms = DecodeFixed64(blob.data() + 1 + name_len);
+  post.message.assign(blob.substr(1 + name_len + 8));
+  return post;
+}
+
+Result<std::vector<Post>> DecodeTimeline(std::string_view payload) {
+  std::vector<Post> posts;
+  size_t pos = 0;
+  while (pos + 2 <= payload.size()) {
+    size_t len = static_cast<uint8_t>(payload[pos]) |
+                 (static_cast<size_t>(static_cast<uint8_t>(payload[pos + 1])) << 8);
+    pos += 2;
+    if (pos + len > payload.size()) return Status::Corruption("torn timeline");
+    LO_ASSIGN_OR_RETURN(Post post, Post::Decode(payload.substr(pos, len)));
+    posts.push_back(std::move(post));
+    pos += len;
+  }
+  return posts;
+}
+
+// --------------------------------------------------------------- λasm
+
+std::string_view UserAsmSource() {
+  // Memory map: 0x40 scratch follower key, 0x50 scratch timeline key,
+  // 0x80/0x90 counter buffers, 0x20 limit buffer, 0x200 argument,
+  // 0x300 post blob, 0x600 own name, 0x700 follower oid, 0x800 misc,
+  // 0x1000 message, 0x2000.. timeline output.
+  static constexpr std::string_view kSource = R"(
+memory 65536
+data k_name 0x100 "name"
+data k_fl 0x110 "fl"
+data k_tl 0x118 "tl"
+data s_store 0x120 "store_post"
+
+;; ---- init(name): store the account name -------------------------------
+func init export locals len
+  push 0x200
+  push 256
+  arg
+  local.set len
+  push @k_name
+  push #k_name
+  push 0x200
+  local.get len
+  kv.put
+  push 0x200
+  local.get len
+  ret
+end
+
+;; ---- u64 counter read: returns value of counter key, 0 if absent ------
+;; params: kptr klen bufptr  -> result 1 (value)
+func read_counter params kptr klen bufptr results 1 locals rc
+  local.get kptr
+  local.get klen
+  local.get bufptr
+  push 8
+  kv.get
+  local.set rc
+  local.get rc
+  push 0xffffffffffffffff
+  eq
+  br_if rc_fresh
+  local.get bufptr
+  load64
+  return
+rc_fresh:
+  push 0
+  return
+end
+
+;; ---- follow(follower_oid) ---------------------------------------------
+func follow export locals n alen
+  push 0x200
+  push 256
+  arg
+  local.set alen
+  push @k_fl
+  push #k_fl
+  push 0x80
+  call read_counter
+  local.set n
+  ;; entry key 'f' + le64(n)
+  push 0x40
+  push 102
+  store8
+  push 0x41
+  local.get n
+  store64
+  push 0x40
+  push 9
+  push 0x200
+  local.get alen
+  kv.put
+  ;; counter = n + 1
+  push 0x80
+  local.get n
+  push 1
+  add
+  store64
+  push @k_fl
+  push #k_fl
+  push 0x80
+  push 8
+  kv.put
+  push 0x80
+  push 8
+  ret
+end
+
+;; ---- timeline append helper: params bptr blen -------------------------
+func tl_append params bptr blen locals m
+  push @k_tl
+  push #k_tl
+  push 0x90
+  call read_counter
+  local.set m
+  push 0x50
+  push 116
+  store8
+  push 0x51
+  local.get m
+  store64
+  push 0x50
+  push 9
+  local.get bptr
+  local.get blen
+  kv.put
+  push 0x90
+  local.get m
+  push 1
+  add
+  store64
+  push @k_tl
+  push #k_tl
+  push 0x90
+  push 8
+  kv.put
+end
+
+;; ---- store_post(blob): deliver a post into this timeline --------------
+func store_post export locals alen
+  push 0x200
+  push 4096
+  arg
+  local.set alen
+  push 0x200
+  local.get alen
+  call tl_append
+  push 0
+  push 0
+  ret
+end
+
+;; ---- create_post(msg): post to own + every follower's timeline --------
+func create_post export locals alen nlen blen n i olen rc
+  push 0x1000
+  push 2048
+  arg
+  local.set alen
+  ;; own name (for the post blob)
+  push @k_name
+  push #k_name
+  push 0x600
+  push 64
+  kv.get
+  local.set rc
+  local.get rc
+  push 0xffffffffffffffff
+  eq
+  eqz
+  br_if cp_has_name
+  push 0
+  local.set nlen
+  br cp_name_done
+cp_has_name:
+  local.get rc
+  local.set nlen
+  local.get rc
+  push 64
+  le_u
+  br_if cp_name_done
+  push 64
+  local.set nlen
+cp_name_done:
+  ;; blob at 0x300: nlen(1) name time(8) msg
+  push 0x300
+  local.get nlen
+  store8
+  push 0x301
+  push 0x600
+  local.get nlen
+  mem.copy
+  push 0x301
+  local.get nlen
+  add
+  time
+  store64
+  push 0x309
+  local.get nlen
+  add
+  push 0x1000
+  local.get alen
+  mem.copy
+  push 9
+  local.get nlen
+  add
+  local.get alen
+  add
+  local.set blen
+  ;; own timeline first (Listing 1: self.store_post is a local call)
+  push 0x300
+  local.get blen
+  call tl_append
+  ;; fan out to followers
+  push @k_fl
+  push #k_fl
+  push 0x80
+  call read_counter
+  local.set n
+  push 0
+  local.set i
+cp_loop:
+  local.get i
+  local.get n
+  ge_u
+  br_if cp_done
+  push 0x40
+  push 102
+  store8
+  push 0x41
+  local.get i
+  store64
+  push 0x40
+  push 9
+  push 0x700
+  push 128
+  kv.get
+  local.set olen
+  local.get olen
+  push 128
+  gt_u
+  br_if cp_skip
+  push 0x700
+  local.get olen
+  push @s_store
+  push #s_store
+  push 0x300
+  local.get blen
+  push 0x800
+  push 16
+  invoke
+  drop
+cp_skip:
+  local.get i
+  push 1
+  add
+  local.set i
+  br cp_loop
+cp_done:
+  push 0x800
+  local.get n
+  store64
+  push 0x800
+  push 8
+  ret
+end
+
+;; ---- get_timeline(limit?): newest posts, length-prefixed --------------
+func get_timeline export locals limit m j rc out alen
+  push 0x20
+  push 8
+  arg
+  local.set alen
+  push 10
+  local.set limit
+  local.get alen
+  push 8
+  eq
+  eqz
+  br_if gt_lim_done
+  push 0x20
+  load64
+  local.set limit
+gt_lim_done:
+  push @k_tl
+  push #k_tl
+  push 0x90
+  call read_counter
+  local.set m
+  local.get limit
+  local.get m
+  le_u
+  br_if gt_min_done
+  local.get m
+  local.set limit
+gt_min_done:
+  push 0x2000
+  local.set out
+  push 0
+  local.set j
+gt_loop:
+  local.get j
+  local.get limit
+  ge_u
+  br_if gt_done
+  push 0x50
+  push 116
+  store8
+  push 0x51
+  local.get m
+  push 1
+  sub
+  local.get j
+  sub
+  store64
+  push 0x50
+  push 9
+  local.get out
+  push 2
+  add
+  push 4096
+  kv.get
+  local.set rc
+  local.get rc
+  push 4096
+  gt_u
+  br_if gt_skip
+  local.get out
+  local.get rc
+  push 255
+  and
+  store8
+  local.get out
+  push 1
+  add
+  local.get rc
+  push 8
+  shr_u
+  push 255
+  and
+  store8
+  local.get out
+  push 2
+  add
+  local.get rc
+  add
+  local.set out
+gt_skip:
+  local.get j
+  push 1
+  add
+  local.set j
+  br gt_loop
+gt_done:
+  push 0x2000
+  local.get out
+  push 0x2000
+  sub
+  ret
+end
+)";
+  return kSource;
+}
+
+// ------------------------------------------------------------- native
+
+namespace {
+
+using runtime::InvocationContext;
+using sim::Task;
+
+Task<Result<uint64_t>> ReadCounter(InvocationContext& ctx, std::string_view key) {
+  auto raw = co_await ctx.KvGet(key);
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) co_return uint64_t{0};
+    co_return raw.status();
+  }
+  if (raw->size() != 8) co_return Status::Corruption("bad counter");
+  co_return DecodeFixed64(raw->data());
+}
+
+Task<Status> WriteCounter(InvocationContext& ctx, std::string_view key,
+                          uint64_t value) {
+  co_return co_await ctx.KvPut(key, EncodeU64(value));
+}
+
+Task<Status> TimelineAppend(InvocationContext& ctx, std::string_view blob) {
+  auto count = co_await ReadCounter(ctx, kTimelineCountKey);
+  if (!count.ok()) co_return count.status();
+  LO_CO_RETURN_IF_ERROR(co_await ctx.KvPut(TimelineEntryKey(*count), blob));
+  co_return co_await WriteCounter(ctx, kTimelineCountKey, *count + 1);
+}
+
+Task<Result<std::string>> NativeInit(InvocationContext& ctx, std::string arg) {
+  LO_CO_RETURN_IF_ERROR(co_await ctx.KvPut(kNameKey, arg));
+  co_return arg;
+}
+
+Task<Result<std::string>> NativeFollow(InvocationContext& ctx, std::string arg) {
+  auto count = co_await ReadCounter(ctx, kFollowerCountKey);
+  if (!count.ok()) co_return count.status();
+  LO_CO_RETURN_IF_ERROR(co_await ctx.KvPut(FollowerEntryKey(*count), arg));
+  LO_CO_RETURN_IF_ERROR(co_await WriteCounter(ctx, kFollowerCountKey, *count + 1));
+  co_return EncodeU64(*count + 1);
+}
+
+Task<Result<std::string>> NativeStorePost(InvocationContext& ctx, std::string arg) {
+  LO_CO_RETURN_IF_ERROR(co_await TimelineAppend(ctx, arg));
+  co_return std::string();
+}
+
+Task<Result<std::string>> NativeCreatePost(InvocationContext& ctx, std::string msg) {
+  Post post;
+  auto name = co_await ctx.KvGet(kNameKey);
+  if (name.ok()) post.author = name->substr(0, 64);
+  post.time_ms = ctx.TimeMillis();
+  post.message = std::move(msg);
+  std::string blob = post.Encode();
+  LO_CO_RETURN_IF_ERROR(co_await TimelineAppend(ctx, blob));
+
+  auto followers = co_await ReadCounter(ctx, kFollowerCountKey);
+  if (!followers.ok()) co_return followers.status();
+  for (uint64_t i = 0; i < *followers; i++) {
+    auto follower = co_await ctx.KvGet(FollowerEntryKey(i));
+    if (!follower.ok()) continue;  // torn graph entry (baseline semantics)
+    auto delivered = co_await ctx.InvokeObject(*follower, "store_post", blob);
+    if (!delivered.ok()) co_return delivered.status();
+  }
+  co_return EncodeU64(*followers);
+}
+
+Task<Result<std::string>> NativeGetTimeline(InvocationContext& ctx, std::string arg) {
+  uint64_t limit = 10;
+  if (arg.size() == 8) limit = DecodeFixed64(arg.data());
+  auto count = co_await ReadCounter(ctx, kTimelineCountKey);
+  if (!count.ok()) co_return count.status();
+  uint64_t n = std::min(limit, *count);
+  std::string out;
+  for (uint64_t j = 0; j < n; j++) {
+    auto entry = co_await ctx.KvGet(TimelineEntryKey(*count - 1 - j));
+    if (!entry.ok()) continue;
+    out.push_back(static_cast<char>(entry->size() & 0xff));
+    out.push_back(static_cast<char>((entry->size() >> 8) & 0xff));
+    out += *entry;
+  }
+  co_return out;
+}
+
+}  // namespace
+
+Status RegisterUserType(runtime::TypeRegistry* registry, bool use_vm) {
+  runtime::ObjectType type;
+  type.name = "user";
+  type.fields = {{"name", runtime::FieldKind::kValue},
+                 {"followers", runtime::FieldKind::kList},
+                 {"timeline", runtime::FieldKind::kList}};
+
+  auto method = [&](std::string name, runtime::MethodKind kind, bool deterministic,
+                    runtime::NativeMethod native) {
+    runtime::MethodImpl impl;
+    impl.kind = kind;
+    impl.deterministic = deterministic;
+    impl.native = std::move(native);
+    type.methods[std::move(name)] = std::move(impl);
+  };
+
+  if (use_vm) {
+    auto module = vm::Assemble(UserAsmSource());
+    if (!module.ok()) return module.status();
+    auto shared = std::make_shared<vm::Module>(std::move(*module));
+    auto vm_method = [&](std::string name, runtime::MethodKind kind,
+                         bool deterministic) {
+      runtime::MethodImpl impl;
+      impl.kind = kind;
+      impl.deterministic = deterministic;
+      impl.module = shared;
+      type.methods[std::move(name)] = std::move(impl);
+    };
+    vm_method("init", runtime::MethodKind::kReadWrite, false);
+    vm_method("follow", runtime::MethodKind::kReadWrite, false);
+    vm_method("store_post", runtime::MethodKind::kReadWrite, false);
+    vm_method("create_post", runtime::MethodKind::kReadWrite, false);
+    vm_method("get_timeline", runtime::MethodKind::kReadOnly, true);
+  } else {
+    method("init", runtime::MethodKind::kReadWrite, false, NativeInit);
+    method("follow", runtime::MethodKind::kReadWrite, false, NativeFollow);
+    method("store_post", runtime::MethodKind::kReadWrite, false, NativeStorePost);
+    method("create_post", runtime::MethodKind::kReadWrite, false, NativeCreatePost);
+    method("get_timeline", runtime::MethodKind::kReadOnly, true, NativeGetTimeline);
+  }
+  return registry->Register(std::move(type));
+}
+
+}  // namespace lo::retwis

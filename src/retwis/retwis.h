@@ -1,0 +1,54 @@
+// ReTwis — the microblogging application of paper §3.2 (Listing 1).
+//
+// A User object holds: name (value), followers (counter "fl" + entries
+// "f<le64 i>"), timeline (counter "tl" + entries "t<le64 i>"). Methods:
+//   init(name)            set the account name
+//   follow(oid)           append a follower
+//   store_post(blob)      append a post blob to the timeline
+//   create_post(msg)      build a post and deliver it to self + followers
+//   get_timeline(limit)   newest `limit` posts (read-only, deterministic)
+//
+// Both implementations — LambdaVM bytecode (used in benchmarks, on both
+// architectures, mirroring the paper's "WebAssembly on both sides") and
+// native C++ — operate on the byte-identical key layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/object.h"
+
+namespace lo::retwis {
+
+/// Post blob layout: name_len(1) name time_ms(8, LE) message.
+struct Post {
+  std::string author;
+  uint64_t time_ms = 0;
+  std::string message;
+
+  std::string Encode() const;
+  static Result<Post> Decode(std::string_view blob);
+};
+
+/// Timeline wire format: repeated (len(2, LE) blob).
+Result<std::vector<Post>> DecodeTimeline(std::string_view payload);
+
+/// The λasm source of the User type (compiled once, shared).
+std::string_view UserAsmSource();
+
+/// Registers the "user" object type. `use_vm` selects bytecode methods
+/// (benchmarks) or native ones (examples / debugging).
+Status RegisterUserType(runtime::TypeRegistry* registry, bool use_vm);
+
+// Raw keys used by the user object (shared with the seeding code).
+inline constexpr std::string_view kNameKey = "name";
+inline constexpr std::string_view kFollowerCountKey = "fl";
+inline constexpr std::string_view kTimelineCountKey = "tl";
+std::string FollowerEntryKey(uint64_t index);
+std::string TimelineEntryKey(uint64_t index);
+std::string EncodeU64(uint64_t value);  // 8-byte little-endian
+
+}  // namespace lo::retwis

@@ -1,0 +1,129 @@
+#include "retwis/workload.h"
+
+#include <algorithm>
+
+#include "retwis/retwis.h"
+#include "runtime/object.h"
+
+namespace lo::retwis {
+
+const char* OpName(OpType op) {
+  switch (op) {
+    case OpType::kPost: return "Post";
+    case OpType::kGetTimeline: return "GetTimeline";
+    case OpType::kFollow: return "Follow";
+  }
+  return "?";
+}
+
+Workload::Workload(WorkloadConfig config)
+    : config_(config),
+      request_zipf_(config.num_users, config.zipf_alpha) {
+  followers_of_.resize(config_.num_users);
+  Rng rng(config_.seed);
+  ZipfGenerator zipf(config_.num_users, config_.zipf_alpha);
+  uint64_t edges = config_.num_users * config_.avg_follows_per_user;
+  for (uint64_t e = 0; e < edges; e++) {
+    uint64_t follower = rng.Uniform(config_.num_users);
+    uint64_t followee = zipf.Sample(rng);
+    // A closed community follows itself (microsharding ablation: the
+    // whole interaction graph of these users can be co-located).
+    if (followee < config_.community_size) {
+      follower = rng.Uniform(config_.community_size);
+    }
+    if (follower == followee) continue;
+    followers_of_[followee].push_back(follower);
+  }
+}
+
+uint64_t Workload::PickUser(OpType op, Rng& rng) const {
+  if (config_.zipf_reads && op == OpType::kGetTimeline) {
+    return request_zipf_.Sample(rng);
+  }
+  return rng.Uniform(config_.num_users);
+}
+
+std::string Workload::UserId(uint64_t index) const {
+  return "user/" + std::to_string(index);
+}
+
+uint64_t Workload::FollowerCount(uint64_t index) const {
+  return followers_of_[index].size();
+}
+
+uint64_t Workload::MaxFollowerCount() const {
+  uint64_t max = 0;
+  for (const auto& f : followers_of_) max = std::max<uint64_t>(max, f.size());
+  return max;
+}
+
+double Workload::MeanFollowerCount() const {
+  uint64_t total = 0;
+  for (const auto& f : followers_of_) total += f.size();
+  return static_cast<double>(total) / static_cast<double>(config_.num_users);
+}
+
+Status Workload::SeedDb(storage::DB* db) const {
+  // Large batched writes; unsynced within the batch stream, one final
+  // sync at the end (setup is not part of any measurement).
+  storage::WriteBatch batch;
+  auto flush = [&]() -> Status {
+    if (batch.Count() == 0) return Status::OK();
+    LO_RETURN_IF_ERROR(db->Write({.sync = false}, &batch));
+    batch.Clear();
+    return Status::OK();
+  };
+  for (uint64_t i = 0; i < config_.num_users; i++) {
+    std::string oid = UserId(i);
+    batch.Put(runtime::ObjectExistsKey(oid), "user");
+    batch.Put(runtime::FieldKey(oid, kNameKey), "account-" + std::to_string(i));
+    const auto& followers = followers_of_[i];
+    batch.Put(runtime::FieldKey(oid, kFollowerCountKey),
+              EncodeU64(followers.size()));
+    for (uint64_t j = 0; j < followers.size(); j++) {
+      batch.Put(runtime::FieldKey(oid, FollowerEntryKey(j)),
+                UserId(followers[j]));
+    }
+    batch.Put(runtime::FieldKey(oid, kTimelineCountKey),
+              EncodeU64(config_.initial_posts_per_user));
+    for (uint64_t j = 0; j < config_.initial_posts_per_user; j++) {
+      Post post;
+      post.author = "account-" + std::to_string(i);
+      post.time_ms = j;
+      post.message = "seed-post-" + std::to_string(j);
+      if (post.message.size() < config_.message_length) {
+        post.message.append(config_.message_length - post.message.size(), 's');
+      }
+      batch.Put(runtime::FieldKey(oid, TimelineEntryKey(j)), post.Encode());
+    }
+    if (batch.ByteSize() > (1 << 20)) LO_RETURN_IF_ERROR(flush());
+  }
+  LO_RETURN_IF_ERROR(flush());
+  storage::WriteBatch sync_marker;
+  sync_marker.Put("seeded", "1");
+  return db->Write({.sync = true}, &sync_marker);
+}
+
+Request Workload::Next(OpType op, Rng& rng) const {
+  uint64_t user = PickUser(op, rng);
+  switch (op) {
+    case OpType::kPost: {
+      std::string msg = "post-";
+      msg += std::to_string(rng.Next());
+      if (msg.size() < config_.message_length) {
+        msg.append(config_.message_length - msg.size(), 'x');
+      }
+      return Request{UserId(user), "create_post", std::move(msg)};
+    }
+    case OpType::kGetTimeline:
+      return Request{UserId(user), "get_timeline",
+                     EncodeU64(config_.timeline_limit)};
+    case OpType::kFollow: {
+      uint64_t other = rng.Uniform(config_.num_users);
+      return Request{UserId(user), "follow", UserId(other)};
+    }
+  }
+  return {};
+}
+
+}  // namespace lo::retwis

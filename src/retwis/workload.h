@@ -1,0 +1,74 @@
+// ReTwis workload: Zipf social graph generation, direct storage seeding
+// (identical bytes for both architectures), and request generation for
+// the three workloads of paper §5 — Post, GetTimeline, Follow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/db.h"
+
+namespace lo::retwis {
+
+struct WorkloadConfig {
+  uint64_t num_users = 10000;   // paper: "10,000 accounts"
+  /// Average out-degree; followees drawn Zipf(alpha) so popular accounts
+  /// accumulate large follower lists.
+  uint64_t avg_follows_per_user = 16;
+  double zipf_alpha = 0.8;
+  size_t message_length = 96;
+  uint64_t timeline_limit = 10;
+  /// Posts pre-loaded into every timeline so GetTimeline reads real data.
+  uint64_t initial_posts_per_user = 10;
+  /// When > 0, users [0, community_size) form a closed community: their
+  /// followers are drawn from within the community (ablation A3).
+  uint64_t community_size = 0;
+  /// When true, GetTimeline targets are drawn Zipf(zipf_alpha) instead
+  /// of uniformly (hot-timeline read skew; ablation A2). Writes stay
+  /// uniform so hot objects aren't serialized by their locks.
+  bool zipf_reads = false;
+  uint64_t seed = 42;
+};
+
+enum class OpType { kPost, kGetTimeline, kFollow };
+const char* OpName(OpType op);
+
+struct Request {
+  std::string oid;
+  std::string method;
+  std::string argument;
+};
+
+class Workload {
+ public:
+  explicit Workload(WorkloadConfig config);
+
+  const WorkloadConfig& config() const { return config_; }
+  std::string UserId(uint64_t index) const;
+
+  /// Writes every user object (name, follower list, empty timeline)
+  /// directly into `db` — used to give the aggregated and disaggregated
+  /// deployments byte-identical initial state without timing the setup.
+  Status SeedDb(storage::DB* db) const;
+
+  /// Number of followers of user `index` in the generated graph.
+  uint64_t FollowerCount(uint64_t index) const;
+  uint64_t MaxFollowerCount() const;
+  double MeanFollowerCount() const;
+
+  /// Generates the next request of the given type.
+  Request Next(OpType op, Rng& rng) const;
+
+ private:
+  uint64_t PickUser(OpType op, Rng& rng) const;
+
+  WorkloadConfig config_;
+  ZipfGenerator request_zipf_;
+  // followers_of[i] = accounts following user i (their timelines receive
+  // user i's posts).
+  std::vector<std::vector<uint64_t>> followers_of_;
+};
+
+}  // namespace lo::retwis

@@ -1,0 +1,47 @@
+// FIFO mutex for coroutines. One per object: LambdaStore "combines
+// function scheduling and concurrency control" (paper §4.2) by never
+// running two read-write invocations of the same object concurrently —
+// the application's object granularity *is* the lock granularity.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/log.h"
+#include "sim/task.h"
+
+namespace lo::runtime {
+
+class AsyncMutex {
+ public:
+  sim::Task<void> Lock() {
+    if (!locked_) {
+      locked_ = true;
+      co_return;
+    }
+    auto slot = std::make_shared<sim::OneShot<bool>>();
+    waiters_.push_back(slot);
+    co_await slot->Wait();
+    // Ownership was handed to us directly by Unlock().
+  }
+
+  void Unlock() {
+    LO_CHECK_MSG(locked_, "unlock of unlocked AsyncMutex");
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    auto next = waiters_.front();
+    waiters_.pop_front();
+    next->Fulfill(true);  // lock stays held; ownership transfers FIFO
+  }
+
+  bool locked() const { return locked_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  bool locked_ = false;
+  std::deque<std::shared_ptr<sim::OneShot<bool>>> waiters_;
+};
+
+}  // namespace lo::runtime

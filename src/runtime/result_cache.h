@@ -1,0 +1,67 @@
+// Consistent result cache for deterministic read-only methods (§4.2.2).
+//
+// Because storage and execution are co-located, the storage node sees
+// every committed write, so it can invalidate cached function results
+// precisely: each entry records the invocation's read set (keys + value
+// hashes); committing a batch drops every entry whose read set overlaps
+// the batch's write keys. Entries therefore never serve stale data.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace lo::runtime {
+
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity = 4096);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t invalidations = 0;  // entries dropped by writes
+    uint64_t evictions = 0;      // entries dropped by capacity
+  };
+
+  /// Cache key for (object, method, argument).
+  static std::string MakeKey(std::string_view oid, std::string_view method,
+                             std::string_view argument);
+
+  /// Returns the cached output, or nullopt on miss.
+  std::optional<std::string> Lookup(const std::string& cache_key);
+
+  void Insert(const std::string& cache_key, std::string output,
+              std::vector<ReadSetEntry> reads);
+
+  /// Drops every entry that read one of these storage keys.
+  void InvalidateWrites(std::span<const std::string> written_keys);
+
+  void Clear();
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string output;
+    std::vector<std::string> read_keys;
+    std::list<std::string>::iterator lru_pos;
+  };
+  void Erase(const std::string& cache_key);
+
+  size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  // read key -> cache keys depending on it.
+  std::multimap<std::string, std::string> by_read_key_;
+  std::list<std::string> lru_;  // front = least recently used
+  Stats stats_;
+};
+
+}  // namespace lo::runtime

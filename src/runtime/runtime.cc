@@ -1,0 +1,217 @@
+#include "runtime/runtime.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace lo::runtime {
+
+Runtime::Runtime(sim::Simulator* sim, storage::DB* db, const TypeRegistry* types,
+                 RuntimeOptions options)
+    : sim_(sim),
+      db_(db),
+      types_(types),
+      options_(options),
+      cache_(options.result_cache_capacity) {
+  // Default commit sink: local durable write.
+  commit_sink_ = [this](const ObjectId&,
+                        storage::WriteBatch batch) -> sim::Task<Status> {
+    co_return db_->Write({.sync = true}, &batch);
+  };
+  // Default remote invoker: every object is local.
+  remote_invoker_ = [this](ObjectId oid, std::string method,
+                           std::string argument) -> sim::Task<Result<std::string>> {
+    return Invoke(std::move(oid), std::move(method), std::move(argument));
+  };
+}
+
+uint64_t Runtime::VirtualTimeMillis() const {
+  return static_cast<uint64_t>(sim_->Now() / 1'000'000);
+}
+
+Result<std::string> Runtime::StorageRead(const std::string& key,
+                                         const storage::Snapshot* snapshot) {
+  storage::ReadOptions opts;
+  opts.snapshot = snapshot;
+  return db_->Get(opts, key);
+}
+
+Result<std::string> Runtime::TypeOf(const ObjectId& oid) {
+  return db_->Get({}, ObjectExistsKey(oid));
+}
+
+AsyncMutex& Runtime::LockFor(const ObjectId& oid) {
+  auto& slot = locks_[oid];
+  if (slot == nullptr) slot = std::make_unique<AsyncMutex>();
+  return *slot;
+}
+
+sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
+                                                     std::string type_name) {
+  if (oid.empty() || oid.find('\0') != std::string::npos) {
+    co_return Status::InvalidArgument("invalid object id");
+  }
+  if (types_->Find(type_name) == nullptr) {
+    co_return Status::NotFound("unknown object type: " + type_name);
+  }
+  AsyncMutex& lock = LockFor(oid);
+  co_await lock.Lock();
+  Result<std::string> existing = TypeOf(oid);
+  if (existing.ok()) {
+    lock.Unlock();
+    co_return Status::FailedPrecondition("object already exists: " + oid);
+  }
+  storage::WriteBatch batch;
+  batch.Put(ObjectExistsKey(oid), type_name);
+  Status s = co_await commit_sink_(oid, std::move(batch));
+  metrics_.commits++;
+  lock.Unlock();
+  if (!s.ok()) co_return s;
+  co_return oid;
+}
+
+sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
+                                               std::string argument) {
+  metrics_.invocations++;
+  Result<std::string> type_name = TypeOf(oid);
+  if (!type_name.ok()) {
+    co_return Status::NotFound("no such object: " + oid);
+  }
+  const ObjectType* type = types_->Find(*type_name);
+  if (type == nullptr) {
+    co_return Status::Corruption("object has unregistered type: " + *type_name);
+  }
+  const MethodImpl* impl = type->FindMethod(method);
+  if (impl == nullptr) {
+    co_return Status::NotFound("no method " + method + " on type " + *type_name);
+  }
+
+  if (impl->kind == MethodKind::kReadOnly) {
+    metrics_.read_only_invocations++;
+    // Consistent cache: co-location means every commit passed through
+    // this node, so a surviving entry is exact.
+    std::string cache_key;
+    if (impl->deterministic && options_.enable_result_cache) {
+      cache_key = ResultCache::MakeKey(oid, method, argument);
+      if (auto cached = cache_.Lookup(cache_key)) {
+        co_return std::move(*cached);
+      }
+    }
+    const storage::Snapshot* snapshot = db_->GetSnapshot();
+    InvocationContext ctx(this, oid, MethodKind::kReadOnly, snapshot);
+    uint64_t fuel = 0;
+    auto result = co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel);
+    db_->ReleaseSnapshot(snapshot);
+    if (cpu_charger_) co_await cpu_charger_(fuel);
+    if (result.ok() && !cache_key.empty()) {
+      cache_.Insert(cache_key, *result,
+                    std::vector<ReadSetEntry>(ctx.read_set().begin(),
+                                              ctx.read_set().end()));
+    }
+    co_return result;
+  }
+
+  // Read-write: exclusive per object (scheduling == concurrency control).
+  AsyncMutex& lock = LockFor(oid);
+  if (lock.locked()) metrics_.lock_waits++;
+  co_await lock.Lock();
+  InvocationContext ctx(this, oid, MethodKind::kReadWrite, /*snapshot=*/nullptr);
+  ctx.set_object_lock(&lock);
+  uint64_t fuel = 0;
+  auto result = co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel);
+  if (result.ok()) {
+    Status commit = co_await CommitContext(ctx);
+    if (!commit.ok()) {
+      metrics_.aborts++;
+      result = commit;
+    }
+  } else {
+    // Trap or error: buffered writes are discarded — atomicity.
+    metrics_.aborts++;
+  }
+  lock.Unlock();
+  if (cpu_charger_) co_await cpu_charger_(fuel);
+  co_return result;
+}
+
+sim::Task<Result<std::string>> Runtime::RunMethod(const MethodImpl& impl,
+                                                  std::string_view method_name,
+                                                  InvocationContext& ctx,
+                                                  std::string argument,
+                                                  uint64_t* fuel) {
+  if (impl.native) {
+    *fuel = options_.native_fuel_estimate;
+    metrics_.fuel_executed += *fuel;
+    co_return co_await impl.native(ctx, std::move(argument));
+  }
+  vm::Instance instance(impl.module.get(), options_.vm_limits);
+  auto result =
+      co_await instance.Invoke(method_name, std::move(argument), &ctx);
+  *fuel = instance.metrics().fuel_used;
+  metrics_.fuel_executed += *fuel;
+  co_return result;
+}
+
+sim::Task<Status> Runtime::CommitContext(InvocationContext& ctx) {
+  if (!ctx.has_writes()) co_return Status::OK();
+  std::vector<std::string> written = ctx.written_keys();
+  storage::WriteBatch batch = ctx.TakeWriteBatch();
+  Status s = co_await commit_sink_(ctx.oid(), std::move(batch));
+  if (s.ok()) {
+    metrics_.commits++;
+    cache_.InvalidateWrites(written);
+  }
+  co_return s;
+}
+
+sim::Task<Result<std::string>> Runtime::NestedInvoke(InvocationContext& caller,
+                                                     ObjectId oid,
+                                                     std::string method,
+                                                     std::string argument) {
+  metrics_.nested_invocations++;
+  // Paper §3.1: the caller's guarantees do not span the nested call —
+  // its writes commit first and its object lock is *released* for the
+  // duration of the call, so cyclic invocation patterns (A posts to B
+  // while B posts to A) cannot deadlock; the caller then continues as a
+  // logically separate invocation. Self-invocation works for the same
+  // reason.
+  AsyncMutex* lock = caller.object_lock();
+  if (caller.kind() == MethodKind::kReadWrite) {
+    if (caller.has_writes()) {
+      Status s = co_await CommitContext(caller);
+      if (!s.ok()) co_return s;
+    }
+    if (lock != nullptr) lock->Unlock();
+  }
+  auto result = co_await remote_invoker_(std::move(oid), std::move(method),
+                                         std::move(argument));
+  if (caller.kind() == MethodKind::kReadWrite && lock != nullptr) {
+    co_await lock->Lock();
+  }
+  co_return result;
+}
+
+sim::Task<Status> Runtime::CommitBatchForTransaction(
+    const ObjectId& routing_oid, storage::WriteBatch batch,
+    const std::vector<std::string>& written_keys) {
+  Status s = co_await commit_sink_(routing_oid, std::move(batch));
+  if (s.ok()) {
+    metrics_.commits++;
+    cache_.InvalidateWrites(written_keys);
+  }
+  co_return s;
+}
+
+void Runtime::OnExternalCommit(const storage::WriteBatch& batch) {
+  struct Collector : storage::WriteBatch::Handler {
+    std::vector<std::string> keys;
+    void Put(std::string_view key, std::string_view) override {
+      keys.emplace_back(key);
+    }
+    void Delete(std::string_view key) override { keys.emplace_back(key); }
+  } collector;
+  batch.Iterate(&collector).ok();
+  cache_.InvalidateWrites(collector.keys);
+}
+
+}  // namespace lo::runtime

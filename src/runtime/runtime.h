@@ -1,0 +1,120 @@
+// The LambdaObjects runtime living inside one storage node: method
+// dispatch, invocation linearizability, commit routing, result caching.
+//
+// Pluggable seams let the cluster layer reuse this runtime unchanged:
+//  - CommitSink     where atomic write batches go (local DB by default;
+//                   the primary replica replaces it with "replicate to
+//                   backups, then apply locally")
+//  - RemoteInvoker  how `invoke` on another object is carried out
+//                   (local recursion by default; the cluster routes it
+//                   to the owning node)
+//  - CpuCharger     charges simulated CPU time for executed fuel
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "runtime/async_mutex.h"
+#include "runtime/context.h"
+#include "runtime/object.h"
+#include "runtime/result_cache.h"
+#include "sim/simulator.h"
+#include "storage/db.h"
+
+namespace lo::runtime {
+
+struct RuntimeOptions {
+  vm::VmLimits vm_limits;
+  bool enable_result_cache = true;
+  size_t result_cache_capacity = 4096;
+  /// Fuel equivalent charged for native methods (they are not metered).
+  uint64_t native_fuel_estimate = 2000;
+};
+
+class Runtime {
+ public:
+  using CommitSink = std::function<sim::Task<Status>(const ObjectId& oid,
+                                                   storage::WriteBatch batch)>;
+  using RemoteInvoker = std::function<sim::Task<Result<std::string>>(
+      ObjectId oid, std::string method, std::string argument)>;
+  using CpuCharger = std::function<sim::Task<void>(uint64_t fuel)>;
+
+  Runtime(sim::Simulator* sim, storage::DB* db, const TypeRegistry* types,
+          RuntimeOptions options = {});
+
+  /// Instantiates an object of `type_name`. Fails if it already exists.
+  sim::Task<Result<std::string>> CreateObject(ObjectId oid, std::string type_name);
+
+  /// Invokes `method` on `oid` with invocation linearizability.
+  sim::Task<Result<std::string>> Invoke(ObjectId oid, std::string method,
+                                        std::string argument);
+
+  /// Type name of an existing object (NotFound otherwise).
+  Result<std::string> TypeOf(const ObjectId& oid);
+
+  void SetCommitSink(CommitSink sink) { commit_sink_ = std::move(sink); }
+  void SetRemoteInvoker(RemoteInvoker invoker) { remote_invoker_ = std::move(invoker); }
+  void SetCpuCharger(CpuCharger charger) { cpu_charger_ = std::move(charger); }
+
+  /// Cache invalidation hook for writes that bypass this runtime (e.g.
+  /// replicated batches applied on a backup).
+  void OnExternalCommit(const storage::WriteBatch& batch);
+
+  struct Metrics {
+    uint64_t invocations = 0;
+    uint64_t read_only_invocations = 0;
+    uint64_t nested_invocations = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t lock_waits = 0;  // invocations that queued behind the object lock
+    uint64_t fuel_executed = 0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+  const ResultCache::Stats& cache_stats() const { return cache_.stats(); }
+
+  // --- internal API used by InvocationContext --------------------------
+  /// Commits the context's buffered writes through the sink and
+  /// invalidates overlapping cache entries. No-op on an empty buffer.
+  sim::Task<Status> CommitContext(InvocationContext& ctx);
+  /// Snapshot-or-latest read from the local store.
+  Result<std::string> StorageRead(const std::string& key,
+                                  const storage::Snapshot* snapshot);
+  sim::Task<Result<std::string>> NestedInvoke(InvocationContext& caller,
+                                              ObjectId oid, std::string method,
+                                              std::string argument);
+  uint64_t VirtualTimeMillis() const;
+  sim::Simulator* sim() { return sim_; }
+  storage::DB* db() { return db_; }
+
+  // --- internal API used by Transaction (runtime/transaction.h) --------
+  /// The per-object scheduling lock (transactions take several, sorted).
+  AsyncMutex& LockForTesting(const ObjectId& oid) { return LockFor(oid); }
+  /// Commits a cross-object batch through the sink + cache invalidation.
+  sim::Task<Status> CommitBatchForTransaction(
+      const ObjectId& routing_oid, storage::WriteBatch batch,
+      const std::vector<std::string>& written_keys);
+
+ private:
+  sim::Task<Result<std::string>> RunMethod(const MethodImpl& method,
+                                           std::string_view method_name,
+                                           InvocationContext& ctx,
+                                           std::string argument, uint64_t* fuel);
+  AsyncMutex& LockFor(const ObjectId& oid);
+
+  sim::Simulator* sim_;
+  storage::DB* db_;
+  const TypeRegistry* types_;
+  RuntimeOptions options_;
+  CommitSink commit_sink_;
+  RemoteInvoker remote_invoker_;
+  CpuCharger cpu_charger_;
+  std::unordered_map<ObjectId, std::unique_ptr<AsyncMutex>> locks_;
+  ResultCache cache_;
+  Metrics metrics_;
+};
+
+}  // namespace lo::runtime

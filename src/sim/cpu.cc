@@ -1,0 +1,30 @@
+#include "sim/cpu.h"
+
+#include "common/log.h"
+
+namespace lo::sim {
+
+CpuModel::CpuModel(Simulator& sim, int cores) : sim_(sim), cores_(cores) {
+  LO_CHECK(cores > 0);
+}
+
+Task<void> CpuModel::Execute(Duration work) {
+  if (work < 0) work = 0;
+  while (busy_ >= cores_) {
+    auto slot = std::make_shared<OneShot<bool>>();
+    waiters_.push_back(slot);
+    co_await slot->Wait();
+    // Loop: another task may have grabbed the freed core first.
+  }
+  busy_++;
+  busy_core_ns_ += work;
+  co_await sim_.Sleep(work);
+  busy_--;
+  if (!waiters_.empty() && busy_ < cores_) {
+    auto next = waiters_.front();
+    waiters_.pop_front();
+    next->Fulfill(true);
+  }
+}
+
+}  // namespace lo::sim

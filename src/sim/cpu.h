@@ -1,0 +1,39 @@
+// CPU contention model. Each simulated machine has a fixed number of
+// worker cores (CloudLab nodes: 20 physical cores); executing a function
+// occupies one core for its modeled duration, and excess work queues FIFO.
+// This is what makes throughput saturate instead of scaling with client
+// count forever.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace lo::sim {
+
+class CpuModel {
+ public:
+  CpuModel(Simulator& sim, int cores);
+
+  /// Occupies one core for `work` ns, queueing first if all are busy.
+  Task<void> Execute(Duration work);
+
+  int cores() const { return cores_; }
+  int busy() const { return busy_; }
+  size_t queued() const { return waiters_.size(); }
+  /// Total core-nanoseconds of work executed (for utilization metrics).
+  Duration busy_core_ns() const { return busy_core_ns_; }
+
+ private:
+  Simulator& sim_;
+  int cores_;
+  int busy_ = 0;
+  Duration busy_core_ns_ = 0;
+  std::deque<std::shared_ptr<OneShot<bool>>> waiters_;
+};
+
+}  // namespace lo::sim

@@ -1,0 +1,76 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace lo::sim {
+namespace {
+
+std::pair<NodeId, NodeId> Ordered(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+Network::Network(Simulator& sim, NetworkConfig config)
+    : sim_(sim), config_(config) {}
+
+void Network::Register(NodeId node,
+                       std::function<void(NodeId, std::string)> handler) {
+  handlers_[node] = std::move(handler);
+}
+
+Duration Network::SampleLatency() {
+  Duration jitter = 0;
+  if (config_.jitter_mean > 0) {
+    jitter = static_cast<Duration>(
+        sim_.rng().Exponential(static_cast<double>(config_.jitter_mean)));
+  }
+  return config_.one_way_latency + config_.per_message_overhead + jitter;
+}
+
+void Network::Send(NodeId from, NodeId to, std::string payload) {
+  messages_sent_++;
+  bytes_sent_ += payload.size();
+  // Fault state is evaluated when the packet enters the wire.
+  if (down_nodes_.contains(from) || down_nodes_.contains(to) ||
+      partitions_.contains(Ordered(from, to)) ||
+      (config_.drop_probability > 0 &&
+       sim_.rng().Bernoulli(config_.drop_probability))) {
+    messages_dropped_++;
+    return;
+  }
+  Duration latency = SampleLatency();
+  sim_.After(latency, [this, from, to, payload = std::move(payload)]() mutable {
+    // Receiver may have crashed while the packet was in flight.
+    if (down_nodes_.contains(to)) {
+      messages_dropped_++;
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      messages_dropped_++;
+      return;
+    }
+    it->second(from, std::move(payload));
+  });
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  if (up) {
+    down_nodes_.erase(node);
+  } else {
+    down_nodes_.insert(node);
+  }
+}
+
+bool Network::IsNodeUp(NodeId node) const { return !down_nodes_.contains(node); }
+
+void Network::Partition(NodeId a, NodeId b) { partitions_.insert(Ordered(a, b)); }
+
+void Network::Heal(NodeId a, NodeId b) { partitions_.erase(Ordered(a, b)); }
+
+void Network::HealAll() { partitions_.clear(); }
+
+}  // namespace lo::sim

@@ -1,0 +1,66 @@
+// Simulated datacenter network: point-to-point messages with calibrated
+// latency + jitter, optional drops, pairwise partitions, and node
+// up/down state for failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace lo::sim {
+
+using NodeId = uint32_t;
+
+struct NetworkConfig {
+  Duration one_way_latency = Micros(60);  // same-rack LAN
+  Duration jitter_mean = Micros(20);      // exponential tail on top
+  Duration per_message_overhead = Micros(5);
+  double drop_probability = 0.0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, NetworkConfig config);
+
+  /// Installs the receive handler for a node. One handler per node.
+  void Register(NodeId node,
+                std::function<void(NodeId from, std::string payload)> handler);
+
+  /// Queues a payload for delivery; latency and fault state are applied
+  /// at send time, so later Heal()s do not resurrect in-flight drops.
+  void Send(NodeId from, NodeId to, std::string payload);
+
+  // --- fault injection ------------------------------------------------
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+  /// Cuts both directions between a and b.
+  void Partition(NodeId a, NodeId b);
+  void Heal(NodeId a, NodeId b);
+  void HealAll();
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  Simulator& sim() { return sim_; }
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  Duration SampleLatency();
+
+  Simulator& sim_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, std::function<void(NodeId, std::string)>> handlers_;
+  std::set<NodeId> down_nodes_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace lo::sim

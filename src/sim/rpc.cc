@@ -1,0 +1,121 @@
+#include "sim/rpc.h"
+
+#include <utility>
+
+#include "common/coding.h"
+#include "common/log.h"
+
+namespace lo::sim {
+namespace {
+
+constexpr uint8_t kRequest = 0;
+constexpr uint8_t kResponse = 1;
+
+std::string EncodeRequest(uint64_t rpc_id, std::string_view service,
+                          std::string_view payload) {
+  std::string out;
+  out.push_back(static_cast<char>(kRequest));
+  PutVarint64(&out, rpc_id);
+  PutLengthPrefixed(&out, service);
+  PutLengthPrefixed(&out, payload);
+  return out;
+}
+
+std::string EncodeResponse(uint64_t rpc_id, const Result<std::string>& result) {
+  std::string out;
+  out.push_back(static_cast<char>(kResponse));
+  PutVarint64(&out, rpc_id);
+  if (result.ok()) {
+    out.push_back(static_cast<char>(StatusCode::kOk));
+    PutLengthPrefixed(&out, result.value());
+  } else {
+    out.push_back(static_cast<char>(result.status().code()));
+    PutLengthPrefixed(&out, result.status().message());
+  }
+  return out;
+}
+
+}  // namespace
+
+RpcEndpoint::RpcEndpoint(Network& net, NodeId node) : net_(net), node_(node) {
+  net_.Register(node, [this](NodeId from, std::string payload) {
+    OnMessage(from, std::move(payload));
+  });
+}
+
+void RpcEndpoint::Handle(std::string service, Handler handler) {
+  handlers_[std::move(service)] = std::move(handler);
+}
+
+Task<Result<std::string>> RpcEndpoint::Call(NodeId to, std::string service,
+                                            std::string payload,
+                                            Duration timeout) {
+  calls_started_++;
+  uint64_t rpc_id = next_rpc_id_++;
+  auto slot = std::make_shared<OneShot<Result<std::string>>>();
+  pending_[rpc_id] = slot;
+  net_.Send(node_, to, EncodeRequest(rpc_id, service, payload));
+  if (timeout > 0) {
+    sim().After(timeout, [this, rpc_id, slot] {
+      if (slot->Fulfill(Status::Timeout("rpc timeout"))) {
+        timeouts_++;
+        pending_.erase(rpc_id);
+      }
+    });
+  }
+  Result<std::string> result = co_await slot->Wait();
+  pending_.erase(rpc_id);
+  co_return result;
+}
+
+void RpcEndpoint::OnMessage(NodeId from, std::string raw) {
+  Reader reader{raw};
+  std::string_view kind_bytes;
+  uint64_t rpc_id = 0;
+  if (!reader.GetBytes(1, &kind_bytes) || !reader.GetVarint64(&rpc_id)) {
+    LO_WARN << "malformed rpc frame from node " << from;
+    return;
+  }
+  uint8_t kind = static_cast<uint8_t>(kind_bytes[0]);
+  if (kind == kRequest) {
+    std::string_view service, payload;
+    if (!reader.GetLengthPrefixed(&service) || !reader.GetLengthPrefixed(&payload)) {
+      LO_WARN << "malformed rpc request from node " << from;
+      return;
+    }
+    DispatchRequest(from, rpc_id, std::string(service), std::string(payload));
+  } else if (kind == kResponse) {
+    std::string_view code_bytes, body;
+    if (!reader.GetBytes(1, &code_bytes) || !reader.GetLengthPrefixed(&body)) {
+      LO_WARN << "malformed rpc response from node " << from;
+      return;
+    }
+    auto it = pending_.find(rpc_id);
+    if (it == pending_.end()) return;  // late response after timeout
+    auto slot = it->second;
+    auto code = static_cast<StatusCode>(static_cast<uint8_t>(code_bytes[0]));
+    if (code == StatusCode::kOk) {
+      slot->Fulfill(std::string(body));
+    } else {
+      slot->Fulfill(Status(code, std::string(body)));
+    }
+  }
+}
+
+void RpcEndpoint::DispatchRequest(NodeId from, uint64_t rpc_id,
+                                  std::string service, std::string payload) {
+  auto it = handlers_.find(service);
+  if (it == handlers_.end()) {
+    net_.Send(node_, from,
+              EncodeResponse(rpc_id, Status::NotFound("no such service: " + service)));
+    return;
+  }
+  // Run the handler as a detached coroutine; it may itself await RPCs.
+  Detach([](RpcEndpoint* self, Handler* handler, NodeId from, uint64_t rpc_id,
+            std::string payload) -> Task<void> {
+    Result<std::string> result = co_await (*handler)(from, std::move(payload));
+    self->net_.Send(self->node_, from, EncodeResponse(rpc_id, result));
+  }(this, &it->second, from, rpc_id, std::move(payload)));
+}
+
+}  // namespace lo::sim

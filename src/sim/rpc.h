@@ -1,0 +1,60 @@
+// Request/response RPC over the simulated network.
+//
+// Each node owns an RpcEndpoint. Services are named strings ("kv.get",
+// "lambda.invoke", ...) whose handlers are coroutines; Call() suspends the
+// caller until the response arrives or the timeout fires. Undeliverable
+// messages simply never produce a response — exactly how a real datagram
+// loss behaves — so callers see Status::Timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "sim/network.h"
+#include "sim/task.h"
+
+namespace lo::sim {
+
+class RpcEndpoint {
+ public:
+  using Handler =
+      std::function<Task<Result<std::string>>(NodeId from, std::string payload)>;
+
+  /// Registers this endpoint as `node`'s receive handler on `net`.
+  /// The endpoint must outlive all scheduled simulator events.
+  RpcEndpoint(Network& net, NodeId node);
+
+  NodeId node() const { return node_; }
+  Network& network() { return net_; }
+  Simulator& sim() { return net_.sim(); }
+
+  /// Installs the handler for `service`. Replaces any previous handler.
+  void Handle(std::string service, Handler handler);
+
+  /// Sends a request and suspends until response or timeout.
+  /// Errors returned by the remote handler come back as their Status.
+  Task<Result<std::string>> Call(NodeId to, std::string service,
+                                 std::string payload, Duration timeout);
+
+  uint64_t calls_started() const { return calls_started_; }
+  uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  void OnMessage(NodeId from, std::string raw);
+  void DispatchRequest(NodeId from, uint64_t rpc_id, std::string service,
+                       std::string payload);
+
+  Network& net_;
+  NodeId node_;
+  uint64_t next_rpc_id_ = 1;
+  uint64_t calls_started_ = 0;
+  uint64_t timeouts_ = 0;
+  std::unordered_map<std::string, Handler> handlers_;
+  std::unordered_map<uint64_t, std::shared_ptr<OneShot<Result<std::string>>>> pending_;
+};
+
+}  // namespace lo::sim

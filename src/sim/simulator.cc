@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace lo::sim {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+void Simulator::At(Time t, std::function<void()> fn) {
+  LO_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::After(Duration d, std::function<void()> fn) {
+  LO_CHECK_MSG(d >= 0, "negative delay");
+  At(now_ + d, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // Move the event out before running it: the handler may schedule more
+  // events and mutate the queue.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  executed_++;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace lo::sim

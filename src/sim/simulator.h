@@ -1,0 +1,78 @@
+// Deterministic discrete-event simulator: a virtual clock plus an event
+// queue. Ties are broken by insertion order, so a given seed replays the
+// whole cluster bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace lo::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 42);
+
+  Time Now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  /// Schedules fn at absolute time t (>= Now()).
+  void At(Time t, std::function<void()> fn);
+  /// Schedules fn after delay d (>= 0).
+  void After(Duration d, std::function<void()> fn);
+
+  /// Runs one event; returns false when the queue is empty.
+  bool Step();
+  /// Runs until the queue drains.
+  void Run();
+  /// Runs events with timestamp <= t, then advances the clock to t.
+  void RunUntil(Time t);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  /// Awaitable pause of the current coroutine for d virtual nanoseconds.
+  auto Sleep(Duration d) {
+    struct Awaiter {
+      Simulator* sim;
+      Duration d;
+      bool await_ready() const noexcept { return d <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->After(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Reschedules the current coroutine at the back of the now-queue
+  /// (breaks deep synchronous recursion; acts like a yield).
+  auto Yield() { return Sleep(0); }
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace lo::sim

@@ -1,0 +1,252 @@
+// C++20 coroutine plumbing for the simulator.
+//
+// Task<T> is a lazy coroutine: nothing runs until it is awaited (or
+// detached with Detach()). A task completes by returning a value, which
+// resumes its awaiter. Protocol code reads like blocking code:
+//
+//   Task<Result<std::string>> Client::Fetch(ObjectId id) {
+//     auto reply = co_await rpc_.Call(node, "kv.get", Encode(id), kTimeout);
+//     ...
+//   }
+//
+// Lifetime rule: a started task must run to completion before its Task
+// handle is destroyed. Helpers here (Detach, OneShot-based select) are
+// structured so that rule holds without caller effort.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace lo::sim {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+template <typename T>
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<T> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace internal
+
+/// Lazy coroutine returning T. Move-only; owns the coroutine frame.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase<promise_type> {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // start (or resume into) the child
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Task<void> specialization (no value channel).
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase<promise_type> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        auto& p = handle.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace internal {
+
+// Self-owning eager wrapper used by Detach(); frees itself on completion.
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+}  // namespace internal
+
+/// Starts `task` now and lets it run to completion in the background.
+/// Uncaught exceptions in detached tasks terminate (they have no awaiter
+/// to propagate to) — detached protocol loops must handle their errors.
+inline internal::DetachedTask Detach(Task<void> task) {
+  co_await std::move(task);
+}
+
+/// One-shot rendezvous: one awaiter, one Fulfill (declared below; needed
+/// by Future).
+template <typename T>
+class OneShot;
+
+/// Eager handle on a Task<T>: the task starts running the moment the
+/// Future is constructed, so several Futures run concurrently and can be
+/// awaited later — the fan-out pattern (Task alone is lazy and would
+/// serialize). Await with `co_await future.Wait()` exactly once.
+template <typename T>
+class Future {
+ public:
+  explicit Future(Task<T> task);
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&&) noexcept = default;
+
+  auto Wait() { return slot_->Wait(); }
+  bool ready() const { return slot_->fulfilled(); }
+
+ private:
+  std::shared_ptr<OneShot<T>> slot_;
+};
+
+/// One-shot rendezvous: one awaiter, one Fulfill. Later Fulfills are
+/// ignored, which is exactly the semantics a "response vs. timeout" race
+/// needs. Heap-allocate (shared_ptr) when producer may outlive consumer.
+template <typename T>
+class OneShot {
+ public:
+  bool fulfilled() const noexcept { return value_.has_value(); }
+
+  /// Delivers the value; resumes the awaiter if one is parked.
+  /// Returns false if already fulfilled (value dropped).
+  bool Fulfill(T value) {
+    if (value_.has_value()) return false;
+    value_ = std::move(value);
+    if (waiter_) {
+      auto w = std::exchange(waiter_, nullptr);
+      w.resume();
+    }
+    return true;
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      OneShot* self;
+      bool await_ready() const noexcept { return self->value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        LO_CHECK_MSG(self->waiter_ == nullptr, "OneShot supports one awaiter");
+        self->waiter_ = h;
+      }
+      T await_resume() { return std::move(*self->value_); }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_;
+};
+
+template <typename T>
+Future<T>::Future(Task<T> task) : slot_(std::make_shared<OneShot<T>>()) {
+  Detach([](Task<T> task, std::shared_ptr<OneShot<T>> slot) -> Task<void> {
+    slot->Fulfill(co_await std::move(task));
+  }(std::move(task), slot_));
+}
+
+}  // namespace lo::sim

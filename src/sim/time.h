@@ -1,0 +1,21 @@
+// Virtual time. The whole cluster runs on a deterministic simulated clock;
+// all durations are int64 nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace lo::sim {
+
+using Time = int64_t;      // absolute virtual time, ns since simulation start
+using Duration = int64_t;  // ns
+
+constexpr Duration Nanos(int64_t n) { return n; }
+constexpr Duration Micros(int64_t n) { return n * 1000; }
+constexpr Duration Millis(int64_t n) { return n * 1000 * 1000; }
+constexpr Duration Seconds(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace lo::sim

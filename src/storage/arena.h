@@ -1,0 +1,66 @@
+// Bump allocator backing one memtable. All nodes and entries die together
+// when the memtable is flushed, so individual frees are never needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lo::storage {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes) {
+    if (bytes <= remaining_) {
+      char* result = ptr_;
+      ptr_ += bytes;
+      remaining_ -= bytes;
+      return result;
+    }
+    return AllocateFallback(bytes);
+  }
+
+  /// Aligned for pointer-sized objects (skiplist nodes).
+  char* AllocateAligned(size_t bytes) {
+    constexpr size_t kAlign = alignof(void*);
+    size_t mod = reinterpret_cast<uintptr_t>(ptr_) & (kAlign - 1);
+    size_t slop = mod == 0 ? 0 : kAlign - mod;
+    if (bytes + slop <= remaining_) {
+      char* result = ptr_ + slop;
+      ptr_ += bytes + slop;
+      remaining_ -= bytes + slop;
+      return result;
+    }
+    return AllocateFallback(bytes);  // fresh blocks are max-aligned
+  }
+
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateFallback(size_t bytes) {
+    size_t block_size = bytes > kBlockSize / 4 ? bytes : kBlockSize;
+    blocks_.push_back(std::make_unique<char[]>(block_size));
+    memory_usage_ += block_size + sizeof(blocks_.back());
+    char* block = blocks_.back().get();
+    if (block_size == kBlockSize) {
+      // Keep the remainder for future small allocations.
+      ptr_ = block + bytes;
+      remaining_ = block_size - bytes;
+    }
+    return block;
+  }
+
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t memory_usage_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace lo::storage

@@ -1,0 +1,181 @@
+#include "storage/block.h"
+
+#include "common/coding.h"
+#include "common/log.h"
+
+namespace lo::storage {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval), restarts_{0} {
+  LO_CHECK(restart_interval >= 1);
+}
+
+void BlockBuilder::Add(std::string_view key, std::string_view value) {
+  LO_CHECK(!finished_);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) shared++;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  size_t non_shared = key.size() - shared;
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+  last_key_.assign(key.data(), key.size());
+  counter_++;
+}
+
+std::string_view BlockBuilder::Finish() {
+  LO_CHECK(!finished_);
+  for (uint32_t restart : restarts_) PutFixed32(&buffer_, restart);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return buffer_;
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.assign(1, 0);
+  counter_ = 0;
+  last_key_.clear();
+  finished_ = false;
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * 4 + 4;
+}
+
+Block::Block(std::string data, uint32_t num_restarts)
+    : data_(std::move(data)),
+      num_restarts_(num_restarts),
+      restart_offset_(data_.size() - 4 - 4 * static_cast<size_t>(num_restarts)) {}
+
+Result<std::unique_ptr<Block>> Block::Parse(std::string contents) {
+  if (contents.size() < 4) return Status::Corruption("block too small");
+  uint32_t num_restarts = DecodeFixed32(contents.data() + contents.size() - 4);
+  size_t trailer = 4 + 4 * static_cast<size_t>(num_restarts);
+  if (num_restarts == 0 || contents.size() < trailer) {
+    return Status::Corruption("bad restart array");
+  }
+  return std::unique_ptr<Block>(new Block(std::move(contents), num_restarts));
+}
+
+namespace {
+
+class BlockIterator : public Iterator {
+ public:
+  BlockIterator(const InternalKeyComparator* cmp, std::string_view data,
+                size_t restart_offset, uint32_t num_restarts)
+      : cmp_(cmp),
+        data_(data),
+        restart_offset_(restart_offset),
+        num_restarts_(num_restarts),
+        current_(restart_offset) {}
+
+  bool Valid() const override { return current_ < restart_offset_; }
+
+  void SeekToFirst() override {
+    SeekToRestart(0);
+    ParseCurrent();
+  }
+
+  void Seek(std::string_view target) override {
+    // Binary search restart points for the last full key < target.
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ - 1;
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      std::string_view key = FullKeyAtRestart(mid);
+      if (cmp_->Compare(key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestart(left);
+    // Linear scan within the restart run.
+    while (ParseCurrent()) {
+      if (cmp_->Compare(key_, target) >= 0) return;
+      Advance();
+    }
+  }
+
+  void Next() override {
+    Advance();
+    ParseCurrent();
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  uint32_t RestartPoint(uint32_t index) const {
+    return DecodeFixed32(data_.data() + restart_offset_ + 4 * index);
+  }
+
+  void SeekToRestart(uint32_t index) {
+    current_ = RestartPoint(index);
+    key_.clear();
+  }
+
+  std::string_view FullKeyAtRestart(uint32_t index) {
+    const char* p = data_.data() + RestartPoint(index);
+    const char* limit = data_.data() + restart_offset_;
+    uint32_t shared, non_shared, value_len;
+    p = GetVarint32Ptr(p, limit, &shared);
+    p = GetVarint32Ptr(p, limit, &non_shared);
+    p = GetVarint32Ptr(p, limit, &value_len);
+    // At a restart, shared == 0, so the key is stored whole.
+    return {p, non_shared};
+  }
+
+  void Advance() { current_ = next_entry_; }
+
+  // Decodes the entry at current_ into key_/value_; false past the end.
+  bool ParseCurrent() {
+    if (current_ >= restart_offset_) {
+      key_.clear();
+      return false;
+    }
+    const char* p = data_.data() + current_;
+    const char* limit = data_.data() + restart_offset_;
+    uint32_t shared, non_shared, value_len;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
+    if (p == nullptr || p + non_shared + value_len > limit || shared > key_.size()) {
+      status_ = Status::Corruption("bad block entry");
+      current_ = restart_offset_;
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = std::string_view(p + non_shared, value_len);
+    next_entry_ = static_cast<size_t>(p + non_shared + value_len - data_.data());
+    return true;
+  }
+
+  const InternalKeyComparator* cmp_;
+  std::string_view data_;
+  size_t restart_offset_;
+  uint32_t num_restarts_;
+  size_t current_;
+  size_t next_entry_ = 0;
+  std::string key_;
+  std::string_view value_;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> Block::NewIterator(const InternalKeyComparator* cmp) const {
+  return std::make_unique<BlockIterator>(cmp, data_, restart_offset_, num_restarts_);
+}
+
+}  // namespace lo::storage

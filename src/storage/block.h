@@ -1,0 +1,61 @@
+// SSTable block format (LevelDB-style):
+//
+//   entry*   : varint32 shared | varint32 non_shared | varint32 value_len
+//              | key_delta | value
+//   trailer  : fixed32 restart_offset*  fixed32 num_restarts
+//
+// Keys are prefix-compressed against their predecessor; every
+// `restart_interval` entries a full key is stored and its offset recorded
+// so Seek can binary-search the restart array.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/dbformat.h"
+#include "storage/iterator.h"
+
+namespace lo::storage {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  /// Keys must be added in strictly increasing internal-key order.
+  void Add(std::string_view key, std::string_view value);
+  /// Appends the restart trailer and returns the finished block contents.
+  std::string_view Finish();
+  void Reset();
+
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return counter_ == 0 && restarts_.size() == 1; }
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  std::string last_key_;
+  bool finished_ = false;
+};
+
+/// Immutable parsed block; owns its bytes.
+class Block {
+ public:
+  /// Validates the trailer; returns Corruption on malformed input.
+  static Result<std::unique_ptr<Block>> Parse(std::string contents);
+
+  std::unique_ptr<Iterator> NewIterator(const InternalKeyComparator* cmp) const;
+  size_t size() const { return data_.size(); }
+
+ private:
+  Block(std::string data, uint32_t num_restarts);
+
+  std::string data_;
+  uint32_t num_restarts_;
+  size_t restart_offset_;  // where the restart array begins
+};
+
+}  // namespace lo::storage

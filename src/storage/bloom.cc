@@ -1,0 +1,62 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace lo::storage {
+namespace {
+
+// Double hashing: h1 + i*h2 simulates k independent hash functions.
+uint32_t BloomHash(std::string_view key) { return Fnv1a32(key); }
+
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {}
+
+void BloomFilterBuilder::AddKey(std::string_view user_key) {
+  hashes_.push_back(BloomHash(user_key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  // k = bits_per_key * ln2, clamped to [1, 30].
+  int k = static_cast<int>(bits_per_key_ * 0.69);
+  k = std::clamp(k, 1, 30);
+
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  bits = std::max<size_t>(bits, 64);
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (uint32_t h : hashes_) {
+    uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < k; j++) {
+      uint32_t bitpos = h % static_cast<uint32_t>(bits);
+      filter[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(k));
+  return filter;
+}
+
+bool BloomFilterMayContain(std::string_view filter, std::string_view user_key) {
+  if (filter.size() < 2) return true;
+  size_t bytes = filter.size() - 1;
+  size_t bits = bytes * 8;
+  int k = static_cast<uint8_t>(filter[bytes]);
+  if (k > 30 || k < 1) return true;  // reserved / malformed: don't reject
+
+  uint32_t h = BloomHash(user_key);
+  uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    uint32_t bitpos = h % static_cast<uint32_t>(bits);
+    if ((filter[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace lo::storage

@@ -1,0 +1,31 @@
+// Bloom filter over the user keys of one SSTable; read paths consult it
+// before touching the index to skip tables that cannot contain a key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lo::storage {
+
+class BloomFilterBuilder {
+ public:
+  /// bits_per_key ~ 10 gives ~1% false positives.
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(std::string_view user_key);
+  /// Serializes the filter (bit array + k).
+  std::string Finish();
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  int bits_per_key_;
+  std::vector<uint32_t> hashes_;
+};
+
+/// Returns true if the filter *may* contain the key; false means
+/// definitely absent. A malformed filter conservatively returns true.
+bool BloomFilterMayContain(std::string_view filter, std::string_view user_key);
+
+}  // namespace lo::storage

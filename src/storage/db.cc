@@ -1,0 +1,554 @@
+#include "storage/db.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "storage/filename.h"
+
+namespace lo::storage {
+namespace {
+
+/// Keeps the Table shared_ptr alive for as long as its iterator.
+class OwningTableIterator : public Iterator {
+ public:
+  explicit OwningTableIterator(std::shared_ptr<Table> table)
+      : table_(std::move(table)), iter_(table_->NewIterator()) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void Seek(std::string_view target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  std::string_view key() const override { return iter_->key(); }
+  std::string_view value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::shared_ptr<Table> table_;
+  std::unique_ptr<Iterator> iter_;
+};
+
+/// Concatenation over the sorted, non-overlapping files of one level >= 1.
+class LevelIterator : public Iterator {
+ public:
+  LevelIterator(TableCache* cache, std::vector<FileMetaData> files)
+      : cache_(cache), files_(std::move(files)) {}
+
+  bool Valid() const override { return current_ != nullptr && current_->Valid(); }
+
+  void SeekToFirst() override {
+    index_ = 0;
+    OpenCurrent();
+    if (current_ != nullptr) current_->SeekToFirst();
+    SkipExhausted();
+  }
+
+  void Seek(std::string_view target) override {
+    // First file whose largest key >= target.
+    index_ = files_.size();
+    for (size_t i = 0; i < files_.size(); i++) {
+      if (icmp_.Compare(files_[i].largest, target) >= 0) {
+        index_ = i;
+        break;
+      }
+    }
+    OpenCurrent();
+    if (current_ != nullptr) current_->Seek(target);
+    SkipExhausted();
+  }
+
+  void Next() override {
+    current_->Next();
+    SkipExhausted();
+  }
+
+  std::string_view key() const override { return current_->key(); }
+  std::string_view value() const override { return current_->value(); }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return current_ != nullptr ? current_->status() : Status::OK();
+  }
+
+ private:
+  void OpenCurrent() {
+    current_.reset();
+    if (index_ >= files_.size()) return;
+    auto table = cache_->Get(files_[index_].number);
+    if (!table.ok()) {
+      status_ = table.status();
+      return;
+    }
+    current_ = std::make_unique<OwningTableIterator>(std::move(table).value());
+  }
+
+  void SkipExhausted() {
+    while (current_ != nullptr && !current_->Valid() && status_.ok()) {
+      index_++;
+      OpenCurrent();
+      if (current_ != nullptr) current_->SeekToFirst();
+    }
+  }
+
+  TableCache* cache_;
+  std::vector<FileMetaData> files_;
+  size_t index_ = 0;
+  std::unique_ptr<Iterator> current_;
+  InternalKeyComparator icmp_;
+  Status status_;
+};
+
+/// User-facing iterator: resolves versions and tombstones at a snapshot.
+class DBIter : public Iterator {
+ public:
+  DBIter(std::unique_ptr<Iterator> internal, SequenceNumber sequence)
+      : internal_(std::move(internal)), sequence_(sequence) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    internal_->SeekToFirst();
+    FindNextUserEntry(/*skipping=*/false);
+  }
+
+  void Seek(std::string_view target) override {
+    internal_->Seek(MakeInternalKey(target, sequence_, kValueTypeForSeek));
+    FindNextUserEntry(/*skipping=*/false);
+  }
+
+  void Next() override {
+    LO_CHECK(valid_);
+    skip_key_ = key_;
+    internal_->Next();
+    FindNextUserEntry(/*skipping=*/true);
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  Status status() const override { return internal_->status(); }
+
+ private:
+  // Advances to the newest visible, non-deleted version of the next user
+  // key. If `skipping`, entries equal to skip_key_ are passed over.
+  void FindNextUserEntry(bool skipping) {
+    valid_ = false;
+    while (internal_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(internal_->key(), &parsed)) {
+        internal_->Next();
+        continue;
+      }
+      if (parsed.sequence > sequence_ ||
+          (skipping && parsed.user_key == skip_key_)) {
+        internal_->Next();
+        continue;
+      }
+      if (parsed.type == ValueType::kDeletion) {
+        // Tombstone shadows all older versions of this key.
+        skip_key_.assign(parsed.user_key);
+        skipping = true;
+        internal_->Next();
+        continue;
+      }
+      key_.assign(parsed.user_key);
+      value_.assign(internal_->value());
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::unique_ptr<Iterator> internal_;
+  SequenceNumber sequence_;
+  bool valid_ = false;
+  std::string key_;
+  std::string value_;
+  std::string skip_key_;
+};
+
+}  // namespace
+
+DB::DB(Options options, std::string name)
+    : options_(options),
+      name_(std::move(name)),
+      table_cache_(options.env, name_),
+      versions_(std::make_unique<VersionSet>(options.env, name_, &table_cache_)) {}
+
+DB::~DB() = default;
+
+Result<std::unique_ptr<DB>> DB::Open(const Options& options, std::string name) {
+  LO_CHECK_MSG(options.env != nullptr, "Options::env is required");
+  std::unique_ptr<DB> db(new DB(options, std::move(name)));
+  LO_RETURN_IF_ERROR(db->Initialize());
+  return db;
+}
+
+Status DB::Initialize() {
+  Env* env = options_.env;
+  LO_RETURN_IF_ERROR(env->CreateDir(name_));
+  mem_ = std::make_unique<MemTable>();
+
+  if (env->FileExists(CurrentFileName(name_))) {
+    LO_RETURN_IF_ERROR(versions_->Recover());
+    // WAL files written after the last manifest record may carry numbers
+    // the manifest never learned about; never reuse them.
+    LO_ASSIGN_OR_RETURN(auto names, env->ListDir(name_));
+    for (const auto& n : names) {
+      uint64_t number = 0;
+      if (ParseFileName(n, &number) != FileKind::kUnknown) {
+        versions_->EnsureFileNumberAbove(number);
+      }
+    }
+    LO_RETURN_IF_ERROR(versions_->WriteSnapshot());  // opens manifest writer
+    LO_RETURN_IF_ERROR(RecoverWal());
+  } else if (!options_.create_if_missing) {
+    return Status::NotFound("db does not exist: " + name_);
+  } else {
+    LO_RETURN_IF_ERROR(versions_->WriteSnapshot());
+  }
+  LO_RETURN_IF_ERROR(NewWal());
+  VersionEdit edit;
+  edit.SetLogNumber(wal_number_);
+  LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  return DeleteObsoleteFiles();
+}
+
+Status DB::RecoverWal() {
+  Env* env = options_.env;
+  LO_ASSIGN_OR_RETURN(auto names, env->ListDir(name_));
+  std::vector<uint64_t> logs;
+  for (const auto& n : names) {
+    uint64_t number = 0;
+    if (ParseFileName(n, &number) == FileKind::kWal &&
+        number >= versions_->log_number()) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+  for (uint64_t log : logs) {
+    LO_ASSIGN_OR_RETURN(auto file, env->NewSequentialFile(WalFileName(name_, log)));
+    wal::LogReader reader(std::move(file));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      auto batch = WriteBatch::FromRep(record);
+      if (!batch.ok()) {
+        // A corrupt record marks the crash point; everything before it
+        // was synced and is kept.
+        break;
+      }
+      SequenceNumber base = batch->sequence();
+      LO_RETURN_IF_ERROR(batch->InsertInto(base, mem_.get()));
+      SequenceNumber last = base + batch->Count() - 1;
+      if (last > versions_->last_sequence()) versions_->SetLastSequence(last);
+      if (mem_->ApproximateMemoryUsage() > options_.write_buffer_size) {
+        LO_RETURN_IF_ERROR(FlushMemTable());
+      }
+    }
+    // A torn tail is the expected crash shape; data past it is discarded.
+  }
+  if (mem_->entries() > 0) {
+    LO_RETURN_IF_ERROR(FlushMemTable());
+  }
+  return Status::OK();
+}
+
+Status DB::NewWal() {
+  wal_number_ = versions_->NewFileNumber();
+  LO_ASSIGN_OR_RETURN(auto file,
+                      options_.env->NewWritableFile(WalFileName(name_, wal_number_)));
+  wal_ = std::make_unique<wal::Writer>(std::move(file));
+  // Everything at or below wal_number_ - 1 is captured by SSTables after
+  // the next flush; record the log floor now.
+  return Status::OK();
+}
+
+Status DB::Put(const WriteOptions& opts, std::string_view key, std::string_view value) {
+  stats_.puts++;
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(opts, &batch);
+}
+
+Status DB::Delete(const WriteOptions& opts, std::string_view key) {
+  stats_.deletes++;
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(opts, &batch);
+}
+
+Status DB::Write(const WriteOptions& opts, WriteBatch* batch) {
+  if (batch->Count() == 0) return Status::OK();
+  SequenceNumber base = versions_->last_sequence() + 1;
+  batch->SetSequence(base);
+  LO_RETURN_IF_ERROR(wal_->AddRecord(batch->rep()));
+  if (opts.sync) {
+    LO_RETURN_IF_ERROR(wal_->Sync());
+    stats_.wal_syncs++;
+  }
+  LO_RETURN_IF_ERROR(batch->InsertInto(base, mem_.get()));
+  versions_->SetLastSequence(base + batch->Count() - 1);
+  if (mem_->ApproximateMemoryUsage() > options_.write_buffer_size) {
+    LO_RETURN_IF_ERROR(FlushMemTable());
+    LO_RETURN_IF_ERROR(MaybeCompact());
+  }
+  return Status::OK();
+}
+
+Result<std::string> DB::Get(const ReadOptions& opts, std::string_view key) {
+  stats_.gets++;
+  SequenceNumber seq =
+      opts.snapshot != nullptr ? opts.snapshot->sequence() : versions_->last_sequence();
+
+  std::string value;
+  Status s;
+  if (mem_->Get(key, seq, &value, &s)) {
+    if (s.ok()) return value;
+    return s;  // NotFound tombstone (or corruption)
+  }
+
+  std::string lookup = MakeInternalKey(key, seq, kValueTypeForSeek);
+  // L0: newest file first; deeper levels: at most one candidate by range.
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const auto& meta : versions_->files(level)) {
+      if (key < ExtractUserKey(meta.smallest) || key > ExtractUserKey(meta.largest)) {
+        continue;
+      }
+      LO_ASSIGN_OR_RETURN(auto table, table_cache_.Get(meta.number));
+      bool found = false;
+      bool deleted = false;
+      LO_RETURN_IF_ERROR(table->InternalGet(
+          lookup, [&](std::string_view ikey, std::string_view v) {
+            ParsedInternalKey parsed;
+            if (!ParseInternalKey(ikey, &parsed)) return;
+            if (parsed.user_key != key) return;
+            found = true;
+            if (parsed.type == ValueType::kDeletion) {
+              deleted = true;
+            } else {
+              value.assign(v);
+            }
+          }));
+      if (found) {
+        if (deleted) return Status::NotFound("");
+        return value;
+      }
+    }
+  }
+  return Status::NotFound("");
+}
+
+std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& opts) {
+  SequenceNumber seq =
+      opts.snapshot != nullptr ? opts.snapshot->sequence() : versions_->last_sequence();
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(mem_->NewIterator());
+  for (const auto& meta : versions_->files(0)) {
+    auto table = table_cache_.Get(meta.number);
+    if (!table.ok()) return NewEmptyIterator(table.status());
+    children.push_back(std::make_unique<OwningTableIterator>(std::move(table).value()));
+  }
+  for (int level = 1; level < kNumLevels; level++) {
+    if (versions_->NumLevelFiles(level) == 0) continue;
+    children.push_back(
+        std::make_unique<LevelIterator>(&table_cache_, versions_->files(level)));
+  }
+  auto merged = NewMergingIterator(icmp_, std::move(children));
+  return std::make_unique<DBIter>(std::move(merged), seq);
+}
+
+const Snapshot* DB::GetSnapshot() {
+  auto* snapshot = new Snapshot(versions_->last_sequence());
+  snapshots_.insert(snapshot->sequence());
+  return snapshot;
+}
+
+void DB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  auto it = snapshots_.find(snapshot->sequence());
+  LO_CHECK_MSG(it != snapshots_.end(), "double snapshot release");
+  snapshots_.erase(it);
+  delete snapshot;
+}
+
+SequenceNumber DB::SmallestSnapshot() const {
+  return snapshots_.empty() ? versions_->last_sequence() : *snapshots_.begin();
+}
+
+Status DB::FlushMemTable() {
+  if (mem_->entries() == 0) return Status::OK();
+  stats_.flushes++;
+  uint64_t number = versions_->NewFileNumber();
+  std::string path = TableFileName(name_, number);
+  LO_ASSIGN_OR_RETURN(auto file, options_.env->NewWritableFile(path));
+  TableBuilder builder(options_.table, std::move(file));
+  auto iter = mem_->NewIterator();
+  FileMetaData meta;
+  meta.number = number;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    if (meta.smallest.empty()) meta.smallest.assign(iter->key());
+    meta.largest.assign(iter->key());
+    builder.Add(iter->key(), iter->value());
+  }
+  LO_RETURN_IF_ERROR(builder.Finish());
+  meta.file_size = builder.file_size();
+
+  uint64_t old_wal = wal_number_;
+  LO_RETURN_IF_ERROR(NewWal());
+  VersionEdit edit;
+  edit.AddFile(0, std::move(meta));
+  edit.SetLogNumber(wal_number_);
+  LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  mem_ = std::make_unique<MemTable>();
+  options_.env->DeleteFile(WalFileName(name_, old_wal)).ok();
+  return Status::OK();
+}
+
+Status DB::MaybeCompact() {
+  while (versions_->NeedsCompaction()) {
+    LO_RETURN_IF_ERROR(DoCompaction(versions_->PickCompaction()));
+  }
+  return Status::OK();
+}
+
+Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
+  if (pick.level < 0) return Status::OK();
+  stats_.compactions++;
+  int output_level = pick.level + 1;
+  SequenceNumber smallest_snapshot = SmallestSnapshot();
+
+  std::vector<std::unique_ptr<Iterator>> inputs;
+  auto add_input = [&](const FileMetaData& meta) -> Status {
+    LO_ASSIGN_OR_RETURN(auto table, table_cache_.Get(meta.number));
+    inputs.push_back(std::make_unique<OwningTableIterator>(std::move(table)));
+    stats_.compaction_bytes_read += meta.file_size;
+    return Status::OK();
+  };
+  for (const auto& meta : pick.inputs) LO_RETURN_IF_ERROR(add_input(meta));
+  for (const auto& meta : pick.next_inputs) LO_RETURN_IF_ERROR(add_input(meta));
+  auto merged = NewMergingIterator(icmp_, std::move(inputs));
+
+  VersionEdit edit;
+  std::unique_ptr<TableBuilder> builder;
+  FileMetaData out_meta;
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    LO_RETURN_IF_ERROR(builder->Finish());
+    out_meta.file_size = builder->file_size();
+    stats_.compaction_bytes_written += out_meta.file_size;
+    edit.AddFile(output_level, out_meta);
+    builder.reset();
+    return Status::OK();
+  };
+
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    std::string_view ikey = merged->key();
+    ParsedInternalKey parsed;
+    bool drop = false;
+    if (!ParseInternalKey(ikey, &parsed)) {
+      // Keep unparseable entries verbatim; surface them to reads.
+      has_current_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      if (!has_current_user_key || parsed.user_key != current_user_key) {
+        current_user_key.assign(parsed.user_key);
+        has_current_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+      if (last_sequence_for_key <= smallest_snapshot) {
+        // Shadowed by a newer entry that every snapshot already sees.
+        drop = true;
+      } else if (parsed.type == ValueType::kDeletion &&
+                 parsed.sequence <= smallest_snapshot &&
+                 versions_->IsBaseLevelForKey(output_level, parsed.user_key)) {
+        // Tombstone with nothing underneath it to shadow.
+        drop = true;
+      }
+      last_sequence_for_key = parsed.sequence;
+    }
+
+    if (drop) continue;
+    if (builder == nullptr) {
+      out_meta = FileMetaData{};
+      out_meta.number = versions_->NewFileNumber();
+      LO_ASSIGN_OR_RETURN(
+          auto file, options_.env->NewWritableFile(TableFileName(name_, out_meta.number)));
+      builder = std::make_unique<TableBuilder>(options_.table, std::move(file));
+      out_meta.smallest.assign(ikey);
+    }
+    out_meta.largest.assign(ikey);
+    builder->Add(ikey, merged->value());
+    if (builder->file_size() >= options_.max_output_file_bytes) {
+      LO_RETURN_IF_ERROR(finish_output());
+    }
+  }
+  LO_RETURN_IF_ERROR(merged->status());
+  LO_RETURN_IF_ERROR(finish_output());
+
+  for (const auto& meta : pick.inputs) edit.DeleteFile(pick.level, meta.number);
+  for (const auto& meta : pick.next_inputs) edit.DeleteFile(output_level, meta.number);
+  LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  return DeleteObsoleteFiles();
+}
+
+Status DB::DeleteObsoleteFiles() {
+  Env* env = options_.env;
+  auto live_vec = versions_->LiveFiles();
+  std::set<uint64_t> live(live_vec.begin(), live_vec.end());
+  LO_ASSIGN_OR_RETURN(auto names, env->ListDir(name_));
+  for (const auto& n : names) {
+    uint64_t number = 0;
+    switch (ParseFileName(n, &number)) {
+      case FileKind::kTable:
+        if (!live.contains(number)) {
+          table_cache_.Evict(number);
+          env->DeleteFile(name_ + "/" + n).ok();
+        }
+        break;
+      case FileKind::kWal:
+        if (number < versions_->log_number() && number != wal_number_) {
+          env->DeleteFile(name_ + "/" + n).ok();
+        }
+        break;
+      default:
+        break;  // CURRENT, manifests, unknown: kept
+    }
+  }
+  return Status::OK();
+}
+
+Status DB::CompactAll() {
+  LO_RETURN_IF_ERROR(FlushMemTable());
+  for (int level = 0; level < kNumLevels - 1; level++) {
+    while (versions_->NumLevelFiles(level) > 0) {
+      VersionSet::CompactionPick pick;
+      pick.level = level;
+      pick.inputs = versions_->files(level);
+      std::string smallest, largest;
+      for (const auto& f : pick.inputs) {
+        if (smallest.empty() || icmp_.Compare(f.smallest, smallest) < 0) {
+          smallest = f.smallest;
+        }
+        if (largest.empty() || icmp_.Compare(f.largest, largest) > 0) {
+          largest = f.largest;
+        }
+      }
+      pick.next_inputs = versions_->OverlappingFiles(
+          level + 1, ExtractUserKey(smallest), ExtractUserKey(largest));
+      LO_RETURN_IF_ERROR(DoCompaction(pick));
+    }
+  }
+  return Status::OK();
+}
+
+DB::Stats DB::GetStats() const {
+  Stats stats = stats_;
+  for (int level = 0; level < kNumLevels; level++) {
+    stats.files_per_level[level] = versions_->NumLevelFiles(level);
+    stats.bytes_per_level[level] = versions_->LevelBytes(level);
+  }
+  stats.memtable_bytes = mem_->ApproximateMemoryUsage();
+  return stats;
+}
+
+}  // namespace lo::storage

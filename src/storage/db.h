@@ -1,0 +1,125 @@
+// MiniLSM public API — the persistence substrate of LambdaStore (the
+// paper uses LevelDB in this role).
+//
+// Single-threaded by design: each simulated storage node owns one DB and
+// the simulator serializes all access on a node. Flushes and compactions
+// run synchronously (deterministically) inside the write path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "storage/dbformat.h"
+#include "storage/env.h"
+#include "storage/iterator.h"
+#include "storage/memtable.h"
+#include "storage/version.h"
+#include "storage/write_batch.h"
+
+namespace lo::storage {
+
+struct Options {
+  Env* env = nullptr;  // required; not owned
+  /// Memtable size that triggers a flush to L0.
+  size_t write_buffer_size = 1 << 20;
+  /// Max bytes of one compaction output file.
+  uint64_t max_output_file_bytes = 2 << 20;
+  TableOptions table;
+  /// If false, Open fails when the DB does not exist yet.
+  bool create_if_missing = true;
+};
+
+/// A read view at a fixed sequence number. Obtained from DB::GetSnapshot.
+class Snapshot {
+ public:
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class DB;
+  explicit Snapshot(SequenceNumber seq) : sequence_(seq) {}
+  SequenceNumber sequence_;
+};
+
+struct ReadOptions {
+  /// nullptr reads the latest committed state.
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  /// Sync the WAL before acknowledging (durability barrier).
+  bool sync = true;
+};
+
+class DB {
+ public:
+  /// Opens (and if needed creates) the database under `name`, replaying
+  /// any WAL left by a crash.
+  static Result<std::unique_ptr<DB>> Open(const Options& options, std::string name);
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+  ~DB();
+
+  Status Put(const WriteOptions& opts, std::string_view key, std::string_view value);
+  Status Delete(const WriteOptions& opts, std::string_view key);
+  /// Atomically applies the batch; stamps its sequence number.
+  Status Write(const WriteOptions& opts, WriteBatch* batch);
+
+  /// Returns NotFound for missing or deleted keys.
+  Result<std::string> Get(const ReadOptions& opts, std::string_view key);
+
+  /// Forward iterator over live user keys/values at the read snapshot.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& opts);
+
+  /// Pins the current state; must be released.
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  /// Flushes the memtable and fully compacts every level (tests/tools).
+  Status CompactAll();
+
+  SequenceNumber LastSequence() const { return versions_->last_sequence(); }
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+    uint64_t gets = 0;
+    uint64_t wal_syncs = 0;
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t compaction_bytes_read = 0;
+    uint64_t compaction_bytes_written = 0;
+    int files_per_level[kNumLevels] = {};
+    uint64_t bytes_per_level[kNumLevels] = {};
+    size_t memtable_bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  DB(Options options, std::string name);
+
+  Status Initialize();
+  Status RecoverWal();
+  Status NewWal();
+  Status FlushMemTable();
+  Status MaybeCompact();
+  Status DoCompaction(const VersionSet::CompactionPick& pick);
+  Status DeleteObsoleteFiles();
+  SequenceNumber SmallestSnapshot() const;
+
+  Options options_;
+  std::string name_;
+  TableCache table_cache_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<wal::Writer> wal_;
+  uint64_t wal_number_ = 0;
+  std::multiset<SequenceNumber> snapshots_;
+  InternalKeyComparator icmp_;
+
+  mutable Stats stats_;
+};
+
+}  // namespace lo::storage

@@ -1,0 +1,91 @@
+// Internal key format of MiniLSM.
+//
+// An internal key is `user_key . fixed64(seq << 8 | type)`. Ordering:
+// user keys ascending (bytewise), then sequence numbers *descending*, so
+// a scan positioned at (key, snapshot_seq) lands on the newest version
+// visible to that snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/coding.h"
+
+namespace lo::storage {
+
+using SequenceNumber = uint64_t;
+
+// Sequence numbers are packed with a type tag into 64 bits.
+constexpr SequenceNumber kMaxSequenceNumber = (1ull << 56) - 1;
+
+enum class ValueType : uint8_t {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+// When seeking, we want the newest entry with seq <= snapshot; kValue
+// sorts before kDeletion at equal seq is irrelevant because seq is unique,
+// so the seek tag just uses the largest type.
+constexpr ValueType kValueTypeForSeek = ValueType::kValue;
+
+inline uint64_t PackSeqAndType(SequenceNumber seq, ValueType type) {
+  return (seq << 8) | static_cast<uint64_t>(type);
+}
+
+/// Appends the internal key for (user_key, seq, type) to *dst.
+inline void AppendInternalKey(std::string* dst, std::string_view user_key,
+                              SequenceNumber seq, ValueType type) {
+  dst->append(user_key);
+  PutFixed64(dst, PackSeqAndType(seq, type));
+}
+
+inline std::string MakeInternalKey(std::string_view user_key, SequenceNumber seq,
+                                   ValueType type) {
+  std::string out;
+  AppendInternalKey(&out, user_key, seq, type);
+  return out;
+}
+
+/// Decomposed view of an internal key.
+struct ParsedInternalKey {
+  std::string_view user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = ValueType::kValue;
+};
+
+/// Returns false if ikey is too short or has an invalid type tag.
+inline bool ParseInternalKey(std::string_view ikey, ParsedInternalKey* out) {
+  if (ikey.size() < 8) return false;
+  uint64_t packed = DecodeFixed64(ikey.data() + ikey.size() - 8);
+  uint8_t type = packed & 0xff;
+  if (type > static_cast<uint8_t>(ValueType::kValue)) return false;
+  out->user_key = ikey.substr(0, ikey.size() - 8);
+  out->sequence = packed >> 8;
+  out->type = static_cast<ValueType>(type);
+  return true;
+}
+
+inline std::string_view ExtractUserKey(std::string_view ikey) {
+  return ikey.substr(0, ikey.size() - 8);
+}
+
+/// Total order over internal keys (see file comment).
+struct InternalKeyComparator {
+  /// <0, 0, >0 like memcmp.
+  int Compare(std::string_view a, std::string_view b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r != 0) return r;
+    uint64_t pa = DecodeFixed64(a.data() + a.size() - 8);
+    uint64_t pb = DecodeFixed64(b.data() + b.size() - 8);
+    // Bigger (seq,type) sorts first.
+    if (pa > pb) return -1;
+    if (pa < pb) return 1;
+    return 0;
+  }
+  bool operator()(std::string_view a, std::string_view b) const {
+    return Compare(a, b) < 0;
+  }
+};
+
+}  // namespace lo::storage

@@ -1,0 +1,27 @@
+#include "storage/iterator.h"
+
+namespace lo::storage {
+namespace {
+
+class EmptyIterator : public Iterator {
+ public:
+  explicit EmptyIterator(Status status) : status_(std::move(status)) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(std::string_view) override {}
+  void Next() override {}
+  std::string_view key() const override { return {}; }
+  std::string_view value() const override { return {}; }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewEmptyIterator(Status status) {
+  return std::make_unique<EmptyIterator>(std::move(status));
+}
+
+}  // namespace lo::storage

@@ -1,0 +1,106 @@
+// Forward iterator interface shared by memtables, blocks, tables, levels
+// and the DB facade. MiniLSM iterators are forward-only: the runtime's
+// collection scans encode their order into the key (e.g. timelines store
+// a descending index), so reverse iteration is not needed.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lo::storage {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(std::string_view target) = 0;
+  /// Precondition: Valid().
+  virtual void Next() = 0;
+  /// Precondition: Valid().
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+  /// Non-OK if the iterator encountered corruption.
+  virtual Status status() const = 0;
+};
+
+/// Always-invalid iterator (empty tables, error paths).
+std::unique_ptr<Iterator> NewEmptyIterator(Status status = Status::OK());
+
+/// K-way merge over children, smallest key first per `cmp` (an
+/// InternalKeyComparator-like object with Compare(a, b)).
+template <typename Cmp>
+std::unique_ptr<Iterator> NewMergingIterator(
+    Cmp cmp, std::vector<std::unique_ptr<Iterator>> children);
+
+namespace internal {
+
+template <typename Cmp>
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(Cmp cmp, std::vector<std::unique_ptr<Iterator>> children)
+      : cmp_(cmp), children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(std::string_view target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  std::string_view key() const override { return current_->key(); }
+  std::string_view value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (current_ == nullptr || cmp_.Compare(child->key(), current_->key()) < 0) {
+        current_ = child.get();
+      }
+    }
+  }
+
+  Cmp cmp_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+};
+
+}  // namespace internal
+
+template <typename Cmp>
+std::unique_ptr<Iterator> NewMergingIterator(
+    Cmp cmp, std::vector<std::unique_ptr<Iterator>> children) {
+  if (children.empty()) return NewEmptyIterator();
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<internal::MergingIterator<Cmp>>(cmp, std::move(children));
+}
+
+}  // namespace lo::storage

@@ -1,0 +1,120 @@
+// Skiplist keyed by arena-owned byte strings; the memtable's core index.
+// Single-writer discipline (the whole node is single-threaded inside the
+// simulator), so no atomics are needed; the structure still never moves
+// or deletes nodes, which keeps iterators stable across inserts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "storage/arena.h"
+
+namespace lo::storage {
+
+/// Key is an opaque `const char*` interpreted by Comparator (which must
+/// provide `int Compare(const char* a, const char* b) const`).
+template <typename Key, typename Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena, uint64_t seed = 0xdecafbad)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(Key(), kMaxHeight)),
+        rng_(seed) {
+    for (int i = 0; i < kMaxHeight; i++) head_->SetNext(i, nullptr);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key. Precondition: nothing equal to key is in the list
+  /// (internal keys embed a unique sequence number).
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    LO_CHECK_MSG(x == nullptr || !Equal(key, x->key), "duplicate skiplist key");
+    int height = RandomHeight();
+    if (height > max_height_) {
+      for (int i = max_height_; i < height; i++) prev[i] = head_;
+      max_height_ = height;
+    }
+    x = NewNode(key, height);
+    for (int i = 0; i < height; i++) {
+      x->SetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, x);
+    }
+  }
+
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list) {}
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const { return node_->key; }
+    void Next() { node_ = node_->Next(0); }
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_ = nullptr;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    Key key;
+    Node* Next(int level) { return next_[level]; }
+    void SetNext(int level, Node* node) { next_[level] = node; }
+    // Over-allocated flexible tail; next_[h-1] is the last valid slot.
+    Node* next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = arena_->AllocateAligned(sizeof(Node) +
+                                        sizeof(Node*) * (static_cast<size_t>(height) - 1));
+    Node* node = new (mem) Node();
+    node->key = key;
+    return node;
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rng_.Uniform(kBranching) == 0) height++;
+    return height;
+  }
+
+  bool Equal(const Key& a, const Key& b) const { return compare_.Compare(a, b) == 0; }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_.Compare(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        level--;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  Rng rng_;
+  int max_height_ = 1;
+};
+
+}  // namespace lo::storage

@@ -1,0 +1,272 @@
+#include "storage/sstable.h"
+
+#include <functional>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/log.h"
+
+namespace lo::storage {
+namespace {
+
+constexpr uint64_t kTableMagic = 0x4c414d424441544full;  // "LAMBDATO"
+constexpr size_t kBlockTrailerSize = 5;                  // type + crc32
+constexpr size_t kFooterSize = 48;
+
+}  // namespace
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset);
+  PutVarint64(dst, size);
+}
+
+bool BlockHandle::DecodeFrom(Reader* reader, BlockHandle* out) {
+  return reader->GetVarint64(&out->offset) && reader->GetVarint64(&out->size);
+}
+
+// ------------------------------------------------------------ TableBuilder
+
+TableBuilder::TableBuilder(TableOptions options, std::unique_ptr<WritableFile> file)
+    : options_(options),
+      file_(std::move(file)),
+      data_block_(options.restart_interval),
+      index_block_(1),
+      filter_(options.bloom_bits_per_key) {}
+
+void TableBuilder::Add(std::string_view ikey, std::string_view value) {
+  LO_CHECK(!finished_);
+  if (!status_.ok()) return;
+  data_block_.Add(ikey, value);
+  filter_.AddKey(ExtractUserKey(ikey));
+  last_key_.assign(ikey.data(), ikey.size());
+  num_entries_++;
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    FlushDataBlock();
+  }
+}
+
+void TableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return;
+  BlockHandle handle;
+  status_ = WriteRawBlock(data_block_.Finish(), &handle);
+  data_block_.Reset();
+  if (status_.ok()) pending_index_.emplace_back(last_key_, handle);
+}
+
+Status TableBuilder::WriteRawBlock(std::string_view contents, BlockHandle* handle) {
+  handle->offset = offset_;
+  handle->size = contents.size();
+  LO_RETURN_IF_ERROR(file_->Append(contents));
+  char trailer[kBlockTrailerSize];
+  trailer[0] = 0;  // kNoCompression
+  uint32_t crc = crc32c::Extend(0, contents.data(), contents.size());
+  crc = crc32c::Mask(crc32c::Extend(crc, trailer, 1));
+  for (int i = 0; i < 4; i++) trailer[1 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  LO_RETURN_IF_ERROR(file_->Append(std::string_view(trailer, kBlockTrailerSize)));
+  offset_ += contents.size() + kBlockTrailerSize;
+  return Status::OK();
+}
+
+Status TableBuilder::Finish() {
+  LO_CHECK(!finished_);
+  finished_ = true;
+  FlushDataBlock();
+  LO_RETURN_IF_ERROR(status_);
+
+  // Bloom filter block.
+  BlockHandle filter_handle;
+  std::string filter = filter_.Finish();
+  LO_RETURN_IF_ERROR(WriteRawBlock(filter, &filter_handle));
+
+  // Index block: last key of each data block -> handle.
+  for (const auto& [key, handle] : pending_index_) {
+    std::string encoded;
+    handle.EncodeTo(&encoded);
+    index_block_.Add(key, encoded);
+  }
+  BlockHandle index_handle;
+  LO_RETURN_IF_ERROR(WriteRawBlock(index_block_.Finish(), &index_handle));
+
+  // Footer, padded to fixed size.
+  std::string footer;
+  filter_handle.EncodeTo(&footer);
+  index_handle.EncodeTo(&footer);
+  footer.resize(kFooterSize - 8);
+  PutFixed64(&footer, kTableMagic);
+  LO_RETURN_IF_ERROR(file_->Append(footer));
+  offset_ += footer.size();
+  LO_RETURN_IF_ERROR(file_->Sync());
+  return file_->Close();
+}
+
+// ------------------------------------------------------------------ Table
+
+Table::Table(std::shared_ptr<RandomAccessFile> file, std::unique_ptr<Block> index,
+             std::string filter)
+    : file_(std::move(file)), index_(std::move(index)), filter_(std::move(filter)) {}
+
+Result<std::shared_ptr<Table>> Table::Open(std::shared_ptr<RandomAccessFile> file) {
+  uint64_t size = file->Size();
+  if (size < kFooterSize) return Status::Corruption("table too small");
+  std::string footer;
+  LO_RETURN_IF_ERROR(file->Read(size - kFooterSize, kFooterSize, &footer));
+  if (footer.size() != kFooterSize ||
+      DecodeFixed64(footer.data() + kFooterSize - 8) != kTableMagic) {
+    return Status::Corruption("bad table magic");
+  }
+  Reader reader{std::string_view(footer).substr(0, kFooterSize - 8)};
+  BlockHandle filter_handle, index_handle;
+  if (!BlockHandle::DecodeFrom(&reader, &filter_handle) ||
+      !BlockHandle::DecodeFrom(&reader, &index_handle)) {
+    return Status::Corruption("bad footer handles");
+  }
+
+  // Read + verify the two metadata blocks.
+  auto read_verified = [&](const BlockHandle& handle) -> Result<std::string> {
+    std::string raw;
+    LO_RETURN_IF_ERROR(file->Read(handle.offset, handle.size + kBlockTrailerSize, &raw));
+    if (raw.size() != handle.size + kBlockTrailerSize) {
+      return Status::Corruption("truncated block");
+    }
+    uint32_t expected = crc32c::Unmask(DecodeFixed32(raw.data() + handle.size + 1));
+    uint32_t actual = crc32c::Extend(0, raw.data(), handle.size + 1);
+    if (expected != actual) return Status::Corruption("block checksum mismatch");
+    raw.resize(handle.size);
+    return raw;
+  };
+
+  LO_ASSIGN_OR_RETURN(std::string filter, read_verified(filter_handle));
+  LO_ASSIGN_OR_RETURN(std::string index_raw, read_verified(index_handle));
+  LO_ASSIGN_OR_RETURN(auto index, Block::Parse(std::move(index_raw)));
+  return std::shared_ptr<Table>(
+      new Table(std::move(file), std::move(index), std::move(filter)));
+}
+
+Result<std::unique_ptr<Block>> Table::ReadBlock(const BlockHandle& handle) const {
+  std::string raw;
+  LO_RETURN_IF_ERROR(file_->Read(handle.offset, handle.size + kBlockTrailerSize, &raw));
+  if (raw.size() != handle.size + kBlockTrailerSize) {
+    return Status::Corruption("truncated data block");
+  }
+  uint32_t expected = crc32c::Unmask(DecodeFixed32(raw.data() + handle.size + 1));
+  uint32_t actual = crc32c::Extend(0, raw.data(), handle.size + 1);
+  if (expected != actual) return Status::Corruption("data block checksum mismatch");
+  raw.resize(handle.size);
+  return Block::Parse(std::move(raw));
+}
+
+Status Table::InternalGet(
+    std::string_view ikey,
+    const std::function<void(std::string_view, std::string_view)>& yield) {
+  if (!BloomFilterMayContain(filter_, ExtractUserKey(ikey))) {
+    return Status::OK();  // definitely absent
+  }
+  auto index_iter = index_->NewIterator(&icmp_);
+  index_iter->Seek(ikey);
+  if (!index_iter->Valid()) return index_iter->status();
+  Reader handle_reader{index_iter->value()};
+  BlockHandle handle;
+  if (!BlockHandle::DecodeFrom(&handle_reader, &handle)) {
+    return Status::Corruption("bad index entry");
+  }
+  LO_ASSIGN_OR_RETURN(auto block, ReadBlock(handle));
+  auto block_iter = block->NewIterator(&icmp_);
+  block_iter->Seek(ikey);
+  if (block_iter->Valid()) {
+    yield(block_iter->key(), block_iter->value());
+  }
+  return block_iter->status();
+}
+
+namespace {
+
+/// Index-then-data two-level iterator.
+class TableIteratorImpl : public Iterator {
+ public:
+  TableIteratorImpl(const Table* table, std::unique_ptr<Iterator> index_iter,
+                    const InternalKeyComparator* cmp)
+      : table_(table), index_iter_(std::move(index_iter)), cmp_(cmp) {}
+
+  bool Valid() const override { return data_iter_ != nullptr && data_iter_->Valid(); }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyBlocksForward();
+  }
+
+  void Seek(std::string_view target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  std::string_view key() const override { return data_iter_->key(); }
+  std::string_view value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (data_iter_ != nullptr) return data_iter_->status();
+    return Status::OK();
+  }
+
+ private:
+  void InitDataBlock() {
+    data_iter_.reset();
+    block_.reset();
+    if (!index_iter_->Valid()) return;
+    Reader handle_reader{index_iter_->value()};
+    BlockHandle handle;
+    if (!BlockHandle::DecodeFrom(&handle_reader, &handle)) {
+      status_ = Status::Corruption("bad index entry");
+      return;
+    }
+    auto block = table_->ReadBlock(handle);
+    if (!block.ok()) {
+      status_ = block.status();
+      return;
+    }
+    block_ = std::move(block).value();
+    data_iter_ = block_->NewIterator(cmp_);
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  const Table* table_;
+  std::unique_ptr<Iterator> index_iter_;
+  const InternalKeyComparator* cmp_;
+  std::unique_ptr<Block> block_;
+  std::unique_ptr<Iterator> data_iter_;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> Table::NewIterator() const {
+  return std::make_unique<TableIteratorImpl>(this, index_->NewIterator(&icmp_), &icmp_);
+}
+
+uint64_t Table::ApproximateEntryCount() const {
+  // The bloom filter records one hash per key.
+  return filter_.empty() ? 0 : (filter_.size() - 1) * 8 / 10;
+}
+
+}  // namespace lo::storage

@@ -1,0 +1,96 @@
+// SSTable: the immutable on-disk sorted run.
+//
+// Layout:
+//   [data block + trailer]*        trailer = type(1) + masked crc32c(4)
+//   [bloom filter block + trailer]
+//   [index block + trailer]        entry: last key of block -> BlockHandle
+//   footer (fixed 48 bytes): filter handle, index handle, magic
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "storage/block.h"
+#include "storage/bloom.h"
+#include "storage/dbformat.h"
+#include "storage/env.h"
+#include "storage/iterator.h"
+
+namespace lo::storage {
+
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Reader* reader, BlockHandle* out);
+};
+
+struct TableOptions {
+  size_t block_size = 4096;
+  int restart_interval = 16;
+  int bloom_bits_per_key = 10;
+};
+
+/// Writes one SSTable; keys must arrive in increasing internal-key order.
+class TableBuilder {
+ public:
+  TableBuilder(TableOptions options, std::unique_ptr<WritableFile> file);
+
+  void Add(std::string_view ikey, std::string_view value);
+  /// Writes filter, index and footer. No Adds after this.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size() const { return offset_; }
+  Status status() const { return status_; }
+
+ private:
+  void FlushDataBlock();
+  Status WriteRawBlock(std::string_view contents, BlockHandle* handle);
+
+  TableOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder filter_;
+  std::string last_key_;
+  std::vector<std::pair<std::string, BlockHandle>> pending_index_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  Status status_;
+  bool finished_ = false;
+};
+
+/// Reader over one SSTable file.
+class Table {
+ public:
+  static Result<std::shared_ptr<Table>> Open(std::shared_ptr<RandomAccessFile> file);
+
+  /// Point lookup for the entry the iterator would land on at `ikey`.
+  /// Calls yield(found_ikey, value) if the seek lands on an entry whose
+  /// user key *may* match; callers apply seq/type logic.
+  Status InternalGet(std::string_view ikey,
+                     const std::function<void(std::string_view, std::string_view)>& yield);
+
+  /// Two-level iterator (index block -> data blocks).
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  uint64_t ApproximateEntryCount() const;
+
+  /// Reads and checksum-verifies one block (used by the iterator impl).
+  Result<std::unique_ptr<Block>> ReadBlock(const BlockHandle& handle) const;
+
+ private:
+  Table(std::shared_ptr<RandomAccessFile> file, std::unique_ptr<Block> index,
+        std::string filter);
+
+  std::shared_ptr<RandomAccessFile> file_;
+  std::unique_ptr<Block> index_;
+  std::string filter_;
+  InternalKeyComparator icmp_;
+};
+
+}  // namespace lo::storage

@@ -1,0 +1,144 @@
+// Version management: which SSTables exist at which level, persisted as a
+// log of VersionEdits in the MANIFEST. Single-threaded (the simulator
+// serializes everything on a node), so there is one live version; open
+// iterators stay valid because Tables and MemEnv file contents are
+// shared_ptr-owned.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/dbformat.h"
+#include "storage/env.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace lo::storage {
+
+constexpr int kNumLevels = 5;
+
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  std::string smallest;  // internal keys
+  std::string largest;
+};
+
+/// A delta against the current version, logged to the MANIFEST.
+class VersionEdit {
+ public:
+  void SetLogNumber(uint64_t n) { log_number_ = n; }
+  void SetNextFileNumber(uint64_t n) { next_file_number_ = n; }
+  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+  void AddFile(int level, FileMetaData meta) {
+    new_files_.emplace_back(level, std::move(meta));
+  }
+  void DeleteFile(int level, uint64_t number) {
+    deleted_files_.emplace_back(level, number);
+  }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(std::string_view src);
+
+  const std::optional<uint64_t>& log_number() const { return log_number_; }
+  const std::optional<uint64_t>& next_file_number() const { return next_file_number_; }
+  const std::optional<SequenceNumber>& last_sequence() const { return last_sequence_; }
+  const std::vector<std::pair<int, FileMetaData>>& new_files() const { return new_files_; }
+  const std::vector<std::pair<int, uint64_t>>& deleted_files() const { return deleted_files_; }
+
+ private:
+  std::optional<uint64_t> log_number_;
+  std::optional<uint64_t> next_file_number_;
+  std::optional<SequenceNumber> last_sequence_;
+  std::vector<std::pair<int, FileMetaData>> new_files_;
+  std::vector<std::pair<int, uint64_t>> deleted_files_;
+};
+
+/// Opens Tables by file number with a small LRU cache.
+class TableCache {
+ public:
+  TableCache(Env* env, std::string dbname, size_t capacity = 64);
+
+  Result<std::shared_ptr<Table>> Get(uint64_t file_number);
+  void Evict(uint64_t file_number);
+
+ private:
+  Env* env_;
+  std::string dbname_;
+  size_t capacity_;
+  // LRU: most recently used at back.
+  std::vector<std::pair<uint64_t, std::shared_ptr<Table>>> entries_;
+};
+
+/// The current file layout plus manifest persistence.
+class VersionSet {
+ public:
+  VersionSet(Env* env, std::string dbname, TableCache* table_cache);
+
+  /// Loads CURRENT + MANIFEST. Returns NotFound if no CURRENT exists
+  /// (fresh database).
+  Status Recover();
+  /// Writes a fresh manifest describing the current state and points
+  /// CURRENT at it. Used on create and after recovery.
+  Status WriteSnapshot();
+  /// Applies the edit in memory and appends it to the manifest (synced).
+  Status LogAndApply(VersionEdit* edit);
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  /// Guarantees future NewFileNumber() results exceed n (recovery may
+  /// find files newer than the last manifest record).
+  void EnsureFileNumberAbove(uint64_t n) {
+    if (next_file_number_ <= n) next_file_number_ = n + 1;
+  }
+  uint64_t log_number() const { return log_number_; }
+  SequenceNumber last_sequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+
+  const std::vector<FileMetaData>& files(int level) const { return files_[level]; }
+  int NumLevelFiles(int level) const { return static_cast<int>(files_[level].size()); }
+  uint64_t LevelBytes(int level) const;
+  uint64_t TotalTableBytes() const;
+
+  /// Files in `level` whose user-key range intersects [begin, end].
+  std::vector<FileMetaData> OverlappingFiles(int level, std::string_view begin,
+                                             std::string_view end) const;
+
+  /// True if no file in levels > `level` can contain user_key (safe to
+  /// drop tombstones when compacting into `level`).
+  bool IsBaseLevelForKey(int level, std::string_view user_key) const;
+
+  struct CompactionPick {
+    int level = -1;  // -1: nothing to do
+    std::vector<FileMetaData> inputs;       // from `level`
+    std::vector<FileMetaData> next_inputs;  // from `level + 1`
+  };
+  /// Chooses the most urgent compaction, or level = -1.
+  CompactionPick PickCompaction() const;
+  bool NeedsCompaction() const;
+
+  /// All live table numbers (for orphan cleanup on recovery).
+  std::vector<uint64_t> LiveFiles() const;
+
+ private:
+  void Apply(const VersionEdit& edit);
+  double CompactionScore(int level) const;
+  uint64_t MaxBytesForLevel(int level) const;
+
+  Env* env_;
+  std::string dbname_;
+  TableCache* table_cache_;
+  InternalKeyComparator icmp_;
+
+  std::vector<FileMetaData> files_[kNumLevels];
+  uint64_t next_file_number_ = 2;  // 1 is reserved for the first manifest
+  uint64_t manifest_number_ = 1;
+  uint64_t log_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+  std::unique_ptr<wal::Writer> manifest_;
+};
+
+}  // namespace lo::storage

@@ -1,0 +1,166 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/log.h"
+
+namespace lo::storage::wal {
+
+Writer::Writer(std::unique_ptr<WritableFile> dest, uint64_t initial_offset)
+    : dest_(std::move(dest)), block_offset_(initial_offset % kBlockSize) {}
+
+Status Writer::AddRecord(std::string_view payload) {
+  const char* ptr = payload.data();
+  size_t left = payload.size();
+  bool begin = true;
+  do {
+    size_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Pad the block tail with zeros; readers skip them.
+      if (leftover > 0) {
+        static const char kZeros[kHeaderSize] = {0};
+        LO_RETURN_IF_ERROR(dest_->Append(std::string_view(kZeros, leftover)));
+      }
+      block_offset_ = 0;
+      leftover = kBlockSize;
+    }
+    size_t avail = leftover - kHeaderSize;
+    size_t fragment = std::min(left, avail);
+    RecordType type;
+    bool end = (fragment == left);
+    if (begin && end) {
+      type = RecordType::kFull;
+    } else if (begin) {
+      type = RecordType::kFirst;
+    } else if (end) {
+      type = RecordType::kLast;
+    } else {
+      type = RecordType::kMiddle;
+    }
+    LO_RETURN_IF_ERROR(EmitPhysicalRecord(type, ptr, fragment));
+    ptr += fragment;
+    left -= fragment;
+    begin = false;
+  } while (left > 0);
+  return Status::OK();
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* data, size_t n) {
+  LO_CHECK(n <= 0xffff);
+  char header[kHeaderSize];
+  // CRC covers type byte + payload so a fragment cannot be retyped.
+  char type_byte = static_cast<char>(type);
+  uint32_t crc = crc32c::Extend(0, &type_byte, 1);
+  crc = crc32c::Extend(crc, data, n);
+  crc = crc32c::Mask(crc);
+  header[0] = static_cast<char>(crc & 0xff);
+  header[1] = static_cast<char>((crc >> 8) & 0xff);
+  header[2] = static_cast<char>((crc >> 16) & 0xff);
+  header[3] = static_cast<char>((crc >> 24) & 0xff);
+  header[4] = static_cast<char>(n & 0xff);
+  header[5] = static_cast<char>((n >> 8) & 0xff);
+  header[6] = type_byte;
+  LO_RETURN_IF_ERROR(dest_->Append(std::string_view(header, kHeaderSize)));
+  LO_RETURN_IF_ERROR(dest_->Append(std::string_view(data, n)));
+  block_offset_ += kHeaderSize + n;
+  return Status::OK();
+}
+
+LogReader::LogReader(std::unique_ptr<SequentialFile> src) : src_(std::move(src)) {}
+
+bool LogReader::RefillBuffer() {
+  if (eof_) return false;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  Status s = src_->Read(kBlockSize, &buffer_);
+  if (!s.ok() || buffer_.empty()) {
+    eof_ = true;
+    return false;
+  }
+  if (buffer_.size() < kBlockSize) eof_ = true;  // last (partial) block
+  return true;
+}
+
+bool LogReader::ReadPhysicalRecord(RecordType* type, std::string* fragment) {
+  for (;;) {
+    if (buffer_.size() - buffer_pos_ < kHeaderSize) {
+      // Rest of block is padding (or a torn header at EOF).
+      if (!RefillBuffer()) return false;
+      continue;
+    }
+    const char* header = buffer_.data() + buffer_pos_;
+    uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
+    size_t length = static_cast<uint8_t>(header[4]) |
+                    (static_cast<size_t>(static_cast<uint8_t>(header[5])) << 8);
+    auto record_type = static_cast<RecordType>(header[6]);
+    if (record_type == RecordType::kZero && length == 0) {
+      // Block-tail padding; move to next block.
+      buffer_pos_ = buffer_.size();
+      continue;
+    }
+    if (buffer_.size() - buffer_pos_ - kHeaderSize < length) {
+      // Torn write at the end of the log.
+      hit_corruption_ = true;
+      return false;
+    }
+    const char* data = header + kHeaderSize;
+    uint32_t actual_crc = crc32c::Extend(0, header + 6, 1);
+    actual_crc = crc32c::Extend(actual_crc, data, length);
+    if (actual_crc != expected_crc) {
+      hit_corruption_ = true;
+      return false;
+    }
+    buffer_pos_ += kHeaderSize + length;
+    *type = record_type;
+    fragment->assign(data, length);
+    return true;
+  }
+}
+
+bool LogReader::ReadRecord(std::string* record) {
+  record->clear();
+  std::string fragment;
+  bool in_record = false;
+  RecordType type;
+  while (ReadPhysicalRecord(&type, &fragment)) {
+    switch (type) {
+      case RecordType::kFull:
+        if (in_record) {
+          hit_corruption_ = true;
+          return false;
+        }
+        *record = std::move(fragment);
+        return true;
+      case RecordType::kFirst:
+        if (in_record) {
+          hit_corruption_ = true;
+          return false;
+        }
+        *record = std::move(fragment);
+        in_record = true;
+        break;
+      case RecordType::kMiddle:
+        if (!in_record) {
+          hit_corruption_ = true;
+          return false;
+        }
+        record->append(fragment);
+        break;
+      case RecordType::kLast:
+        if (!in_record) {
+          hit_corruption_ = true;
+          return false;
+        }
+        record->append(fragment);
+        return true;
+      case RecordType::kZero:
+        hit_corruption_ = true;
+        return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace lo::storage::wal

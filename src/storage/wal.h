@@ -1,0 +1,72 @@
+// Write-ahead log, LevelDB record format.
+//
+// The log is a sequence of 32 KiB blocks. Each record fragment carries a
+// CRC32C so torn writes and corruption are detected on replay; a record
+// larger than a block is split into FIRST/MIDDLE/LAST fragments. The
+// same format stores the MANIFEST (version-edit log).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace lo::storage::wal {
+
+constexpr size_t kBlockSize = 32768;
+// Fragment header: checksum(4) + length(2) + type(1).
+constexpr size_t kHeaderSize = 7;
+
+enum class RecordType : uint8_t {
+  kZero = 0,  // preallocated/padding
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+
+class Writer {
+ public:
+  /// Takes ownership of `dest` (positioned at file start or end-of-log).
+  explicit Writer(std::unique_ptr<WritableFile> dest, uint64_t initial_offset = 0);
+
+  /// Appends one record; returns after the bytes are buffered.
+  Status AddRecord(std::string_view payload);
+  /// Durability barrier.
+  Status Sync() { return dest_->Sync(); }
+  Status Close() { return dest_->Close(); }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* data, size_t n);
+
+  std::unique_ptr<WritableFile> dest_;
+  size_t block_offset_;
+};
+
+class LogReader {
+ public:
+  explicit LogReader(std::unique_ptr<SequentialFile> src);
+
+  /// Reads the next complete record into *record. Returns false at clean
+  /// EOF. A corrupt or torn tail also returns false but sets
+  /// corruption-detected (the DB treats a torn tail as the crash point).
+  bool ReadRecord(std::string* record);
+
+  bool hit_corruption() const { return hit_corruption_; }
+
+ private:
+  /// Returns fragment type or nullopt at EOF/corruption.
+  bool ReadPhysicalRecord(RecordType* type, std::string* fragment);
+  bool RefillBuffer();
+
+  std::unique_ptr<SequentialFile> src_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  bool eof_ = false;
+  bool hit_corruption_ = false;
+};
+
+}  // namespace lo::storage::wal

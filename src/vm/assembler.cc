@@ -1,0 +1,311 @@
+#include "vm/assembler.h"
+
+#include <charconv>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lo::vm {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+Status ErrorAt(int line, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " + message);
+}
+
+// Splits one line into whitespace-separated tokens; quoted strings are a
+// single token (with quotes kept). ';;' starts a comment.
+Result<std::vector<Token>> Tokenize(std::string_view line, int line_no) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    char ch = line[i];
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      i++;
+      continue;
+    }
+    if (ch == ';') break;  // comment to end of line
+    if (ch == '"') {
+      size_t j = i + 1;
+      std::string out = "\"";
+      while (j < line.size() && line[j] != '"') {
+        if (line[j] == '\\' && j + 1 < line.size()) {
+          out.push_back(line[j]);
+          out.push_back(line[j + 1]);
+          j += 2;
+        } else {
+          out.push_back(line[j]);
+          j++;
+        }
+      }
+      if (j >= line.size()) return ErrorAt(line_no, "unterminated string");
+      out.push_back('"');
+      tokens.push_back({std::move(out)});
+      i = j + 1;
+      continue;
+    }
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' && line[j] != ';' &&
+           line[j] != '\r') {
+      j++;
+    }
+    tokens.push_back({std::string(line.substr(i, j - i))});
+    i = j;
+  }
+  return tokens;
+}
+
+Result<std::string> UnescapeString(std::string_view quoted, int line_no) {
+  if (quoted.size() < 2 || quoted.front() != '"' || quoted.back() != '"') {
+    return ErrorAt(line_no, "expected quoted string");
+  }
+  std::string_view body = quoted.substr(1, quoted.size() - 2);
+  std::string out;
+  for (size_t i = 0; i < body.size(); i++) {
+    if (body[i] != '\\') {
+      out.push_back(body[i]);
+      continue;
+    }
+    if (i + 1 >= body.size()) return ErrorAt(line_no, "dangling escape");
+    char esc = body[++i];
+    switch (esc) {
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case '0': out.push_back('\0'); break;
+      case '\\': out.push_back('\\'); break;
+      case '"': out.push_back('"'); break;
+      case 'x': {
+        if (i + 2 >= body.size()) return ErrorAt(line_no, "bad \\x escape");
+        int value = 0;
+        auto [p, ec] = std::from_chars(body.data() + i + 1, body.data() + i + 3,
+                                       value, 16);
+        if (ec != std::errc() || p != body.data() + i + 3) {
+          return ErrorAt(line_no, "bad \\x escape");
+        }
+        out.push_back(static_cast<char>(value));
+        i += 2;
+        break;
+      }
+      default:
+        return ErrorAt(line_no, std::string("unknown escape: \\") + esc);
+    }
+  }
+  return out;
+}
+
+std::optional<uint64_t> ParseNumber(std::string_view text) {
+  uint64_t value = 0;
+  int base = 10;
+  if (text.starts_with("0x")) {
+    text.remove_prefix(2);
+    base = 16;
+  }
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc() || p != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<Op> OpFromName(std::string_view name) {
+  for (uint8_t i = 0; i < static_cast<uint8_t>(Op::kOpCount); i++) {
+    if (OpName(static_cast<Op>(i)) == name) return static_cast<Op>(i);
+  }
+  return std::nullopt;
+}
+
+struct PendingFixup {
+  size_t instruction;
+  std::string symbol;  // label (br) or function name (call)
+  bool is_call;
+  int line;
+};
+
+struct FunctionBuilder {
+  Function fn;
+  std::map<std::string, uint32_t> local_names;
+  std::map<std::string, uint64_t> labels;
+  std::vector<PendingFixup> fixups;
+  int start_line = 0;
+};
+
+}  // namespace
+
+Result<Module> Assemble(std::string_view source) {
+  std::vector<Function> functions;
+  std::map<std::string, uint32_t> function_names;
+  std::vector<DataSegment> data;
+  std::map<std::string, size_t> data_names;
+  uint64_t memory = 64 * 1024;
+  std::optional<FunctionBuilder> current;
+  std::vector<std::pair<size_t, PendingFixup>> deferred_calls;  // (func idx, fixup)
+
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    size_t eol = source.find('\n', pos);
+    std::string_view line = source.substr(
+        pos, eol == std::string_view::npos ? source.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    line_no++;
+
+    LO_ASSIGN_OR_RETURN(auto tokens, Tokenize(line, line_no));
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0].text;
+
+    if (current.has_value()) {
+      FunctionBuilder& builder = *current;
+      // Label line: "name:"
+      if (tokens.size() == 1 && head.size() > 1 && head.back() == ':') {
+        std::string label = head.substr(0, head.size() - 1);
+        if (!builder.labels.emplace(label, builder.fn.code.size()).second) {
+          return ErrorAt(line_no, "duplicate label: " + label);
+        }
+        continue;
+      }
+      if (head == "end") {
+        // Resolve branch labels now; calls after all functions are known.
+        for (const auto& fixup : builder.fixups) {
+          if (fixup.is_call) {
+            deferred_calls.emplace_back(functions.size(), fixup);
+            continue;
+          }
+          auto it = builder.labels.find(fixup.symbol);
+          if (it == builder.labels.end()) {
+            return ErrorAt(fixup.line, "unknown label: " + fixup.symbol);
+          }
+          builder.fn.code[fixup.instruction].imm = it->second;
+        }
+        if (!function_names.emplace(builder.fn.name,
+                                    static_cast<uint32_t>(functions.size()))
+                 .second) {
+          return ErrorAt(line_no, "duplicate function: " + builder.fn.name);
+        }
+        functions.push_back(std::move(builder.fn));
+        current.reset();
+        continue;
+      }
+      // Instruction line.
+      auto op = OpFromName(head);
+      if (!op.has_value()) return ErrorAt(line_no, "unknown instruction: " + head);
+      Instruction instr;
+      instr.op = *op;
+      if (OpHasImmediate(*op)) {
+        if (tokens.size() != 2) return ErrorAt(line_no, head + " needs an operand");
+        const std::string& operand = tokens[1].text;
+        if (*op == Op::kCall) {
+          builder.fixups.push_back(
+              {builder.fn.code.size(), operand, /*is_call=*/true, line_no});
+        } else if (*op == Op::kBr || *op == Op::kBrIf) {
+          builder.fixups.push_back(
+              {builder.fn.code.size(), operand, /*is_call=*/false, line_no});
+        } else if (*op == Op::kLocalGet || *op == Op::kLocalSet ||
+                   *op == Op::kLocalTee) {
+          auto it = builder.local_names.find(operand);
+          if (it != builder.local_names.end()) {
+            instr.imm = it->second;
+          } else if (auto n = ParseNumber(operand)) {
+            instr.imm = *n;
+          } else {
+            return ErrorAt(line_no, "unknown local: " + operand);
+          }
+        } else {  // push
+          if (operand.starts_with("@") || operand.starts_with("#")) {
+            auto it = data_names.find(operand.substr(1));
+            if (it == data_names.end()) {
+              return ErrorAt(line_no, "unknown data symbol: " + operand);
+            }
+            const DataSegment& segment = data[it->second];
+            instr.imm = operand[0] == '@' ? segment.offset : segment.bytes.size();
+          } else if (auto n = ParseNumber(operand)) {
+            instr.imm = *n;
+          } else {
+            return ErrorAt(line_no, "bad immediate: " + operand);
+          }
+        }
+      } else if (tokens.size() != 1) {
+        return ErrorAt(line_no, head + " takes no operand");
+      }
+      builder.fn.code.push_back(instr);
+      continue;
+    }
+
+    // Top level.
+    if (head == "memory") {
+      if (tokens.size() != 2) return ErrorAt(line_no, "memory <bytes>");
+      auto n = ParseNumber(tokens[1].text);
+      if (!n) return ErrorAt(line_no, "bad memory size");
+      memory = *n;
+    } else if (head == "data") {
+      if (tokens.size() != 4) return ErrorAt(line_no, "data <name> <offset> \"...\"");
+      auto offset = ParseNumber(tokens[2].text);
+      if (!offset) return ErrorAt(line_no, "bad data offset");
+      LO_ASSIGN_OR_RETURN(std::string bytes, UnescapeString(tokens[3].text, line_no));
+      data.push_back(DataSegment{*offset, std::move(bytes)});
+      if (!data_names.emplace(tokens[1].text, data.size() - 1).second) {
+        return ErrorAt(line_no, "duplicate data symbol: " + tokens[1].text);
+      }
+    } else if (head == "func") {
+      if (tokens.size() < 2) return ErrorAt(line_no, "func <name> [export] ...");
+      FunctionBuilder builder;
+      builder.fn.name = tokens[1].text;
+      builder.start_line = line_no;
+      size_t i = 2;
+      while (i < tokens.size()) {
+        const std::string& word = tokens[i].text;
+        if (word == "export") {
+          builder.fn.exported = true;
+          i++;
+        } else if (word == "results") {
+          if (i + 1 >= tokens.size()) return ErrorAt(line_no, "results <n>");
+          auto n = ParseNumber(tokens[i + 1].text);
+          if (!n) return ErrorAt(line_no, "bad results count");
+          builder.fn.num_results = static_cast<uint32_t>(*n);
+          i += 2;
+        } else if (word == "params" || word == "locals") {
+          bool is_params = word == "params";
+          i++;
+          while (i < tokens.size() && tokens[i].text != "results" &&
+                 tokens[i].text != "locals" && tokens[i].text != "params" &&
+                 tokens[i].text != "export") {
+            uint32_t index = builder.fn.num_params + builder.fn.num_locals;
+            if (!builder.local_names.emplace(tokens[i].text, index).second) {
+              return ErrorAt(line_no, "duplicate local: " + tokens[i].text);
+            }
+            if (is_params) {
+              builder.fn.num_params++;
+            } else {
+              builder.fn.num_locals++;
+            }
+            i++;
+          }
+          if (is_params && builder.fn.num_locals > 0) {
+            return ErrorAt(line_no, "params must come before locals");
+          }
+        } else {
+          return ErrorAt(line_no, "unexpected token in func header: " + word);
+        }
+      }
+      current = std::move(builder);
+    } else {
+      return ErrorAt(line_no, "unexpected top-level token: " + head);
+    }
+  }
+  if (current.has_value()) {
+    return ErrorAt(current->start_line, "func without matching end");
+  }
+
+  for (const auto& [fn_index, fixup] : deferred_calls) {
+    auto it = function_names.find(fixup.symbol);
+    if (it == function_names.end()) {
+      return ErrorAt(fixup.line, "unknown function: " + fixup.symbol);
+    }
+    functions[fn_index].code[fixup.instruction].imm = it->second;
+  }
+
+  return Module::Create(std::move(functions), std::move(data), memory);
+}
+
+}  // namespace lo::vm

@@ -1,0 +1,36 @@
+// λasm — the textual form of LambdaVM modules.
+//
+//   ;; comment
+//   memory 65536
+//   data greeting 256 "hello \x00world"
+//
+//   func add2 params a b results 1
+//     local.get a
+//     local.get b
+//     add
+//     return
+//   end
+//
+//   func main export locals n
+//     push @greeting        ;; address of the data segment
+//     push #greeting        ;; its length
+//     ret
+//   end
+//
+// Labels are `name:` lines; `br name` / `br_if name` jump to them.
+// `call f` references functions by name. Locals are named via
+// `params ...` / `locals ...` and referenced by name or index.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "vm/module.h"
+
+namespace lo::vm {
+
+/// Assembles λasm source into a validated Module.
+/// Errors carry the 1-based source line number.
+Result<Module> Assemble(std::string_view source);
+
+}  // namespace lo::vm

@@ -1,0 +1,99 @@
+#include "vm/disassembler.h"
+
+#include <map>
+#include <set>
+
+namespace lo::vm {
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view bytes) {
+  out->push_back('"');
+  for (char c : bytes) {
+    switch (c) {
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\0': *out += "\\0"; break;
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      default:
+        if (static_cast<uint8_t>(c) < 0x20 || static_cast<uint8_t>(c) > 0x7e) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<uint8_t>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string Disassemble(const Module& module) {
+  std::string out;
+  out += "memory " + std::to_string(module.min_memory()) + "\n";
+  for (size_t i = 0; i < module.data().size(); i++) {
+    const DataSegment& segment = module.data()[i];
+    out += "data d" + std::to_string(i) + " " + std::to_string(segment.offset) + " ";
+    AppendEscaped(&out, segment.bytes);
+    out += "\n";
+  }
+
+  for (const Function& fn : module.functions()) {
+    out += "\nfunc " + fn.name;
+    if (fn.exported) out += " export";
+    if (fn.num_params > 0) {
+      out += " params";
+      for (uint32_t p = 0; p < fn.num_params; p++) out += " p" + std::to_string(p);
+    }
+    if (fn.num_locals > 0) {
+      out += " locals";
+      for (uint32_t l = 0; l < fn.num_locals; l++) out += " v" + std::to_string(l);
+    }
+    if (fn.num_results > 0) out += " results " + std::to_string(fn.num_results);
+    out += "\n";
+
+    // Collect branch targets so they come out as labels.
+    std::set<uint64_t> targets;
+    for (const Instruction& instr : fn.code) {
+      if (instr.op == Op::kBr || instr.op == Op::kBrIf) targets.insert(instr.imm);
+    }
+    for (uint64_t pc = 0; pc < fn.code.size(); pc++) {
+      if (targets.contains(pc)) {
+        out += "L" + std::to_string(pc) + ":\n";
+      }
+      const Instruction& instr = fn.code[pc];
+      out += "  ";
+      out += OpName(instr.op);
+      if (OpHasImmediate(instr.op)) {
+        out += " ";
+        switch (instr.op) {
+          case Op::kBr:
+          case Op::kBrIf:
+            out += "L" + std::to_string(instr.imm);
+            break;
+          case Op::kCall:
+            out += module.function(static_cast<uint32_t>(instr.imm)).name;
+            break;
+          case Op::kLocalGet:
+          case Op::kLocalSet:
+          case Op::kLocalTee:
+            out += instr.imm < fn.num_params
+                       ? "p" + std::to_string(instr.imm)
+                       : "v" + std::to_string(instr.imm - fn.num_params);
+            break;
+          default:
+            out += std::to_string(instr.imm);
+        }
+      }
+      out += "\n";
+    }
+    // The validator guarantees every branch target < code.size(), so no
+    // label can point past the last instruction.
+    out += "end\n";
+  }
+  return out;
+}
+
+}  // namespace lo::vm

@@ -1,0 +1,17 @@
+// Disassembler: Module -> λasm text. Round-trips with the assembler
+// (assemble(disassemble(m)) is structurally identical to m), which the
+// property tests verify; used by the lobj-tool CLI for inspecting
+// uploaded function binaries.
+#pragma once
+
+#include <string>
+
+#include "vm/module.h"
+
+namespace lo::vm {
+
+/// Renders a module as λasm source. Data segments get symbolic names
+/// d0, d1, ...; branch targets get labels L<pc>.
+std::string Disassemble(const Module& module);
+
+}  // namespace lo::vm

@@ -1,0 +1,119 @@
+#include "vm/isa.h"
+
+namespace lo::vm {
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kUnreachable: return "unreachable";
+    case Op::kBr: return "br";
+    case Op::kBrIf: return "br_if";
+    case Op::kCall: return "call";
+    case Op::kReturn: return "return";
+    case Op::kPush: return "push";
+    case Op::kDrop: return "drop";
+    case Op::kDup: return "dup";
+    case Op::kSwap: return "swap";
+    case Op::kLocalGet: return "local.get";
+    case Op::kLocalSet: return "local.set";
+    case Op::kLocalTee: return "local.tee";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDivU: return "div_u";
+    case Op::kRemU: return "rem_u";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShrU: return "shr_u";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLtU: return "lt_u";
+    case Op::kGtU: return "gt_u";
+    case Op::kLeU: return "le_u";
+    case Op::kGeU: return "ge_u";
+    case Op::kEqz: return "eqz";
+    case Op::kLoad8: return "load8";
+    case Op::kLoad64: return "load64";
+    case Op::kStore8: return "store8";
+    case Op::kStore64: return "store64";
+    case Op::kMemSize: return "mem.size";
+    case Op::kMemCopy: return "mem.copy";
+    case Op::kMemFill: return "mem.fill";
+    case Op::kKvGet: return "kv.get";
+    case Op::kKvPut: return "kv.put";
+    case Op::kKvDelete: return "kv.delete";
+    case Op::kInvoke: return "invoke";
+    case Op::kArg: return "arg";
+    case Op::kRet: return "ret";
+    case Op::kTime: return "time";
+    case Op::kLog: return "log";
+    case Op::kOpCount: break;
+  }
+  return "?";
+}
+
+bool OpHasImmediate(Op op) {
+  switch (op) {
+    case Op::kBr:
+    case Op::kBrIf:
+    case Op::kCall:
+    case Op::kPush:
+    case Op::kLocalGet:
+    case Op::kLocalSet:
+    case Op::kLocalTee:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int OpPops(Op op) {
+  switch (op) {
+    case Op::kNop: case Op::kUnreachable: case Op::kBr: case Op::kCall:
+    case Op::kReturn: case Op::kPush: case Op::kLocalGet: case Op::kMemSize:
+    case Op::kTime:
+      return 0;
+    case Op::kBrIf: case Op::kDrop: case Op::kLocalSet: case Op::kLocalTee:
+    case Op::kEqz: case Op::kLoad8: case Op::kLoad64: case Op::kDup:
+      return 1;
+    case Op::kSwap: case Op::kAdd: case Op::kSub: case Op::kMul:
+    case Op::kDivU: case Op::kRemU: case Op::kAnd: case Op::kOr:
+    case Op::kXor: case Op::kShl: case Op::kShrU: case Op::kEq:
+    case Op::kNe: case Op::kLtU: case Op::kGtU: case Op::kLeU:
+    case Op::kGeU: case Op::kStore8: case Op::kStore64: case Op::kArg:
+    case Op::kRet: case Op::kLog:
+      return 2;
+    case Op::kMemCopy: case Op::kMemFill:
+      return 3;
+    case Op::kKvGet: case Op::kKvPut:
+      return 4;
+    case Op::kKvDelete:
+      return 2;
+    case Op::kInvoke:
+      return 8;
+    case Op::kOpCount:
+      break;
+  }
+  return 0;
+}
+
+int OpPushes(Op op) {
+  switch (op) {
+    case Op::kPush: case Op::kLocalGet: case Op::kLocalTee: case Op::kEqz:
+    case Op::kLoad8: case Op::kLoad64: case Op::kMemSize: case Op::kTime:
+    case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDivU:
+    case Op::kRemU: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kShl: case Op::kShrU: case Op::kEq: case Op::kNe:
+    case Op::kLtU: case Op::kGtU: case Op::kLeU: case Op::kGeU:
+    case Op::kKvGet: case Op::kInvoke: case Op::kArg:
+      return 1;
+    case Op::kDup: case Op::kSwap:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace lo::vm

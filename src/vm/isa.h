@@ -1,0 +1,76 @@
+// LambdaVM instruction set.
+//
+// A small stack machine standing in for WebAssembly (paper §4.2): it
+// provides the same two properties LambdaStore needs from WASM —
+// software fault isolation (every memory access bounds-checked, no
+// escape from the sandbox) and metering (fuel decremented per
+// instruction; execution traps when the budget is exhausted).
+//
+// Values are uint64_t. Functions have params/locals/results; a fixed
+// host ABI (KV access, nested object invocation, time) mirrors the
+// paper's "key-value API and some utility functions".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lo::vm {
+
+enum class Op : uint8_t {
+  // Control
+  kNop = 0,
+  kUnreachable,   // unconditional trap
+  kBr,            // imm: target instruction index
+  kBrIf,          // pops cond; jumps if != 0
+  kCall,          // imm: function index
+  kReturn,
+  // Stack & locals
+  kPush,          // imm: 64-bit constant
+  kDrop,
+  kDup,
+  kSwap,
+  kLocalGet,      // imm: local index
+  kLocalSet,
+  kLocalTee,      // set without popping
+  // Integer arithmetic (unsigned 64-bit, wrapping)
+  kAdd, kSub, kMul, kDivU, kRemU,
+  kAnd, kOr, kXor, kShl, kShrU,
+  // Comparisons (push 0/1)
+  kEq, kNe, kLtU, kGtU, kLeU, kGeU, kEqz,
+  // Memory (bounds-checked linear memory)
+  kLoad8,         // pops addr, pushes zero-extended byte
+  kLoad64,        // pops addr (little-endian)
+  kStore8,        // pops value, addr
+  kStore64,
+  kMemSize,       // pushes memory size in bytes
+  kMemCopy,       // pops len, src, dst (bulk ops, like WASM bulk-memory)
+  kMemFill,       // pops len, byte, dst
+  // Host ABI (imm unused; signature fixed per op)
+  kKvGet,         // (key_ptr key_len dst_ptr dst_cap) -> len | U64MAX
+  kKvPut,         // (key_ptr key_len val_ptr val_len) ->
+  kKvDelete,      // (key_ptr key_len) ->
+  kInvoke,        // (oid_ptr oid_len fn_ptr fn_len arg_ptr arg_len dst dst_cap) -> len
+  kArg,           // (dst_ptr dst_cap) -> full arg length
+  kRet,           // (ptr len) -> ; sets invocation result buffer
+  kTime,          // -> virtual unix time, milliseconds
+  kLog,           // (ptr len) -> ; debug log through the host
+
+  kOpCount,
+};
+
+/// Mnemonic, e.g. "local.get"; "?" for invalid opcodes.
+std::string_view OpName(Op op);
+/// True if the opcode carries an immediate operand.
+bool OpHasImmediate(Op op);
+/// Stack effect: values popped / pushed (host ops included).
+int OpPops(Op op);
+int OpPushes(Op op);
+
+/// Fuel cost charged before executing the instruction.
+constexpr uint64_t kFuelPerInstruction = 1;
+constexpr uint64_t kFuelPerHostCall = 50;
+/// Bulk memory ops additionally cost 1 fuel per 8 bytes.
+
+constexpr uint64_t kKvNotFound = UINT64_MAX;
+
+}  // namespace lo::vm

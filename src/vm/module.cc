@@ -1,0 +1,179 @@
+#include "vm/module.h"
+
+#include "common/coding.h"
+
+namespace lo::vm {
+namespace {
+
+constexpr uint32_t kModuleMagic = 0x4c564d31;  // "LVM1"
+constexpr uint32_t kMaxFunctions = 4096;
+constexpr uint32_t kMaxCodeLength = 1 << 20;
+constexpr uint32_t kMaxLocals = 256;
+
+Status ValidateFunction(const Function& fn, size_t num_functions,
+                        const std::vector<Function>& all) {
+  if (fn.num_results > 1) {
+    return Status::InvalidArgument("function " + fn.name + ": results > 1");
+  }
+  if (fn.num_params + fn.num_locals > kMaxLocals) {
+    return Status::InvalidArgument("function " + fn.name + ": too many locals");
+  }
+  if (fn.code.size() > kMaxCodeLength) {
+    return Status::InvalidArgument("function " + fn.name + ": code too long");
+  }
+  uint32_t num_slots = fn.num_params + fn.num_locals;
+  for (size_t pc = 0; pc < fn.code.size(); pc++) {
+    const Instruction& instr = fn.code[pc];
+    if (instr.op >= Op::kOpCount) {
+      return Status::InvalidArgument("function " + fn.name + ": bad opcode");
+    }
+    switch (instr.op) {
+      case Op::kBr:
+      case Op::kBrIf:
+        if (instr.imm >= fn.code.size()) {
+          return Status::InvalidArgument("function " + fn.name +
+                                         ": branch target out of range");
+        }
+        break;
+      case Op::kLocalGet:
+      case Op::kLocalSet:
+      case Op::kLocalTee:
+        if (instr.imm >= num_slots) {
+          return Status::InvalidArgument("function " + fn.name +
+                                         ": local index out of range");
+        }
+        break;
+      case Op::kCall: {
+        if (instr.imm >= num_functions) {
+          return Status::InvalidArgument("function " + fn.name +
+                                         ": call target out of range");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  (void)all;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Module> Module::Create(std::vector<Function> functions,
+                              std::vector<DataSegment> data, uint64_t min_memory) {
+  Module module;
+  if (functions.size() > kMaxFunctions) {
+    return Status::InvalidArgument("too many functions");
+  }
+  for (uint32_t i = 0; i < functions.size(); i++) {
+    LO_RETURN_IF_ERROR(ValidateFunction(functions[i], functions.size(), functions));
+    if (functions[i].exported) {
+      auto [it, inserted] = module.exports_.emplace(functions[i].name, i);
+      if (!inserted) {
+        return Status::InvalidArgument("duplicate export: " + functions[i].name);
+      }
+    }
+  }
+  for (const auto& segment : data) {
+    if (segment.offset + segment.bytes.size() > min_memory) {
+      return Status::InvalidArgument("data segment outside memory");
+    }
+  }
+  module.functions_ = std::move(functions);
+  module.data_ = std::move(data);
+  module.min_memory_ = min_memory;
+  return module;
+}
+
+Result<uint32_t> Module::FindExport(std::string_view name) const {
+  auto it = exports_.find(name);
+  if (it == exports_.end()) {
+    return Status::NotFound("no exported function: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::string Module::Serialize() const {
+  std::string out;
+  PutFixed32(&out, kModuleMagic);
+  PutVarint64(&out, min_memory_);
+  PutVarint32(&out, static_cast<uint32_t>(functions_.size()));
+  for (const auto& fn : functions_) {
+    PutLengthPrefixed(&out, fn.name);
+    PutVarint32(&out, fn.num_params);
+    PutVarint32(&out, fn.num_locals);
+    PutVarint32(&out, fn.num_results);
+    out.push_back(fn.exported ? 1 : 0);
+    PutVarint32(&out, static_cast<uint32_t>(fn.code.size()));
+    for (const auto& instr : fn.code) {
+      out.push_back(static_cast<char>(instr.op));
+      if (OpHasImmediate(instr.op)) PutVarint64(&out, instr.imm);
+    }
+  }
+  PutVarint32(&out, static_cast<uint32_t>(data_.size()));
+  for (const auto& segment : data_) {
+    PutVarint64(&out, segment.offset);
+    PutLengthPrefixed(&out, segment.bytes);
+  }
+  return out;
+}
+
+Result<Module> Module::Deserialize(std::string_view bytes) {
+  Reader reader{bytes};
+  uint32_t magic = 0;
+  if (!reader.GetFixed32(&magic) || magic != kModuleMagic) {
+    return Status::Corruption("bad module magic");
+  }
+  uint64_t min_memory = 0;
+  uint32_t num_functions = 0;
+  if (!reader.GetVarint64(&min_memory) || !reader.GetVarint32(&num_functions) ||
+      num_functions > kMaxFunctions) {
+    return Status::Corruption("bad module header");
+  }
+  std::vector<Function> functions;
+  functions.reserve(num_functions);
+  for (uint32_t i = 0; i < num_functions; i++) {
+    Function fn;
+    std::string_view name;
+    uint32_t code_len = 0;
+    std::string_view exported;
+    if (!reader.GetLengthPrefixed(&name) || !reader.GetVarint32(&fn.num_params) ||
+        !reader.GetVarint32(&fn.num_locals) || !reader.GetVarint32(&fn.num_results) ||
+        !reader.GetBytes(1, &exported) || !reader.GetVarint32(&code_len) ||
+        code_len > kMaxCodeLength) {
+      return Status::Corruption("bad function header");
+    }
+    fn.name.assign(name);
+    fn.exported = exported[0] != 0;
+    fn.code.reserve(code_len);
+    for (uint32_t j = 0; j < code_len; j++) {
+      std::string_view op_byte;
+      if (!reader.GetBytes(1, &op_byte)) return Status::Corruption("truncated code");
+      Instruction instr;
+      instr.op = static_cast<Op>(static_cast<uint8_t>(op_byte[0]));
+      if (instr.op >= Op::kOpCount) return Status::Corruption("bad opcode");
+      if (OpHasImmediate(instr.op) && !reader.GetVarint64(&instr.imm)) {
+        return Status::Corruption("truncated immediate");
+      }
+      fn.code.push_back(instr);
+    }
+    functions.push_back(std::move(fn));
+  }
+  uint32_t num_segments = 0;
+  if (!reader.GetVarint32(&num_segments)) return Status::Corruption("bad data count");
+  std::vector<DataSegment> data;
+  for (uint32_t i = 0; i < num_segments; i++) {
+    DataSegment segment;
+    std::string_view seg_bytes;
+    if (!reader.GetVarint64(&segment.offset) || !reader.GetLengthPrefixed(&seg_bytes)) {
+      return Status::Corruption("bad data segment");
+    }
+    segment.bytes.assign(seg_bytes);
+    data.push_back(std::move(segment));
+  }
+  if (!reader.empty()) return Status::Corruption("trailing bytes in module");
+  return Create(std::move(functions), std::move(data), min_memory);
+}
+
+}  // namespace lo::vm

@@ -1,0 +1,68 @@
+// LambdaVM module: functions + data segments, with a binary wire format
+// (the "uploaded function binary" of the paper) and a load-time validator
+// that rejects out-of-range branches, locals, calls and data segments
+// before anything executes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "vm/isa.h"
+
+namespace lo::vm {
+
+struct Instruction {
+  Op op = Op::kNop;
+  uint64_t imm = 0;
+};
+
+struct Function {
+  std::string name;
+  uint32_t num_params = 0;
+  uint32_t num_locals = 0;   // additional to params
+  uint32_t num_results = 0;  // 0 or 1
+  bool exported = false;     // callable from outside (public methods)
+  std::vector<Instruction> code;
+};
+
+/// Bytes copied into linear memory at instantiation (string constants).
+struct DataSegment {
+  uint64_t offset = 0;
+  std::string bytes;
+};
+
+class Module {
+ public:
+  /// Validates and freezes the module. Checks: branch targets, local
+  /// and function indices, result arity, data segments within memory,
+  /// terminating code paths.
+  static Result<Module> Create(std::vector<Function> functions,
+                               std::vector<DataSegment> data,
+                               uint64_t min_memory = 64 * 1024);
+
+  const std::vector<Function>& functions() const { return functions_; }
+  const std::vector<DataSegment>& data() const { return data_; }
+  uint64_t min_memory() const { return min_memory_; }
+
+  /// Index of the exported function `name`, or NotFound.
+  Result<uint32_t> FindExport(std::string_view name) const;
+  const Function& function(uint32_t index) const { return functions_[index]; }
+
+  /// Binary codec ("ELF binary" stand-in). Deserialize re-validates.
+  std::string Serialize() const;
+  static Result<Module> Deserialize(std::string_view bytes);
+
+ private:
+  Module() = default;
+
+  std::vector<Function> functions_;
+  std::vector<DataSegment> data_;
+  uint64_t min_memory_ = 0;
+  std::map<std::string, uint32_t, std::less<>> exports_;
+};
+
+}  // namespace lo::vm

@@ -1,0 +1,462 @@
+// Integration tests: the full aggregated LambdaStore deployment and the
+// disaggregated baseline running the ReTwis application end-to-end,
+// including primary failover under load and microshard migration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/deployment.h"
+#include "cluster/deployment.h"
+#include "common/coding.h"
+#include "retwis/driver.h"
+#include "retwis/retwis.h"
+#include "retwis/workload.h"
+
+namespace lo::cluster {
+namespace {
+
+using sim::Detach;
+using sim::Task;
+
+class AggregatedRetwisTest : public ::testing::Test {
+ public:
+  AggregatedRetwisTest() {
+    EXPECT_TRUE(retwis::RegisterUserType(&types_, /*use_vm=*/true).ok());
+    DeploymentOptions options;
+    deployment_ = std::make_unique<AggregatedDeployment>(sim_, &types_, options);
+    deployment_->WaitUntilReady();
+    client_ = &deployment_->NewClient();
+  }
+
+  Result<std::string> Invoke(const std::string& oid, const std::string& method,
+                             const std::string& arg = "") {
+    Result<std::string> out = Status::Unavailable("not run");
+    bool done = false;
+    Detach([](Client* client, std::string oid, std::string method,
+              std::string arg, Result<std::string>* out, bool* done) -> Task<void> {
+      *out = co_await client->Invoke(std::move(oid), std::move(method),
+                                     std::move(arg));
+      *done = true;
+    }(client_, oid, method, arg, &out, &done));
+    while (!done) EXPECT_TRUE(sim_.Step());
+    return out;
+  }
+
+  Result<std::string> Create(const std::string& oid) {
+    Result<std::string> out = Status::Unavailable("not run");
+    bool done = false;
+    Detach([](Client* client, std::string oid, Result<std::string>* out,
+              bool* done) -> Task<void> {
+      *out = co_await client->Create(std::move(oid), "user");
+      *done = true;
+    }(client_, oid, &out, &done));
+    while (!done) EXPECT_TRUE(sim_.Step());
+    return out;
+  }
+
+  sim::Simulator sim_{23};
+  runtime::TypeRegistry types_;
+  std::unique_ptr<AggregatedDeployment> deployment_;
+  Client* client_ = nullptr;
+};
+
+TEST_F(AggregatedRetwisTest, EndToEndPostAndTimeline) {
+  ASSERT_TRUE(Create("user/alice").ok());
+  ASSERT_TRUE(Create("user/bob").ok());
+  ASSERT_TRUE(Invoke("user/alice", "init", "alice").ok());
+  ASSERT_TRUE(Invoke("user/bob", "init", "bob").ok());
+  // bob follows alice.
+  ASSERT_TRUE(Invoke("user/alice", "follow", "user/bob").ok());
+  // alice posts; the post must land on bob's timeline too.
+  auto posted = Invoke("user/alice", "create_post", "hello world");
+  ASSERT_TRUE(posted.ok()) << posted.status().ToString();
+
+  auto timeline = Invoke("user/bob", "get_timeline", retwis::EncodeU64(10));
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  auto posts = retwis::DecodeTimeline(*timeline);
+  ASSERT_TRUE(posts.ok());
+  ASSERT_EQ(posts->size(), 1u);
+  EXPECT_EQ((*posts)[0].author, "alice");
+  EXPECT_EQ((*posts)[0].message, "hello world");
+
+  // alice sees her own post as well.
+  auto own = Invoke("user/alice", "get_timeline", retwis::EncodeU64(10));
+  ASSERT_TRUE(own.ok());
+  auto own_posts = retwis::DecodeTimeline(*own);
+  ASSERT_TRUE(own_posts.ok());
+  ASSERT_EQ(own_posts->size(), 1u);
+}
+
+TEST_F(AggregatedRetwisTest, TimelineOrderNewestFirst) {
+  ASSERT_TRUE(Create("user/u").ok());
+  ASSERT_TRUE(Invoke("user/u", "init", "u").ok());
+  for (int i = 0; i < 15; i++) {
+    ASSERT_TRUE(Invoke("user/u", "create_post", "msg" + std::to_string(i)).ok());
+  }
+  auto timeline = Invoke("user/u", "get_timeline", retwis::EncodeU64(10));
+  ASSERT_TRUE(timeline.ok());
+  auto posts = retwis::DecodeTimeline(*timeline);
+  ASSERT_TRUE(posts.ok());
+  ASSERT_EQ(posts->size(), 10u);  // limited
+  EXPECT_EQ((*posts)[0].message, "msg14");
+  EXPECT_EQ((*posts)[9].message, "msg5");
+}
+
+TEST_F(AggregatedRetwisTest, WritesReplicateToBackups) {
+  ASSERT_TRUE(Create("user/x").ok());
+  ASSERT_TRUE(Invoke("user/x", "init", "x").ok());
+  sim_.RunFor(sim::Millis(10));
+  // Every storage node holds the object (replica set of 3).
+  for (int i = 0; i < deployment_->num_nodes(); i++) {
+    auto got = deployment_->node(i).db().Get({}, runtime::ObjectExistsKey("user/x"));
+    EXPECT_TRUE(got.ok()) << "node " << i;
+  }
+}
+
+TEST_F(AggregatedRetwisTest, FailoverPromotesBackupAndClientRetries) {
+  ASSERT_TRUE(Create("user/f").ok());
+  ASSERT_TRUE(Invoke("user/f", "init", "f").ok());
+
+  deployment_->KillStorageNode(0);  // primary dies
+  sim_.RunFor(sim::Millis(300));    // coordinator detects + reconfigures
+
+  // The client's next request must succeed after refresh+retry against
+  // the promoted backup.
+  auto after = Invoke("user/f", "create_post", "post after failover");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  auto timeline = Invoke("user/f", "get_timeline", retwis::EncodeU64(5));
+  ASSERT_TRUE(timeline.ok());
+  auto posts = retwis::DecodeTimeline(*timeline);
+  ASSERT_TRUE(posts.ok());
+  ASSERT_EQ(posts->size(), 1u);
+  EXPECT_EQ((*posts)[0].message, "post after failover");
+  EXPECT_GT(client_->metrics().retries, 0u);
+}
+
+TEST_F(AggregatedRetwisTest, ResultCacheServesRepeatedTimelines) {
+  ASSERT_TRUE(Create("user/c").ok());
+  ASSERT_TRUE(Invoke("user/c", "init", "c").ok());
+  ASSERT_TRUE(Invoke("user/c", "create_post", "cached?").ok());
+  ASSERT_TRUE(Invoke("user/c", "get_timeline", retwis::EncodeU64(10)).ok());
+  auto& primary_runtime = deployment_->node(0).runtime();
+  auto before = primary_runtime.cache_stats();
+  ASSERT_TRUE(Invoke("user/c", "get_timeline", retwis::EncodeU64(10)).ok());
+  auto after = primary_runtime.cache_stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  // A new post invalidates; next read recomputes and sees it.
+  ASSERT_TRUE(Invoke("user/c", "create_post", "newer").ok());
+  auto timeline = Invoke("user/c", "get_timeline", retwis::EncodeU64(10));
+  ASSERT_TRUE(timeline.ok());
+  auto posts = retwis::DecodeTimeline(*timeline);
+  ASSERT_TRUE(posts.ok());
+  EXPECT_EQ((*posts)[0].message, "newer");
+}
+
+TEST(MigrationTest, ObjectMovesBetweenShards) {
+  sim::Simulator sim(29);
+  runtime::TypeRegistry types;
+  ASSERT_TRUE(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  DeploymentOptions options;
+  options.num_storage_nodes = 3;
+  options.num_shards = 3;  // one primary per node
+  AggregatedDeployment deployment(sim, &types, options);
+  deployment.WaitUntilReady();
+  Client& client = deployment.NewClient();
+
+  auto run = [&](auto&& coroutine) {
+    bool done = false;
+    Detach([](std::decay_t<decltype(coroutine)> body, bool* done) -> Task<void> {
+      co_await body();
+      *done = true;
+    }(std::move(coroutine), &done));
+    while (!done) ASSERT_TRUE(sim.Step());
+  };
+
+  std::string oid = "user/mig";
+  run([&]() -> Task<void> {
+    auto created = co_await client.Create(oid, "user");
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    auto inited = co_await client.Invoke(oid, "init", "mig");
+    EXPECT_TRUE(inited.ok());
+    auto posted = co_await client.Invoke(oid, "create_post", "pre-migration");
+    EXPECT_TRUE(posted.ok());
+  });
+
+  coord::ShardId home = deployment.node(0).shard_map().ShardFor(oid);
+  coord::ShardId target = (home + 1) % 3;
+  run([&]() -> Task<void> {
+    Status s = co_await client.MigrateObject(oid, target);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  sim.RunFor(sim::Millis(100));  // config propagation to nodes
+
+  // Data survived the move and the object serves from its new home.
+  run([&]() -> Task<void> {
+    auto timeline = co_await client.Invoke(oid, "get_timeline",
+                                           retwis::EncodeU64(10));
+    EXPECT_TRUE(timeline.ok()) << timeline.status().ToString();
+    if (timeline.ok()) {
+      auto posts = retwis::DecodeTimeline(*timeline);
+      EXPECT_TRUE(posts.ok());
+      if (posts.ok()) {
+        EXPECT_EQ(posts->size(), 1u);
+      }
+    }
+    auto posted = co_await client.Invoke(oid, "create_post", "post-migration");
+    EXPECT_TRUE(posted.ok());
+  });
+}
+
+// ------------------------------------------------------- disaggregated
+
+class BaselineRetwisTest : public ::testing::Test {
+ public:
+  BaselineRetwisTest() {
+    EXPECT_TRUE(retwis::RegisterUserType(&types_, /*use_vm=*/true).ok());
+    baseline::BaselineOptions options;
+    deployment_ =
+        std::make_unique<baseline::DisaggregatedDeployment>(sim_, &types_, options);
+    client_ = &deployment_->NewClientEndpoint();
+  }
+
+  Result<std::string> Invoke(const std::string& oid, const std::string& method,
+                             const std::string& arg = "") {
+    std::string payload;
+    PutLengthPrefixed(&payload, oid);
+    PutLengthPrefixed(&payload, method);
+    PutLengthPrefixed(&payload, arg);
+    Result<std::string> out = Status::Unavailable("not run");
+    bool done = false;
+    Detach([](sim::RpcEndpoint* rpc, sim::NodeId entry, const char* service,
+              std::string payload, Result<std::string>* out,
+              bool* done) -> Task<void> {
+      *out = co_await rpc->Call(entry, service, std::move(payload), sim::Seconds(2));
+      *done = true;
+    }(client_, deployment_->entry_node(), deployment_->entry_service(),
+      std::move(payload), &out, &done));
+    while (!done) EXPECT_TRUE(sim_.Step());
+    return out;
+  }
+
+  Result<std::string> Create(const std::string& oid) {
+    std::string payload;
+    PutLengthPrefixed(&payload, oid);
+    PutLengthPrefixed(&payload, "user");
+    Result<std::string> out = Status::Unavailable("not run");
+    bool done = false;
+    Detach([](sim::RpcEndpoint* rpc, sim::NodeId compute, std::string payload,
+              Result<std::string>* out, bool* done) -> Task<void> {
+      *out = co_await rpc->Call(compute, "fn.create", std::move(payload),
+                                sim::Seconds(1));
+      *done = true;
+    }(client_, deployment_->compute(0).id(), std::move(payload), &out, &done));
+    while (!done) EXPECT_TRUE(sim_.Step());
+    return out;
+  }
+
+  sim::Simulator sim_{31};
+  runtime::TypeRegistry types_;
+  std::unique_ptr<baseline::DisaggregatedDeployment> deployment_;
+  sim::RpcEndpoint* client_ = nullptr;
+};
+
+TEST_F(BaselineRetwisTest, EndToEndPostAndTimeline) {
+  ASSERT_TRUE(Create("user/alice").ok());
+  ASSERT_TRUE(Create("user/bob").ok());
+  ASSERT_TRUE(Invoke("user/alice", "init", "alice").ok());
+  ASSERT_TRUE(Invoke("user/bob", "init", "bob").ok());
+  ASSERT_TRUE(Invoke("user/alice", "follow", "user/bob").ok());
+  auto posted = Invoke("user/alice", "create_post", "hello from baseline");
+  ASSERT_TRUE(posted.ok()) << posted.status().ToString();
+  auto timeline = Invoke("user/bob", "get_timeline", retwis::EncodeU64(10));
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  auto posts = retwis::DecodeTimeline(*timeline);
+  ASSERT_TRUE(posts.ok());
+  ASSERT_EQ(posts->size(), 1u);
+  EXPECT_EQ((*posts)[0].author, "alice");
+  EXPECT_EQ((*posts)[0].message, "hello from baseline");
+  // Disaggregation tax: many storage round-trips for this tiny workload.
+  EXPECT_GT(deployment_->compute(0).metrics().storage_round_trips, 10u);
+}
+
+TEST_F(BaselineRetwisTest, DataIsOnStorageNodesNotCompute) {
+  ASSERT_TRUE(Create("user/z").ok());
+  ASSERT_TRUE(Invoke("user/z", "init", "z").ok());
+  sim_.RunFor(sim::Millis(10));
+  auto on_storage =
+      deployment_->storage(0).db().Get({}, runtime::ObjectExistsKey("user/z"));
+  EXPECT_TRUE(on_storage.ok());
+  // And replicated within the storage replica set.
+  auto on_backup =
+      deployment_->storage(1).db().Get({}, runtime::ObjectExistsKey("user/z"));
+  EXPECT_TRUE(on_backup.ok());
+}
+
+TEST(BaselineLoadBalancer, RoutesAndLogsRequests) {
+  sim::Simulator sim(37);
+  runtime::TypeRegistry types;
+  ASSERT_TRUE(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  baseline::BaselineOptions options;
+  options.with_load_balancer = true;
+  options.num_compute_nodes = 2;
+  baseline::DisaggregatedDeployment deployment(sim, &types, options);
+  auto& client = deployment.NewClientEndpoint();
+
+  auto invoke = [&](const std::string& oid, const std::string& method,
+                    const std::string& arg) {
+    std::string payload;
+    PutLengthPrefixed(&payload, oid);
+    PutLengthPrefixed(&payload, method);
+    PutLengthPrefixed(&payload, arg);
+    Result<std::string> out = Status::Unavailable("not run");
+    bool done = false;
+    Detach([](sim::RpcEndpoint* rpc, sim::NodeId lb, std::string payload,
+              Result<std::string>* out, bool* done) -> Task<void> {
+      *out = co_await rpc->Call(lb, "lb.invoke", std::move(payload), sim::Seconds(2));
+      *done = true;
+    }(&client, deployment.entry_node(), std::move(payload), &out, &done));
+    while (!done) EXPECT_TRUE(sim.Step());
+    return out;
+  };
+
+  // Create through compute 0 directly, then invoke through the LB.
+  {
+    std::string payload;
+    PutLengthPrefixed(&payload, "user/lb");
+    PutLengthPrefixed(&payload, "user");
+    bool done = false;
+    Result<std::string> out = Status::Unavailable("");
+    Detach([](sim::RpcEndpoint* rpc, sim::NodeId compute, std::string payload,
+              Result<std::string>* out, bool* done) -> Task<void> {
+      *out = co_await rpc->Call(compute, "fn.create", std::move(payload),
+                                sim::Seconds(1));
+      *done = true;
+    }(&client, deployment.compute(0).id(), std::move(payload), &out, &done));
+    while (!done) ASSERT_TRUE(sim.Step());
+    ASSERT_TRUE(out.ok());
+  }
+  ASSERT_TRUE(invoke("user/lb", "init", "lb").ok());
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(invoke("user/lb", "create_post", "p" + std::to_string(i)).ok());
+  }
+  auto& lb = *deployment.load_balancer();
+  EXPECT_EQ(lb.metrics().requests, 7u);
+  EXPECT_EQ(lb.metrics().log_appends, 7u);
+  EXPECT_EQ(lb.log().size(), 7u);
+  // Both compute nodes served work (round-robin).
+  EXPECT_GT(deployment.compute(0).metrics().invocations, 0u);
+  EXPECT_GT(deployment.compute(1).metrics().invocations, 0u);
+}
+
+
+TEST(BaselineLoadBalancer, RetriesOnComputeNodeFailure) {
+  sim::Simulator sim(41);
+  runtime::TypeRegistry types;
+  ASSERT_TRUE(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  baseline::BaselineOptions options;
+  options.with_load_balancer = true;
+  options.num_compute_nodes = 2;
+  baseline::DisaggregatedDeployment deployment(sim, &types, options);
+  auto& client = deployment.NewClientEndpoint();
+
+  // Create the object via the surviving compute node (id 31).
+  {
+    std::string payload;
+    PutLengthPrefixed(&payload, "user/ha");
+    PutLengthPrefixed(&payload, "user");
+    bool done = false;
+    Result<std::string> out = Status::Unavailable("");
+    Detach([](sim::RpcEndpoint* rpc, sim::NodeId compute, std::string payload,
+              Result<std::string>* out, bool* done) -> Task<void> {
+      *out = co_await rpc->Call(compute, "fn.create", std::move(payload),
+                                sim::Seconds(1));
+      *done = true;
+    }(&client, deployment.compute(1).id(), std::move(payload), &out, &done));
+    while (!done) ASSERT_TRUE(sim.Step());
+    ASSERT_TRUE(out.ok());
+  }
+
+  // Kill compute 0; the LB's round-robin will hit it and must fail over.
+  deployment.network().SetNodeUp(deployment.compute(0).id(), false);
+  int ok_count = 0;
+  for (int i = 0; i < 4; i++) {
+    std::string payload;
+    PutLengthPrefixed(&payload, "user/ha");
+    PutLengthPrefixed(&payload, "init");
+    PutLengthPrefixed(&payload, "ha");
+    bool done = false;
+    Result<std::string> out = Status::Unavailable("");
+    Detach([](sim::RpcEndpoint* rpc, sim::NodeId lb, std::string payload,
+              Result<std::string>* out, bool* done) -> Task<void> {
+      *out = co_await rpc->Call(lb, "lb.invoke", std::move(payload),
+                                sim::Seconds(5));
+      *done = true;
+    }(&client, deployment.entry_node(), std::move(payload), &out, &done));
+    while (!done) ASSERT_TRUE(sim.Step());
+    if (out.ok()) ok_count++;
+  }
+  EXPECT_EQ(ok_count, 4);  // every request served despite the dead node
+  EXPECT_GT(deployment.load_balancer()->metrics().retries_on_compute_failure, 0u);
+  // The durable request log captured everything (no request lost).
+  EXPECT_EQ(deployment.load_balancer()->log().size(), 4u);
+}
+
+
+TEST(ReplicaReads, BackupsServeReadOnlyInvocations) {
+  sim::Simulator sim(47);
+  runtime::TypeRegistry types;
+  ASSERT_TRUE(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  DeploymentOptions options;
+  options.node.serve_reads_as_backup = true;
+  AggregatedDeployment deployment(sim, &types, options);
+  deployment.WaitUntilReady();
+  Client& client = deployment.NewClient();
+
+  auto run = [&](auto&& coroutine) {
+    bool done = false;
+    Detach([](std::decay_t<decltype(coroutine)> body, bool* done) -> Task<void> {
+      co_await body();
+      *done = true;
+    }(std::move(coroutine), &done));
+    while (!done) ASSERT_TRUE(sim.Step());
+  };
+
+  run([&]() -> Task<void> {
+    (void)co_await client.Create("user/r", "user");
+    (void)co_await client.Invoke("user/r", "init", "r");
+    (void)co_await client.Invoke("user/r", "create_post", "replicated post");
+  });
+  sim.RunFor(sim::Millis(5));  // replication settles
+
+  // Spread timeline reads across replicas; all must return the post.
+  run([&]() -> Task<void> {
+    for (int i = 0; i < 30; i++) {
+      auto timeline = co_await client.InvokeReadAny("user/r", "get_timeline",
+                                                    retwis::EncodeU64(5));
+      EXPECT_TRUE(timeline.ok()) << timeline.status().ToString();
+      if (timeline.ok()) {
+        auto posts = retwis::DecodeTimeline(*timeline);
+        EXPECT_TRUE(posts.ok());
+        if (posts.ok()) EXPECT_EQ(posts->size(), 1u);
+      }
+    }
+  });
+  // Both backups actually served work.
+  EXPECT_GT(deployment.node(1).metrics().invokes_served, 0u);
+  EXPECT_GT(deployment.node(2).metrics().invokes_served, 0u);
+
+  // Mutations routed to a backup are rejected, not silently applied.
+  run([&]() -> Task<void> {
+    // Force a direct call at a backup: the runtime itself must refuse.
+    auto reply = co_await client.InvokeReadAny("user/r", "create_post", "nope");
+    // Either a backup bounced it (WrongNode -> fallback to primary, OK)
+    // or the primary served it; both are safe. The invariant: no
+    // *divergent* write on a backup, checked below via replication seq.
+    (void)reply;
+  });
+  EXPECT_EQ(deployment.node(1).replicator().applied_seq(0),
+            deployment.node(0).replicator().applied_seq(0));
+}
+
+}  // namespace
+}  // namespace lo::cluster

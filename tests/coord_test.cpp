@@ -1,0 +1,265 @@
+// Coordination tests: Paxos safety under message loss/reordering (the
+// property that matters), the replicated config state machine, failure
+// detection + shard reconfiguration, and coordinator leader takeover.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "coord/coordinator.h"
+#include "coord/paxos.h"
+
+namespace lo::coord {
+namespace {
+
+using sim::Detach;
+using sim::Task;
+
+TEST(Ballot, TotalOrder) {
+  EXPECT_LT((Ballot{1, 2}), (Ballot{2, 1}));
+  EXPECT_LT((Ballot{1, 1}), (Ballot{1, 2}));
+  EXPECT_EQ((Ballot{3, 3}), (Ballot{3, 3}));
+}
+
+TEST(Acceptor, PromisesMonotonically) {
+  Acceptor acceptor;
+  EXPECT_TRUE(acceptor.HandlePrepare({5, 1}).promised);
+  EXPECT_FALSE(acceptor.HandlePrepare({5, 1}).promised);  // equal: rejected
+  EXPECT_FALSE(acceptor.HandlePrepare({4, 9}).promised);  // lower round
+  EXPECT_TRUE(acceptor.HandlePrepare({6, 1}).promised);
+}
+
+TEST(Acceptor, AcceptRespectsPromise) {
+  Acceptor acceptor;
+  acceptor.HandlePrepare({10, 1});
+  EXPECT_FALSE(acceptor.HandleAccept({9, 1}, "old").accepted);
+  EXPECT_TRUE(acceptor.HandleAccept({10, 1}, "new").accepted);
+  EXPECT_EQ(acceptor.accepted_value(), "new");
+  // A later prepare learns the accepted value.
+  auto reply = acceptor.HandlePrepare({11, 2});
+  ASSERT_TRUE(reply.promised);
+  ASSERT_TRUE(reply.accepted_ballot.has_value());
+  EXPECT_EQ(reply.accepted_value, "new");
+}
+
+class PaxosCluster {
+ public:
+  PaxosCluster(uint64_t seed, double drop_probability)
+      : sim_(seed),
+        net_(sim_, sim::NetworkConfig{.jitter_mean = sim::Micros(100),
+                                      .drop_probability = drop_probability}) {
+    for (sim::NodeId id = 1; id <= 3; id++) {
+      rpcs_.push_back(std::make_unique<sim::RpcEndpoint>(net_, id));
+      hosts_.push_back(std::make_unique<AcceptorHost>(rpcs_.back().get()));
+    }
+    // Proposers live on nodes 4 and 5.
+    for (sim::NodeId id = 4; id <= 5; id++) {
+      rpcs_.push_back(std::make_unique<sim::RpcEndpoint>(net_, id));
+      proposers_.push_back(
+          std::make_unique<Proposer>(rpcs_.back().get(), std::vector<sim::NodeId>{1, 2, 3}));
+    }
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<sim::RpcEndpoint>> rpcs_;
+  std::vector<std::unique_ptr<AcceptorHost>> hosts_;
+  std::vector<std::unique_ptr<Proposer>> proposers_;
+};
+
+TEST(Paxos, SingleProposerDecides) {
+  PaxosCluster cluster(1, 0.0);
+  Result<std::string> chosen = Status::Unavailable("");
+  Detach([](Proposer* proposer, Result<std::string>* out) -> Task<void> {
+    *out = co_await proposer->Propose(0, "value-A");
+  }(cluster.proposers_[0].get(), &chosen));
+  cluster.sim_.Run();
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_EQ(*chosen, "value-A");
+}
+
+// Safety: two proposers racing on the same slot must agree.
+class PaxosSafety : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaxosSafety, CompetingProposersAgree) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  // Lossy, jittery network: up to 20% drops.
+  double drop = (GetParam() % 3) * 0.1;
+  PaxosCluster cluster(seed, drop);
+  Result<std::string> a = Status::Unavailable(""), b = Status::Unavailable("");
+  Detach([](Proposer* proposer, Result<std::string>* out) -> Task<void> {
+    *out = co_await proposer->Propose(7, "from-A");
+  }(cluster.proposers_[0].get(), &a));
+  Detach([](Proposer* proposer, Result<std::string>* out) -> Task<void> {
+    *out = co_await proposer->Propose(7, "from-B");
+  }(cluster.proposers_[1].get(), &b));
+  cluster.sim_.Run();
+  // With drops both may fail to decide; but *if* both return values,
+  // they must be identical (agreement), and any returned value must be
+  // one of the two proposed (validity).
+  for (const auto* result : {&a, &b}) {
+    if (result->ok()) {
+      EXPECT_TRUE(**result == "from-A" || **result == "from-B");
+    }
+  }
+  if (a.ok() && b.ok()) {
+    EXPECT_EQ(*a, *b) << "Paxos agreement violated";
+  }
+  // And the acceptors' final accepted values for slot 7 (majority view)
+  // must not contain two different chosen values.
+  std::map<std::string, int> accepted_counts;
+  for (auto& host : cluster.hosts_) {
+    const Acceptor* acceptor = host->acceptor(7);
+    if (acceptor != nullptr && acceptor->accepted_ballot().has_value()) {
+      accepted_counts[acceptor->accepted_value()]++;
+    }
+  }
+  int majorities = 0;
+  for (const auto& [value, count] : accepted_counts) {
+    if (count >= 2) majorities++;
+  }
+  EXPECT_LE(majorities, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosSafety, ::testing::Range(1, 13));
+
+TEST(ClusterStateTest, CommandsAndCodecRoundTrip) {
+  ClusterState state;
+  ASSERT_TRUE(state.Apply(CmdSetShard(0, {.epoch = 3, .primary = 10,
+                                          .backups = {11, 12}})).ok());
+  ASSERT_TRUE(state.Apply(CmdNodeDead(12)).ok());
+  ASSERT_TRUE(state.Apply(CmdPlaceObject("user/alice", 0)).ok());
+  EXPECT_EQ(state.shards[0].epoch, 3u);
+  EXPECT_EQ(state.shards[0].primary, 10u);
+  EXPECT_TRUE(state.dead.contains(12));
+  EXPECT_EQ(state.directory["user/alice"], 0u);
+
+  auto decoded = ClusterState::Decode(state.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shards[0].primary, 10u);
+  EXPECT_EQ(decoded->shards[0].backups, (std::vector<sim::NodeId>{11, 12}));
+  EXPECT_TRUE(decoded->dead.contains(12));
+  EXPECT_EQ(decoded->directory.size(), 1u);
+
+  ASSERT_TRUE(state.Apply(CmdNodeAlive(12)).ok());
+  EXPECT_FALSE(state.dead.contains(12));
+  EXPECT_FALSE(state.Apply("Zgarbage").ok());
+  EXPECT_FALSE(ClusterState::Decode("junk").ok());
+}
+
+class CoordinatorFixture : public ::testing::Test {
+ public:
+  static constexpr sim::NodeId kCoordA = 1, kCoordB = 2, kCoordC = 3;
+  static constexpr sim::NodeId kStore1 = 10, kStore2 = 11, kStore3 = 12;
+
+  CoordinatorFixture() : net_(sim_, sim::NetworkConfig{}) {
+    for (sim::NodeId id : {kCoordA, kCoordB, kCoordC}) {
+      rpcs_[id] = std::make_unique<sim::RpcEndpoint>(net_, id);
+      coordinators_[id] = std::make_unique<CoordinatorNode>(
+          rpcs_[id].get(), std::vector<sim::NodeId>{kCoordA, kCoordB, kCoordC});
+    }
+    for (sim::NodeId id : {kStore1, kStore2, kStore3}) {
+      rpcs_[id] = std::make_unique<sim::RpcEndpoint>(net_, id);
+      clients_[id] = std::make_unique<CoordClient>(
+          rpcs_[id].get(), std::vector<sim::NodeId>{kCoordA, kCoordB, kCoordC},
+          [this, id](const ClusterState& state) { pushed_configs_[id] = state; });
+    }
+  }
+
+  void Bootstrap() {
+    bool ok = false;
+    Detach([](CoordinatorNode* leader, bool* ok) -> Task<void> {
+      ClusterState initial;
+      initial.shards[0] = ShardConfig{.epoch = 1, .primary = kStore1,
+                                      .backups = {kStore2, kStore3}};
+      Status s = co_await leader->Bootstrap(initial);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      *ok = s.ok();
+    }(coordinators_[kCoordA].get(), &ok));
+    sim_.Run();
+    ASSERT_TRUE(ok);
+  }
+
+  sim::Simulator sim_{11};
+  sim::Network net_;
+  std::map<sim::NodeId, std::unique_ptr<sim::RpcEndpoint>> rpcs_;
+  std::map<sim::NodeId, std::unique_ptr<CoordinatorNode>> coordinators_;
+  std::map<sim::NodeId, std::unique_ptr<CoordClient>> clients_;
+  std::map<sim::NodeId, ClusterState> pushed_configs_;
+};
+
+TEST_F(CoordinatorFixture, BootstrapAndFetchConfig) {
+  Bootstrap();
+  Result<ClusterState> fetched = Status::Unavailable("");
+  Detach([](CoordClient* client, Result<ClusterState>* out) -> Task<void> {
+    *out = co_await client->FetchConfig();
+  }(clients_[kStore1].get(), &fetched));
+  sim_.Run();
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->shards.at(0).primary, kStore1);
+  EXPECT_EQ(fetched->shards.at(0).epoch, 1u);
+}
+
+TEST_F(CoordinatorFixture, FailureDetectionPromotesBackup) {
+  Bootstrap();
+  for (auto& [id, coordinator] : coordinators_) coordinator->Start();
+  for (auto& [id, client] : clients_) client->Start();
+  sim_.RunFor(sim::Millis(100));  // heartbeats flowing
+
+  // Kill the primary storage node.
+  net_.SetNodeUp(kStore1, false);
+  sim_.RunFor(sim::Millis(300));  // timeout + reconfiguration
+
+  const ClusterState& state = coordinators_[kCoordA]->state();
+  EXPECT_TRUE(state.dead.contains(kStore1));
+  EXPECT_EQ(state.shards.at(0).primary, kStore2);
+  EXPECT_EQ(state.shards.at(0).epoch, 2u);
+  EXPECT_EQ(state.shards.at(0).backups, (std::vector<sim::NodeId>{kStore3}));
+  // Survivors were pushed the new config.
+  ASSERT_TRUE(pushed_configs_.contains(kStore2));
+  EXPECT_EQ(pushed_configs_[kStore2].shards.at(0).primary, kStore2);
+  EXPECT_GE(coordinators_[kCoordA]->metrics().reconfigurations, 1u);
+}
+
+TEST_F(CoordinatorFixture, LeaderTakeoverAfterCoordinatorFailure) {
+  Bootstrap();
+  for (auto& [id, coordinator] : coordinators_) coordinator->Start();
+  for (auto& [id, client] : clients_) client->Start();
+  sim_.RunFor(sim::Millis(50));
+
+  ASSERT_TRUE(coordinators_[kCoordA]->is_leader());
+  ASSERT_FALSE(coordinators_[kCoordB]->is_leader());
+  net_.SetNodeUp(kCoordA, false);
+  sim_.RunFor(sim::Millis(500));
+  EXPECT_TRUE(coordinators_[kCoordB]->is_leader());
+  EXPECT_GE(coordinators_[kCoordB]->metrics().leadership_takeovers, 1u);
+  // The new leader recovered the replicated log: it knows the shard map.
+  EXPECT_EQ(coordinators_[kCoordB]->state().shards.at(0).primary, kStore1);
+
+  // And it can serve config queries now.
+  Result<ClusterState> fetched = Status::Unavailable("");
+  Detach([](CoordClient* client, Result<ClusterState>* out) -> Task<void> {
+    *out = co_await client->FetchConfig();
+  }(clients_[kStore2].get(), &fetched));
+  sim_.RunFor(sim::Millis(100));
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->shards.at(0).epoch, 1u);
+}
+
+TEST_F(CoordinatorFixture, PlaceObjectThroughPaxos) {
+  Bootstrap();
+  Result<std::string> placed = Status::Unavailable("");
+  Detach([](sim::RpcEndpoint* rpc, Result<std::string>* out) -> Task<void> {
+    std::string payload;
+    PutLengthPrefixed(&payload, "user/bob");
+    PutVarint32(&payload, 0);
+    *out = co_await rpc->Call(kCoordA, "coord.place", payload, sim::Millis(100));
+  }(rpcs_[kStore1].get(), &placed));
+  sim_.Run();
+  ASSERT_TRUE(placed.ok()) << placed.status().ToString();
+  EXPECT_EQ(coordinators_[kCoordA]->state().directory.at("user/bob"), 0u);
+}
+
+}  // namespace
+}  // namespace lo::coord

@@ -1,0 +1,375 @@
+// Tests for the discrete-event simulator: clock, ordering, coroutines,
+// network fault injection, RPC semantics, CPU contention model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+#include "sim/rpc.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace lo::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.After(Micros(30), [&] { order.push_back(3); });
+  sim.After(Micros(10), [&] { order.push_back(1); });
+  sim.After(Micros(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Micros(30));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; i++) {
+    sim.After(Micros(10), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastLastEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(Micros(5), [&] { fired++; });
+  sim.After(Micros(50), [&] { fired++; });
+  sim.RunUntil(Micros(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Micros(20));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.After(Micros(1), recurse);
+  };
+  sim.After(Micros(1), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.Now(), Micros(10));
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim(7);
+    uint64_t acc = 0;
+    for (int i = 0; i < 100; i++) {
+      sim.After(static_cast<Duration>(sim.rng().Uniform(1000)),
+                [&acc, &sim] { acc = acc * 31 + static_cast<uint64_t>(sim.Now()); });
+    }
+    sim.Run();
+    return acc;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+Task<int> AddLater(Simulator& sim, int a, int b) {
+  co_await sim.Sleep(Micros(10));
+  co_return a + b;
+}
+
+Task<int> Compose(Simulator& sim) {
+  int x = co_await AddLater(sim, 1, 2);
+  int y = co_await AddLater(sim, x, 10);
+  co_return y;
+}
+
+TEST(Task, NestedAwaitsAccumulateVirtualTime) {
+  Simulator sim;
+  int result = 0;
+  Detach([](Simulator& sim, int* out) -> Task<void> {
+    *out = co_await Compose(sim);
+  }(sim, &result));
+  sim.Run();
+  EXPECT_EQ(result, 13);
+  EXPECT_EQ(sim.Now(), Micros(20));
+}
+
+TEST(Task, LazyUntilAwaited) {
+  Simulator sim;
+  bool ran = false;
+  auto t = [](bool* flag) -> Task<int> {
+    *flag = true;
+    co_return 1;
+  }(&ran);
+  EXPECT_FALSE(ran);
+  int out = 0;
+  Detach([](Task<int> t, int* out) -> Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(t), &out));
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(out, 1);
+}
+
+TEST(OneShot, FulfillBeforeWait) {
+  Simulator sim;
+  OneShot<int> slot;
+  EXPECT_TRUE(slot.Fulfill(5));
+  EXPECT_FALSE(slot.Fulfill(6));  // second fulfill ignored
+  int out = 0;
+  Detach([](OneShot<int>* s, int* out) -> Task<void> {
+    *out = co_await s->Wait();
+  }(&slot, &out));
+  sim.Run();
+  EXPECT_EQ(out, 5);
+}
+
+TEST(OneShot, FulfillAfterWaitResumes) {
+  Simulator sim;
+  OneShot<std::string> slot;
+  std::string out;
+  Detach([](OneShot<std::string>* s, std::string* out) -> Task<void> {
+    *out = co_await s->Wait();
+  }(&slot, &out));
+  sim.After(Micros(100), [&] { slot.Fulfill("done"); });
+  sim.Run();
+  EXPECT_EQ(out, "done");
+}
+
+
+TEST(Future, StartsEagerlyAndRunsConcurrently) {
+  Simulator sim;
+  // Three 100us tasks through Futures: total virtual time must be 100us
+  // (concurrent), not 300us (sequential, what bare lazy Tasks would do).
+  auto work = [](Simulator& sim, int id) -> Task<int> {
+    co_await sim.Sleep(Micros(100));
+    co_return id;
+  };
+  int sum = 0;
+  Detach([](Simulator& sim, decltype(work)& work, int* sum) -> Task<void> {
+    std::vector<Future<int>> futures;
+    for (int i = 1; i <= 3; i++) futures.emplace_back(work(sim, i));
+    for (auto& future : futures) *sum += co_await future.Wait();
+  }(sim, work, &sum));
+  sim.Run();
+  EXPECT_EQ(sum, 6);
+  EXPECT_EQ(sim.Now(), Micros(100));
+}
+
+TEST(Future, ResultAvailableBeforeWait) {
+  Simulator sim;
+  auto quick = []() -> Task<std::string> { co_return "done"; };
+  Future<std::string> future(quick());
+  sim.Run();
+  EXPECT_TRUE(future.ready());
+  std::string out;
+  Detach([](Future<std::string>& f, std::string* out) -> Task<void> {
+    *out = co_await f.Wait();
+  }(future, &out));
+  sim.Run();
+  EXPECT_EQ(out, "done");
+}
+
+class NetworkTest : public ::testing::Test {
+ public:
+  Simulator sim_{1};
+  NetworkConfig cfg_{};
+  Network net_{sim_, cfg_};
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  std::string got;
+  Time delivered_at = 0;
+  net_.Register(2, [&](NodeId from, std::string payload) {
+    EXPECT_EQ(from, 1u);
+    got = std::move(payload);
+    delivered_at = sim_.Now();
+  });
+  net_.Send(1, 2, "hello");
+  sim_.Run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_GE(delivered_at, cfg_.one_way_latency);
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  int delivered = 0;
+  net_.Register(1, [&](NodeId, std::string) { delivered++; });
+  net_.Register(2, [&](NodeId, std::string) { delivered++; });
+  net_.Partition(1, 2);
+  net_.Send(1, 2, "a");
+  net_.Send(2, 1, "b");
+  sim_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net_.messages_dropped(), 2u);
+  net_.Heal(1, 2);
+  net_.Send(1, 2, "c");
+  sim_.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, DownNodeDropsInFlight) {
+  int delivered = 0;
+  net_.Register(2, [&](NodeId, std::string) { delivered++; });
+  net_.Send(1, 2, "x");       // in flight
+  net_.SetNodeUp(2, false);   // crashes before delivery
+  sim_.Run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST_F(NetworkTest, DropProbabilityOneDropsEverything) {
+  cfg_.drop_probability = 1.0;
+  Network lossy(sim_, cfg_);
+  int delivered = 0;
+  lossy.Register(2, [&](NodeId, std::string) { delivered++; });
+  for (int i = 0; i < 20; i++) lossy.Send(1, 2, "x");
+  sim_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(lossy.messages_dropped(), 20u);
+}
+
+class RpcTest : public ::testing::Test {
+ public:
+  RpcTest() : server_(net_, 1), client_(net_, 2) {
+    server_.Handle("echo", [](NodeId, std::string payload)
+                       -> Task<Result<std::string>> {
+      co_return payload;
+    });
+    server_.Handle("fail", [](NodeId, std::string) -> Task<Result<std::string>> {
+      co_return Status::Aborted("nope");
+    });
+  }
+
+  Simulator sim_{2};
+  Network net_{sim_, NetworkConfig{}};
+  RpcEndpoint server_;
+  RpcEndpoint client_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  Result<std::string> result = Status::Unavailable("not run");
+  Detach([](RpcTest* t, Result<std::string>* out) -> Task<void> {
+    *out = co_await t->client_.Call(1, "echo", "ping", Millis(100));
+  }(this, &result));
+  sim_.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "ping");
+  // One round trip: at least 2x one-way latency.
+  EXPECT_GE(sim_.Now(), 2 * NetworkConfig{}.one_way_latency);
+}
+
+TEST_F(RpcTest, HandlerErrorPropagates) {
+  Result<std::string> result{std::string()};
+  Detach([](RpcTest* t, Result<std::string>* out) -> Task<void> {
+    *out = co_await t->client_.Call(1, "fail", "", Millis(100));
+  }(this, &result));
+  sim_.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST_F(RpcTest, UnknownServiceReturnsNotFound) {
+  Result<std::string> result = std::string();
+  Detach([](RpcTest* t, Result<std::string>* out) -> Task<void> {
+    *out = co_await t->client_.Call(1, "bogus", "", Millis(100));
+  }(this, &result));
+  sim_.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(RpcTest, TimeoutWhenServerUnreachable) {
+  net_.SetNodeUp(1, false);
+  Result<std::string> result = std::string();
+  Detach([](RpcTest* t, Result<std::string>* out) -> Task<void> {
+    *out = co_await t->client_.Call(1, "echo", "ping", Millis(5));
+  }(this, &result));
+  sim_.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout());
+  EXPECT_EQ(client_.timeouts(), 1u);
+}
+
+TEST_F(RpcTest, LateResponseAfterTimeoutIsIgnored) {
+  // Server handler sleeps longer than the client timeout.
+  server_.Handle("slow", [this](NodeId, std::string) -> Task<Result<std::string>> {
+    co_await sim_.Sleep(Millis(50));
+    co_return std::string("late");
+  });
+  Result<std::string> result = std::string();
+  Detach([](RpcTest* t, Result<std::string>* out) -> Task<void> {
+    *out = co_await t->client_.Call(1, "slow", "", Millis(5));
+  }(this, &result));
+  sim_.Run();  // runs past the late response arriving
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout());
+}
+
+TEST_F(RpcTest, ManyConcurrentCallsMatchResponses) {
+  constexpr int kCalls = 50;
+  std::vector<std::string> results(kCalls);
+  for (int i = 0; i < kCalls; i++) {
+    Detach([](RpcTest* t, int i, std::string* out) -> Task<void> {
+      auto r = co_await t->client_.Call(1, "echo", "msg" + std::to_string(i),
+                                        Millis(100));
+      if (r.ok()) *out = *r;
+    }(this, i, &results[i]));
+  }
+  sim_.Run();
+  for (int i = 0; i < kCalls; i++) {
+    EXPECT_EQ(results[i], "msg" + std::to_string(i));
+  }
+}
+
+TEST(Cpu, SerializesBeyondCapacity) {
+  Simulator sim;
+  CpuModel cpu(sim, 2);
+  std::vector<Time> finish;
+  for (int i = 0; i < 4; i++) {
+    Detach([](Simulator& sim, CpuModel& cpu, std::vector<Time>* finish)
+               -> Task<void> {
+      co_await cpu.Execute(Micros(100));
+      finish->push_back(sim.Now());
+    }(sim, cpu, &finish));
+  }
+  sim.Run();
+  ASSERT_EQ(finish.size(), 4u);
+  // 2 cores, 4 jobs of 100us: two waves.
+  EXPECT_EQ(finish[0], Micros(100));
+  EXPECT_EQ(finish[1], Micros(100));
+  EXPECT_EQ(finish[2], Micros(200));
+  EXPECT_EQ(finish[3], Micros(200));
+  EXPECT_EQ(cpu.busy_core_ns(), 4 * Micros(100));
+}
+
+TEST(Cpu, FifoOrderAmongWaiters) {
+  Simulator sim;
+  CpuModel cpu(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; i++) {
+    Detach([](CpuModel& cpu, std::vector<int>* order, int i) -> Task<void> {
+      co_await cpu.Execute(Micros(10));
+      order->push_back(i);
+    }(cpu, &order, i));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Cpu, ZeroWorkStillCounts) {
+  Simulator sim;
+  CpuModel cpu(sim, 1);
+  bool done = false;
+  Detach([](CpuModel& cpu, bool* done) -> Task<void> {
+    co_await cpu.Execute(0);
+    *done = true;
+  }(cpu, &done));
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace lo::sim

@@ -1,0 +1,966 @@
+// MiniLSM tests: WAL, memtable, blocks, bloom, SSTables, versions, and
+// the DB facade (recovery, snapshots, iterators, compaction), plus a
+// randomized model check against std::map with crash/reopen injection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/bloom.h"
+#include "storage/block.h"
+#include "storage/db.h"
+#include "storage/dbformat.h"
+#include "storage/env.h"
+#include "storage/filename.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+#include "storage/write_batch.h"
+
+namespace lo::storage {
+namespace {
+
+// ------------------------------------------------------------------- Env
+
+TEST(MemEnv, WriteReadRoundTrip) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteStringToFile("/f", "hello", true).ok());
+  auto got = env.ReadFileToString("/f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_TRUE(env.FileExists("/f"));
+  EXPECT_EQ(*env.FileSize("/f"), 5u);
+}
+
+TEST(MemEnv, DeleteKeepsOpenHandlesAlive) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteStringToFile("/f", "payload", true).ok());
+  auto file = env.NewRandomAccessFile("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(env.DeleteFile("/f").ok());
+  EXPECT_FALSE(env.FileExists("/f"));
+  std::string out;
+  ASSERT_TRUE((*file)->Read(0, 7, &out).ok());
+  EXPECT_EQ(out, "payload");  // unlink semantics
+}
+
+TEST(MemEnv, RenameReplaces) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteStringToFile("/a", "one", true).ok());
+  ASSERT_TRUE(env.WriteStringToFile("/b", "two", true).ok());
+  ASSERT_TRUE(env.RenameFile("/a", "/b").ok());
+  EXPECT_FALSE(env.FileExists("/a"));
+  EXPECT_EQ(*env.ReadFileToString("/b"), "one");
+}
+
+TEST(MemEnv, ListDirReturnsDirectChildrenOnly) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteStringToFile("/db/a", "x", true).ok());
+  ASSERT_TRUE(env.WriteStringToFile("/db/b", "x", true).ok());
+  ASSERT_TRUE(env.WriteStringToFile("/db/sub/c", "x", true).ok());
+  ASSERT_TRUE(env.WriteStringToFile("/other/d", "x", true).ok());
+  auto names = env.ListDir("/db");
+  ASSERT_TRUE(names.ok());
+  std::sort(names->begin(), names->end());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(MemEnv, DropUnsyncedDataTruncatesToSyncPoint) {
+  MemEnv env;
+  auto file = env.NewWritableFile("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("synced").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("lost").ok());
+  env.DropUnsyncedData();
+  EXPECT_EQ(*env.ReadFileToString("/f"), "synced");
+}
+
+
+TEST(PosixEnvTest, RealFilesystemRoundTrip) {
+  PosixEnv env;
+  std::string dir = "/tmp/lo_posix_env_test";
+  ASSERT_TRUE(env.CreateDir(dir).ok());
+  std::string path = dir + "/file";
+  ASSERT_TRUE(env.WriteStringToFile(path, "posix-data", true).ok());
+  EXPECT_TRUE(env.FileExists(path));
+  EXPECT_EQ(*env.FileSize(path), 10u);
+  EXPECT_EQ(*env.ReadFileToString(path), "posix-data");
+  // Positional reads.
+  auto file = env.NewRandomAccessFile(path);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  ASSERT_TRUE((*file)->Read(6, 4, &out).ok());
+  EXPECT_EQ(out, "data");
+  // Rename + list + delete.
+  ASSERT_TRUE(env.RenameFile(path, dir + "/renamed").ok());
+  auto names = env.ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "renamed");
+  ASSERT_TRUE(env.DeleteFile(dir + "/renamed").ok());
+  EXPECT_FALSE(env.FileExists(dir + "/renamed"));
+}
+
+TEST(PosixEnvTest, WholeDbOnRealFilesystem) {
+  // MiniLSM end-to-end on the real filesystem (examples/tools use this).
+  PosixEnv env;
+  std::string dir = "/tmp/lo_posix_db_test";
+  (void)env.CreateDir(dir);
+  // Clean leftovers from previous runs.
+  if (auto names = env.ListDir(dir); names.ok()) {
+    for (const auto& name : *names) (void)env.DeleteFile(dir + "/" + name);
+  }
+  Options options;
+  options.env = &env;
+  {
+    auto db = DB::Open(options, dir);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Put({}, "persist", "on-disk").ok());
+  }
+  auto db = DB::Open(options, dir);
+  ASSERT_TRUE(db.ok());
+  auto got = (*db)->Get({}, "persist");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "on-disk");
+}
+
+// ------------------------------------------------------------------- WAL
+
+TEST(Wal, SmallRecordsRoundTrip) {
+  MemEnv env;
+  {
+    wal::Writer writer(std::move(*env.NewWritableFile("/log")));
+    ASSERT_TRUE(writer.AddRecord("one").ok());
+    ASSERT_TRUE(writer.AddRecord("two").ok());
+    ASSERT_TRUE(writer.AddRecord("").ok());  // empty record is legal
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  wal::LogReader reader(std::move(*env.NewSequentialFile("/log")));
+  std::string rec;
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, "one");
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, "two");
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, "");
+  EXPECT_FALSE(reader.ReadRecord(&rec));
+  EXPECT_FALSE(reader.hit_corruption());
+}
+
+TEST(Wal, LargeRecordSpansBlocks) {
+  MemEnv env;
+  Rng rng(1);
+  std::string big = rng.Bytes(100000);  // ~3 blocks
+  {
+    wal::Writer writer(std::move(*env.NewWritableFile("/log")));
+    ASSERT_TRUE(writer.AddRecord(big).ok());
+    ASSERT_TRUE(writer.AddRecord("tail").ok());
+  }
+  wal::LogReader reader(std::move(*env.NewSequentialFile("/log")));
+  std::string rec;
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, big);
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, "tail");
+}
+
+TEST(Wal, ManySizesRoundTrip) {
+  MemEnv env;
+  Rng rng(2);
+  std::vector<std::string> records;
+  {
+    wal::Writer writer(std::move(*env.NewWritableFile("/log")));
+    for (int i = 0; i < 200; i++) {
+      records.push_back(rng.Bytes(rng.Uniform(3000)));
+      ASSERT_TRUE(writer.AddRecord(records.back()).ok());
+    }
+  }
+  wal::LogReader reader(std::move(*env.NewSequentialFile("/log")));
+  std::string rec;
+  for (const auto& expected : records) {
+    ASSERT_TRUE(reader.ReadRecord(&rec));
+    ASSERT_EQ(rec, expected);
+  }
+  EXPECT_FALSE(reader.ReadRecord(&rec));
+}
+
+TEST(Wal, DetectsCorruptedRecord) {
+  MemEnv env;
+  {
+    wal::Writer writer(std::move(*env.NewWritableFile("/log")));
+    ASSERT_TRUE(writer.AddRecord("record-one").ok());
+  }
+  // Flip a payload byte.
+  auto data = *env.ReadFileToString("/log");
+  data[10] ^= 0x40;
+  ASSERT_TRUE(env.WriteStringToFile("/log", data, true).ok());
+  wal::LogReader reader(std::move(*env.NewSequentialFile("/log")));
+  std::string rec;
+  EXPECT_FALSE(reader.ReadRecord(&rec));
+  EXPECT_TRUE(reader.hit_corruption());
+}
+
+TEST(Wal, TornTailStopsCleanly) {
+  MemEnv env;
+  {
+    wal::Writer writer(std::move(*env.NewWritableFile("/log")));
+    ASSERT_TRUE(writer.AddRecord("complete").ok());
+    ASSERT_TRUE(writer.AddRecord(std::string(500, 'x')).ok());
+  }
+  auto data = *env.ReadFileToString("/log");
+  data.resize(data.size() - 300);  // tear the second record
+  ASSERT_TRUE(env.WriteStringToFile("/log", data, true).ok());
+  wal::LogReader reader(std::move(*env.NewSequentialFile("/log")));
+  std::string rec;
+  ASSERT_TRUE(reader.ReadRecord(&rec));
+  EXPECT_EQ(rec, "complete");
+  EXPECT_FALSE(reader.ReadRecord(&rec));
+}
+
+// -------------------------------------------------------------- MemTable
+
+TEST(MemTable, AddGetNewestVersionWins) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "k", "v1");
+  mem.Add(2, ValueType::kValue, "k", "v2");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem.Get("k", kMaxSequenceNumber, &value, &s));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(value, "v2");
+  // Read at snapshot seq=1 sees the old version.
+  ASSERT_TRUE(mem.Get("k", 1, &value, &s));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(value, "v1");
+}
+
+TEST(MemTable, DeletionIsVisibleAsTombstone) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "k", "v");
+  mem.Add(2, ValueType::kDeletion, "k", "");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem.Get("k", kMaxSequenceNumber, &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(MemTable, MissingKeyNotFoundInTable) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "aaa", "v");
+  std::string value;
+  Status s;
+  EXPECT_FALSE(mem.Get("zzz", kMaxSequenceNumber, &value, &s));
+  EXPECT_FALSE(mem.Get("aa", kMaxSequenceNumber, &value, &s));
+}
+
+TEST(MemTable, IteratorSortedByInternalKey) {
+  MemTable mem;
+  mem.Add(3, ValueType::kValue, "b", "b3");
+  mem.Add(1, ValueType::kValue, "a", "a1");
+  mem.Add(2, ValueType::kValue, "b", "b2");
+  auto iter = mem.NewIterator();
+  std::vector<std::pair<std::string, uint64_t>> seen;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(iter->key(), &parsed));
+    seen.emplace_back(std::string(parsed.user_key), parsed.sequence);
+  }
+  // user keys ascending, seq descending within a key.
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, uint64_t>{"a", 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, uint64_t>{"b", 3}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, uint64_t>{"b", 2}));
+}
+
+TEST(MemTable, ManyEntriesStaySorted) {
+  MemTable mem;
+  Rng rng(5);
+  for (int i = 0; i < 2000; i++) {
+    mem.Add(static_cast<SequenceNumber>(i + 1), ValueType::kValue,
+            "key" + std::to_string(rng.Uniform(500)), "v");
+  }
+  auto iter = mem.NewIterator();
+  InternalKeyComparator icmp;
+  std::string prev;
+  int n = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    if (!prev.empty()) ASSERT_LT(icmp.Compare(prev, iter->key()), 0);
+    prev.assign(iter->key());
+    n++;
+  }
+  EXPECT_EQ(n, 2000);
+}
+
+// ----------------------------------------------------------------- Block
+
+TEST(Block, BuildAndScan) {
+  BlockBuilder builder(4);
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 50; i++) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%04d", i);
+    entries.emplace_back(MakeInternalKey(key, 1, ValueType::kValue),
+                         "value" + std::to_string(i));
+    builder.Add(entries.back().first, entries.back().second);
+  }
+  auto block = Block::Parse(std::string(builder.Finish()));
+  ASSERT_TRUE(block.ok());
+  InternalKeyComparator icmp;
+  auto iter = (*block)->NewIterator(&icmp);
+  size_t i = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), i++) {
+    ASSERT_LT(i, entries.size());
+    EXPECT_EQ(iter->key(), entries[i].first);
+    EXPECT_EQ(iter->value(), entries[i].second);
+  }
+  EXPECT_EQ(i, entries.size());
+}
+
+TEST(Block, SeekLandsOnOrAfterTarget) {
+  BlockBuilder builder(3);
+  for (int i = 0; i < 100; i += 2) {  // even keys only
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    builder.Add(MakeInternalKey(key, 1, ValueType::kValue), std::to_string(i));
+  }
+  auto block = Block::Parse(std::string(builder.Finish()));
+  ASSERT_TRUE(block.ok());
+  InternalKeyComparator icmp;
+  auto iter = (*block)->NewIterator(&icmp);
+  // Seek to odd key 51 -> lands on 52.
+  iter->Seek(MakeInternalKey("k0051", kMaxSequenceNumber, kValueTypeForSeek));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->value(), "52");
+  // Seek past the end -> invalid.
+  iter->Seek(MakeInternalKey("k9999", kMaxSequenceNumber, kValueTypeForSeek));
+  EXPECT_FALSE(iter->Valid());
+  // Seek before the start -> first entry.
+  iter->Seek(MakeInternalKey("", kMaxSequenceNumber, kValueTypeForSeek));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->value(), "0");
+}
+
+TEST(Block, RejectsTruncated) {
+  EXPECT_FALSE(Block::Parse("ab").ok());
+  EXPECT_FALSE(Block::Parse(std::string("\0\0\0\0", 4)).ok());  // 0 restarts
+}
+
+// ----------------------------------------------------------------- Bloom
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; i++) {
+    keys.push_back("bloomkey" + std::to_string(i * 7));
+    builder.AddKey(keys.back());
+  }
+  std::string filter = builder.Finish();
+  for (const auto& key : keys) {
+    EXPECT_TRUE(BloomFilterMayContain(filter, key)) << key;
+  }
+}
+
+TEST(Bloom, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 1000; i++) builder.AddKey("present" + std::to_string(i));
+  std::string filter = builder.Finish();
+  int fp = 0;
+  constexpr int kProbes = 10000;
+  for (int i = 0; i < kProbes; i++) {
+    if (BloomFilterMayContain(filter, "absent" + std::to_string(i))) fp++;
+  }
+  EXPECT_LT(fp, kProbes * 0.03);  // ~1% expected at 10 bits/key
+}
+
+TEST(Bloom, EmptyOrMalformedFilterNeverRejects) {
+  EXPECT_TRUE(BloomFilterMayContain("", "anything"));
+  EXPECT_TRUE(BloomFilterMayContain("\x7f", "anything"));
+}
+
+// --------------------------------------------------------------- SSTable
+
+class SSTableTest : public ::testing::Test {
+ public:
+  // Builds a table with keys k0000..k(n-1), value = "v<i>".
+  void Build(int n, int step = 1) {
+    TableBuilder builder(TableOptions{.block_size = 256},
+                         std::move(*env_.NewWritableFile("/t.ldb")));
+    for (int i = 0; i < n; i += step) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "k%04d", i);
+      builder.Add(MakeInternalKey(key, 1, ValueType::kValue),
+                  "v" + std::to_string(i));
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    auto file = env_.NewRandomAccessFile("/t.ldb");
+    ASSERT_TRUE(file.ok());
+    auto table = Table::Open(std::shared_ptr<RandomAccessFile>(std::move(*file)));
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    table_ = *table;
+  }
+
+  MemEnv env_;
+  std::shared_ptr<Table> table_;
+};
+
+TEST_F(SSTableTest, FullScanSeesEveryEntry) {
+  Build(500);
+  auto iter = table_->NewIterator();
+  int i = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), i++) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(iter->key(), &parsed));
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    EXPECT_EQ(parsed.user_key, key);
+    EXPECT_EQ(iter->value(), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(i, 500);
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_F(SSTableTest, PointLookups) {
+  Build(500, 2);  // even keys
+  for (int probe : {0, 2, 250, 498}) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%04d", probe);
+    std::string lookup = MakeInternalKey(key, kMaxSequenceNumber, kValueTypeForSeek);
+    bool found = false;
+    ASSERT_TRUE(table_
+                    ->InternalGet(lookup,
+                                  [&](std::string_view ikey, std::string_view v) {
+                                    ParsedInternalKey parsed;
+                                    ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+                                    if (parsed.user_key == key) {
+                                      found = true;
+                                      EXPECT_EQ(v, "v" + std::to_string(probe));
+                                    }
+                                  })
+                    .ok());
+    EXPECT_TRUE(found) << probe;
+  }
+  // Absent (odd) key must not produce a match.
+  std::string lookup = MakeInternalKey("k0251", kMaxSequenceNumber, kValueTypeForSeek);
+  bool wrong = false;
+  ASSERT_TRUE(table_
+                  ->InternalGet(lookup,
+                                [&](std::string_view ikey, std::string_view) {
+                                  ParsedInternalKey parsed;
+                                  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+                                  if (parsed.user_key == "k0251") wrong = true;
+                                })
+                  .ok());
+  EXPECT_FALSE(wrong);
+}
+
+TEST_F(SSTableTest, SeekAcrossBlocks) {
+  Build(1000);
+  auto iter = table_->NewIterator();
+  iter->Seek(MakeInternalKey("k0500", kMaxSequenceNumber, kValueTypeForSeek));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->value(), "v500");
+  // Continue scanning across block boundaries.
+  for (int i = 501; i < 520; i++) {
+    iter->Next();
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->value(), "v" + std::to_string(i));
+  }
+}
+
+TEST_F(SSTableTest, CorruptBlockDetected) {
+  Build(500);
+  auto data = *env_.ReadFileToString("/t.ldb");
+  data[100] ^= 0x01;  // flip a bit inside the first data block
+  ASSERT_TRUE(env_.WriteStringToFile("/t.ldb", data, true).ok());
+  auto file = env_.NewRandomAccessFile("/t.ldb");
+  auto table = Table::Open(std::shared_ptr<RandomAccessFile>(std::move(*file)));
+  ASSERT_TRUE(table.ok());  // metadata blocks are at the end, still intact
+  std::string lookup = MakeInternalKey("k0000", kMaxSequenceNumber, kValueTypeForSeek);
+  Status s = (*table)->InternalGet(lookup, [](std::string_view, std::string_view) {});
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST_F(SSTableTest, OpenRejectsBadMagic) {
+  Build(10);
+  auto data = *env_.ReadFileToString("/t.ldb");
+  data[data.size() - 1] ^= 0xff;
+  ASSERT_TRUE(env_.WriteStringToFile("/t.ldb", data, true).ok());
+  auto file = env_.NewRandomAccessFile("/t.ldb");
+  auto table = Table::Open(std::shared_ptr<RandomAccessFile>(std::move(*file)));
+  EXPECT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsCorruption());
+}
+
+// ------------------------------------------------------------ WriteBatch
+
+TEST(WriteBatchTest, CountAndIterate) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Delete("b");
+  batch.Put("c", "3");
+  EXPECT_EQ(batch.Count(), 3u);
+  struct Collector : WriteBatch::Handler {
+    std::vector<std::string> ops;
+    void Put(std::string_view k, std::string_view v) override {
+      ops.push_back("put:" + std::string(k) + "=" + std::string(v));
+    }
+    void Delete(std::string_view k) override {
+      ops.push_back("del:" + std::string(k));
+    }
+  } collector;
+  ASSERT_TRUE(batch.Iterate(&collector).ok());
+  EXPECT_EQ(collector.ops,
+            (std::vector<std::string>{"put:a=1", "del:b", "put:c=3"}));
+}
+
+TEST(WriteBatchTest, RepRoundTrip) {
+  WriteBatch batch;
+  batch.Put("key", "value");
+  batch.Delete("gone");
+  batch.SetSequence(1234);
+  auto parsed = WriteBatch::FromRep(batch.rep());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Count(), 2u);
+  EXPECT_EQ(parsed->sequence(), 1234u);
+}
+
+TEST(WriteBatchTest, FromRepRejectsGarbage) {
+  EXPECT_FALSE(WriteBatch::FromRep("short").ok());
+  std::string bad(12, '\0');
+  bad[8] = 5;  // claims 5 records, has none
+  EXPECT_FALSE(WriteBatch::FromRep(bad).ok());
+}
+
+TEST(WriteBatchTest, AppendMergesBatches) {
+  WriteBatch a, b;
+  a.Put("x", "1");
+  b.Put("y", "2");
+  b.Delete("z");
+  a.Append(b);
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+// ----------------------------------------------------------------- DB
+
+class DBTest : public ::testing::Test {
+ public:
+  DBTest() { Reopen(); }
+
+  void Reopen() {
+    db_.reset();
+    Options options;
+    options.env = &env_;
+    options.write_buffer_size = write_buffer_size_;
+    auto db = DB::Open(options, "/db");
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  void Crash() {
+    db_.reset();
+    env_.DropUnsyncedData();
+    Reopen();
+  }
+
+  std::string Get(std::string_view key) {
+    auto r = db_->Get({}, key);
+    return r.ok() ? *r : "(" + r.status().ToString() + ")";
+  }
+
+  MemEnv env_;
+  size_t write_buffer_size_ = 1 << 20;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBTest, PutGetDelete) {
+  ASSERT_TRUE(db_->Put({}, "k1", "v1").ok());
+  EXPECT_EQ(Get("k1"), "v1");
+  EXPECT_EQ(Get("missing"), "(NotFound)");
+  ASSERT_TRUE(db_->Delete({}, "k1").ok());
+  EXPECT_EQ(Get("k1"), "(NotFound)");
+}
+
+TEST_F(DBTest, OverwriteReturnsLatest) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put({}, "k", "v" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(Get("k"), "v99");
+}
+
+TEST_F(DBTest, BatchIsAtomicallyVisible) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(db_->Write({}, &batch).ok());
+  EXPECT_EQ(Get("a"), "(NotFound)");
+  EXPECT_EQ(Get("b"), "2");
+}
+
+TEST_F(DBTest, SurvivesCleanReopen) {
+  ASSERT_TRUE(db_->Put({}, "persist", "yes").ok());
+  Reopen();
+  EXPECT_EQ(Get("persist"), "yes");
+}
+
+TEST_F(DBTest, SurvivesCrashAfterSyncedWrites) {
+  ASSERT_TRUE(db_->Put({.sync = true}, "durable", "1").ok());
+  ASSERT_TRUE(db_->Put({.sync = true}, "durable2", "2").ok());
+  Crash();
+  EXPECT_EQ(Get("durable"), "1");
+  EXPECT_EQ(Get("durable2"), "2");
+}
+
+TEST_F(DBTest, UnsyncedWritesMayVanishButPrefixSurvives) {
+  ASSERT_TRUE(db_->Put({.sync = true}, "synced", "1").ok());
+  ASSERT_TRUE(db_->Put({.sync = false}, "unsynced", "2").ok());
+  Crash();
+  EXPECT_EQ(Get("synced"), "1");
+  EXPECT_EQ(Get("unsynced"), "(NotFound)");
+}
+
+TEST_F(DBTest, FlushAndCompactionPreserveData) {
+  write_buffer_size_ = 4 << 10;  // tiny: force many flushes
+  Reopen();
+  Rng rng(3);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 3000; i++) {
+    std::string key = "key" + std::to_string(rng.Uniform(400));
+    std::string value = "val" + std::to_string(i);
+    model[key] = value;
+    ASSERT_TRUE(db_->Put({.sync = false}, key, value).ok());
+  }
+  auto stats = db_->GetStats();
+  EXPECT_GT(stats.flushes, 0u);
+  for (const auto& [key, value] : model) {
+    ASSERT_EQ(Get(key), value) << key;
+  }
+}
+
+TEST_F(DBTest, CompactAllMovesEverythingDown) {
+  write_buffer_size_ = 4 << 10;
+  Reopen();
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Put({.sync = false}, "k" + std::to_string(i),
+                         std::string(50, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  auto stats = db_->GetStats();
+  EXPECT_EQ(stats.files_per_level[0], 0);
+  int nonzero_levels = 0;
+  for (int l = 1; l < kNumLevels; l++) {
+    if (stats.files_per_level[l] > 0) nonzero_levels++;
+  }
+  EXPECT_GE(nonzero_levels, 1);
+  for (int i = 0; i < 2000; i += 97) {
+    EXPECT_EQ(Get("k" + std::to_string(i)), std::string(50, 'v'));
+  }
+}
+
+TEST_F(DBTest, SnapshotIsolatesReads) {
+  ASSERT_TRUE(db_->Put({}, "k", "old").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put({}, "k", "new").ok());
+  ASSERT_TRUE(db_->Delete({}, "other").ok());
+  auto at_snap = db_->Get({.snapshot = snap}, "k");
+  ASSERT_TRUE(at_snap.ok());
+  EXPECT_EQ(*at_snap, "old");
+  EXPECT_EQ(Get("k"), "new");
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DBTest, SnapshotSurvivesFlushAndCompaction) {
+  write_buffer_size_ = 4 << 10;
+  Reopen();
+  ASSERT_TRUE(db_->Put({}, "pinned", "v0").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Put({.sync = false}, "pinned", "v" + std::to_string(i)).ok());
+    ASSERT_TRUE(db_->Put({.sync = false}, "fill" + std::to_string(i),
+                         std::string(40, 'x'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  auto at_snap = db_->Get({.snapshot = snap}, "pinned");
+  ASSERT_TRUE(at_snap.ok());
+  EXPECT_EQ(*at_snap, "v0");
+  db_->ReleaseSnapshot(snap);
+  EXPECT_EQ(Get("pinned"), "v1999");
+}
+
+TEST_F(DBTest, IteratorScansSortedLiveKeys) {
+  ASSERT_TRUE(db_->Put({}, "c", "3").ok());
+  ASSERT_TRUE(db_->Put({}, "a", "1").ok());
+  ASSERT_TRUE(db_->Put({}, "b", "2").ok());
+  ASSERT_TRUE(db_->Delete({}, "b").ok());
+  auto iter = db_->NewIterator({});
+  std::vector<std::string> seen;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    seen.push_back(std::string(iter->key()) + "=" + std::string(iter->value()));
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"a=1", "c=3"}));
+}
+
+TEST_F(DBTest, IteratorSeekPrefixScan) {
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(db_->Put({}, "user/" + std::to_string(100 + i), "u").ok());
+  }
+  ASSERT_TRUE(db_->Put({}, "post/1", "p").ok());
+  auto iter = db_->NewIterator({});
+  int count = 0;
+  for (iter->Seek("user/"); iter->Valid() && iter->key().substr(0, 5) == "user/";
+       iter->Next()) {
+    count++;
+  }
+  EXPECT_EQ(count, 20);
+}
+
+TEST_F(DBTest, IteratorMergesMemtableAndTables) {
+  write_buffer_size_ = 4 << 10;
+  Reopen();
+  // Old version flushed to disk, new version in memtable.
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db_->Put({.sync = false}, "dup", "old" + std::to_string(i)).ok());
+    ASSERT_TRUE(db_->Put({.sync = false}, "f" + std::to_string(i),
+                         std::string(30, 'x'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Put({}, "dup", "newest").ok());
+  auto iter = db_->NewIterator({});
+  iter->Seek("dup");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key(), "dup");
+  EXPECT_EQ(iter->value(), "newest");
+}
+
+TEST_F(DBTest, CreateIfMissingFalseFailsOnFreshDir) {
+  Options options;
+  options.env = &env_;
+  options.create_if_missing = false;
+  auto db = DB::Open(options, "/nonexistent");
+  EXPECT_FALSE(db.ok());
+}
+
+TEST_F(DBTest, StatsTrackActivity) {
+  ASSERT_TRUE(db_->Put({}, "a", "1").ok());
+  (void)db_->Get({}, "a");
+  auto stats = db_->GetStats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_GT(stats.wal_syncs, 0u);
+}
+
+
+// ------------------------------------------------------------- filenames
+
+TEST(Filename, FormatAndParseRoundTrip) {
+  uint64_t number = 0;
+  EXPECT_EQ(ParseFileName("CURRENT", &number), FileKind::kCurrent);
+  EXPECT_EQ(ParseFileName("MANIFEST-000007", &number), FileKind::kManifest);
+  EXPECT_EQ(number, 7u);
+  EXPECT_EQ(ParseFileName("000042.log", &number), FileKind::kWal);
+  EXPECT_EQ(number, 42u);
+  EXPECT_EQ(ParseFileName("000099.ldb", &number), FileKind::kTable);
+  EXPECT_EQ(number, 99u);
+  EXPECT_EQ(ParseFileName("junk.txt", &number), FileKind::kUnknown);
+  EXPECT_EQ(ParseFileName("x42.log", &number), FileKind::kUnknown);
+  EXPECT_EQ(ParseFileName("", &number), FileKind::kUnknown);
+
+  // The generators produce names the parser accepts.
+  EXPECT_EQ(TableFileName("/db", 3), "/db/000003.ldb");
+  EXPECT_EQ(WalFileName("/db", 12), "/db/000012.log");
+  EXPECT_EQ(ManifestFileName("/db", 1), "/db/MANIFEST-000001");
+}
+
+// ---------------------------------------------------- compaction details
+
+TEST_F(DBTest, TombstonesAreCollectedAtBottomLevel) {
+  write_buffer_size_ = 4 << 10;
+  Reopen();
+  // Write then delete everything; after full compaction the tombstones
+  // have nothing to shadow and must be gone from the table files.
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db_->Put({.sync = false}, "k" + std::to_string(i),
+                         std::string(64, 'v')).ok());
+  }
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db_->Delete({.sync = false}, "k" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  auto stats = db_->GetStats();
+  uint64_t total_bytes = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    total_bytes += stats.bytes_per_level[level];
+  }
+  // All user data was deleted; the residual footprint must be tiny
+  // (block/index scaffolding only).
+  EXPECT_LT(total_bytes, 4096u);
+  auto iter = db_->NewIterator({});
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(DBTest, OverwrittenVersionsReclaimedByCompaction) {
+  write_buffer_size_ = 4 << 10;
+  Reopen();
+  std::string value(512, 'x');
+  for (int round = 0; round < 40; round++) {
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(db_->Put({.sync = false}, "hot" + std::to_string(i), value).ok());
+    }
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  auto stats = db_->GetStats();
+  uint64_t total_bytes = 0;
+  for (int level = 0; level < kNumLevels; level++) {
+    total_bytes += stats.bytes_per_level[level];
+  }
+  // 50 live keys x ~520 bytes ~ 26 KB; 40 versions each would be ~1 MB.
+  EXPECT_LT(total_bytes, 100u << 10);
+  for (int i = 0; i < 50; i++) {
+    EXPECT_EQ(Get("hot" + std::to_string(i)), value);
+  }
+}
+
+TEST_F(DBTest, ManifestCompactsAcrossReopen) {
+  // Repeated reopens must not lose the file layout.
+  write_buffer_size_ = 4 << 10;
+  Reopen();
+  for (int round = 0; round < 5; round++) {
+    for (int i = 0; i < 300; i++) {
+      ASSERT_TRUE(db_->Put({.sync = false},
+                           "r" + std::to_string(round) + "k" + std::to_string(i),
+                           std::string(40, 'd')).ok());
+    }
+    Reopen();
+  }
+  for (int round = 0; round < 5; round++) {
+    for (int i = 0; i < 300; i += 37) {
+      EXPECT_EQ(Get("r" + std::to_string(round) + "k" + std::to_string(i)),
+                std::string(40, 'd'));
+    }
+  }
+}
+
+TEST_F(DBTest, LargeValuesSurviveEverything) {
+  write_buffer_size_ = 64 << 10;
+  Reopen();
+  Rng rng(21);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 20; i++) {
+    std::string key = "big" + std::to_string(i);
+    std::string value = rng.Bytes(20000 + rng.Uniform(50000));
+    model[key] = value;
+    ASSERT_TRUE(db_->Put({.sync = true}, key, value).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  Crash();
+  for (const auto& [key, value] : model) {
+    ASSERT_EQ(Get(key), value) << key;
+  }
+}
+
+TEST_F(DBTest, EmptyBatchIsANoop) {
+  WriteBatch batch;
+  ASSERT_TRUE(db_->Write({}, &batch).ok());
+  EXPECT_EQ(db_->LastSequence(), 0u);
+}
+
+TEST_F(DBTest, BinaryKeysAndValues) {
+  // Keys with NULs and high bytes (the runtime's key layout uses NUL
+  // separators, so this path is load-bearing).
+  std::string key1("f\0user/1\0fl", 11);
+  std::string key2("f\0user/1\0tl", 11);
+  Rng rng(31);
+  std::string value = rng.Bytes(256);
+  ASSERT_TRUE(db_->Put({}, key1, value).ok());
+  ASSERT_TRUE(db_->Put({}, key2, "x").ok());
+  auto got = db_->Get({}, key1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+  Reopen();
+  EXPECT_EQ(*db_->Get({}, key1), value);
+  EXPECT_EQ(*db_->Get({}, key2), "x");
+}
+// Model check: random Put/Delete/Get/scan/reopen/crash against std::map.
+class DBModelCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(DBModelCheck, MatchesStdMap) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 2 << 10;  // tiny: constant flush/compaction
+  auto db = *DB::Open(options, "/m");
+  std::map<std::string, std::string> model;   // durable state
+  std::map<std::string, std::string> dirty;   // includes unsynced writes
+  Rng rng(static_cast<uint64_t>(GetParam()));
+
+  // Durability points: an explicit WAL sync, or a memtable flush (the
+  // SSTable + manifest are synced); both make the whole write prefix
+  // durable.
+  uint64_t flushes_seen = 0;
+  auto note_durability = [&](bool synced_write) {
+    uint64_t flushes = db->GetStats().flushes;
+    if (synced_write || flushes != flushes_seen) model = dirty;
+    flushes_seen = flushes;
+  };
+
+  for (int step = 0; step < 1500; step++) {
+    int op = static_cast<int>(rng.Uniform(100));
+    std::string key = "k" + std::to_string(rng.Uniform(60));
+    if (op < 45) {
+      std::string value = "v" + std::to_string(step);
+      bool sync = rng.Bernoulli(0.5);
+      ASSERT_TRUE(db->Put({.sync = sync}, key, value).ok());
+      dirty[key] = value;
+      note_durability(sync);
+    } else if (op < 60) {
+      bool sync = rng.Bernoulli(0.5);
+      ASSERT_TRUE(db->Delete({.sync = sync}, key).ok());
+      dirty.erase(key);
+      note_durability(sync);
+    } else if (op < 85) {
+      auto got = db->Get({}, key);
+      auto it = dirty.find(key);
+      if (it == dirty.end()) {
+        ASSERT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key << " " << got.status().ToString();
+        ASSERT_EQ(*got, it->second);
+      }
+    } else if (op < 92) {
+      // Full scan must equal the dirty model exactly.
+      auto iter = db->NewIterator({});
+      auto it = dirty.begin();
+      for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++it) {
+        ASSERT_NE(it, dirty.end());
+        ASSERT_EQ(iter->key(), it->first);
+        ASSERT_EQ(iter->value(), it->second);
+      }
+      ASSERT_EQ(it, dirty.end());
+    } else if (op < 97) {
+      // Clean reopen: nothing may be lost.
+      db.reset();
+      db = *DB::Open(options, "/m");
+      model = dirty;
+      flushes_seen = db->GetStats().flushes;
+    } else {
+      // Crash: undurable suffix is lost, durable prefix must survive.
+      db.reset();
+      env.DropUnsyncedData();
+      db = *DB::Open(options, "/m");
+      dirty = model;
+      flushes_seen = db->GetStats().flushes;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DBModelCheck, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace lo::storage

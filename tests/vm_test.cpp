@@ -1,0 +1,541 @@
+// LambdaVM tests: assembler, module codec + validation, interpreter
+// semantics, sandbox (bounds/fuel/stack) enforcement, host ABI, and a
+// random-program fuzz check that nothing escapes the sandbox.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "vm/assembler.h"
+#include "vm/disassembler.h"
+#include "vm/interpreter.h"
+#include "vm/module.h"
+
+namespace lo::vm {
+namespace {
+
+/// Host backed by a std::map; records call counts.
+class FakeHost : public HostApi {
+ public:
+  sim::Task<Result<std::string>> KvGet(std::string_view key) override {
+    gets++;
+    auto it = kv.find(std::string(key));
+    if (it == kv.end()) co_return Status::NotFound("");
+    co_return it->second;
+  }
+  sim::Task<Status> KvPut(std::string_view key, std::string_view value) override {
+    puts++;
+    kv[std::string(key)] = std::string(value);
+    co_return Status::OK();
+  }
+  sim::Task<Status> KvDelete(std::string_view key) override {
+    kv.erase(std::string(key));
+    co_return Status::OK();
+  }
+  sim::Task<Result<std::string>> InvokeObject(std::string_view oid,
+                                              std::string_view fn,
+                                              std::string_view arg) override {
+    invocations.push_back(std::string(oid) + "." + std::string(fn) + "(" +
+                          std::string(arg) + ")");
+    co_return std::string("remote-result");
+  }
+  uint64_t TimeMillis() override { return 1234; }
+  void DebugLog(std::string_view m) override { logs.push_back(std::string(m)); }
+
+  std::map<std::string, std::string> kv;
+  std::vector<std::string> invocations;
+  std::vector<std::string> logs;
+  int gets = 0;
+  int puts = 0;
+};
+
+/// Assembles + runs one exported function to completion (no sim events
+/// are pending in these tests, so the task finishes synchronously).
+Result<std::string> RunProgram(std::string_view source, std::string_view fn,
+                               std::string arg, HostApi* host,
+                               VmLimits limits = {}, VmMetrics* metrics = nullptr) {
+  auto module = Assemble(source);
+  if (!module.ok()) return module.status();
+  Instance instance(&*module, limits);
+  sim::Simulator sim;
+  Result<std::string> out = Status::Unavailable("did not finish");
+  sim::Detach([](Instance& inst, std::string_view fn, std::string arg,
+                 HostApi* host, Result<std::string>* out) -> sim::Task<void> {
+    *out = co_await inst.Invoke(fn, std::move(arg), host);
+  }(instance, fn, std::move(arg), host, &out));
+  sim.Run();
+  if (metrics != nullptr) *metrics = instance.metrics();
+  return out;
+}
+
+TEST(Assembler, RejectsBadInput) {
+  EXPECT_FALSE(Assemble("bogus").ok());
+  EXPECT_FALSE(Assemble("func f\n push\nend").ok());        // missing operand
+  EXPECT_FALSE(Assemble("func f\n br nowhere\nend").ok());  // unknown label
+  EXPECT_FALSE(Assemble("func f\n call missing\nend").ok());
+  EXPECT_FALSE(Assemble("func f\n local.get x\nend").ok());
+  EXPECT_FALSE(Assemble("func f\n push 1\n").ok());  // no end
+  EXPECT_FALSE(Assemble("data d 0 \"unterminated").ok());
+  EXPECT_FALSE(Assemble("func f\nend\nfunc f\nend").ok());  // duplicate
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto r = Assemble("memory 1024\n\nfunc f\n frobnicate\nend");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(Module, SerializeDeserializeRoundTrip) {
+  auto module = Assemble(R"(
+memory 4096
+data greeting 128 "hello"
+func helper params a b results 1
+  local.get a
+  local.get b
+  add
+  return
+end
+func main export
+  push @greeting
+  push #greeting
+  ret
+end
+)");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  std::string bytes = module->Serialize();
+  auto restored = Module::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->functions().size(), 2u);
+  EXPECT_TRUE(restored->FindExport("main").ok());
+  EXPECT_FALSE(restored->FindExport("helper").ok());  // not exported
+  EXPECT_EQ(restored->Serialize(), bytes);
+}
+
+TEST(Module, DeserializeRejectsCorruption) {
+  auto module = Assemble("func main export\n push 1\n drop\nend");
+  ASSERT_TRUE(module.ok());
+  std::string bytes = module->Serialize();
+  EXPECT_FALSE(Module::Deserialize("garbage").ok());
+  std::string truncated = bytes.substr(0, bytes.size() / 2);
+  EXPECT_FALSE(Module::Deserialize(truncated).ok());
+}
+
+TEST(Module, ValidatorRejectsOutOfRange) {
+  // Hand-built function with a bad branch target.
+  Function fn;
+  fn.name = "f";
+  fn.code = {{Op::kBr, 99}};
+  EXPECT_FALSE(Module::Create({fn}, {}, 1024).ok());
+  fn.code = {{Op::kLocalGet, 3}};
+  EXPECT_FALSE(Module::Create({fn}, {}, 1024).ok());
+  fn.code = {{Op::kCall, 7}};
+  EXPECT_FALSE(Module::Create({fn}, {}, 1024).ok());
+  // Data segment outside memory.
+  EXPECT_FALSE(Module::Create({}, {DataSegment{2000, "xxxx"}}, 1024).ok());
+}
+
+TEST(Interpreter, ArithmeticViaRetBuffer) {
+  FakeHost host;
+  // Computes (7*6)+5 and stores the byte at address 0, returns 1 byte.
+  auto result = RunProgram(R"(
+func main export locals v
+  push 7
+  push 6
+  mul
+  push 5
+  add
+  local.set v
+  push 0
+  local.get v
+  store8
+  push 0
+  push 1
+  ret
+end
+)", "main", "", &host);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(static_cast<uint8_t>((*result)[0]), 47);
+}
+
+TEST(Interpreter, LoopsAndBranches) {
+  FakeHost host;
+  // Sums 1..100 into a 64-bit slot, returns it as 8 bytes.
+  auto result = RunProgram(R"(
+func main export locals i sum
+  push 1
+  local.set i
+loop:
+  local.get sum
+  local.get i
+  add
+  local.set sum
+  local.get i
+  push 1
+  add
+  local.tee i
+  push 100
+  le_u
+  br_if loop
+  push 0
+  local.get sum
+  store64
+  push 0
+  push 8
+  ret
+end
+)", "main", "", &host);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 8u);
+  uint64_t sum = 0;
+  memcpy(&sum, result->data(), 8);
+  EXPECT_EQ(sum, 5050u);
+}
+
+TEST(Interpreter, FunctionCallsWithParamsAndResults) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+func square params x results 1
+  local.get x
+  local.get x
+  mul
+  return
+end
+func main export locals v
+  push 9
+  call square
+  local.set v
+  push 0
+  local.get v
+  store64
+  push 0
+  push 8
+  ret
+end
+)", "main", "", &host);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  uint64_t v = 0;
+  memcpy(&v, result->data(), 8);
+  EXPECT_EQ(v, 81u);
+}
+
+TEST(Interpreter, ArgumentRoundTrip) {
+  FakeHost host;
+  // Echo: copy arg into memory, return it.
+  auto result = RunProgram(R"(
+func main export locals len
+  push 0
+  push 1024
+  arg
+  local.set len
+  push 0
+  local.get len
+  ret
+end
+)", "main", "payload-123", &host);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "payload-123");
+}
+
+TEST(Interpreter, KvPutGetThroughHost) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+data key 0 "counter"
+data val 16 "fortytwo"
+func main export locals len
+  push @key
+  push #key
+  push @val
+  push #val
+  kv.put
+  push @key
+  push #key
+  push 256
+  push 64
+  kv.get
+  local.set len
+  push 256
+  local.get len
+  ret
+end
+)", "main", "", &host);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, "fortytwo");
+  EXPECT_EQ(host.kv["counter"], "fortytwo");
+  EXPECT_EQ(host.puts, 1);
+  EXPECT_EQ(host.gets, 1);
+}
+
+TEST(Interpreter, KvGetMissingPushesSentinel) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+data key 0 "absent"
+func main export locals rc
+  push @key
+  push #key
+  push 64
+  push 32
+  kv.get
+  local.set rc
+  push 128
+  local.get rc
+  store64
+  push 128
+  push 8
+  ret
+end
+)", "main", "", &host);
+  ASSERT_TRUE(result.ok());
+  uint64_t rc = 0;
+  memcpy(&rc, result->data(), 8);
+  EXPECT_EQ(rc, kKvNotFound);
+}
+
+TEST(Interpreter, InvokeReachesHost) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+data oid 0 "user/42"
+data fn 16 "store_post"
+data arg 32 "hello"
+func main export locals len
+  push @oid
+  push #oid
+  push @fn
+  push #fn
+  push @arg
+  push #arg
+  push 64
+  push 64
+  invoke
+  local.set len
+  push 64
+  local.get len
+  ret
+end
+)", "main", "", &host);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, "remote-result");
+  ASSERT_EQ(host.invocations.size(), 1u);
+  EXPECT_EQ(host.invocations[0], "user/42.store_post(hello)");
+}
+
+TEST(Interpreter, TimeComesFromHost) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+func main export
+  push 0
+  time
+  store64
+  push 0
+  push 8
+  ret
+end
+)", "main", "", &host);
+  ASSERT_TRUE(result.ok());
+  uint64_t t = 0;
+  memcpy(&t, result->data(), 8);
+  EXPECT_EQ(t, 1234u);
+}
+
+TEST(Disassembler, RoundTripsStructurally) {
+  auto module = Assemble(R"(
+memory 8192
+data greeting 128 "hi\n\x00there"
+func helper params a b results 1
+  local.get a
+  local.get b
+  add
+  return
+end
+func main export locals n
+  push @greeting
+  local.set n
+loop:
+  local.get n
+  push 1
+  sub
+  local.tee n
+  br_if loop
+  push 3
+  push 4
+  call helper
+  drop
+  push 0
+  push 0
+  ret
+end
+)");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  std::string text = Disassemble(*module);
+  auto again = Assemble(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\nsource:\n" << text;
+  // Structural identity: identical binary encoding.
+  EXPECT_EQ(again->Serialize(), module->Serialize()) << text;
+  // And a second round-trip is a fixed point.
+  EXPECT_EQ(Disassemble(*again), text);
+}
+
+// ------------------------------------------------------------- sandbox
+
+TEST(Sandbox, OutOfBoundsLoadTraps) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+memory 1024
+func main export
+  push 99999999
+  load64
+  drop
+end
+)", "main", "", &host);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+}
+
+TEST(Sandbox, OutOfBoundsStoreTraps) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+memory 1024
+func main export
+  push 1020
+  push 7
+  store64
+end
+)", "main", "", &host);  // 1020 + 8 > 1024
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+}
+
+TEST(Sandbox, FuelExhaustionTrapsInfiniteLoop) {
+  FakeHost host;
+  VmMetrics metrics;
+  auto result = RunProgram(R"(
+func main export
+loop:
+  br loop
+end
+)", "main", "", &host, VmLimits{.fuel = 10000}, &metrics);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+  EXPECT_LE(metrics.fuel_used, 10000u);
+}
+
+TEST(Sandbox, StackUnderflowTraps) {
+  FakeHost host;
+  auto result = RunProgram("func main export\n add\nend", "main", "", &host);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+}
+
+TEST(Sandbox, CallDepthLimitTraps) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+func recurse
+  call recurse
+end
+func main export
+  call recurse
+end
+)", "main", "", &host, VmLimits{.fuel = 1 << 20, .max_call_depth = 32});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+}
+
+TEST(Sandbox, DivisionByZeroTraps) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+func main export
+  push 1
+  push 0
+  div_u
+  drop
+end
+)", "main", "", &host);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+}
+
+TEST(Sandbox, UnreachableTraps) {
+  FakeHost host;
+  auto result = RunProgram("func main export\n unreachable\nend", "main", "", &host);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+}
+
+TEST(Sandbox, MemCopyOutOfBoundsTraps) {
+  FakeHost host;
+  auto result = RunProgram(R"(
+memory 1024
+func main export
+  push 0
+  push 512
+  push 4096
+  mem.copy
+end
+)", "main", "", &host);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTrap());
+}
+
+// Fuzz: random instruction streams must either run to completion or trap
+// cleanly — never crash, never touch memory outside the sandbox, never
+// run past the fuel budget.
+class VmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmFuzz, RandomProgramsStayInSandbox) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  FakeHost host;
+  for (int iteration = 0; iteration < 300; iteration++) {
+    // Random code using the non-host opcode space.
+    size_t len = rng.Uniform(64) + 1;
+    std::vector<Instruction> code;
+    for (size_t i = 0; i < len; i++) {
+      Instruction instr;
+      instr.op = static_cast<Op>(rng.Uniform(static_cast<uint8_t>(Op::kOpCount)));
+      switch (instr.op) {
+        case Op::kBr:
+        case Op::kBrIf:
+          instr.imm = rng.Uniform(len);
+          break;
+        case Op::kLocalGet:
+        case Op::kLocalSet:
+        case Op::kLocalTee:
+          instr.imm = rng.Uniform(4);
+          break;
+        case Op::kCall:
+          instr.imm = 0;  // self-recursion; bounded by call depth
+          break;
+        default:
+          instr.imm = rng.Next() >> rng.Uniform(64);
+          break;
+      }
+      code.push_back(instr);
+    }
+    Function fn;
+    fn.name = "main";
+    fn.exported = true;
+    fn.num_locals = 4;
+    fn.code = std::move(code);
+    auto module = Module::Create({fn}, {}, 4096);
+    ASSERT_TRUE(module.ok());  // indices were generated in range
+
+    Instance instance(&*module, VmLimits{.fuel = 50000, .max_call_depth = 8});
+    sim::Simulator sim;
+    Result<std::string> out = std::string();
+    bool finished = false;
+    sim::Detach([](Instance& inst, HostApi* host, Result<std::string>* out,
+                   bool* finished) -> sim::Task<void> {
+      *out = co_await inst.Invoke("main", "fuzz-arg", host);
+      *finished = true;
+    }(instance, &host, &out, &finished));
+    sim.Run();
+    ASSERT_TRUE(finished);  // ran to completion or trapped; never hung
+    ASSERT_LE(instance.metrics().fuel_used, 50000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace lo::vm

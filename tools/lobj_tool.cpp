@@ -1,0 +1,173 @@
+// lobj-tool — developer tooling for LambdaVM modules (the "function
+// binaries" uploaded to LambdaStore):
+//
+//   lobj-tool asm  <in.lasm> <out.lobj>     assemble λasm -> module binary
+//   lobj-tool dis  <in.lobj>                disassemble to stdout
+//   lobj-tool validate <in.lobj>            decode + validate
+//   lobj-tool run  <in.lobj> <func> [arg]   execute against an in-memory
+//                                           KV host, print result + stats
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.h"
+#include "vm/assembler.h"
+#include "vm/disassembler.h"
+#include "vm/interpreter.h"
+
+using namespace lo;
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return Status::OK();
+}
+
+/// Standalone host: in-memory KV, no cluster.
+class LocalHost : public vm::HostApi {
+ public:
+  sim::Task<Result<std::string>> KvGet(std::string_view key) override {
+    auto it = kv_.find(std::string(key));
+    if (it == kv_.end()) co_return Status::NotFound("");
+    co_return it->second;
+  }
+  sim::Task<Status> KvPut(std::string_view key, std::string_view value) override {
+    kv_[std::string(key)] = std::string(value);
+    co_return Status::OK();
+  }
+  sim::Task<Status> KvDelete(std::string_view key) override {
+    kv_.erase(std::string(key));
+    co_return Status::OK();
+  }
+  sim::Task<Result<std::string>> InvokeObject(std::string_view oid,
+                                              std::string_view function,
+                                              std::string_view) override {
+    co_return Status::Unavailable("no cluster: cannot invoke " + std::string(oid) +
+                                  "." + std::string(function));
+  }
+  uint64_t TimeMillis() override { return 0; }
+  void DebugLog(std::string_view message) override {
+    std::fprintf(stderr, "[vm log] %.*s\n", static_cast<int>(message.size()),
+                 message.data());
+  }
+
+  const std::map<std::string, std::string>& kv() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lobj-tool asm <in.lasm> <out.lobj>\n"
+               "       lobj-tool dis <in.lobj>\n"
+               "       lobj-tool validate <in.lobj>\n"
+               "       lobj-tool run <in.lobj> <func> [arg]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+
+  if (command == "asm") {
+    if (argc != 4) return Usage();
+    auto source = ReadFile(argv[2]);
+    if (!source.ok()) return Fail(source.status());
+    auto module = vm::Assemble(*source);
+    if (!module.ok()) return Fail(module.status());
+    Status written = WriteFile(argv[3], module->Serialize());
+    if (!written.ok()) return Fail(written);
+    std::printf("assembled %zu function(s), %zu data segment(s)\n",
+                module->functions().size(), module->data().size());
+    return 0;
+  }
+
+  auto bytes = ReadFile(argv[2]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto module = vm::Module::Deserialize(*bytes);
+  if (!module.ok()) return Fail(module.status());
+
+  if (command == "dis") {
+    std::fputs(vm::Disassemble(*module).c_str(), stdout);
+    return 0;
+  }
+  if (command == "validate") {
+    std::printf("ok: %zu function(s), %llu bytes memory\n",
+                module->functions().size(),
+                static_cast<unsigned long long>(module->min_memory()));
+    for (const auto& fn : module->functions()) {
+      std::printf("  %s%s: %zu instruction(s)\n", fn.name.c_str(),
+                  fn.exported ? " (exported)" : "", fn.code.size());
+    }
+    return 0;
+  }
+  if (command == "run") {
+    if (argc < 4) return Usage();
+    std::string argument = argc > 4 ? argv[4] : "";
+    LocalHost host;
+    vm::Instance instance(&*module, {});
+    Result<std::string> out = Status::Unavailable("did not run");
+    bool done = false;
+    sim::Detach([](vm::Instance& inst, std::string fn, std::string arg,
+                   LocalHost* host, Result<std::string>* out,
+                   bool* done) -> sim::Task<void> {
+      *out = co_await inst.Invoke(fn, std::move(arg), host);
+      *done = true;
+    }(instance, argv[3], std::move(argument), &host, &out, &done));
+    if (!done) {
+      std::fprintf(stderr, "error: function suspended on an unavailable host op\n");
+      return 1;
+    }
+    if (!out.ok()) return Fail(out.status());
+    std::printf("result (%zu bytes): ", out->size());
+    for (char c : *out) {
+      std::printf(static_cast<uint8_t>(c) >= 0x20 && static_cast<uint8_t>(c) < 0x7f
+                      ? "%c" : "\\x%02x",
+                  static_cast<uint8_t>(c));
+    }
+    std::printf("\nfuel used: %llu, instructions: %llu, host calls: %llu\n",
+                static_cast<unsigned long long>(instance.metrics().fuel_used),
+                static_cast<unsigned long long>(instance.metrics().instructions),
+                static_cast<unsigned long long>(instance.metrics().host_calls));
+    if (!host.kv().empty()) {
+      std::printf("kv state after run:\n");
+      auto print_escaped = [](const std::string& bytes) {
+        for (char c : bytes) {
+          std::printf(static_cast<uint8_t>(c) >= 0x20 && static_cast<uint8_t>(c) < 0x7f
+                          ? "%c" : "\\x%02x",
+                      static_cast<uint8_t>(c));
+        }
+      };
+      for (const auto& [key, value] : host.kv()) {
+        std::printf("  ");
+        print_escaped(key);
+        std::printf(" = ");
+        print_escaped(value);
+        std::printf("\n");
+      }
+    }
+    return 0;
+  }
+  return Usage();
+}
