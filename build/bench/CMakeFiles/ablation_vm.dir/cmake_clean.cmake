@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vm.dir/ablation_vm.cpp.o"
+  "CMakeFiles/ablation_vm.dir/ablation_vm.cpp.o.d"
+  "ablation_vm"
+  "ablation_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/lo_bench_harness.dir/harness.cc.o.d"
+  "liblo_bench_harness.a"
+  "liblo_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

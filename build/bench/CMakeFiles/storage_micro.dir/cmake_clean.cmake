@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_micro.dir/storage_micro.cpp.o"
+  "CMakeFiles/storage_micro.dir/storage_micro.cpp.o.d"
+  "storage_micro"
+  "storage_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

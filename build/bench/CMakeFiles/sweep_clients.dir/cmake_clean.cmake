@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_clients.dir/sweep_clients.cpp.o"
+  "CMakeFiles/sweep_clients.dir/sweep_clients.cpp.o.d"
+  "sweep_clients"
+  "sweep_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shop.cpp" "examples/CMakeFiles/shop.dir/shop.cpp.o" "gcc" "examples/CMakeFiles/shop.dir/shop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/lo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/retwis/CMakeFiles/lo_retwis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lo_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/lo_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/lo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/lo_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

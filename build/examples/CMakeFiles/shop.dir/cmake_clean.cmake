@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shop.dir/shop.cpp.o"
+  "CMakeFiles/shop.dir/shop.cpp.o.d"
+  "shop"
+  "shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/compute_node.cc" "src/baseline/CMakeFiles/lo_baseline.dir/compute_node.cc.o" "gcc" "src/baseline/CMakeFiles/lo_baseline.dir/compute_node.cc.o.d"
+  "/root/repo/src/baseline/deployment.cc" "src/baseline/CMakeFiles/lo_baseline.dir/deployment.cc.o" "gcc" "src/baseline/CMakeFiles/lo_baseline.dir/deployment.cc.o.d"
+  "/root/repo/src/baseline/load_balancer.cc" "src/baseline/CMakeFiles/lo_baseline.dir/load_balancer.cc.o" "gcc" "src/baseline/CMakeFiles/lo_baseline.dir/load_balancer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/lo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/lo_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/lo_coord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_baseline.dir/compute_node.cc.o"
+  "CMakeFiles/lo_baseline.dir/compute_node.cc.o.d"
+  "CMakeFiles/lo_baseline.dir/deployment.cc.o"
+  "CMakeFiles/lo_baseline.dir/deployment.cc.o.d"
+  "CMakeFiles/lo_baseline.dir/load_balancer.cc.o"
+  "CMakeFiles/lo_baseline.dir/load_balancer.cc.o.d"
+  "liblo_baseline.a"
+  "liblo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

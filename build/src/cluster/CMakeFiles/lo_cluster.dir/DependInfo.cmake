@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/client.cc" "src/cluster/CMakeFiles/lo_cluster.dir/client.cc.o" "gcc" "src/cluster/CMakeFiles/lo_cluster.dir/client.cc.o.d"
+  "/root/repo/src/cluster/deployment.cc" "src/cluster/CMakeFiles/lo_cluster.dir/deployment.cc.o" "gcc" "src/cluster/CMakeFiles/lo_cluster.dir/deployment.cc.o.d"
+  "/root/repo/src/cluster/storage_node.cc" "src/cluster/CMakeFiles/lo_cluster.dir/storage_node.cc.o" "gcc" "src/cluster/CMakeFiles/lo_cluster.dir/storage_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/lo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/lo_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/lo_coord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

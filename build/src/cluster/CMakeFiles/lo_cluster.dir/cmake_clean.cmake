@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_cluster.dir/client.cc.o"
+  "CMakeFiles/lo_cluster.dir/client.cc.o.d"
+  "CMakeFiles/lo_cluster.dir/deployment.cc.o"
+  "CMakeFiles/lo_cluster.dir/deployment.cc.o.d"
+  "CMakeFiles/lo_cluster.dir/storage_node.cc.o"
+  "CMakeFiles/lo_cluster.dir/storage_node.cc.o.d"
+  "liblo_cluster.a"
+  "liblo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_common.dir/coding.cc.o"
+  "CMakeFiles/lo_common.dir/coding.cc.o.d"
+  "CMakeFiles/lo_common.dir/crc32c.cc.o"
+  "CMakeFiles/lo_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/lo_common.dir/hash.cc.o"
+  "CMakeFiles/lo_common.dir/hash.cc.o.d"
+  "CMakeFiles/lo_common.dir/histogram.cc.o"
+  "CMakeFiles/lo_common.dir/histogram.cc.o.d"
+  "CMakeFiles/lo_common.dir/log.cc.o"
+  "CMakeFiles/lo_common.dir/log.cc.o.d"
+  "CMakeFiles/lo_common.dir/rng.cc.o"
+  "CMakeFiles/lo_common.dir/rng.cc.o.d"
+  "CMakeFiles/lo_common.dir/sha256.cc.o"
+  "CMakeFiles/lo_common.dir/sha256.cc.o.d"
+  "CMakeFiles/lo_common.dir/status.cc.o"
+  "CMakeFiles/lo_common.dir/status.cc.o.d"
+  "liblo_common.a"
+  "liblo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/coordinator.cc" "src/coord/CMakeFiles/lo_coord.dir/coordinator.cc.o" "gcc" "src/coord/CMakeFiles/lo_coord.dir/coordinator.cc.o.d"
+  "/root/repo/src/coord/paxos.cc" "src/coord/CMakeFiles/lo_coord.dir/paxos.cc.o" "gcc" "src/coord/CMakeFiles/lo_coord.dir/paxos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

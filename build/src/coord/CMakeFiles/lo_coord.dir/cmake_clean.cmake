@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_coord.dir/coordinator.cc.o"
+  "CMakeFiles/lo_coord.dir/coordinator.cc.o.d"
+  "CMakeFiles/lo_coord.dir/paxos.cc.o"
+  "CMakeFiles/lo_coord.dir/paxos.cc.o.d"
+  "liblo_coord.a"
+  "liblo_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_replication.dir/replicator.cc.o"
+  "CMakeFiles/lo_replication.dir/replicator.cc.o.d"
+  "liblo_replication.a"
+  "liblo_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

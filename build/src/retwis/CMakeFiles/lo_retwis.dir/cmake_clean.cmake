@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_retwis.dir/driver.cc.o"
+  "CMakeFiles/lo_retwis.dir/driver.cc.o.d"
+  "CMakeFiles/lo_retwis.dir/retwis.cc.o"
+  "CMakeFiles/lo_retwis.dir/retwis.cc.o.d"
+  "CMakeFiles/lo_retwis.dir/workload.cc.o"
+  "CMakeFiles/lo_retwis.dir/workload.cc.o.d"
+  "liblo_retwis.a"
+  "liblo_retwis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_retwis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/context.cc" "src/runtime/CMakeFiles/lo_runtime.dir/context.cc.o" "gcc" "src/runtime/CMakeFiles/lo_runtime.dir/context.cc.o.d"
+  "/root/repo/src/runtime/object.cc" "src/runtime/CMakeFiles/lo_runtime.dir/object.cc.o" "gcc" "src/runtime/CMakeFiles/lo_runtime.dir/object.cc.o.d"
+  "/root/repo/src/runtime/result_cache.cc" "src/runtime/CMakeFiles/lo_runtime.dir/result_cache.cc.o" "gcc" "src/runtime/CMakeFiles/lo_runtime.dir/result_cache.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/lo_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/lo_runtime.dir/runtime.cc.o.d"
+  "/root/repo/src/runtime/transaction.cc" "src/runtime/CMakeFiles/lo_runtime.dir/transaction.cc.o" "gcc" "src/runtime/CMakeFiles/lo_runtime.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/lo_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

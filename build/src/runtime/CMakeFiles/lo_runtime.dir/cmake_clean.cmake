@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_runtime.dir/context.cc.o"
+  "CMakeFiles/lo_runtime.dir/context.cc.o.d"
+  "CMakeFiles/lo_runtime.dir/object.cc.o"
+  "CMakeFiles/lo_runtime.dir/object.cc.o.d"
+  "CMakeFiles/lo_runtime.dir/result_cache.cc.o"
+  "CMakeFiles/lo_runtime.dir/result_cache.cc.o.d"
+  "CMakeFiles/lo_runtime.dir/runtime.cc.o"
+  "CMakeFiles/lo_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/lo_runtime.dir/transaction.cc.o"
+  "CMakeFiles/lo_runtime.dir/transaction.cc.o.d"
+  "liblo_runtime.a"
+  "liblo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_sim.dir/cpu.cc.o"
+  "CMakeFiles/lo_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/lo_sim.dir/network.cc.o"
+  "CMakeFiles/lo_sim.dir/network.cc.o.d"
+  "CMakeFiles/lo_sim.dir/rpc.cc.o"
+  "CMakeFiles/lo_sim.dir/rpc.cc.o.d"
+  "CMakeFiles/lo_sim.dir/simulator.cc.o"
+  "CMakeFiles/lo_sim.dir/simulator.cc.o.d"
+  "liblo_sim.a"
+  "liblo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

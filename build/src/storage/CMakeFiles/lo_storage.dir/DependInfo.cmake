@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block.cc" "src/storage/CMakeFiles/lo_storage.dir/block.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/block.cc.o.d"
+  "/root/repo/src/storage/bloom.cc" "src/storage/CMakeFiles/lo_storage.dir/bloom.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/bloom.cc.o.d"
+  "/root/repo/src/storage/db.cc" "src/storage/CMakeFiles/lo_storage.dir/db.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/db.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/lo_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/env.cc.o.d"
+  "/root/repo/src/storage/filename.cc" "src/storage/CMakeFiles/lo_storage.dir/filename.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/filename.cc.o.d"
+  "/root/repo/src/storage/iterator.cc" "src/storage/CMakeFiles/lo_storage.dir/iterator.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/iterator.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/storage/CMakeFiles/lo_storage.dir/memtable.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/memtable.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/storage/CMakeFiles/lo_storage.dir/sstable.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/sstable.cc.o.d"
+  "/root/repo/src/storage/version.cc" "src/storage/CMakeFiles/lo_storage.dir/version.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/version.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/lo_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/wal.cc.o.d"
+  "/root/repo/src/storage/write_batch.cc" "src/storage/CMakeFiles/lo_storage.dir/write_batch.cc.o" "gcc" "src/storage/CMakeFiles/lo_storage.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_storage.dir/block.cc.o"
+  "CMakeFiles/lo_storage.dir/block.cc.o.d"
+  "CMakeFiles/lo_storage.dir/bloom.cc.o"
+  "CMakeFiles/lo_storage.dir/bloom.cc.o.d"
+  "CMakeFiles/lo_storage.dir/db.cc.o"
+  "CMakeFiles/lo_storage.dir/db.cc.o.d"
+  "CMakeFiles/lo_storage.dir/env.cc.o"
+  "CMakeFiles/lo_storage.dir/env.cc.o.d"
+  "CMakeFiles/lo_storage.dir/filename.cc.o"
+  "CMakeFiles/lo_storage.dir/filename.cc.o.d"
+  "CMakeFiles/lo_storage.dir/iterator.cc.o"
+  "CMakeFiles/lo_storage.dir/iterator.cc.o.d"
+  "CMakeFiles/lo_storage.dir/memtable.cc.o"
+  "CMakeFiles/lo_storage.dir/memtable.cc.o.d"
+  "CMakeFiles/lo_storage.dir/sstable.cc.o"
+  "CMakeFiles/lo_storage.dir/sstable.cc.o.d"
+  "CMakeFiles/lo_storage.dir/version.cc.o"
+  "CMakeFiles/lo_storage.dir/version.cc.o.d"
+  "CMakeFiles/lo_storage.dir/wal.cc.o"
+  "CMakeFiles/lo_storage.dir/wal.cc.o.d"
+  "CMakeFiles/lo_storage.dir/write_batch.cc.o"
+  "CMakeFiles/lo_storage.dir/write_batch.cc.o.d"
+  "liblo_storage.a"
+  "liblo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

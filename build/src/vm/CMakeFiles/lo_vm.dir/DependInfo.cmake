@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cc" "src/vm/CMakeFiles/lo_vm.dir/assembler.cc.o" "gcc" "src/vm/CMakeFiles/lo_vm.dir/assembler.cc.o.d"
+  "/root/repo/src/vm/disassembler.cc" "src/vm/CMakeFiles/lo_vm.dir/disassembler.cc.o" "gcc" "src/vm/CMakeFiles/lo_vm.dir/disassembler.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/vm/CMakeFiles/lo_vm.dir/interpreter.cc.o" "gcc" "src/vm/CMakeFiles/lo_vm.dir/interpreter.cc.o.d"
+  "/root/repo/src/vm/isa.cc" "src/vm/CMakeFiles/lo_vm.dir/isa.cc.o" "gcc" "src/vm/CMakeFiles/lo_vm.dir/isa.cc.o.d"
+  "/root/repo/src/vm/module.cc" "src/vm/CMakeFiles/lo_vm.dir/module.cc.o" "gcc" "src/vm/CMakeFiles/lo_vm.dir/module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

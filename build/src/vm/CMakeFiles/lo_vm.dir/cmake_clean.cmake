@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_vm.dir/assembler.cc.o"
+  "CMakeFiles/lo_vm.dir/assembler.cc.o.d"
+  "CMakeFiles/lo_vm.dir/disassembler.cc.o"
+  "CMakeFiles/lo_vm.dir/disassembler.cc.o.d"
+  "CMakeFiles/lo_vm.dir/interpreter.cc.o"
+  "CMakeFiles/lo_vm.dir/interpreter.cc.o.d"
+  "CMakeFiles/lo_vm.dir/isa.cc.o"
+  "CMakeFiles/lo_vm.dir/isa.cc.o.d"
+  "CMakeFiles/lo_vm.dir/module.cc.o"
+  "CMakeFiles/lo_vm.dir/module.cc.o.d"
+  "liblo_vm.a"
+  "liblo_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retwis_test.dir/retwis_test.cpp.o"
+  "CMakeFiles/retwis_test.dir/retwis_test.cpp.o.d"
+  "retwis_test"
+  "retwis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retwis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

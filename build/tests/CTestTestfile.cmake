@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[common_test]=] "/root/repo/build/tests/common_test")
+set_tests_properties([=[common_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[sim_test]=] "/root/repo/build/tests/sim_test")
+set_tests_properties([=[sim_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[storage_test]=] "/root/repo/build/tests/storage_test")
+set_tests_properties([=[storage_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[vm_test]=] "/root/repo/build/tests/vm_test")
+set_tests_properties([=[vm_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[runtime_test]=] "/root/repo/build/tests/runtime_test")
+set_tests_properties([=[runtime_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[replication_test]=] "/root/repo/build/tests/replication_test")
+set_tests_properties([=[replication_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[coord_test]=] "/root/repo/build/tests/coord_test")
+set_tests_properties([=[coord_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cluster_test]=] "/root/repo/build/tests/cluster_test")
+set_tests_properties([=[cluster_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[retwis_test]=] "/root/repo/build/tests/retwis_test")
+set_tests_properties([=[retwis_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[consistency_test]=] "/root/repo/build/tests/consistency_test")
+set_tests_properties([=[consistency_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[transaction_test]=] "/root/repo/build/tests/transaction_test")
+set_tests_properties([=[transaction_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;lo_add_test;/root/repo/tests/CMakeLists.txt;0;")

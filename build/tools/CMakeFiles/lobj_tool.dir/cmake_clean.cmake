@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lobj_tool.dir/lobj_tool.cpp.o"
+  "CMakeFiles/lobj_tool.dir/lobj_tool.cpp.o.d"
+  "lobj-tool"
+  "lobj-tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lobj_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
