@@ -1,11 +1,69 @@
 #include "bench/harness.h"
 
 #include <cstdarg>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/log.h"
+#include "obs/export.h"
 
 namespace lo::bench {
+
+namespace {
+
+obs::TracerOptions TracerOptionsFromEnv() {
+  obs::TracerOptions options;
+  options.sample_every = 16;
+  const char* sample = std::getenv("LO_OBS_SAMPLE");
+  if (sample != nullptr && sample[0] != '\0') {
+    options.sample_every = std::strtoull(sample, nullptr, 10);
+  }
+  return options;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  LO_CHECK_MSG(f != nullptr, path.c_str());
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+
+// Root-span wrapper for the disaggregated invokers: the aggregated
+// system's Client mints "invoke" spans itself, but here clients are raw
+// RpcEndpoints, so the harness plays that role.
+sim::Task<Result<std::string>> TracedEntryCall(sim::RpcEndpoint* rpc,
+                                               obs::Tracer* tracer,
+                                               sim::NodeId entry,
+                                               std::string service,
+                                               std::string payload) {
+  obs::TraceContext trace =
+      tracer != nullptr ? tracer->StartTrace() : obs::TraceContext{};
+  sim::Time started = rpc->sim().Now();
+  Result<std::string> result = co_await rpc->Call(
+      entry, std::move(service), std::move(payload), sim::Seconds(5), trace);
+  if (obs::Tracing(tracer, trace)) {
+    tracer->Record(trace, "invoke", rpc->node(), started, rpc->sim().Now());
+  }
+  co_return result;
+}
+
+}  // namespace
+
+ObsHooks::ObsHooks() : tracer_(TracerOptionsFromEnv()) {
+  const char* dir = std::getenv("LO_OBS_OUT");
+  if (dir != nullptr && dir[0] != '\0') {
+    enabled_ = true;
+    out_dir_ = dir;
+  }
+}
+
+void ObsHooks::Dump(const std::string& label) {
+  if (!enabled_) return;
+  WriteFileOrDie(out_dir_ + "/BENCH_" + label + "_metrics.json",
+                 registry_.SnapshotJson());
+  WriteFileOrDie(out_dir_ + "/BENCH_" + label + "_trace.json",
+                 obs::ExportChromeTrace(tracer_.Spans()));
+}
 
 ExperimentConfig MaybeQuick(ExperimentConfig config) {
   const char* quick = std::getenv("LO_BENCH_QUICK");
@@ -28,6 +86,8 @@ AggregatedSystem::AggregatedSystem(const ExperimentConfig& config,
   options.node.runtime.enable_result_cache = config.result_cache;
   // Closed-loop measurement clients must out-wait celebrity-post fan-outs.
   options.client.request_timeout = sim::Seconds(5);
+  options.metrics_registry = obs_.registry();
+  options.tracer = obs_.tracer();
   deployment_ =
       std::make_unique<cluster::AggregatedDeployment>(sim_, &types_, options);
   deployment_->WaitUntilReady();
@@ -59,6 +119,8 @@ DisaggregatedSystem::DisaggregatedSystem(const ExperimentConfig& config,
   LO_CHECK(retwis::RegisterUserType(&types_, /*use_vm=*/true).ok());
   baseline::BaselineOptions options;
   options.storage.replication_mode = config.replication_mode;
+  options.metrics_registry = obs_.registry();
+  options.tracer = obs_.tracer();
   deployment_ = std::make_unique<baseline::DisaggregatedDeployment>(sim_, &types_,
                                                                     options);
   for (int i = 0; i < 3; i++) {
@@ -72,15 +134,18 @@ retwis::DriverResult DisaggregatedSystem::Run(retwis::OpType op,
   std::vector<retwis::Invoker> invokers;
   sim::NodeId entry = deployment_->entry_node();
   std::string service = deployment_->entry_service();
+  obs::Tracer* tracer = obs_.tracer();
   for (int i = 0; i < config.num_clients; i++) {
     sim::RpcEndpoint* rpc = &deployment_->NewClientEndpoint();
-    invokers.push_back([rpc, entry, service](const retwis::Request& request) {
-      std::string payload;
-      PutLengthPrefixed(&payload, request.oid);
-      PutLengthPrefixed(&payload, request.method);
-      PutLengthPrefixed(&payload, request.argument);
-      return rpc->Call(entry, service, std::move(payload), sim::Seconds(5));
-    });
+    invokers.push_back(
+        [rpc, entry, service, tracer](const retwis::Request& request) {
+          std::string payload;
+          PutLengthPrefixed(&payload, request.oid);
+          PutLengthPrefixed(&payload, request.method);
+          PutLengthPrefixed(&payload, request.argument);
+          return TracedEntryCall(rpc, tracer, entry, service,
+                                 std::move(payload));
+        });
   }
   retwis::DriverConfig driver;
   driver.warmup = config.warmup;
@@ -94,10 +159,14 @@ retwis::DriverResult RunExperiment(bool aggregated, retwis::OpType op,
   retwis::Workload workload(config.workload);
   if (aggregated) {
     AggregatedSystem system(config, workload);
-    return system.Run(op, config, workload);
+    retwis::DriverResult result = system.Run(op, config, workload);
+    system.obs().Dump(std::string(retwis::OpName(op)) + "_agg");
+    return result;
   }
   DisaggregatedSystem system(config, workload);
-  return system.Run(op, config, workload);
+  retwis::DriverResult result = system.Run(op, config, workload);
+  system.obs().Dump(std::string(retwis::OpName(op)) + "_disagg");
+  return result;
 }
 
 void PrintHeader(const std::string& title) {

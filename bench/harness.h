@@ -14,6 +14,8 @@
 #include "baseline/deployment.h"
 #include "cluster/deployment.h"
 #include "common/coding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "retwis/driver.h"
 #include "retwis/retwis.h"
 #include "retwis/workload.h"
@@ -37,6 +39,30 @@ struct ExperimentConfig {
 /// Applies LO_BENCH_QUICK=1 (env) to shrink an experiment ~20x.
 ExperimentConfig MaybeQuick(ExperimentConfig config);
 
+/// Per-experiment observability: each system owns an isolated registry +
+/// tracer (multiple systems reuse node ids, so the global Default() would
+/// mix them up). Enabled by the LO_OBS_OUT env var naming an output
+/// directory; LO_OBS_SAMPLE overrides the trace sampling rate (default
+/// 16, i.e. every 16th invocation). Dump() writes
+///   <dir>/BENCH_<label>_metrics.json   registry snapshot
+///   <dir>/BENCH_<label>_trace.json     Chrome-trace-event spans
+/// readable by ui.perfetto.dev and tools/trace_report.
+class ObsHooks {
+ public:
+  ObsHooks();
+
+  bool enabled() const { return enabled_; }
+  obs::MetricsRegistry* registry() { return enabled_ ? &registry_ : nullptr; }
+  obs::Tracer* tracer() { return enabled_ ? &tracer_ : nullptr; }
+  void Dump(const std::string& label);
+
+ private:
+  bool enabled_ = false;
+  std::string out_dir_;
+  obs::MetricsRegistry registry_;
+  obs::Tracer tracer_;
+};
+
 /// The aggregated system under test (paper topology: 3 storage nodes,
 /// coordinators, 1 shard).
 class AggregatedSystem {
@@ -47,10 +73,12 @@ class AggregatedSystem {
                            const retwis::Workload& workload);
   cluster::AggregatedDeployment& deployment() { return *deployment_; }
   sim::Simulator& sim() { return sim_; }
+  ObsHooks& obs() { return obs_; }
 
  private:
   sim::Simulator sim_;
   runtime::TypeRegistry types_;
+  ObsHooks obs_;  // must outlive the deployment (registry holds pointers)
   std::unique_ptr<cluster::AggregatedDeployment> deployment_;
 };
 
@@ -64,10 +92,12 @@ class DisaggregatedSystem {
                            const retwis::Workload& workload);
   baseline::DisaggregatedDeployment& deployment() { return *deployment_; }
   sim::Simulator& sim() { return sim_; }
+  ObsHooks& obs() { return obs_; }
 
  private:
   sim::Simulator sim_;
   runtime::TypeRegistry types_;
+  ObsHooks obs_;  // must outlive the deployment (registry holds pointers)
   std::unique_ptr<baseline::DisaggregatedDeployment> deployment_;
 };
 

@@ -22,14 +22,14 @@ std::string EncodeInvoke(std::string_view oid, std::string_view method,
 /// snapshot: operations are individually visible the moment they land.
 class RemoteHostApi : public vm::HostApi {
  public:
-  RemoteHostApi(ComputeNode* node, std::string oid)
-      : node_(node), oid_(std::move(oid)) {}
+  RemoteHostApi(ComputeNode* node, std::string oid, obs::TraceContext trace)
+      : node_(node), oid_(std::move(oid)), trace_(trace) {}
 
   sim::Task<Result<std::string>> KvGet(std::string_view key) override {
     node_->metrics_.storage_round_trips++;
     co_return co_await node_->rpc_.Call(Primary(), "kv.get",
                                         runtime::FieldKey(oid_, key),
-                                        node_->options_.storage_timeout);
+                                        node_->options_.storage_timeout, trace_);
   }
 
   sim::Task<Status> KvPut(std::string_view key, std::string_view value) override {
@@ -39,7 +39,7 @@ class RemoteHostApi : public vm::HostApi {
     PutLengthPrefixed(&payload, value);
     payload.push_back(0);
     auto reply = co_await node_->rpc_.Call(Primary(), "kv.put", payload,
-                                           node_->options_.storage_timeout);
+                                           node_->options_.storage_timeout, trace_);
     co_return reply.status();
   }
 
@@ -50,7 +50,7 @@ class RemoteHostApi : public vm::HostApi {
     PutLengthPrefixed(&payload, "");
     payload.push_back(1);
     auto reply = co_await node_->rpc_.Call(Primary(), "kv.put", payload,
-                                           node_->options_.storage_timeout);
+                                           node_->options_.storage_timeout, trace_);
     co_return reply.status();
   }
 
@@ -63,10 +63,10 @@ class RemoteHostApi : public vm::HostApi {
     if (node_->load_balancer_ != 0) {
       co_return co_await node_->rpc_.Call(
           node_->load_balancer_, "lb.invoke", EncodeInvoke(oid, function, argument),
-          node_->options_.storage_timeout * 4);
+          node_->options_.storage_timeout * 4, trace_);
     }
     co_return co_await node_->InvokeFunction(std::string(oid), std::string(function),
-                                             std::string(argument));
+                                             std::string(argument), trace_);
   }
 
   uint64_t TimeMillis() override {
@@ -78,6 +78,7 @@ class RemoteHostApi : public vm::HostApi {
 
   ComputeNode* node_;
   std::string oid_;
+  obs::TraceContext trace_;
 };
 
 ComputeNode::ComputeNode(sim::Network& net, sim::NodeId id,
@@ -85,12 +86,25 @@ ComputeNode::ComputeNode(sim::Network& net, sim::NodeId id,
                          ComputeNodeOptions options)
     : options_(options), rpc_(net, id), cpu_(net.sim(), options.cores),
       types_(types) {
-  rpc_.Handle("fn.invoke", [this](sim::NodeId from, std::string payload) {
-    return HandleInvoke(from, std::move(payload));
+  rpc_.SetTracer(options.tracer);
+  rpc_.Handle("fn.invoke", [this](sim::NodeId from, obs::TraceContext trace,
+                                  std::string payload) {
+    return HandleInvoke(from, trace, std::move(payload));
   });
   rpc_.Handle("fn.create", [this](sim::NodeId from, std::string payload) {
     return HandleCreate(from, std::move(payload));
   });
+  if (options.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = options.metrics_registry;
+    reg->RegisterExternal("compute.invocations", id, &metrics_.invocations);
+    reg->RegisterExternal("compute.storage_round_trips", id,
+                          &metrics_.storage_round_trips);
+    reg->RegisterExternal("compute.cold_starts", id, &metrics_.cold_starts);
+    reg->RegisterExternal("compute.fuel_executed", id, &metrics_.fuel_executed);
+    reg->RegisterCallback("cpu.busy_core_ns", id, [this] {
+      return static_cast<double>(cpu_.busy_core_ns());
+    });
+  }
 }
 
 sim::Task<Result<std::string>> ComputeNode::TypeNameOf(const std::string& oid) {
@@ -118,7 +132,8 @@ sim::Task<void> ComputeNode::MaybeColdStart(const std::string& type_name) {
 
 sim::Task<Result<std::string>> ComputeNode::InvokeFunction(std::string oid,
                                                            std::string method,
-                                                           std::string argument) {
+                                                           std::string argument,
+                                                           obs::TraceContext trace) {
   metrics_.invocations++;
   auto type_name = co_await TypeNameOf(oid);
   if (!type_name.ok()) {
@@ -136,17 +151,23 @@ sim::Task<Result<std::string>> ComputeNode::InvokeFunction(std::string oid,
   }
   co_await MaybeColdStart(*type_name);
 
-  RemoteHostApi host(this, oid);
+  RemoteHostApi host(this, oid, trace);
   vm::Instance instance(impl->module.get(), options_.vm_limits);
   auto result = co_await instance.Invoke(method, std::move(argument), &host);
   uint64_t fuel = instance.metrics().fuel_used;
   metrics_.fuel_executed += fuel;
+  sim::Time exec_started = rpc_.sim().Now();
   co_await cpu_.Execute(options_.vm_instantiation_overhead +
                         static_cast<sim::Duration>(fuel * options_.ns_per_fuel));
+  if (obs::Tracing(options_.tracer, trace)) {
+    options_.tracer->RecordChild(trace, "vm_exec", id(), exec_started,
+                                 rpc_.sim().Now());
+  }
   co_return result;
 }
 
 sim::Task<Result<std::string>> ComputeNode::HandleInvoke(sim::NodeId,
+                                                         obs::TraceContext trace,
                                                          std::string payload) {
   Reader reader{payload};
   std::string_view oid, method, argument;
@@ -154,9 +175,14 @@ sim::Task<Result<std::string>> ComputeNode::HandleInvoke(sim::NodeId,
       !reader.GetLengthPrefixed(&argument)) {
     co_return Status::Corruption("bad fn.invoke payload");
   }
+  sim::Time dispatch_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  if (obs::Tracing(options_.tracer, trace)) {
+    options_.tracer->RecordChild(trace, "dispatch", id(), dispatch_started,
+                                 rpc_.sim().Now());
+  }
   co_return co_await InvokeFunction(std::string(oid), std::string(method),
-                                    std::string(argument));
+                                    std::string(argument), trace);
 }
 
 sim::Task<Result<std::string>> ComputeNode::HandleCreate(sim::NodeId,

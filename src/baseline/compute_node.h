@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "cluster/routing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/object.h"
 #include "sim/cpu.h"
 #include "sim/rpc.h"
@@ -35,6 +37,9 @@ struct ComputeNodeOptions {
   /// How long a warm sandbox stays warm after an invocation.
   sim::Duration keep_alive = sim::Seconds(600);
   sim::Duration storage_timeout = sim::Millis(100);
+  /// Observability (nullptr = off).
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class ComputeNode {
@@ -50,7 +55,8 @@ class ComputeNode {
 
   /// Executes one function invocation (also the nested-call entry).
   sim::Task<Result<std::string>> InvokeFunction(std::string oid, std::string method,
-                                                std::string argument);
+                                                std::string argument,
+                                                obs::TraceContext trace = {});
 
   struct Metrics {
     uint64_t invocations = 0;
@@ -63,7 +69,9 @@ class ComputeNode {
 
  private:
   friend class RemoteHostApi;
-  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from,
+                                              obs::TraceContext trace,
+                                              std::string payload);
   sim::Task<Result<std::string>> HandleCreate(sim::NodeId from, std::string payload);
   sim::Task<Result<std::string>> TypeNameOf(const std::string& oid);
   sim::Task<void> MaybeColdStart(const std::string& type_name);

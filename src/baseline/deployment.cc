@@ -6,6 +6,24 @@ DisaggregatedDeployment::DisaggregatedDeployment(
     sim::Simulator& sim, const runtime::TypeRegistry* types,
     BaselineOptions options)
     : sim_(sim), net_(sim, options.network), options_(options) {
+  options_.storage.metrics_registry = options_.metrics_registry;
+  options_.storage.tracer = options_.tracer;
+  options_.compute.metrics_registry = options_.metrics_registry;
+  options_.compute.tracer = options_.tracer;
+  options_.load_balancer.metrics_registry = options_.metrics_registry;
+  options_.load_balancer.tracer = options_.tracer;
+  if (options_.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics_registry;
+    reg->RegisterCallback("net.messages_sent", 0, [this] {
+      return static_cast<double>(net_.messages_sent());
+    });
+    reg->RegisterCallback("net.messages_dropped", 0, [this] {
+      return static_cast<double>(net_.messages_dropped());
+    });
+    reg->RegisterCallback("net.bytes_sent", 0, [this] {
+      return static_cast<double>(net_.bytes_sent());
+    });
+  }
   // Storage replica set: same StorageNode class as the aggregated
   // system — the baseline uses "our prototype as its storage layer".
   std::vector<sim::NodeId> storage_ids;
@@ -24,7 +42,7 @@ DisaggregatedDeployment::DisaggregatedDeployment(
   }
   for (sim::NodeId id : storage_ids) {
     storage_nodes_.push_back(std::make_unique<cluster::StorageNode>(
-        net_, id, types, std::vector<sim::NodeId>{}, options.storage));
+        net_, id, types, std::vector<sim::NodeId>{}, options_.storage));
     storage_nodes_.back()->ApplyConfig(config);
   }
 
@@ -34,7 +52,7 @@ DisaggregatedDeployment::DisaggregatedDeployment(
     auto id = static_cast<sim::NodeId>(30 + i);
     compute_ids.push_back(id);
     compute_nodes_.push_back(
-        std::make_unique<ComputeNode>(net_, id, types, options.compute));
+        std::make_unique<ComputeNode>(net_, id, types, options_.compute));
     compute_nodes_.back()->SeedConfig(config);
   }
 
@@ -44,7 +62,7 @@ DisaggregatedDeployment::DisaggregatedDeployment(
       log_followers_.push_back(std::make_unique<LogFollower>(net_, id));
     }
     load_balancer_ = std::make_unique<LoadBalancer>(
-        net_, 40, compute_ids, follower_ids, options.load_balancer);
+        net_, 40, compute_ids, follower_ids, options_.load_balancer);
     for (auto& compute : compute_nodes_) {
       compute->SetLoadBalancer(load_balancer_->id());
     }
@@ -63,6 +81,7 @@ const char* DisaggregatedDeployment::entry_service() const {
 sim::RpcEndpoint& DisaggregatedDeployment::NewClientEndpoint() {
   client_endpoints_.push_back(
       std::make_unique<sim::RpcEndpoint>(net_, next_client_id_++));
+  client_endpoints_.back()->SetTracer(options_.tracer);
   return *client_endpoints_.back();
 }
 

@@ -24,6 +24,10 @@ struct BaselineOptions {
   ComputeNodeOptions compute;
   cluster::StorageNodeOptions storage;
   LoadBalancerOptions load_balancer;
+  /// Observability (nullptr = off): forwarded to every node in the
+  /// deployment; client endpoints get the tracer for rpc spans.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class DisaggregatedDeployment {

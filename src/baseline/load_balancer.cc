@@ -23,29 +23,49 @@ LoadBalancer::LoadBalancer(sim::Network& net, sim::NodeId id,
       log_(&rpc_, db_.get()),
       compute_pool_(std::move(compute_pool)) {
   LO_CHECK(!compute_pool_.empty());
+  rpc_.SetTracer(options.tracer);
   log_.Configure(/*is_leader=*/true, std::move(log_followers));
-  rpc_.Handle("lb.invoke", [this](sim::NodeId from, std::string payload) {
-    return HandleInvoke(from, std::move(payload));
+  rpc_.Handle("lb.invoke", [this](sim::NodeId from, obs::TraceContext trace,
+                                  std::string payload) {
+    return HandleInvoke(from, trace, std::move(payload));
   });
+  if (options.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = options.metrics_registry;
+    reg->RegisterExternal("lb.requests", id, &metrics_.requests);
+    reg->RegisterExternal("lb.log_appends", id, &metrics_.log_appends);
+    reg->RegisterExternal("lb.retries_on_compute_failure", id,
+                          &metrics_.retries_on_compute_failure);
+  }
 }
 
 sim::Task<Result<std::string>> LoadBalancer::HandleInvoke(sim::NodeId,
+                                                          obs::TraceContext trace,
                                                           std::string payload) {
   metrics_.requests++;
+  sim::Time dispatch_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  if (obs::Tracing(options_.tracer, trace)) {
+    options_.tracer->RecordChild(trace, "dispatch", id(), dispatch_started,
+                                 rpc_.sim().Now());
+  }
   // Durability first: the request is logged before any execution, so a
   // compute failure can be retried rather than lost.
+  sim::Time append_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.log_sync_latency);
-  auto index = co_await log_.Append(payload);
+  auto index = co_await log_.Append(payload, trace);
   if (!index.ok()) co_return index.status();
   metrics_.log_appends++;
+  if (obs::Tracing(options_.tracer, trace)) {
+    options_.tracer->RecordChild(trace, "log.append", id(), append_started,
+                                 rpc_.sim().Now());
+  }
 
   // Round-robin dispatch; on failure, retry on the next compute node.
   for (size_t attempt = 0; attempt < compute_pool_.size(); attempt++) {
     sim::NodeId target = compute_pool_[next_compute_];
     next_compute_ = (next_compute_ + 1) % compute_pool_.size();
     auto result = co_await rpc_.Call(target, "fn.invoke", payload,
-                                     options_.compute_timeout);
+                                     options_.compute_timeout, trace);
     if (result.ok() || (!result.status().IsTimeout() &&
                         !result.status().IsUnavailable())) {
       co_return result;

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replication/replicator.h"
 #include "sim/rpc.h"
 #include "storage/db.h"
@@ -19,6 +21,9 @@ struct LoadBalancerOptions {
   sim::Duration dispatch_overhead = sim::Micros(20);
   sim::Duration log_sync_latency = sim::Micros(80);
   sim::Duration compute_timeout = sim::Millis(500);
+  /// Observability (nullptr = off).
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class LoadBalancer {
@@ -39,7 +44,9 @@ class LoadBalancer {
   const Metrics& metrics() const { return metrics_; }
 
  private:
-  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from,
+                                              obs::TraceContext trace,
+                                              std::string payload);
 
   LoadBalancerOptions options_;
   sim::RpcEndpoint rpc_;

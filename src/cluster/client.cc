@@ -7,7 +7,32 @@ namespace lo::cluster {
 
 Client::Client(sim::Network& net, sim::NodeId id,
                std::vector<sim::NodeId> coordinators, ClientOptions options)
-    : rpc_(net, id), options_(options), coordinators_(std::move(coordinators)) {}
+    : rpc_(net, id), options_(options), coordinators_(std::move(coordinators)) {
+  rpc_.SetTracer(options.tracer);
+  if (options.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = options.metrics_registry;
+    reg->RegisterExternal("client.requests", id, &metrics_.requests);
+    reg->RegisterExternal("client.retries", id, &metrics_.retries);
+    reg->RegisterExternal("client.config_refreshes", id,
+                          &metrics_.config_refreshes);
+    invoke_latency_us_ = reg->GetHistogram("client.invoke_latency_us", id);
+  }
+}
+
+obs::TraceContext Client::StartRootTrace() {
+  if (options_.tracer == nullptr) return {};
+  return options_.tracer->StartTrace();
+}
+
+void Client::FinishRootTrace(const obs::TraceContext& trace, sim::Time started) {
+  sim::Time now = rpc_.sim().Now();
+  if (obs::Tracing(options_.tracer, trace)) {
+    options_.tracer->Record(trace, "invoke", rpc_.node(), started, now);
+  }
+  if (invoke_latency_us_ != nullptr) {
+    invoke_latency_us_->Record((now - started) / 1000);
+  }
+}
 
 sim::Task<void> Client::RefreshConfig() {
   metrics_.config_refreshes++;
@@ -18,7 +43,8 @@ sim::Task<void> Client::RefreshConfig() {
 
 sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
                                                        std::string service,
-                                                       std::string payload) {
+                                                       std::string payload,
+                                                       obs::TraceContext trace) {
   metrics_.requests++;
   Status last = Status::Unavailable("no attempts made");
   for (int attempt = 0; attempt < options_.max_attempts; attempt++) {
@@ -33,7 +59,7 @@ sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
       continue;
     }
     auto result = co_await rpc_.Call(primary, service, payload,
-                                     options_.request_timeout);
+                                     options_.request_timeout, trace);
     if (result.ok()) co_return result;
     last = result.status();
     switch (last.code()) {
@@ -57,7 +83,12 @@ sim::Task<Result<std::string>> Client::Invoke(std::string oid, std::string metho
   PutLengthPrefixed(&payload, oid);
   PutLengthPrefixed(&payload, method);
   PutLengthPrefixed(&payload, argument);
-  co_return co_await CallWithRouting(oid, "lambda.invoke", std::move(payload));
+  obs::TraceContext trace = StartRootTrace();
+  sim::Time started = rpc_.sim().Now();
+  auto result =
+      co_await CallWithRouting(oid, "lambda.invoke", std::move(payload), trace);
+  FinishRootTrace(trace, started);
+  co_return result;
 }
 
 sim::Task<Result<std::string>> Client::InvokeReadAny(std::string oid,
@@ -71,17 +102,25 @@ sim::Task<Result<std::string>> Client::InvokeReadAny(std::string oid,
   PutLengthPrefixed(&payload, oid);
   PutLengthPrefixed(&payload, method);
   PutLengthPrefixed(&payload, argument);
+  obs::TraceContext trace = StartRootTrace();
+  sim::Time started = rpc_.sim().Now();
   if (config != nullptr && !config->backups.empty()) {
     // Pick any replica; fall back to the primary path on failure.
     size_t which = rpc_.sim().rng().Uniform(config->backups.size() + 1);
     if (which < config->backups.size()) {
       auto reply = co_await rpc_.Call(config->backups[which], "lambda.invoke",
-                                      payload, options_.request_timeout);
-      if (reply.ok()) co_return reply;
+                                      payload, options_.request_timeout, trace);
+      if (reply.ok()) {
+        FinishRootTrace(trace, started);
+        co_return reply;
+      }
       metrics_.retries++;
     }
   }
-  co_return co_await CallWithRouting(oid, "lambda.invoke", std::move(payload));
+  auto result =
+      co_await CallWithRouting(oid, "lambda.invoke", std::move(payload), trace);
+  FinishRootTrace(trace, started);
+  co_return result;
 }
 
 sim::Task<Result<std::string>> Client::Create(std::string oid,

@@ -11,6 +11,8 @@
 
 #include "cluster/routing.h"
 #include "coord/coordinator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/rpc.h"
 
 namespace lo::cluster {
@@ -19,6 +21,12 @@ struct ClientOptions {
   sim::Duration request_timeout = sim::Millis(100);
   sim::Duration retry_backoff = sim::Millis(10);
   int max_attempts = 8;
+  /// Observability (nullptr = off). Every Invoke/InvokeReadAny starts a
+  /// root "invoke" trace on the tracer (subject to its sampling rate);
+  /// the registry gets this client's request counters and an end-to-end
+  /// invoke latency histogram.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 class Client {
@@ -58,14 +66,20 @@ class Client {
  private:
   sim::Task<Result<std::string>> CallWithRouting(const std::string& oid,
                                                  std::string service,
-                                                 std::string payload);
+                                                 std::string payload,
+                                                 obs::TraceContext trace = {});
   sim::Task<void> RefreshConfig();
+  /// Starts a sampled root trace for one client request (empty when off).
+  obs::TraceContext StartRootTrace();
+  /// Closes the root "invoke" span and records end-to-end latency.
+  void FinishRootTrace(const obs::TraceContext& trace, sim::Time started);
 
   sim::RpcEndpoint rpc_;
   ClientOptions options_;
   std::vector<sim::NodeId> coordinators_;
   ShardMap shard_map_;
   Metrics metrics_;
+  Histogram* invoke_latency_us_ = nullptr;  // owned by the registry
 };
 
 }  // namespace lo::cluster

@@ -8,6 +8,22 @@ AggregatedDeployment::AggregatedDeployment(sim::Simulator& sim,
                                            const runtime::TypeRegistry* types,
                                            DeploymentOptions options)
     : sim_(sim), net_(sim, options.network), options_(options) {
+  options_.node.metrics_registry = options_.metrics_registry;
+  options_.node.tracer = options_.tracer;
+  options_.client.metrics_registry = options_.metrics_registry;
+  options_.client.tracer = options_.tracer;
+  if (options_.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics_registry;
+    reg->RegisterCallback("net.messages_sent", 0, [this] {
+      return static_cast<double>(net_.messages_sent());
+    });
+    reg->RegisterCallback("net.messages_dropped", 0, [this] {
+      return static_cast<double>(net_.messages_dropped());
+    });
+    reg->RegisterCallback("net.bytes_sent", 0, [this] {
+      return static_cast<double>(net_.bytes_sent());
+    });
+  }
   for (int i = 0; i < options.num_coordinators; i++) {
     coordinator_ids_.push_back(static_cast<sim::NodeId>(1 + i));
   }
@@ -15,6 +31,9 @@ AggregatedDeployment::AggregatedDeployment(sim::Simulator& sim,
     coordinator_rpcs_.push_back(std::make_unique<sim::RpcEndpoint>(net_, id));
     coordinators_.push_back(std::make_unique<coord::CoordinatorNode>(
         coordinator_rpcs_.back().get(), coordinator_ids_));
+    if (options_.metrics_registry != nullptr) {
+      coordinators_.back()->RegisterMetrics(options_.metrics_registry, id);
+    }
   }
 
   std::vector<sim::NodeId> storage_ids;
@@ -23,7 +42,7 @@ AggregatedDeployment::AggregatedDeployment(sim::Simulator& sim,
   }
   for (sim::NodeId id : storage_ids) {
     storage_nodes_.push_back(std::make_unique<StorageNode>(
-        net_, id, types, coordinator_ids_, options.node));
+        net_, id, types, coordinator_ids_, options_.node));
   }
 
   // Bootstrap config: `num_shards` shards striped over the nodes; each

@@ -25,6 +25,11 @@ struct DeploymentOptions {
   sim::NetworkConfig network;
   StorageNodeOptions node;
   ClientOptions client;
+  /// Observability (nullptr = off): forwarded to every storage node,
+  /// coordinator and client created by this deployment; the registry
+  /// additionally gets cluster-wide network counters under node 0.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class AggregatedDeployment {

@@ -43,12 +43,20 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
       types_(types),
       rpc_(net, id),
       cpu_(net.sim(), options.cores) {
+  rpc_.SetTracer(options.tracer);
   storage::Options db_options;
   db_options.env = &env_;
   db_options.write_buffer_size = options.db_write_buffer_size;
+  db_options.tracer = options.tracer;
+  db_options.node_label = id;
+  if (options.tracer != nullptr) {
+    db_options.clock = [sim = &net.sim()] { return sim->Now(); };
+  }
   db_ = std::move(*storage::DB::Open(db_options, "/lambdastore"));
+  options_.runtime.tracer = options.tracer;
+  options_.runtime.node_label = id;
   runtime_ = std::make_unique<runtime::Runtime>(&net.sim(), db_.get(), types,
-                                                options.runtime);
+                                                options_.runtime);
   replicator_ = std::make_unique<replication::Replicator>(
       &rpc_, db_.get(), options.replication_mode);
   replicator_->SetApplyHook([this](const storage::WriteBatch& batch) {
@@ -58,11 +66,13 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   // Commit path of the runtime: charge the WAL sync, then replicate
   // within the object's shard.
   runtime_->SetCommitSink(
-      [this](const runtime::ObjectId& oid,
-             storage::WriteBatch batch) -> sim::Task<Status> {
+      [this](const runtime::ObjectId& oid, storage::WriteBatch batch,
+             obs::TraceContext trace) -> sim::Task<Status> {
+        sim::Time started = rpc_.sim().Now();
         co_await rpc_.sim().Sleep(options_.wal_sync_latency);
+        RecordSpan(trace, "wal_sync", started);
         co_return co_await replicator_->ReplicateAndApply(
-            shard_map_.ShardFor(oid), std::move(batch));
+            shard_map_.ShardFor(oid), std::move(batch), trace);
       });
   // CPU: sandbox instantiation plus executed fuel occupies a worker core.
   runtime_->SetCpuCharger([this](uint64_t fuel) -> sim::Task<void> {
@@ -71,19 +81,19 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   });
   // Nested invocations route through the shard map.
   runtime_->SetRemoteInvoker(
-      [this](runtime::ObjectId oid, std::string method,
-             std::string argument) -> sim::Task<Result<std::string>> {
+      [this](runtime::ObjectId oid, std::string method, std::string argument,
+             obs::TraceContext trace) -> sim::Task<Result<std::string>> {
         if (IsPrimaryFor(oid) && !migrated_away_.contains(oid)) {
           metrics_.invokes_served++;
           co_return co_await runtime_->Invoke(std::move(oid), std::move(method),
-                                              std::move(argument));
+                                              std::move(argument), trace);
         }
         sim::NodeId target = shard_map_.PrimaryFor(oid);
         if (target == 0) co_return Status::Unavailable("no shard map");
         metrics_.forwarded_invokes++;
         co_return co_await rpc_.Call(target, "lambda.invoke",
                                      EncodeInvoke(oid, method, argument),
-                                     sim::Millis(200));
+                                     sim::Millis(200), trace);
       });
 
   if (!coordinators.empty()) {
@@ -92,8 +102,9 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
         [this](const coord::ClusterState& state) { ApplyConfig(state); });
   }
 
-  rpc_.Handle("lambda.invoke", [this](sim::NodeId from, std::string payload) {
-    return HandleInvoke(from, std::move(payload));
+  rpc_.Handle("lambda.invoke", [this](sim::NodeId from, obs::TraceContext trace,
+                                      std::string payload) {
+    return HandleInvoke(from, trace, std::move(payload));
   });
   rpc_.Handle("lambda.create", [this](sim::NodeId from, std::string payload) {
     return HandleCreate(from, std::move(payload));
@@ -101,11 +112,13 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   rpc_.Handle("kv.get", [this](sim::NodeId from, std::string payload) {
     return HandleKvGet(from, std::move(payload));
   });
-  rpc_.Handle("kv.put", [this](sim::NodeId from, std::string payload) {
-    return HandleKvPut(from, std::move(payload));
+  rpc_.Handle("kv.put", [this](sim::NodeId from, obs::TraceContext trace,
+                               std::string payload) {
+    return HandleKvPut(from, trace, std::move(payload));
   });
-  rpc_.Handle("kv.batch", [this](sim::NodeId from, std::string payload) {
-    return HandleKvBatch(from, std::move(payload));
+  rpc_.Handle("kv.batch", [this](sim::NodeId from, obs::TraceContext trace,
+                                 std::string payload) {
+    return HandleKvBatch(from, trace, std::move(payload));
   });
   rpc_.Handle("shard.extract", [this](sim::NodeId from, std::string payload) {
     return HandleExtract(from, std::move(payload));
@@ -113,6 +126,77 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   rpc_.Handle("shard.install", [this](sim::NodeId from, std::string payload) {
     return HandleInstall(from, std::move(payload));
   });
+
+  if (options.metrics_registry != nullptr) {
+    RegisterMetrics(options.metrics_registry);
+  }
+}
+
+void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
+  uint32_t node = id();
+  // Node-level counters: live pointers into metrics_, hot path unchanged.
+  reg->RegisterExternal("node.invokes_served", node, &metrics_.invokes_served);
+  reg->RegisterExternal("node.invokes_rejected_not_primary", node,
+                        &metrics_.invokes_rejected_not_primary);
+  reg->RegisterExternal("node.forwarded_invokes", node,
+                        &metrics_.forwarded_invokes);
+  reg->RegisterExternal("node.kv_ops_served", node, &metrics_.kv_ops_served);
+  reg->RegisterExternal("node.objects_migrated_out", node,
+                        &metrics_.objects_migrated_out);
+  reg->RegisterExternal("node.objects_migrated_in", node,
+                        &metrics_.objects_migrated_in);
+  // Runtime: the accessor keeps returning the same live struct.
+  const runtime::Runtime::Metrics& rt = runtime_->metrics();
+  reg->RegisterExternal("runtime.invocations", node, &rt.invocations);
+  reg->RegisterExternal("runtime.read_only_invocations", node,
+                        &rt.read_only_invocations);
+  reg->RegisterExternal("runtime.nested_invocations", node,
+                        &rt.nested_invocations);
+  reg->RegisterExternal("runtime.commits", node, &rt.commits);
+  reg->RegisterExternal("runtime.aborts", node, &rt.aborts);
+  reg->RegisterExternal("runtime.lock_waits", node, &rt.lock_waits);
+  reg->RegisterExternal("runtime.fuel_executed", node, &rt.fuel_executed);
+  const runtime::ResultCache::Stats& cache = runtime_->cache_stats();
+  reg->RegisterExternal("runtime.cache_hits", node, &cache.hits);
+  reg->RegisterExternal("runtime.cache_misses", node, &cache.misses);
+  // Replicator.
+  const replication::Replicator::Metrics& repl = replicator_->metrics();
+  reg->RegisterExternal("repl.replicated_batches", node,
+                        &repl.replicated_batches);
+  reg->RegisterExternal("repl.applied_batches", node, &repl.applied_batches);
+  reg->RegisterExternal("repl.reordered_arrivals", node,
+                        &repl.reordered_arrivals);
+  reg->RegisterExternal("repl.stale_epoch_rejections", node,
+                        &repl.stale_epoch_rejections);
+  // DB stats are returned by value; read lazily at snapshot time.
+  reg->RegisterCallback("db.wal_syncs", node, [this] {
+    return static_cast<double>(db_->GetStats().wal_syncs);
+  });
+  reg->RegisterCallback("db.flushes", node, [this] {
+    return static_cast<double>(db_->GetStats().flushes);
+  });
+  reg->RegisterCallback("db.compactions", node, [this] {
+    return static_cast<double>(db_->GetStats().compactions);
+  });
+  reg->RegisterCallback("db.compaction_bytes_written", node, [this] {
+    return static_cast<double>(db_->GetStats().compaction_bytes_written);
+  });
+  // RPC + CPU.
+  reg->RegisterCallback("rpc.calls_started", node, [this] {
+    return static_cast<double>(rpc_.calls_started());
+  });
+  reg->RegisterCallback("rpc.timeouts", node, [this] {
+    return static_cast<double>(rpc_.timeouts());
+  });
+  reg->RegisterCallback("cpu.busy_core_ns", node, [this] {
+    return static_cast<double>(cpu_.busy_core_ns());
+  });
+}
+
+void StorageNode::RecordSpan(const obs::TraceContext& trace, const char* name,
+                             sim::Time started) {
+  if (!obs::Tracing(options_.tracer, trace)) return;
+  options_.tracer->RecordChild(trace, name, id(), started, rpc_.sim().Now());
 }
 
 void StorageNode::Start() {
@@ -163,19 +247,23 @@ bool StorageNode::IsReplicaFor(std::string_view oid) const {
 
 sim::Task<Result<std::string>> StorageNode::InvokeLocal(runtime::ObjectId oid,
                                                         std::string method,
-                                                        std::string argument) {
+                                                        std::string argument,
+                                                        obs::TraceContext trace) {
   metrics_.invokes_served++;
   co_return co_await runtime_->Invoke(std::move(oid), std::move(method),
-                                      std::move(argument));
+                                      std::move(argument), trace);
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleInvoke(sim::NodeId,
+                                                         obs::TraceContext trace,
                                                          std::string payload) {
   std::string_view oid, method, argument;
   if (!DecodeInvoke(payload, &oid, &method, &argument)) {
     co_return Status::Corruption("bad invoke payload");
   }
+  sim::Time dispatch_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  RecordSpan(trace, "dispatch", dispatch_started);
   if (migrated_away_.contains(std::string(oid))) {
     metrics_.invokes_rejected_not_primary++;
     co_return Status::WrongNode("object migrated away");
@@ -191,7 +279,7 @@ sim::Task<Result<std::string>> StorageNode::HandleInvoke(sim::NodeId,
     }
   }
   co_return co_await InvokeLocal(runtime::ObjectId(oid), std::string(method),
-                                 std::string(argument));
+                                 std::string(argument), trace);
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleCreate(sim::NodeId,
@@ -216,6 +304,7 @@ sim::Task<Result<std::string>> StorageNode::HandleKvGet(sim::NodeId,
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleKvPut(sim::NodeId,
+                                                        obs::TraceContext trace,
                                                         std::string payload) {
   Reader reader{payload};
   std::string_view key, value;
@@ -225,26 +314,37 @@ sim::Task<Result<std::string>> StorageNode::HandleKvPut(sim::NodeId,
     co_return Status::Corruption("bad kv.put payload");
   }
   metrics_.kv_ops_served++;
+  sim::Time dispatch_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  RecordSpan(trace, "dispatch", dispatch_started);
+  sim::Time exec_started = rpc_.sim().Now();
   co_await cpu_.Execute(options_.kv_op_cpu);
+  RecordSpan(trace, "kv_exec", exec_started);
   storage::WriteBatch batch;
   if (is_delete[0] != 0) {
     batch.Delete(key);
   } else {
     batch.Put(key, value);
   }
+  sim::Time sync_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.wal_sync_latency);
+  RecordSpan(trace, "wal_sync", sync_started);
   coord::ShardId shard = shard_map_.ShardFor(OidFromStorageKey(key));
   LO_CO_RETURN_IF_ERROR(
-      co_await replicator_->ReplicateAndApply(shard, std::move(batch)));
+      co_await replicator_->ReplicateAndApply(shard, std::move(batch), trace));
   co_return std::string("ok");
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleKvBatch(sim::NodeId,
+                                                          obs::TraceContext trace,
                                                           std::string payload) {
   metrics_.kv_ops_served++;
+  sim::Time dispatch_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  RecordSpan(trace, "dispatch", dispatch_started);
+  sim::Time exec_started = rpc_.sim().Now();
   co_await cpu_.Execute(options_.kv_op_cpu);
+  RecordSpan(trace, "kv_exec", exec_started);
   auto batch = storage::WriteBatch::FromRep(std::move(payload));
   if (!batch.ok()) co_return batch.status();
   // Route by the first key's object (callers batch per object).
@@ -258,10 +358,12 @@ sim::Task<Result<std::string>> StorageNode::HandleKvBatch(sim::NodeId,
     }
   } first;
   LO_CO_RETURN_IF_ERROR(batch->Iterate(&first));
+  sim::Time sync_started = rpc_.sim().Now();
   co_await rpc_.sim().Sleep(options_.wal_sync_latency);
+  RecordSpan(trace, "wal_sync", sync_started);
   coord::ShardId shard = shard_map_.ShardFor(OidFromStorageKey(first.key));
   LO_CO_RETURN_IF_ERROR(
-      co_await replicator_->ReplicateAndApply(shard, std::move(*batch)));
+      co_await replicator_->ReplicateAndApply(shard, std::move(*batch), trace));
   co_return std::string("ok");
 }
 

@@ -19,6 +19,8 @@
 
 #include "cluster/routing.h"
 #include "coord/coordinator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replication/replicator.h"
 #include "runtime/runtime.h"
 #include "sim/cpu.h"
@@ -46,6 +48,11 @@ struct StorageNodeOptions {
   /// read throughput; see §4.2.1 "read-only functions can execute at any
   /// replica").
   bool serve_reads_as_backup = false;
+  /// Observability (nullptr = off). The registry publishes this node's
+  /// component metrics under its node id; the tracer records spans for
+  /// every sampled invocation that touches this node.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class StorageNode {
@@ -71,7 +78,8 @@ class StorageNode {
   /// Local invocation entry (also used by the deployment's loopback path).
   sim::Task<Result<std::string>> InvokeLocal(runtime::ObjectId oid,
                                              std::string method,
-                                             std::string argument);
+                                             std::string argument,
+                                             obs::TraceContext trace = {});
 
   struct Metrics {
     uint64_t invokes_served = 0;
@@ -87,11 +95,22 @@ class StorageNode {
   bool IsPrimaryFor(std::string_view oid) const;
   bool IsReplicaFor(std::string_view oid) const;
   bool MethodIsReadOnly(std::string_view oid, std::string_view method) const;
-  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from, std::string payload);
+  /// Publishes every component's metrics on the injected registry.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+  /// Records `name` as a child span of `trace` if tracing is active.
+  void RecordSpan(const obs::TraceContext& trace, const char* name,
+                  sim::Time started);
+  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from,
+                                              obs::TraceContext trace,
+                                              std::string payload);
   sim::Task<Result<std::string>> HandleCreate(sim::NodeId from, std::string payload);
   sim::Task<Result<std::string>> HandleKvGet(sim::NodeId from, std::string payload);
-  sim::Task<Result<std::string>> HandleKvPut(sim::NodeId from, std::string payload);
-  sim::Task<Result<std::string>> HandleKvBatch(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleKvPut(sim::NodeId from,
+                                             obs::TraceContext trace,
+                                             std::string payload);
+  sim::Task<Result<std::string>> HandleKvBatch(sim::NodeId from,
+                                               obs::TraceContext trace,
+                                               std::string payload);
   sim::Task<Result<std::string>> HandleExtract(sim::NodeId from, std::string payload);
   sim::Task<Result<std::string>> HandleInstall(sim::NodeId from, std::string payload);
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "coord/paxos.h"
+#include "obs/metrics.h"
 #include "sim/cpu.h"
 #include "sim/rpc.h"
 
@@ -87,6 +88,16 @@ class CoordinatorNode {
     uint64_t leadership_takeovers = 0;
   };
   const Metrics& metrics() const { return metrics_; }
+
+  /// Publishes this coordinator's counters on `registry` under `node`.
+  void RegisterMetrics(obs::MetricsRegistry* registry, uint32_t node) {
+    registry->RegisterExternal("coord.reconfigurations", node,
+                               &metrics_.reconfigurations);
+    registry->RegisterExternal("coord.heartbeats_received", node,
+                               &metrics_.heartbeats_received);
+    registry->RegisterExternal("coord.leadership_takeovers", node,
+                               &metrics_.leadership_takeovers);
+  }
 
  private:
   sim::Task<Result<std::string>> HandleHeartbeat(sim::NodeId from, std::string payload);

@@ -1,0 +1,459 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lo::obs {
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    AppendEscaped(&out, span.name);
+    // Complete ("X") events; ts/dur in microseconds per the spec.
+    std::snprintf(buf, sizeof(buf),
+                  ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":%u,\"tid\":%" PRIu64
+                  ",\"args\":{\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+                  ",\"parent_span_id\":%" PRIu64 "}}",
+                  static_cast<double>(span.start_ns) / 1000.0,
+                  static_cast<double>(span.duration_ns()) / 1000.0, span.node,
+                  span.trace_id, span.trace_id, span.span_id,
+                  span.parent_span_id);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsTable(const MetricsRegistry& registry) {
+  std::string out;
+  char buf[320];
+  std::snprintf(buf, sizeof(buf), "%-44s %6s %-10s %14s %10s %8s %8s %8s\n",
+                "metric", "node", "kind", "value", "count", "p50", "p99", "max");
+  out += buf;
+  for (const auto& s : registry.Snapshot()) {
+    const char* kind = s.kind == MetricsRegistry::Kind::kCounter ? "counter"
+                       : s.kind == MetricsRegistry::Kind::kGauge ? "gauge"
+                                                                 : "histogram";
+    if (s.kind == MetricsRegistry::Kind::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-44s %6u %-10s %14.2f %10" PRIu64 " %8" PRId64 " %8" PRId64
+                    " %8" PRId64 "\n",
+                    s.name.c_str(), s.node, kind, s.value, s.count, s.p50, s.p99,
+                    s.max);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-44s %6u %-10s %14.2f\n", s.name.c_str(),
+                    s.node, kind, s.value);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+// --- minimal JSON reader -----------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    LO_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::Corruption("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    pos_++;  // '{'
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      LO_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Fail("expected ':'");
+      LO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      v.object.emplace_back(std::move(key.string_value), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    pos_++;  // '['
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (Consume(']')) return v;
+    while (true) {
+      LO_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      v.array.push_back(std::move(element));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected string");
+    pos_++;
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': v.string_value.push_back('"'); break;
+          case '\\': v.string_value.push_back('\\'); break;
+          case '/': v.string_value.push_back('/'); break;
+          case 'n': v.string_value.push_back('\n'); break;
+          case 't': v.string_value.push_back('\t'); break;
+          case 'r': v.string_value.push_back('\r'); break;
+          case 'b': v.string_value.push_back('\b'); break;
+          case 'f': v.string_value.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            // Passed through unreplaced; our own dumps only escape
+            // control characters this way.
+            v.string_value += "\\u";
+            v.string_value += text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        v.string_value.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    pos_++;  // closing quote
+    return v;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.bool_value = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      v.bool_value = false;
+      pos_ += 5;
+      return v;
+    }
+    return Fail("bad literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) != "null") return Fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) pos_++;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      pos_++;
+    }
+    if (pos_ == start) return Fail("expected value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+Result<std::vector<SpanRecord>> SpansFromChromeTrace(const JsonValue& doc) {
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return Status::Corruption("no traceEvents array");
+  }
+  std::vector<SpanRecord> spans;
+  spans.reserve(events->array.size());
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->string_value != "X") continue;
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* dur = event.Find("dur");
+    const JsonValue* pid = event.Find("pid");
+    const JsonValue* args = event.Find("args");
+    if (name == nullptr || ts == nullptr || dur == nullptr || args == nullptr) {
+      return Status::Corruption("span event missing fields");
+    }
+    const JsonValue* trace_id = args->Find("trace_id");
+    const JsonValue* span_id = args->Find("span_id");
+    const JsonValue* parent = args->Find("parent_span_id");
+    if (trace_id == nullptr || span_id == nullptr || parent == nullptr) {
+      return Status::Corruption("span event missing ids");
+    }
+    SpanRecord span;
+    span.name = name->string_value;
+    span.node = pid != nullptr ? static_cast<uint32_t>(pid->number) : 0;
+    span.start_ns = std::llround(ts->number * 1000.0);
+    span.end_ns = span.start_ns + std::llround(dur->number * 1000.0);
+    span.trace_id = static_cast<uint64_t>(trace_id->number);
+    span.span_id = static_cast<uint64_t>(span_id->number);
+    span.parent_span_id = static_cast<uint64_t>(parent->number);
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+// --- critical-path breakdown --------------------------------------------
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kDispatch: return "dispatch";
+    case Phase::kVmExec: return "vm_exec";
+    case Phase::kWalSync: return "wal_sync";
+    case Phase::kReplication: return "replication";
+    case Phase::kStorage: return "storage_rpc";
+    case Phase::kNetwork: return "network";
+    case Phase::kOther: return "other";
+    case Phase::kNumPhases: break;
+  }
+  return "unknown";
+}
+
+Phase PhaseForSpanName(std::string_view name) {
+  auto starts_with = [&](std::string_view prefix) {
+    return name.substr(0, prefix.size()) == prefix;
+  };
+  if (name == "dispatch") return Phase::kDispatch;
+  if (name == "vm_exec") return Phase::kVmExec;
+  if (name == "wal_sync") return Phase::kWalSync;
+  // The commit span's self time is the replicated-commit machinery the
+  // child spans don't cover: local apply and in-order queueing.
+  if (name == "commit") return Phase::kReplication;
+  // Server-side handler spans classify by their service name; their
+  // self-time is server work not covered by a more specific child span.
+  if (starts_with("srv.")) name.remove_prefix(4);
+  if (starts_with("repl") || starts_with("rpc.repl") || starts_with("rpc.log") ||
+      starts_with("log."))
+    return Phase::kReplication;
+  if (starts_with("kv") || starts_with("rpc.kv")) return Phase::kStorage;
+  if (starts_with("rpc.")) return Phase::kNetwork;
+  return Phase::kOther;
+}
+
+double TraceBreakdown::MeanShare(Phase phase) const {
+  double total = total_us.sum();
+  if (total <= 0) return 0;
+  return phase_us[static_cast<size_t>(phase)].sum() / total;
+}
+
+std::string TraceBreakdown::Format() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "traces analyzed: %" PRIu64 " (incomplete dropped: %" PRIu64
+                ", orphan spans: %" PRIu64 ")\n",
+                traces, dropped_traces, orphan_spans);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-14s %10s %10s %10s %8s\n", "phase",
+                "p50(ms)", "p99(ms)", "mean(ms)", "share");
+  out += buf;
+  double sum_p50 = 0;
+  for (size_t i = 0; i < static_cast<size_t>(Phase::kNumPhases); i++) {
+    const Histogram& h = phase_us[i];
+    sum_p50 += static_cast<double>(h.Percentile(0.5)) / 1000.0;
+    std::snprintf(buf, sizeof(buf), "%-14s %10.3f %10.3f %10.3f %7.1f%%\n",
+                  PhaseName(static_cast<Phase>(i)),
+                  static_cast<double>(h.Percentile(0.5)) / 1000.0,
+                  static_cast<double>(h.Percentile(0.99)) / 1000.0,
+                  h.Mean() / 1000.0, 100.0 * MeanShare(static_cast<Phase>(i)));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-14s %10.3f\n", "sum of p50s", sum_p50);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-14s %10.3f %10.3f %10.3f\n", "end-to-end",
+                static_cast<double>(total_us.Percentile(0.5)) / 1000.0,
+                static_cast<double>(total_us.Percentile(0.99)) / 1000.0,
+                total_us.Mean() / 1000.0);
+  out += buf;
+  return out;
+}
+
+namespace {
+
+/// A span pending attribution, clipped to its ancestors' windows.
+struct ClippedSpan {
+  const SpanRecord* span;
+  int64_t lo;
+  int64_t hi;
+};
+
+}  // namespace
+
+TraceBreakdown ComputeBreakdown(const std::vector<SpanRecord>& spans) {
+  TraceBreakdown result;
+  std::map<uint64_t, std::vector<const SpanRecord*>> by_trace;
+  for (const SpanRecord& span : spans) {
+    by_trace[span.trace_id].push_back(&span);
+  }
+  for (auto& [trace_id, trace_spans] : by_trace) {
+    const SpanRecord* root = nullptr;
+    std::map<uint64_t, std::vector<const SpanRecord*>> children;
+    for (const SpanRecord* span : trace_spans) {
+      if (span->parent_span_id == 0) {
+        root = span;
+      } else {
+        children[span->parent_span_id].push_back(span);
+      }
+    }
+    if (root == nullptr) {
+      result.dropped_traces++;
+      continue;
+    }
+    // DFS from the root. Every span is clipped to the intersection of its
+    // ancestors' windows, and overlapping siblings are resolved with a
+    // cursor (concurrent time goes to the earliest active sibling), so
+    // the windows attributed across the whole tree are pairwise disjoint
+    // and sum exactly to the root's duration: parallel replication hops
+    // and async work outliving its parent are never double counted.
+    double phase_ns[static_cast<size_t>(Phase::kNumPhases)] = {};
+    size_t reached = 0;
+    std::vector<ClippedSpan> stack = {{root, root->start_ns, root->end_ns}};
+    while (!stack.empty() && reached < trace_spans.size()) {
+      ClippedSpan current = stack.back();
+      stack.pop_back();
+      reached++;
+      int64_t covered = 0;
+      auto it = children.find(current.span->span_id);
+      if (it != children.end()) {
+        std::vector<const SpanRecord*>& kids = it->second;
+        std::sort(kids.begin(), kids.end(),
+                  [](const SpanRecord* a, const SpanRecord* b) {
+                    if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+                    return a->span_id < b->span_id;
+                  });
+        int64_t cursor = current.lo;
+        for (const SpanRecord* child : kids) {
+          int64_t s = std::max(child->start_ns, cursor);
+          int64_t e = std::min(child->end_ns, current.hi);
+          if (e <= s) {
+            // Fully shadowed by an earlier sibling or outside the parent
+            // window; still visit it so its subtree counts as reached,
+            // with an empty window.
+            stack.push_back({child, s, s});
+            continue;
+          }
+          stack.push_back({child, s, e});
+          covered += e - s;
+          cursor = e;
+        }
+      }
+      int64_t self = (current.hi - current.lo) - covered;
+      phase_ns[static_cast<size_t>(PhaseForSpanName(current.span->name))] +=
+          static_cast<double>(self);
+    }
+    result.orphan_spans += trace_spans.size() - reached;
+    result.traces++;
+    result.total_us.Record(root->duration_ns() / 1000);
+    for (size_t i = 0; i < static_cast<size_t>(Phase::kNumPhases); i++) {
+      result.phase_us[i].Record(static_cast<int64_t>(phase_ns[i] / 1000.0));
+    }
+  }
+  return result;
+}
+
+}  // namespace lo::obs

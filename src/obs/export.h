@@ -1,0 +1,90 @@
+// Exporters and analysis over obs data:
+//  - Chrome-trace-event (Perfetto-compatible) JSON for Tracer spans —
+//    open the file in ui.perfetto.dev or chrome://tracing
+//  - an aligned text table for MetricsRegistry snapshots
+//  - a minimal JSON reader (enough for our own dumps), used by the
+//    trace_report tool and by the exporter's validation tests
+//  - the per-phase critical-path latency breakdown trace_report prints
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lo::obs {
+
+/// Serializes spans as Chrome trace events: one "X" (complete) event per
+/// span, ts/dur in microseconds, pid = node, tid = trace id; span ids
+/// are carried in args for reconstruction.
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+/// Human-readable aligned table of a metrics snapshot.
+std::string MetricsTable(const MetricsRegistry& registry);
+
+// --- minimal JSON reader -----------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (objects, arrays, strings, numbers,
+/// bools, null; \uXXXX escapes are passed through verbatim). Trailing
+/// garbage is an error — this doubles as the validity check in tests.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reconstructs spans from an ExportChromeTrace document.
+Result<std::vector<SpanRecord>> SpansFromChromeTrace(const JsonValue& doc);
+
+// --- critical-path breakdown --------------------------------------------
+
+/// Latency phases a span name maps onto. Self time (a span's duration
+/// minus the union of its children's intervals) is attributed to the
+/// span's own phase, so the per-trace phase sums partition the root
+/// span's duration exactly — parallel replication hops are not double
+/// counted.
+enum class Phase : uint8_t {
+  kDispatch,     // server-side request demux/scheduling
+  kVmExec,       // sandbox instantiation + metered execution
+  kWalSync,      // durability barrier before replication
+  kReplication,  // commit + replication RPCs and in-order apply
+  kStorage,      // raw kv round-trips (disaggregated baseline)
+  kNetwork,      // wire time of invocation RPCs (self time of rpc.* spans)
+  kOther,        // client-side residue, log append, untyped spans
+  kNumPhases,
+};
+
+const char* PhaseName(Phase phase);
+Phase PhaseForSpanName(std::string_view name);
+
+struct TraceBreakdown {
+  uint64_t traces = 0;            // complete traces analyzed
+  uint64_t dropped_traces = 0;    // root span missing (ring overwrote it)
+  uint64_t orphan_spans = 0;      // parent missing; excluded from totals
+  Histogram total_us;             // end-to-end (root span) latency
+  Histogram phase_us[static_cast<size_t>(Phase::kNumPhases)];
+  /// Mean share of each phase in the root duration, in [0, 1].
+  double MeanShare(Phase phase) const;
+
+  std::string Format() const;
+};
+
+/// Groups spans by trace, computes per-phase self time per trace, and
+/// aggregates into histograms (microseconds).
+TraceBreakdown ComputeBreakdown(const std::vector<SpanRecord>& spans);
+
+}  // namespace lo::obs

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace lo::obs {
+namespace {
+
+const char* KindName(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter: return "counter";
+    case MetricsRegistry::Kind::kGauge: return "gauge";
+    case MetricsRegistry::Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// %.17g keeps doubles round-trippable but prints integers as integers.
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, uint32_t node) {
+  Entry& e = entries_[{std::string(name), node}];
+  if (e.counter == nullptr) {
+    LO_CHECK_MSG(e.external == nullptr && !e.callback && e.gauge == nullptr &&
+                     e.histogram == nullptr,
+                 "metric re-registered with a different kind: " + std::string(name));
+    e.kind = Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, uint32_t node) {
+  Entry& e = entries_[{std::string(name), node}];
+  if (e.gauge == nullptr) {
+    LO_CHECK_MSG(e.external == nullptr && !e.callback && e.counter == nullptr &&
+                     e.histogram == nullptr,
+                 "metric re-registered with a different kind: " + std::string(name));
+    e.kind = Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, uint32_t node) {
+  Entry& e = entries_[{std::string(name), node}];
+  if (e.histogram == nullptr) {
+    LO_CHECK_MSG(e.external == nullptr && !e.callback && e.counter == nullptr &&
+                     e.gauge == nullptr,
+                 "metric re-registered with a different kind: " + std::string(name));
+    e.kind = Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>();
+  }
+  return e.histogram.get();
+}
+
+void MetricsRegistry::RegisterExternal(std::string_view name, uint32_t node,
+                                       const uint64_t* value) {
+  Entry& e = entries_[{std::string(name), node}];
+  e.kind = Kind::kCounter;
+  e.external = value;
+}
+
+void MetricsRegistry::RegisterCallback(std::string_view name, uint32_t node,
+                                       std::function<double()> fn) {
+  Entry& e = entries_[{std::string(name), node}];
+  e.kind = Kind::kGauge;
+  e.callback = std::move(fn);
+}
+
+void MetricsRegistry::UnregisterNode(uint32_t node) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.second == node) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    Sample s;
+    s.name = key.first;
+    s.node = key.second;
+    s.kind = e.kind;
+    if (e.external != nullptr) {
+      s.value = static_cast<double>(*e.external);
+    } else if (e.callback) {
+      s.value = e.callback();
+    } else if (e.counter != nullptr) {
+      s.value = static_cast<double>(e.counter->value());
+    } else if (e.gauge != nullptr) {
+      s.value = e.gauge->value();
+    } else if (e.histogram != nullptr) {
+      s.value = e.histogram->Mean();
+      s.count = e.histogram->count();
+      s.p50 = e.histogram->Percentile(0.5);
+      s.p99 = e.histogram->Percentile(0.99);
+      s.max = e.histogram->Max();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Sample& s : Snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"node\":";
+    AppendJsonNumber(&out, s.node);
+    out += ",\"kind\":";
+    AppendJsonString(&out, KindName(s.kind));
+    out += ",\"value\":";
+    AppendJsonNumber(&out, s.value);
+    if (s.kind == Kind::kHistogram) {
+      out += ",\"count\":";
+      AppendJsonNumber(&out, static_cast<double>(s.count));
+      out += ",\"p50\":";
+      AppendJsonNumber(&out, static_cast<double>(s.p50));
+      out += ",\"p99\":";
+      AppendJsonNumber(&out, static_cast<double>(s.p99));
+      out += ",\"max\":";
+      AppendJsonNumber(&out, static_cast<double>(s.max));
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotCsv() const {
+  std::string out = "name,node,kind,value,count,p50,p99,max\n";
+  char buf[256];
+  for (const Sample& s : Snapshot()) {
+    std::snprintf(buf, sizeof(buf),
+                  ",%u,%s,%.17g,%" PRIu64 ",%" PRId64 ",%" PRId64 ",%" PRId64 "\n",
+                  s.node, KindName(s.kind), s.value, s.count, s.p50, s.p99, s.max);
+    out += s.name;
+    out += buf;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace lo::obs

@@ -1,0 +1,118 @@
+// Process-wide metrics registry (the measurement substrate every perf PR
+// reports against).
+//
+// Components publish named, node-labeled instruments:
+//   Counter    monotonically increasing uint64 (hot path: one add)
+//   Gauge      last-written double
+//   Histogram  log-bucketed samples (common/histogram)
+// plus two zero-cost migration paths for the pre-existing ad-hoc Metrics
+// structs: RegisterExternal points the registry at a live uint64 field
+// (the hot path stays a bare `++` on the struct), and RegisterCallback
+// reads a value lazily at snapshot time.
+//
+// Snapshots are deterministic: entries are kept sorted by (name, node),
+// so two runs of the same seeded simulation produce byte-identical
+// JSON/CSV dumps — which is exactly what the determinism regression test
+// asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace lo::obs {
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// One metric's value at snapshot time. Histograms export summary
+  /// statistics; counters/gauges export `value`.
+  struct Sample {
+    std::string name;
+    uint32_t node = 0;
+    Kind kind = Kind::kCounter;
+    double value = 0;  // counter/gauge value; histogram mean
+    // Histogram-only fields (zero otherwise).
+    uint64_t count = 0;
+    int64_t p50 = 0;
+    int64_t p99 = 0;
+    int64_t max = 0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the owned instrument for (name, node), creating it on first
+  /// use. Pointers stay valid for the registry's lifetime.
+  Counter* GetCounter(std::string_view name, uint32_t node = 0);
+  Gauge* GetGauge(std::string_view name, uint32_t node = 0);
+  Histogram* GetHistogram(std::string_view name, uint32_t node = 0);
+
+  /// Publishes a live uint64 owned elsewhere (an ad-hoc Metrics struct
+  /// field). The pointer must outlive every later Snapshot call, or be
+  /// removed with UnregisterNode first.
+  void RegisterExternal(std::string_view name, uint32_t node,
+                        const uint64_t* value);
+  /// Publishes a value computed at snapshot time.
+  void RegisterCallback(std::string_view name, uint32_t node,
+                        std::function<double()> fn);
+
+  /// Drops every metric labeled with `node` (external pointers included).
+  /// Call before tearing down a component the registry outlives.
+  void UnregisterNode(uint32_t node);
+
+  /// All metrics, sorted by (name, node). Deterministic.
+  std::vector<Sample> Snapshot() const;
+  /// `{"metrics":[{"name":...,"node":...,"kind":...,...},...]}`.
+  std::string SnapshotJson() const;
+  /// Header + one row per metric: name,node,kind,value,count,p50,p99,max.
+  std::string SnapshotCsv() const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// Shared fallback registry for code without an injected one. Library
+  /// components take a MetricsRegistry* and treat nullptr as "off";
+  /// deployments default to nullptr so benchmarks and tests can use
+  /// isolated registries.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    const uint64_t* external = nullptr;
+    std::function<double()> callback;
+  };
+  using Key = std::pair<std::string, uint32_t>;
+
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace lo::obs

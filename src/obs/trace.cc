@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+namespace lo::obs {
+
+Tracer::Tracer(TracerOptions options) : options_(options) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+}
+
+TraceContext Tracer::StartTrace() {
+  traces_started_++;
+  if (options_.sample_every == 0 ||
+      (traces_started_ - 1) % options_.sample_every != 0) {
+    return {};
+  }
+  traces_sampled_++;
+  TraceContext ctx;
+  ctx.trace_id = traces_sampled_;
+  ctx.span_id = next_span_id_++;
+  ctx.parent_span_id = 0;
+  return ctx;
+}
+
+TraceContext Tracer::Child(const TraceContext& parent) {
+  if (!parent.sampled()) return {};
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = next_span_id_++;
+  ctx.parent_span_id = parent.span_id;
+  return ctx;
+}
+
+void Tracer::Record(const TraceContext& ctx, std::string_view name,
+                    uint32_t node, int64_t start_ns, int64_t end_ns) {
+  if (!ctx.sampled()) return;
+  SpanRecord span;
+  span.trace_id = ctx.trace_id;
+  span.span_id = ctx.span_id;
+  span.parent_span_id = ctx.parent_span_id;
+  span.name = std::string(name);
+  span.node = node;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  spans_recorded_++;
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(std::move(span));
+  } else {
+    spans_dropped_++;
+    ring_[ring_head_] = std::move(span);
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+  }
+}
+
+void Tracer::RecordChild(const TraceContext& parent, std::string_view name,
+                         uint32_t node, int64_t start_ns, int64_t end_ns) {
+  if (!parent.sampled()) return;
+  Record(Child(parent), name, node, start_ns, end_ns);
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); i++) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  ring_head_ = 0;
+}
+
+}  // namespace lo::obs

@@ -1,0 +1,101 @@
+// Span-based distributed tracing for the simulated cluster.
+//
+// A TraceContext (trace id / span id / parent span id) is minted at the
+// request entry point, propagated through sim::RpcEndpoint frames and
+// nested invocations, and used to record sim-time spans — dispatch, VM
+// execution, commit, WAL sync, replication hops, memtable flush,
+// compaction — into a bounded ring buffer. Sampling is counter-based
+// (every Nth trace), not random, so seeded runs stay deterministic.
+//
+// The tracer carries no clock: callers pass sim timestamps explicitly
+// (obs depends only on common, so the sim layer can depend on obs).
+// An unsampled context has trace_id 0 and propagates as a no-op; span
+// ids are assigned from a per-tracer counter, also deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lo::obs {
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = not sampled / no trace
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;
+  uint32_t node = 0;      // the simulated node the span ran on
+  int64_t start_ns = 0;   // sim time
+  int64_t end_ns = 0;
+
+  int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+struct TracerOptions {
+  /// Sample every Nth root trace (1 = all). 0 disables sampling entirely.
+  uint64_t sample_every = 1;
+  /// Ring-buffer capacity in spans; the oldest spans are overwritten.
+  size_t ring_capacity = 1 << 16;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Mints a root context; applies the sampling decision. Unsampled
+  /// roots return a context with trace_id 0.
+  TraceContext StartTrace();
+
+  /// Mints a child context of `parent` (unsampled parent -> unsampled
+  /// child; the no-op propagates).
+  TraceContext Child(const TraceContext& parent);
+
+  /// Records a finished span for a pre-minted context. No-op when the
+  /// context is unsampled.
+  void Record(const TraceContext& ctx, std::string_view name, uint32_t node,
+              int64_t start_ns, int64_t end_ns);
+
+  /// Child(parent) + Record in one call, for leaf spans.
+  void RecordChild(const TraceContext& parent, std::string_view name,
+                   uint32_t node, int64_t start_ns, int64_t end_ns);
+
+  /// Ring contents, oldest first.
+  std::vector<SpanRecord> Spans() const;
+
+  void Clear();
+
+  uint64_t traces_started() const { return traces_started_; }
+  uint64_t traces_sampled() const { return traces_sampled_; }
+  uint64_t spans_recorded() const { return spans_recorded_; }
+  uint64_t spans_dropped() const { return spans_dropped_; }
+  const TracerOptions& options() const { return options_; }
+
+ private:
+  TracerOptions options_;
+  uint64_t traces_started_ = 0;
+  uint64_t traces_sampled_ = 0;
+  uint64_t next_span_id_ = 1;
+  uint64_t spans_recorded_ = 0;
+  uint64_t spans_dropped_ = 0;
+  std::vector<SpanRecord> ring_;
+  size_t ring_head_ = 0;  // next write position once the ring is full
+};
+
+/// True when spans should be recorded for this (tracer, context) pair —
+/// the guard every instrumentation site uses.
+inline bool Tracing(const Tracer* tracer, const TraceContext& ctx) {
+  return tracer != nullptr && ctx.sampled();
+}
+
+}  // namespace lo::obs

@@ -34,11 +34,13 @@ Status DecodeShipment(std::string_view payload, ShardId* shard, uint64_t* epoch,
 
 Replicator::Replicator(sim::RpcEndpoint* rpc, storage::DB* db, Mode mode)
     : rpc_(rpc), db_(db), mode_(mode) {
-  rpc_->Handle("repl.apply", [this](sim::NodeId from, std::string payload) {
-    return HandleApply(from, std::move(payload));
+  rpc_->Handle("repl.apply", [this](sim::NodeId from, obs::TraceContext trace,
+                                    std::string payload) {
+    return HandleApply(from, trace, std::move(payload));
   });
-  rpc_->Handle("repl.chain", [this](sim::NodeId from, std::string payload) {
-    return HandleChain(from, std::move(payload));
+  rpc_->Handle("repl.chain", [this](sim::NodeId from, obs::TraceContext trace,
+                                    std::string payload) {
+    return HandleChain(from, trace, std::move(payload));
   });
 }
 
@@ -68,16 +70,18 @@ uint64_t Replicator::applied_seq(ShardId shard) const {
   return it == shards_.end() ? 0 : it->second.applied_seq;
 }
 
-Status Replicator::ApplyLocal(const storage::WriteBatch& batch) {
+Status Replicator::ApplyLocal(const storage::WriteBatch& batch,
+                              obs::TraceContext trace) {
   storage::WriteBatch copy = batch;
-  LO_RETURN_IF_ERROR(db_->Write({.sync = true}, &copy));
+  LO_RETURN_IF_ERROR(db_->Write({.sync = true, .trace = trace}, &copy));
   metrics_.applied_batches++;
   if (apply_hook_) apply_hook_(batch);
   return Status::OK();
 }
 
 sim::Task<Status> Replicator::ReplicateAndApply(ShardId shard,
-                                                storage::WriteBatch batch) {
+                                                storage::WriteBatch batch,
+                                                obs::TraceContext trace) {
   auto it = shards_.find(shard);
   if (it == shards_.end() || !it->second.is_primary) {
     co_return Status::NotPrimary("replicate on non-primary");
@@ -88,7 +92,7 @@ sim::Task<Status> Replicator::ReplicateAndApply(ShardId shard,
 
   // Apply locally first (synchronously, so the local apply order equals
   // the sequence order), then ship.
-  LO_CO_RETURN_IF_ERROR(ApplyLocal(batch));
+  LO_CO_RETURN_IF_ERROR(ApplyLocal(batch, trace));
   state.applied_seq = std::max(state.applied_seq, seq);
 
   if (state.peers.empty()) co_return Status::OK();
@@ -99,7 +103,7 @@ sim::Task<Status> Replicator::ReplicateAndApply(ShardId shard,
     // through the nested RPCs.
     auto ack = co_await rpc_->Call(
         state.peers.front(), "repl.chain", payload,
-        ack_timeout * static_cast<int64_t>(state.peers.size()));
+        ack_timeout * static_cast<int64_t>(state.peers.size()), trace);
     if (!ack.ok()) co_return ack.status();
     co_return Status::OK();
   }
@@ -108,7 +112,7 @@ sim::Task<Status> Replicator::ReplicateAndApply(ShardId shard,
   std::vector<sim::Future<Result<std::string>>> acks;
   acks.reserve(state.peers.size());
   for (sim::NodeId peer : state.peers) {
-    acks.emplace_back(rpc_->Call(peer, "repl.apply", payload, ack_timeout));
+    acks.emplace_back(rpc_->Call(peer, "repl.apply", payload, ack_timeout, trace));
   }
   Status failure = Status::OK();
   for (auto& ack : acks) {
@@ -149,6 +153,7 @@ sim::Task<Status> Replicator::AwaitInOrderApply(ShardState& state, uint64_t seq)
 }
 
 sim::Task<Result<std::string>> Replicator::HandleApply(sim::NodeId,
+                                                       obs::TraceContext trace,
                                                        std::string payload) {
   ShardId shard = 0;
   uint64_t epoch = 0, seq = 0;
@@ -166,13 +171,14 @@ sim::Task<Result<std::string>> Replicator::HandleApply(sim::NodeId,
     LO_CO_RETURN_IF_ERROR(co_await AwaitInOrderApply(state, seq));
     co_return std::string("ok");
   }
-  LO_CO_RETURN_IF_ERROR(ApplyLocal(batch));
+  LO_CO_RETURN_IF_ERROR(ApplyLocal(batch, trace));
   state.applied_seq = seq;
   DrainReorderBuffer(state);
   co_return std::string("ok");
 }
 
 sim::Task<Result<std::string>> Replicator::HandleChain(sim::NodeId,
+                                                       obs::TraceContext trace,
                                                        std::string payload) {
   ShardId shard = 0;
   uint64_t epoch = 0, seq = 0;
@@ -189,7 +195,7 @@ sim::Task<Result<std::string>> Replicator::HandleChain(sim::NodeId,
       state.reorder_buffer.emplace(seq, std::move(batch));
       LO_CO_RETURN_IF_ERROR(co_await AwaitInOrderApply(state, seq));
     } else {
-      LO_CO_RETURN_IF_ERROR(ApplyLocal(batch));
+      LO_CO_RETURN_IF_ERROR(ApplyLocal(batch, trace));
       state.applied_seq = seq;
       DrainReorderBuffer(state);
     }
@@ -198,7 +204,7 @@ sim::Task<Result<std::string>> Replicator::HandleChain(sim::NodeId,
   if (!state.peers.empty()) {
     auto ack = co_await rpc_->Call(
         state.peers.front(), "repl.chain", payload,
-        ack_timeout * static_cast<int64_t>(state.peers.size()));
+        ack_timeout * static_cast<int64_t>(state.peers.size()), trace);
     if (!ack.ok()) co_return ack.status();
   }
   co_return std::string("ok");
@@ -226,17 +232,20 @@ std::string ReplicatedLog::IndexKey(uint64_t index) {
   return key;
 }
 
-sim::Task<Result<uint64_t>> ReplicatedLog::Append(std::string record) {
+sim::Task<Result<uint64_t>> ReplicatedLog::Append(std::string record,
+                                                  obs::TraceContext trace) {
   if (!is_leader_) co_return Status::NotPrimary("append on follower");
   uint64_t index = next_index_++;
-  LO_CO_RETURN_IF_ERROR(db_->Put({.sync = true}, IndexKey(index), record));
+  LO_CO_RETURN_IF_ERROR(
+      db_->Put({.sync = true, .trace = trace}, IndexKey(index), record));
   std::string payload;
   PutVarint64(&payload, index);
   PutLengthPrefixed(&payload, record);
   std::vector<sim::Future<Result<std::string>>> acks;
   acks.reserve(followers_.size());
   for (sim::NodeId follower : followers_) {
-    acks.emplace_back(rpc_->Call(follower, "log.replicate", payload, sim::Millis(50)));
+    acks.emplace_back(
+        rpc_->Call(follower, "log.replicate", payload, sim::Millis(50), trace));
   }
   for (auto& ack : acks) {
     auto reply = co_await ack.Wait();

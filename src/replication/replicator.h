@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "sim/rpc.h"
 #include "storage/db.h"
 
@@ -42,8 +43,10 @@ class Replicator {
                  std::vector<sim::NodeId> peers);
 
   /// Primary path: apply locally, replicate to all peers, return once
-  /// the batch is durable on every reachable replica.
-  sim::Task<Status> ReplicateAndApply(ShardId shard, storage::WriteBatch batch);
+  /// the batch is durable on every reachable replica. A sampled `trace`
+  /// context rides along on every replication hop.
+  sim::Task<Status> ReplicateAndApply(ShardId shard, storage::WriteBatch batch,
+                                      obs::TraceContext trace = {});
 
   /// Called on every locally applied batch (primary and backups) —
   /// the runtime hooks cache invalidation here.
@@ -77,9 +80,13 @@ class Replicator {
     std::map<uint64_t, storage::WriteBatch> reorder_buffer;
   };
 
-  sim::Task<Result<std::string>> HandleApply(sim::NodeId from, std::string payload);
-  sim::Task<Result<std::string>> HandleChain(sim::NodeId from, std::string payload);
-  Status ApplyLocal(const storage::WriteBatch& batch);
+  sim::Task<Result<std::string>> HandleApply(sim::NodeId from,
+                                             obs::TraceContext trace,
+                                             std::string payload);
+  sim::Task<Result<std::string>> HandleChain(sim::NodeId from,
+                                             obs::TraceContext trace,
+                                             std::string payload);
+  Status ApplyLocal(const storage::WriteBatch& batch, obs::TraceContext trace = {});
   void DrainReorderBuffer(ShardState& state);
   /// Parks until `seq` has been applied in order (or times out).
   sim::Task<Status> AwaitInOrderApply(ShardState& state, uint64_t seq);
@@ -104,7 +111,8 @@ class ReplicatedLog {
 
   /// Appends a record; resolves once every follower acked. Returns the
   /// assigned log index.
-  sim::Task<Result<uint64_t>> Append(std::string record);
+  sim::Task<Result<uint64_t>> Append(std::string record,
+                                     obs::TraceContext trace = {});
 
   /// Reads record `index` (for recovery/auditing).
   Result<std::string> Read(uint64_t index) const;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "runtime/async_mutex.h"
 #include "runtime/object.h"
 #include "sim/task.h"
@@ -84,6 +85,9 @@ class InvocationContext : public vm::HostApi {
   /// after a nested call are separate invocations).
   void set_object_lock(AsyncMutex* lock) { lock_ = lock; }
   AsyncMutex* object_lock() const { return lock_; }
+  /// Trace context of this invocation; nested calls and commits inherit it.
+  void set_trace(obs::TraceContext trace) { trace_ = trace; }
+  const obs::TraceContext& trace() const { return trace_; }
 
  private:
   /// Buffer-then-snapshot read of an absolute storage key.
@@ -96,6 +100,7 @@ class InvocationContext : public vm::HostApi {
   MethodKind kind_;
   const storage::Snapshot* snapshot_;
   AsyncMutex* lock_ = nullptr;
+  obs::TraceContext trace_;
   // nullopt value = pending delete.
   std::map<std::string, std::optional<std::string>> writes_;
   std::vector<ReadSetEntry> read_set_;

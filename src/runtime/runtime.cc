@@ -14,14 +14,15 @@ Runtime::Runtime(sim::Simulator* sim, storage::DB* db, const TypeRegistry* types
       options_(options),
       cache_(options.result_cache_capacity) {
   // Default commit sink: local durable write.
-  commit_sink_ = [this](const ObjectId&,
-                        storage::WriteBatch batch) -> sim::Task<Status> {
-    co_return db_->Write({.sync = true}, &batch);
+  commit_sink_ = [this](const ObjectId&, storage::WriteBatch batch,
+                        obs::TraceContext trace) -> sim::Task<Status> {
+    co_return db_->Write({.sync = true, .trace = trace}, &batch);
   };
   // Default remote invoker: every object is local.
   remote_invoker_ = [this](ObjectId oid, std::string method,
-                           std::string argument) -> sim::Task<Result<std::string>> {
-    return Invoke(std::move(oid), std::move(method), std::move(argument));
+                           std::string argument,
+                           obs::TraceContext trace) -> sim::Task<Result<std::string>> {
+    return Invoke(std::move(oid), std::move(method), std::move(argument), trace);
   };
 }
 
@@ -63,7 +64,7 @@ sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
   }
   storage::WriteBatch batch;
   batch.Put(ObjectExistsKey(oid), type_name);
-  Status s = co_await commit_sink_(oid, std::move(batch));
+  Status s = co_await commit_sink_(oid, std::move(batch), {});
   metrics_.commits++;
   lock.Unlock();
   if (!s.ok()) co_return s;
@@ -71,7 +72,8 @@ sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
 }
 
 sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
-                                               std::string argument) {
+                                               std::string argument,
+                                               obs::TraceContext trace) {
   metrics_.invocations++;
   Result<std::string> type_name = TypeOf(oid);
   if (!type_name.ok()) {
@@ -99,10 +101,18 @@ sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
     }
     const storage::Snapshot* snapshot = db_->GetSnapshot();
     InvocationContext ctx(this, oid, MethodKind::kReadOnly, snapshot);
+    ctx.set_trace(trace);
     uint64_t fuel = 0;
     auto result = co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel);
     db_->ReleaseSnapshot(snapshot);
-    if (cpu_charger_) co_await cpu_charger_(fuel);
+    if (cpu_charger_) {
+      sim::Time exec_started = sim_->Now();
+      co_await cpu_charger_(fuel);
+      if (obs::Tracing(options_.tracer, trace)) {
+        options_.tracer->RecordChild(trace, "vm_exec", options_.node_label,
+                                     exec_started, sim_->Now());
+      }
+    }
     if (result.ok() && !cache_key.empty()) {
       cache_.Insert(cache_key, *result,
                     std::vector<ReadSetEntry>(ctx.read_set().begin(),
@@ -117,10 +127,17 @@ sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
   co_await lock.Lock();
   InvocationContext ctx(this, oid, MethodKind::kReadWrite, /*snapshot=*/nullptr);
   ctx.set_object_lock(&lock);
+  ctx.set_trace(trace);
   uint64_t fuel = 0;
   auto result = co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel);
   if (result.ok()) {
+    sim::Time commit_started = sim_->Now();
+    bool had_writes = ctx.has_writes();
     Status commit = co_await CommitContext(ctx);
+    if (had_writes && obs::Tracing(options_.tracer, trace)) {
+      options_.tracer->RecordChild(trace, "commit", options_.node_label,
+                                   commit_started, sim_->Now());
+    }
     if (!commit.ok()) {
       metrics_.aborts++;
       result = commit;
@@ -130,7 +147,14 @@ sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
     metrics_.aborts++;
   }
   lock.Unlock();
-  if (cpu_charger_) co_await cpu_charger_(fuel);
+  if (cpu_charger_) {
+    sim::Time exec_started = sim_->Now();
+    co_await cpu_charger_(fuel);
+    if (obs::Tracing(options_.tracer, trace)) {
+      options_.tracer->RecordChild(trace, "vm_exec", options_.node_label,
+                                   exec_started, sim_->Now());
+    }
+  }
   co_return result;
 }
 
@@ -156,7 +180,7 @@ sim::Task<Status> Runtime::CommitContext(InvocationContext& ctx) {
   if (!ctx.has_writes()) co_return Status::OK();
   std::vector<std::string> written = ctx.written_keys();
   storage::WriteBatch batch = ctx.TakeWriteBatch();
-  Status s = co_await commit_sink_(ctx.oid(), std::move(batch));
+  Status s = co_await commit_sink_(ctx.oid(), std::move(batch), ctx.trace());
   if (s.ok()) {
     metrics_.commits++;
     cache_.InvalidateWrites(written);
@@ -184,7 +208,7 @@ sim::Task<Result<std::string>> Runtime::NestedInvoke(InvocationContext& caller,
     if (lock != nullptr) lock->Unlock();
   }
   auto result = co_await remote_invoker_(std::move(oid), std::move(method),
-                                         std::move(argument));
+                                         std::move(argument), caller.trace());
   if (caller.kind() == MethodKind::kReadWrite && lock != nullptr) {
     co_await lock->Lock();
   }
@@ -194,7 +218,7 @@ sim::Task<Result<std::string>> Runtime::NestedInvoke(InvocationContext& caller,
 sim::Task<Status> Runtime::CommitBatchForTransaction(
     const ObjectId& routing_oid, storage::WriteBatch batch,
     const std::vector<std::string>& written_keys) {
-  Status s = co_await commit_sink_(routing_oid, std::move(batch));
+  Status s = co_await commit_sink_(routing_oid, std::move(batch), {});
   if (s.ok()) {
     metrics_.commits++;
     cache_.InvalidateWrites(written_keys);

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "runtime/async_mutex.h"
 #include "runtime/context.h"
 #include "runtime/object.h"
@@ -33,14 +34,19 @@ struct RuntimeOptions {
   size_t result_cache_capacity = 4096;
   /// Fuel equivalent charged for native methods (they are not metered).
   uint64_t native_fuel_estimate = 2000;
+  /// Span recorder for vm_exec / commit phases; nullptr disables tracing.
+  obs::Tracer* tracer = nullptr;
+  /// Node label stamped on recorded spans (the hosting node's id).
+  uint32_t node_label = 0;
 };
 
 class Runtime {
  public:
-  using CommitSink = std::function<sim::Task<Status>(const ObjectId& oid,
-                                                   storage::WriteBatch batch)>;
+  using CommitSink = std::function<sim::Task<Status>(
+      const ObjectId& oid, storage::WriteBatch batch, obs::TraceContext trace)>;
   using RemoteInvoker = std::function<sim::Task<Result<std::string>>(
-      ObjectId oid, std::string method, std::string argument)>;
+      ObjectId oid, std::string method, std::string argument,
+      obs::TraceContext trace)>;
   using CpuCharger = std::function<sim::Task<void>(uint64_t fuel)>;
 
   Runtime(sim::Simulator* sim, storage::DB* db, const TypeRegistry* types,
@@ -49,9 +55,11 @@ class Runtime {
   /// Instantiates an object of `type_name`. Fails if it already exists.
   sim::Task<Result<std::string>> CreateObject(ObjectId oid, std::string type_name);
 
-  /// Invokes `method` on `oid` with invocation linearizability.
+  /// Invokes `method` on `oid` with invocation linearizability. A sampled
+  /// `trace` context parents the vm_exec/commit spans this records.
   sim::Task<Result<std::string>> Invoke(ObjectId oid, std::string method,
-                                        std::string argument);
+                                        std::string argument,
+                                        obs::TraceContext trace = {});
 
   /// Type name of an existing object (NotFound otherwise).
   Result<std::string> TypeOf(const ObjectId& oid);

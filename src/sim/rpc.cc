@@ -11,11 +11,14 @@ namespace {
 constexpr uint8_t kRequest = 0;
 constexpr uint8_t kResponse = 1;
 
-std::string EncodeRequest(uint64_t rpc_id, std::string_view service,
-                          std::string_view payload) {
+std::string EncodeRequest(uint64_t rpc_id, const obs::TraceContext& trace,
+                          std::string_view service, std::string_view payload) {
   std::string out;
   out.push_back(static_cast<char>(kRequest));
   PutVarint64(&out, rpc_id);
+  // Trace propagation: the callee parents its spans under this rpc span.
+  PutVarint64(&out, trace.trace_id);
+  PutVarint64(&out, trace.span_id);
   PutLengthPrefixed(&out, service);
   PutLengthPrefixed(&out, payload);
   return out;
@@ -44,17 +47,31 @@ RpcEndpoint::RpcEndpoint(Network& net, NodeId node) : net_(net), node_(node) {
 }
 
 void RpcEndpoint::Handle(std::string service, Handler handler) {
+  handlers_[std::move(service)] =
+      [handler = std::move(handler)](NodeId from, obs::TraceContext,
+                                     std::string payload) {
+        return handler(from, std::move(payload));
+      };
+}
+
+void RpcEndpoint::Handle(std::string service, TracedHandler handler) {
   handlers_[std::move(service)] = std::move(handler);
 }
 
 Task<Result<std::string>> RpcEndpoint::Call(NodeId to, std::string service,
                                             std::string payload,
-                                            Duration timeout) {
+                                            Duration timeout,
+                                            obs::TraceContext trace) {
   calls_started_++;
   uint64_t rpc_id = next_rpc_id_++;
+  // The rpc itself is a span: its wire context is a child of the
+  // caller's, and the callee parents its spans underneath it.
+  obs::TraceContext span_ctx =
+      obs::Tracing(tracer_, trace) ? tracer_->Child(trace) : obs::TraceContext{};
+  Time started = sim().Now();
   auto slot = std::make_shared<OneShot<Result<std::string>>>();
   pending_[rpc_id] = slot;
-  net_.Send(node_, to, EncodeRequest(rpc_id, service, payload));
+  net_.Send(node_, to, EncodeRequest(rpc_id, span_ctx, service, payload));
   if (timeout > 0) {
     sim().After(timeout, [this, rpc_id, slot] {
       if (slot->Fulfill(Status::Timeout("rpc timeout"))) {
@@ -65,6 +82,9 @@ Task<Result<std::string>> RpcEndpoint::Call(NodeId to, std::string service,
   }
   Result<std::string> result = co_await slot->Wait();
   pending_.erase(rpc_id);
+  if (span_ctx.sampled()) {
+    tracer_->Record(span_ctx, "rpc." + service, node_, started, sim().Now());
+  }
   co_return result;
 }
 
@@ -78,12 +98,17 @@ void RpcEndpoint::OnMessage(NodeId from, std::string raw) {
   }
   uint8_t kind = static_cast<uint8_t>(kind_bytes[0]);
   if (kind == kRequest) {
+    uint64_t trace_id = 0, span_id = 0;
     std::string_view service, payload;
-    if (!reader.GetLengthPrefixed(&service) || !reader.GetLengthPrefixed(&payload)) {
+    if (!reader.GetVarint64(&trace_id) || !reader.GetVarint64(&span_id) ||
+        !reader.GetLengthPrefixed(&service) || !reader.GetLengthPrefixed(&payload)) {
       LO_WARN << "malformed rpc request from node " << from;
       return;
     }
-    DispatchRequest(from, rpc_id, std::string(service), std::string(payload));
+    obs::TraceContext trace;
+    trace.trace_id = trace_id;
+    trace.span_id = span_id;
+    DispatchRequest(from, rpc_id, trace, std::string(service), std::string(payload));
   } else if (kind == kResponse) {
     std::string_view code_bytes, body;
     if (!reader.GetBytes(1, &code_bytes) || !reader.GetLengthPrefixed(&body)) {
@@ -103,7 +128,8 @@ void RpcEndpoint::OnMessage(NodeId from, std::string raw) {
 }
 
 void RpcEndpoint::DispatchRequest(NodeId from, uint64_t rpc_id,
-                                  std::string service, std::string payload) {
+                                  obs::TraceContext trace, std::string service,
+                                  std::string payload) {
   auto it = handlers_.find(service);
   if (it == handlers_.end()) {
     net_.Send(node_, from,
@@ -111,11 +137,23 @@ void RpcEndpoint::DispatchRequest(NodeId from, uint64_t rpc_id,
     return;
   }
   // Run the handler as a detached coroutine; it may itself await RPCs.
-  Detach([](RpcEndpoint* self, Handler* handler, NodeId from, uint64_t rpc_id,
+  Detach([](RpcEndpoint* self, TracedHandler* handler, NodeId from,
+            uint64_t rpc_id, obs::TraceContext trace, std::string service,
             std::string payload) -> Task<void> {
-    Result<std::string> result = co_await (*handler)(from, std::move(payload));
+    // Server-side span: handler time, recorded as "srv.<service>" under
+    // the caller's rpc span; the handler parents its own spans under it.
+    obs::TraceContext server_ctx = obs::Tracing(self->tracer_, trace)
+                                       ? self->tracer_->Child(trace)
+                                       : obs::TraceContext{};
+    Time started = self->sim().Now();
+    Result<std::string> result = co_await (*handler)(
+        from, server_ctx.sampled() ? server_ctx : trace, std::move(payload));
+    if (server_ctx.sampled()) {
+      self->tracer_->Record(server_ctx, "srv." + service, self->node_, started,
+                            self->sim().Now());
+    }
     self->net_.Send(self->node_, from, EncodeResponse(rpc_id, result));
-  }(this, &it->second, from, rpc_id, std::move(payload)));
+  }(this, &it->second, from, rpc_id, trace, service, std::move(payload)));
 }
 
 }  // namespace lo::sim

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/task.h"
 
@@ -23,6 +24,10 @@ class RpcEndpoint {
  public:
   using Handler =
       std::function<Task<Result<std::string>>(NodeId from, std::string payload)>;
+  /// Handler that also receives the caller's trace context (decoded from
+  /// the request frame) for span recording and further propagation.
+  using TracedHandler = std::function<Task<Result<std::string>>(
+      NodeId from, obs::TraceContext trace, std::string payload)>;
 
   /// Registers this endpoint as `node`'s receive handler on `net`.
   /// The endpoint must outlive all scheduled simulator events.
@@ -32,28 +37,38 @@ class RpcEndpoint {
   Network& network() { return net_; }
   Simulator& sim() { return net_.sim(); }
 
+  /// Tracer used for client-side rpc spans; also handed to traced
+  /// handlers via the decoded context. nullptr (default) disables.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Installs the handler for `service`. Replaces any previous handler.
   void Handle(std::string service, Handler handler);
+  void Handle(std::string service, TracedHandler handler);
 
   /// Sends a request and suspends until response or timeout.
   /// Errors returned by the remote handler come back as their Status.
+  /// A sampled `trace` context travels in the frame; the call itself is
+  /// recorded as an "rpc.<service>" span on this endpoint's tracer.
   Task<Result<std::string>> Call(NodeId to, std::string service,
-                                 std::string payload, Duration timeout);
+                                 std::string payload, Duration timeout,
+                                 obs::TraceContext trace = {});
 
   uint64_t calls_started() const { return calls_started_; }
   uint64_t timeouts() const { return timeouts_; }
 
  private:
   void OnMessage(NodeId from, std::string raw);
-  void DispatchRequest(NodeId from, uint64_t rpc_id, std::string service,
-                       std::string payload);
+  void DispatchRequest(NodeId from, uint64_t rpc_id, obs::TraceContext trace,
+                       std::string service, std::string payload);
 
   Network& net_;
   NodeId node_;
+  obs::Tracer* tracer_ = nullptr;
   uint64_t next_rpc_id_ = 1;
   uint64_t calls_started_ = 0;
   uint64_t timeouts_ = 0;
-  std::unordered_map<std::string, Handler> handlers_;
+  std::unordered_map<std::string, TracedHandler> handlers_;
   std::unordered_map<uint64_t, std::shared_ptr<OneShot<Result<std::string>>>> pending_;
 };
 

@@ -285,8 +285,11 @@ Status DB::Write(const WriteOptions& opts, WriteBatch* batch) {
   LO_RETURN_IF_ERROR(batch->InsertInto(base, mem_.get()));
   versions_->SetLastSequence(base + batch->Count() - 1);
   if (mem_->ApproximateMemoryUsage() > options_.write_buffer_size) {
-    LO_RETURN_IF_ERROR(FlushMemTable());
-    LO_RETURN_IF_ERROR(MaybeCompact());
+    write_trace_ = opts.trace;
+    Status s = FlushMemTable();
+    if (s.ok()) s = MaybeCompact();
+    write_trace_ = {};
+    LO_RETURN_IF_ERROR(s);
   }
   return Status::OK();
 }
@@ -371,9 +374,16 @@ SequenceNumber DB::SmallestSnapshot() const {
   return snapshots_.empty() ? versions_->last_sequence() : *snapshots_.begin();
 }
 
+void DB::RecordInstantSpan(const char* name) {
+  if (!obs::Tracing(options_.tracer, write_trace_) || !options_.clock) return;
+  int64_t now = options_.clock();
+  options_.tracer->RecordChild(write_trace_, name, options_.node_label, now, now);
+}
+
 Status DB::FlushMemTable() {
   if (mem_->entries() == 0) return Status::OK();
   stats_.flushes++;
+  RecordInstantSpan("memtable_flush");
   uint64_t number = versions_->NewFileNumber();
   std::string path = TableFileName(name_, number);
   LO_ASSIGN_OR_RETURN(auto file, options_.env->NewWritableFile(path));
@@ -410,6 +420,7 @@ Status DB::MaybeCompact() {
 Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
   if (pick.level < 0) return Status::OK();
   stats_.compactions++;
+  RecordInstantSpan("compaction");
   int output_level = pick.level + 1;
   SequenceNumber smallest_snapshot = SmallestSnapshot();
 

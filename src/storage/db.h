@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
 
+#include "obs/trace.h"
 #include "storage/dbformat.h"
 #include "storage/env.h"
 #include "storage/iterator.h"
@@ -29,6 +31,14 @@ struct Options {
   TableOptions table;
   /// If false, Open fails when the DB does not exist yet.
   bool create_if_missing = true;
+  /// Records instant memtable_flush / compaction spans; nullptr disables.
+  obs::Tracer* tracer = nullptr;
+  /// Clock for span timestamps (storage has no sim dependency, so the
+  /// owning node injects `[&sim]{ return sim.Now(); }`). Required if
+  /// `tracer` is set.
+  std::function<int64_t()> clock;
+  /// Node label stamped on recorded spans.
+  uint32_t node_label = 0;
 };
 
 /// A read view at a fixed sequence number. Obtained from DB::GetSnapshot.
@@ -50,6 +60,9 @@ struct ReadOptions {
 struct WriteOptions {
   /// Sync the WAL before acknowledging (durability barrier).
   bool sync = true;
+  /// Sampled trace context; flush/compaction spans triggered by this
+  /// write are parented under it.
+  obs::TraceContext trace{};
 };
 
 class DB {
@@ -105,6 +118,8 @@ class DB {
   Status NewWal();
   Status FlushMemTable();
   Status MaybeCompact();
+  /// Zero-duration span under the write that triggered the maintenance.
+  void RecordInstantSpan(const char* name);
   Status DoCompaction(const VersionSet::CompactionPick& pick);
   Status DeleteObsoleteFiles();
   SequenceNumber SmallestSnapshot() const;
@@ -118,6 +133,9 @@ class DB {
   uint64_t wal_number_ = 0;
   std::multiset<SequenceNumber> snapshots_;
   InternalKeyComparator icmp_;
+  /// Trace context of the write currently being applied (empty outside
+  /// Write); flushes/compactions it triggers parent their spans here.
+  obs::TraceContext write_trace_;
 
   mutable Stats stats_;
 };

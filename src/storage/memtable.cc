@@ -45,7 +45,8 @@ void MemTable::Add(SequenceNumber seq, ValueType type, std::string_view user_key
   for (int i = 0; i < 8; i++) *p++ = static_cast<char>((packed >> (8 * i)) & 0xff);
   std::memcpy(p, vheader.data(), vheader.size());
   p += vheader.size();
-  std::memcpy(p, value.data(), value.size());
+  // Deletes carry an empty value whose data() may be null.
+  if (!value.empty()) std::memcpy(p, value.data(), value.size());
   table_.Insert(buf);
   entries_++;
 }

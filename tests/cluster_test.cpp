@@ -458,5 +458,41 @@ TEST(ReplicaReads, BackupsServeReadOnlyInvocations) {
             deployment.node(0).replicator().applied_seq(0));
 }
 
+// --- ShardMap routing ---------------------------------------------------
+
+TEST(ShardMapTest, DirectoryOverrideWinsOverHash) {
+  coord::ClusterState state;
+  for (coord::ShardId shard = 0; shard < 4; shard++) {
+    coord::ShardConfig config;
+    config.epoch = 1;
+    config.primary = static_cast<sim::NodeId>(10 + shard);
+    state.shards[shard] = config;
+  }
+  ShardMap hashed(state);
+  const std::string oid = "user/alice";
+  coord::ShardId hash_shard = hashed.ShardFor(oid);
+  // Pin the object somewhere the hash would NOT put it.
+  coord::ShardId pinned = (hash_shard + 1) % 4;
+  state.directory[oid] = pinned;
+  ShardMap map(state);
+  EXPECT_EQ(map.ShardFor(oid), pinned);
+  EXPECT_EQ(map.PrimaryFor(oid), static_cast<sim::NodeId>(10 + pinned));
+  // Objects without a directory entry still hash.
+  EXPECT_EQ(map.ShardFor("user/bob"), hashed.ShardFor("user/bob"));
+}
+
+TEST(ShardMapTest, EmptyMapRoutesToZero) {
+  ShardMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.ShardFor("user/anyone"), 0u);
+  EXPECT_EQ(map.PrimaryFor("user/anyone"), 0u);  // "unknown" sentinel
+  // A directory entry pointing at a missing shard must not crash either.
+  coord::ClusterState state;
+  state.directory["user/ghost"] = 9;
+  ShardMap dangling(state);
+  EXPECT_EQ(dangling.ShardFor("user/ghost"), 9u);
+  EXPECT_EQ(dangling.PrimaryFor("user/ghost"), 0u);
+}
+
 }  // namespace
 }  // namespace lo::cluster

@@ -337,5 +337,41 @@ TEST(Histogram, NegativeClampsToZero) {
   EXPECT_EQ(h.count(), 1u);
 }
 
+TEST(Histogram, EmptyPercentileBoundaries) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(0.99), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+}
+
+TEST(Histogram, SingleSampleEveryQuantileIsThatSample) {
+  Histogram h;
+  h.Record(500);
+  EXPECT_EQ(h.count(), 1u);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    auto v = h.Percentile(q);
+    // Log-bucketed: ~1% relative error allowed, but every quantile of a
+    // one-sample distribution must land in the sample's bucket.
+    EXPECT_NEAR(static_cast<double>(v), 500.0, 0.02 * 500.0) << "q=" << q;
+  }
+  EXPECT_NEAR(h.Mean(), 500.0, 1e-9);
+}
+
+TEST(Histogram, P99WithFewerThan100Samples) {
+  // With n < 100 samples, p99 must not extrapolate past the data: it
+  // stays within [p50, max] and near the top samples (one bucket of
+  // slack, ~12% at this magnitude).
+  Histogram h;
+  for (int i = 1; i <= 10; i++) h.Record(i * 10);  // 10..100
+  auto p99 = h.Percentile(0.99);
+  EXPECT_GE(p99, h.Percentile(0.5));
+  EXPECT_LE(p99, h.Max());
+  EXPECT_NEAR(static_cast<double>(p99), 90.0, 0.12 * 90.0);
+  EXPECT_EQ(h.Percentile(1.0), 100);  // q=1 is the exact max
+}
+
 }  // namespace
 }  // namespace lo

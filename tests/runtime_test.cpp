@@ -30,11 +30,11 @@ class RuntimeTest : public ::testing::Test {
     runtime_ = std::make_unique<Runtime>(&sim_, db_.get(), &types_);
     // Model WAL-sync latency on commit; this creates the suspension
     // points that let concurrent invocations actually interleave.
-    runtime_->SetCommitSink(
-        [this](const ObjectId&, storage::WriteBatch batch) -> Task<Status> {
-          co_await sim_.Sleep(sim::Micros(80));
-          co_return db_->Write({.sync = true}, &batch);
-        });
+    runtime_->SetCommitSink([this](const ObjectId&, storage::WriteBatch batch,
+                                   obs::TraceContext) -> Task<Status> {
+      co_await sim_.Sleep(sim::Micros(80));
+      co_return db_->Write({.sync = true}, &batch);
+    });
   }
 
   // A "counter" type with rw increment, ro read, and a failing method.

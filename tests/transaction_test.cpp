@@ -38,11 +38,11 @@ class TransactionTest : public ::testing::Test {
     EXPECT_TRUE(types_.Register(std::move(type)).ok());
     runtime_ = std::make_unique<Runtime>(&sim_, db_.get(), &types_);
     // Async commits so concurrent transactions interleave.
-    runtime_->SetCommitSink(
-        [this](const ObjectId&, storage::WriteBatch batch) -> Task<Status> {
-          co_await sim_.Sleep(sim::Micros(80));
-          co_return db_->Write({.sync = true}, &batch);
-        });
+    runtime_->SetCommitSink([this](const ObjectId&, storage::WriteBatch batch,
+                                   obs::TraceContext) -> Task<Status> {
+      co_await sim_.Sleep(sim::Micros(80));
+      co_return db_->Write({.sync = true}, &batch);
+    });
     for (const char* oid : {"cell/a", "cell/b", "cell/c"}) {
       bool done = false;
       Detach([](Runtime* rt, std::string oid, bool* done) -> Task<void> {

@@ -1,0 +1,68 @@
+// trace-report — critical-path latency breakdown from a trace dump.
+//
+//   trace-report <trace.json> [<trace.json>...]
+//
+// Reads Chrome-trace-event JSON produced by the obs exporter (e.g. the
+// BENCH_*_trace.json files benchmarks write when LO_OBS_OUT is set),
+// reconstructs the spans, groups them into traces and prints the
+// per-phase self-time breakdown: dispatch, VM execution, WAL sync,
+// replication, storage round-trips, network, other. Phase self times
+// partition each root span's duration, so the phase medians sum to
+// (approximately) the end-to-end median.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+
+using namespace lo;
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Report(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "trace-report: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = obs::ParseJson(*text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "trace-report: %s: invalid JSON: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  auto spans = obs::SpansFromChromeTrace(*doc);
+  if (!spans.ok()) {
+    std::fprintf(stderr, "trace-report: %s: not a trace dump: %s\n",
+                 path.c_str(), spans.status().ToString().c_str());
+    return 1;
+  }
+  obs::TraceBreakdown breakdown = obs::ComputeBreakdown(*spans);
+  std::printf("== %s (%zu spans) ==\n%s", path.c_str(), spans->size(),
+              breakdown.Format().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace-report <trace.json> [...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; i++) {
+    if (i > 1) std::printf("\n");
+    rc |= Report(argv[i]);
+  }
+  return rc;
+}
