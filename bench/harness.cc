@@ -65,6 +65,24 @@ void ObsHooks::Dump(const std::string& label) {
                  obs::ExportChromeTrace(tracer_.Spans()));
 }
 
+FaultPlan FaultPlanFromEnv() {
+  auto int_env = [](const char* name, int64_t fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' ? std::strtoll(v, nullptr, 10) : fallback;
+  };
+  auto double_env = [](const char* name, double fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' ? std::strtod(v, nullptr) : fallback;
+  };
+  FaultPlan plan;
+  plan.kill_primary_ms = int_env("LO_FAULT_KILL_PRIMARY_MS", -1);
+  plan.revive_ms = int_env("LO_FAULT_REVIVE_MS", -1);
+  plan.network.drop_probability = double_env("LO_FAULT_DROP", 0.0);
+  plan.network.spike_probability = double_env("LO_FAULT_SPIKE_P", 0.0);
+  plan.network.spike_mean = sim::Micros(int_env("LO_FAULT_SPIKE_US", 2000));
+  return plan;
+}
+
 ExperimentConfig MaybeQuick(ExperimentConfig config) {
   const char* quick = std::getenv("LO_BENCH_QUICK");
   if (quick != nullptr && quick[0] == '1') {
@@ -99,6 +117,21 @@ AggregatedSystem::AggregatedSystem(const ExperimentConfig& config,
 retwis::DriverResult AggregatedSystem::Run(retwis::OpType op,
                                            const ExperimentConfig& config,
                                            const retwis::Workload& workload) {
+  FaultPlan faults = FaultPlanFromEnv();
+  if (faults.any()) {
+    deployment_->network().SetFaults(faults.network);
+    if (faults.kill_primary_ms >= 0) {
+      sim::Detach([](sim::Simulator* sim, cluster::AggregatedDeployment* dep,
+                     FaultPlan plan) -> sim::Task<void> {
+        co_await sim->Sleep(sim::Millis(plan.kill_primary_ms));
+        dep->KillStorageNode(0);
+        if (plan.revive_ms > plan.kill_primary_ms) {
+          co_await sim->Sleep(sim::Millis(plan.revive_ms - plan.kill_primary_ms));
+          dep->ReviveStorageNode(0);
+        }
+      }(&sim_, deployment_.get(), faults));
+    }
+  }
   std::vector<retwis::Invoker> invokers;
   for (int i = 0; i < config.num_clients; i++) {
     cluster::Client* client = &deployment_->NewClient();

@@ -39,6 +39,27 @@ struct ExperimentConfig {
 /// Applies LO_BENCH_QUICK=1 (env) to shrink an experiment ~20x.
 ExperimentConfig MaybeQuick(ExperimentConfig config);
 
+/// Degraded-mode fault plan for the aggregated system, parsed from env
+/// (all optional; times are sim-time after the workload run starts):
+///   LO_FAULT_KILL_PRIMARY_MS=<T>  kill storage node 0 — the bootstrap
+///                                 primary of shard 0 — T ms in
+///   LO_FAULT_REVIVE_MS=<T>        revive that node T ms in
+///   LO_FAULT_DROP=<p>             extra per-message drop probability
+///   LO_FAULT_SPIKE_P=<p>          per-message latency-spike probability
+///   LO_FAULT_SPIKE_US=<n>         mean spike (exponential), microseconds
+/// Faults draw from the deployment's seeded RNG, so one seed replays one
+/// failure schedule.
+struct FaultPlan {
+  int64_t kill_primary_ms = -1;  // -1 = never
+  int64_t revive_ms = -1;
+  sim::NetworkFaults network;
+  bool any() const {
+    return kill_primary_ms >= 0 || revive_ms >= 0 ||
+           network.drop_probability > 0 || network.spike_probability > 0;
+  }
+};
+FaultPlan FaultPlanFromEnv();
+
 /// Per-experiment observability: each system owns an isolated registry +
 /// tracer (multiple systems reuse node ids, so the global Default() would
 /// mix them up). Enabled by the LO_OBS_OUT env var naming an output

@@ -1,5 +1,7 @@
 #include "cluster/client.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "common/log.h"
 
@@ -15,6 +17,8 @@ Client::Client(sim::Network& net, sim::NodeId id,
     reg->RegisterExternal("client.retries", id, &metrics_.retries);
     reg->RegisterExternal("client.config_refreshes", id,
                           &metrics_.config_refreshes);
+    reg->RegisterExternal("client.budget_exhausted", id,
+                          &metrics_.budget_exhausted);
     invoke_latency_us_ = reg->GetHistogram("client.invoke_latency_us", id);
   }
 }
@@ -47,10 +51,23 @@ sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
                                                        obs::TraceContext trace) {
   metrics_.requests++;
   Status last = Status::Unavailable("no attempts made");
+  const sim::Time deadline = rpc_.sim().Now() + options_.retry_budget;
+  sim::Duration backoff = options_.retry_backoff;
   for (int attempt = 0; attempt < options_.max_attempts; attempt++) {
     if (attempt > 0) {
+      // Exponential backoff with ±25% jitter (seeded RNG, so a replayed
+      // fault schedule reproduces the same retry timeline). Jitter keeps
+      // the client herd from re-converging on a recovering primary.
+      double jitter = 0.75 + 0.5 * rpc_.sim().rng().NextDouble();
+      auto pause = static_cast<sim::Duration>(
+          static_cast<double>(backoff) * jitter);
+      if (rpc_.sim().Now() + pause >= deadline) {
+        metrics_.budget_exhausted++;
+        break;  // surface `last`: better an error than an unbounded stall
+      }
       metrics_.retries++;
-      co_await rpc_.sim().Sleep(options_.retry_backoff);
+      co_await rpc_.sim().Sleep(pause);
+      backoff = std::min(backoff * 2, options_.retry_backoff_max);
     }
     if (shard_map_.empty() && !coordinators_.empty()) co_await RefreshConfig();
     sim::NodeId primary = shard_map_.PrimaryFor(oid);
@@ -77,12 +94,19 @@ sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
   co_return last;
 }
 
+std::string Client::NextInvocationToken() {
+  return "c" + std::to_string(rpc_.node()) + "-" + std::to_string(next_token_++);
+}
+
 sim::Task<Result<std::string>> Client::Invoke(std::string oid, std::string method,
                                               std::string argument) {
   std::string payload;
   PutLengthPrefixed(&payload, oid);
   PutLengthPrefixed(&payload, method);
   PutLengthPrefixed(&payload, argument);
+  // The token is baked into the payload once, before the retry loop, so
+  // every attempt of this request carries the same identity.
+  PutLengthPrefixed(&payload, NextInvocationToken());
   obs::TraceContext trace = StartRootTrace();
   sim::Time started = rpc_.sim().Now();
   auto result =
@@ -102,6 +126,7 @@ sim::Task<Result<std::string>> Client::InvokeReadAny(std::string oid,
   PutLengthPrefixed(&payload, oid);
   PutLengthPrefixed(&payload, method);
   PutLengthPrefixed(&payload, argument);
+  PutLengthPrefixed(&payload, NextInvocationToken());
   obs::TraceContext trace = StartRootTrace();
   sim::Time started = rpc_.sim().Now();
   if (config != nullptr && !config->backups.empty()) {
@@ -128,6 +153,7 @@ sim::Task<Result<std::string>> Client::Create(std::string oid,
   std::string payload;
   PutLengthPrefixed(&payload, oid);
   PutLengthPrefixed(&payload, type_name);
+  PutLengthPrefixed(&payload, NextInvocationToken());
   co_return co_await CallWithRouting(oid, "lambda.create", std::move(payload));
 }
 

@@ -19,7 +19,14 @@ namespace lo::cluster {
 
 struct ClientOptions {
   sim::Duration request_timeout = sim::Millis(100);
+  /// Initial retry pause; doubles per attempt (with ±25% jitter from the
+  /// seeded sim RNG) up to `retry_backoff_max`.
   sim::Duration retry_backoff = sim::Millis(10);
+  sim::Duration retry_backoff_max = sim::Millis(160);
+  /// Total wall-clock budget for one request including all retries.
+  /// Exhausting it surfaces the last failure instead of sleeping past
+  /// the deadline (a failover longer than this is an outage, not a blip).
+  sim::Duration retry_budget = sim::Millis(2000);
   int max_attempts = 8;
   /// Observability (nullptr = off). Every Invoke/InvokeReadAny starts a
   /// root "invoke" trace on the tracer (subject to its sampling rate);
@@ -60,6 +67,8 @@ class Client {
     uint64_t requests = 0;
     uint64_t retries = 0;
     uint64_t config_refreshes = 0;
+    /// Requests abandoned because the retry budget ran out.
+    uint64_t budget_exhausted = 0;
   };
   const Metrics& metrics() const { return metrics_; }
 
@@ -74,11 +83,18 @@ class Client {
   /// Closes the root "invoke" span and records end-to-end latency.
   void FinishRootTrace(const obs::TraceContext& trace, sim::Time started);
 
+  /// Mints the idempotency token for one logical request. Every retry of
+  /// that request reuses the same token, so a node that already committed
+  /// it (then lost the ack to a crash or partition) recognises the
+  /// re-send and skips the re-apply instead of double-applying.
+  std::string NextInvocationToken();
+
   sim::RpcEndpoint rpc_;
   ClientOptions options_;
   std::vector<sim::NodeId> coordinators_;
   ShardMap shard_map_;
   Metrics metrics_;
+  uint64_t next_token_ = 1;
   Histogram* invoke_latency_us_ = nullptr;  // owned by the registry
 };
 

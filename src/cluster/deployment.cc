@@ -23,6 +23,12 @@ AggregatedDeployment::AggregatedDeployment(sim::Simulator& sim,
     reg->RegisterCallback("net.bytes_sent", 0, [this] {
       return static_cast<double>(net_.bytes_sent());
     });
+    reg->RegisterCallback("net.fault_drops", 0, [this] {
+      return static_cast<double>(net_.fault_drops());
+    });
+    reg->RegisterCallback("net.delay_spikes", 0, [this] {
+      return static_cast<double>(net_.delay_spikes());
+    });
   }
   for (int i = 0; i < options.num_coordinators; i++) {
     coordinator_ids_.push_back(static_cast<sim::NodeId>(1 + i));

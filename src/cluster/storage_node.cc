@@ -17,10 +17,18 @@ std::string EncodeInvoke(std::string_view oid, std::string_view method,
 }
 
 bool DecodeInvoke(std::string_view payload, std::string_view* oid,
-                  std::string_view* method, std::string_view* argument) {
+                  std::string_view* method, std::string_view* argument,
+                  std::string_view* token) {
   Reader reader{payload};
-  return reader.GetLengthPrefixed(oid) && reader.GetLengthPrefixed(method) &&
-         reader.GetLengthPrefixed(argument);
+  if (!reader.GetLengthPrefixed(oid) || !reader.GetLengthPrefixed(method) ||
+      !reader.GetLengthPrefixed(argument)) {
+    return false;
+  }
+  // Optional idempotency token: client requests carry one; node-to-node
+  // forwards of nested invocations (EncodeInvoke) do not.
+  *token = {};
+  reader.GetLengthPrefixed(token);
+  return true;
 }
 
 /// Storage keys embed the owning object id: "o\0<oid>" or
@@ -156,6 +164,8 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
   reg->RegisterExternal("runtime.aborts", node, &rt.aborts);
   reg->RegisterExternal("runtime.lock_waits", node, &rt.lock_waits);
   reg->RegisterExternal("runtime.fuel_executed", node, &rt.fuel_executed);
+  reg->RegisterExternal("runtime.dedup_commit_skips", node,
+                        &rt.dedup_commit_skips);
   const runtime::ResultCache::Stats& cache = runtime_->cache_stats();
   reg->RegisterExternal("runtime.cache_hits", node, &cache.hits);
   reg->RegisterExternal("runtime.cache_misses", node, &cache.misses);
@@ -168,6 +178,8 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
                         &repl.reordered_arrivals);
   reg->RegisterExternal("repl.stale_epoch_rejections", node,
                         &repl.stale_epoch_rejections);
+  reg->RegisterExternal("repl.failed_peer_acks", node, &repl.failed_peer_acks);
+  reg->RegisterExternal("repl.promotions", node, &repl.promotions);
   // DB stats are returned by value; read lazily at snapshot time.
   reg->RegisterCallback("db.wal_syncs", node, [this] {
     return static_cast<double>(db_->GetStats().wal_syncs);
@@ -180,6 +192,26 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
   });
   reg->RegisterCallback("db.compaction_bytes_written", node, [this] {
     return static_cast<double>(db_->GetStats().compaction_bytes_written);
+  });
+  // Recovery path: these stay zero in healthy runs; any nonzero value in a
+  // fault experiment shows which recovery mechanism fired.
+  reg->RegisterCallback("db.recoveries", node, [this] {
+    return static_cast<double>(db_->GetStats().recoveries);
+  });
+  reg->RegisterCallback("db.wal_records_replayed", node, [this] {
+    return static_cast<double>(db_->GetStats().wal_records_replayed);
+  });
+  reg->RegisterCallback("db.wal_torn_tails", node, [this] {
+    return static_cast<double>(db_->GetStats().wal_torn_tails);
+  });
+  reg->RegisterCallback("db.manifest_torn_tails", node, [this] {
+    return static_cast<double>(db_->GetStats().manifest_torn_tails);
+  });
+  reg->RegisterCallback("db.wal_write_failures", node, [this] {
+    return static_cast<double>(db_->GetStats().wal_write_failures);
+  });
+  reg->RegisterCallback("db.wal_rotations_after_error", node, [this] {
+    return static_cast<double>(db_->GetStats().wal_rotations_after_error);
   });
   // RPC + CPU.
   reg->RegisterCallback("rpc.calls_started", node, [this] {
@@ -248,17 +280,19 @@ bool StorageNode::IsReplicaFor(std::string_view oid) const {
 sim::Task<Result<std::string>> StorageNode::InvokeLocal(runtime::ObjectId oid,
                                                         std::string method,
                                                         std::string argument,
-                                                        obs::TraceContext trace) {
+                                                        obs::TraceContext trace,
+                                                        std::string token) {
   metrics_.invokes_served++;
   co_return co_await runtime_->Invoke(std::move(oid), std::move(method),
-                                      std::move(argument), trace);
+                                      std::move(argument), trace,
+                                      std::move(token));
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleInvoke(sim::NodeId,
                                                          obs::TraceContext trace,
                                                          std::string payload) {
-  std::string_view oid, method, argument;
-  if (!DecodeInvoke(payload, &oid, &method, &argument)) {
+  std::string_view oid, method, argument, token;
+  if (!DecodeInvoke(payload, &oid, &method, &argument, &token)) {
     co_return Status::Corruption("bad invoke payload");
   }
   sim::Time dispatch_started = rpc_.sim().Now();
@@ -279,7 +313,8 @@ sim::Task<Result<std::string>> StorageNode::HandleInvoke(sim::NodeId,
     }
   }
   co_return co_await InvokeLocal(runtime::ObjectId(oid), std::string(method),
-                                 std::string(argument), trace);
+                                 std::string(argument), trace,
+                                 std::string(token));
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleCreate(sim::NodeId,
@@ -289,10 +324,13 @@ sim::Task<Result<std::string>> StorageNode::HandleCreate(sim::NodeId,
   if (!reader.GetLengthPrefixed(&oid) || !reader.GetLengthPrefixed(&type_name)) {
     co_return Status::Corruption("bad create payload");
   }
+  std::string_view token;  // optional third field (see DecodeInvoke)
+  reader.GetLengthPrefixed(&token);
   co_await rpc_.sim().Sleep(options_.dispatch_overhead);
   if (!IsPrimaryFor(oid)) co_return Status::WrongNode("not primary for object");
   co_return co_await runtime_->CreateObject(runtime::ObjectId(oid),
-                                            std::string(type_name));
+                                            std::string(type_name),
+                                            std::string(token));
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleKvGet(sim::NodeId,

@@ -76,10 +76,13 @@ class StorageNode {
   void ApplyConfig(const coord::ClusterState& state);
 
   /// Local invocation entry (also used by the deployment's loopback path).
+  /// A non-empty `token` makes the invocation's commits idempotent across
+  /// retries (see Runtime::Invoke).
   sim::Task<Result<std::string>> InvokeLocal(runtime::ObjectId oid,
                                              std::string method,
                                              std::string argument,
-                                             obs::TraceContext trace = {});
+                                             obs::TraceContext trace = {},
+                                             std::string token = {});
 
   struct Metrics {
     uint64_t invokes_served = 0;

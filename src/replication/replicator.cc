@@ -47,11 +47,20 @@ Replicator::Replicator(sim::RpcEndpoint* rpc, storage::DB* db, Mode mode)
 void Replicator::Configure(ShardId shard, uint64_t epoch, bool is_primary,
                            std::vector<sim::NodeId> peers) {
   ShardState& state = shards_[shard];
+  if (is_primary && !state.is_primary && state.epoch > 0) {
+    // Promotion: this backup takes over the shard. Its applied prefix is
+    // exactly the acknowledged history (the old primary never acked a
+    // batch before every backup applied it), so continuing from
+    // applied_seq + 1 under the bumped epoch loses nothing committed.
+    metrics_.promotions++;
+  }
   state.epoch = epoch;
   state.is_primary = is_primary;
   state.peers = std::move(peers);
   // A new epoch continues sequencing from the successor's applied state.
   if (state.is_primary) state.next_seq = state.applied_seq + 1;
+  // Buffered out-of-order batches from the dead epoch can never fill
+  // their gap; the clients that sent them will retry under the new epoch.
   state.reorder_buffer.clear();
 }
 
@@ -117,7 +126,10 @@ sim::Task<Status> Replicator::ReplicateAndApply(ShardId shard,
   Status failure = Status::OK();
   for (auto& ack : acks) {
     auto reply = co_await ack.Wait();
-    if (!reply.ok() && failure.ok()) failure = reply.status();
+    if (!reply.ok()) {
+      metrics_.failed_peer_acks++;
+      if (failure.ok()) failure = reply.status();
+    }
   }
   if (!failure.ok()) {
     // A backup is unreachable: surface Unavailable so the client retries

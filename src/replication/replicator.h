@@ -63,6 +63,11 @@ class Replicator {
     uint64_t applied_batches = 0;
     uint64_t reordered_arrivals = 0;
     uint64_t stale_epoch_rejections = 0;
+    /// Replication acks that failed or timed out (degraded-mode signal:
+    /// each one turns into an Unavailable surfaced to the client).
+    uint64_t failed_peer_acks = 0;
+    /// Backup→primary transitions observed via Configure (failovers).
+    uint64_t promotions = 0;
   };
   const Metrics& metrics() const { return metrics_; }
 

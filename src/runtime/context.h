@@ -88,6 +88,15 @@ class InvocationContext : public vm::HostApi {
   /// Trace context of this invocation; nested calls and commits inherit it.
   void set_trace(obs::TraceContext trace) { trace_ = trace; }
   const obs::TraceContext& trace() const { return trace_; }
+  /// Client-minted idempotency token, stable across retries of the same
+  /// logical request (empty = dedup off). Each CommitContext call of this
+  /// invocation consumes the next commit index, so multi-commit
+  /// invocations (nested calls commit early) dedup per commit point.
+  void set_idempotency_token(std::string token) {
+    idempotency_token_ = std::move(token);
+  }
+  const std::string& idempotency_token() const { return idempotency_token_; }
+  uint64_t NextCommitIndex() { return commit_index_++; }
 
  private:
   /// Buffer-then-snapshot read of an absolute storage key.
@@ -104,6 +113,8 @@ class InvocationContext : public vm::HostApi {
   // nullopt value = pending delete.
   std::map<std::string, std::optional<std::string>> writes_;
   std::vector<ReadSetEntry> read_set_;
+  std::string idempotency_token_;
+  uint64_t commit_index_ = 0;
 };
 
 }  // namespace lo::runtime

@@ -85,4 +85,14 @@ std::string MapEntryKey(std::string_view oid, std::string_view field,
   return key;
 }
 
+std::string AppliedMarkerKey(std::string_view oid, std::string_view token,
+                             uint64_t commit_index) {
+  std::string key = FieldKey(oid, "\x01idem");
+  key.push_back(kSep);
+  key.append(token);
+  key.push_back(kSep);
+  PutVarint64(&key, commit_index);
+  return key;
+}
+
 }  // namespace lo::runtime

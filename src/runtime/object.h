@@ -88,6 +88,8 @@ class TypeRegistry {
 //   f\0<oid>\0<field>\0len        -> list length (fixed64)
 //   f\0<oid>\0<field>\0e<be64 i>  -> list entry i
 //   f\0<oid>\0<field>\0m<key>     -> map entry
+//   f\0<oid>\0\x01idem\0<tok>\0<i> -> applied-invocation marker (reserved
+//                                    field "\x01idem"; see AppliedMarkerKey)
 // ----------------------------------------------------------------------
 
 std::string ObjectExistsKey(std::string_view oid);
@@ -96,5 +98,11 @@ std::string ListLenKey(std::string_view oid, std::string_view field);
 std::string ListEntryKey(std::string_view oid, std::string_view field, uint64_t index);
 std::string MapEntryKey(std::string_view oid, std::string_view field,
                         std::string_view key);
+/// Idempotency marker for commit number `commit_index` of the invocation
+/// identified by `token`. Lives in the object's field namespace (reserved
+/// field name "\x01idem") so it routes to the owning shard, replicates
+/// inside the commit batch it guards, and migrates with the object.
+std::string AppliedMarkerKey(std::string_view oid, std::string_view token,
+                             uint64_t commit_index);
 
 }  // namespace lo::runtime

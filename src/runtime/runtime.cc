@@ -48,7 +48,8 @@ AsyncMutex& Runtime::LockFor(const ObjectId& oid) {
 }
 
 sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
-                                                     std::string type_name) {
+                                                     std::string type_name,
+                                                     std::string token) {
   if (oid.empty() || oid.find('\0') != std::string::npos) {
     co_return Status::InvalidArgument("invalid object id");
   }
@@ -59,11 +60,20 @@ sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
   co_await lock.Lock();
   Result<std::string> existing = TypeOf(oid);
   if (existing.ok()) {
+    // "Already exists" from our own earlier attempt (create committed,
+    // ack lost, client retried) is success, not a conflict.
+    bool own_retry = !token.empty() &&
+                     db_->Get({}, AppliedMarkerKey(oid, token, 0)).ok();
     lock.Unlock();
+    if (own_retry) {
+      metrics_.dedup_commit_skips++;
+      co_return oid;
+    }
     co_return Status::FailedPrecondition("object already exists: " + oid);
   }
   storage::WriteBatch batch;
   batch.Put(ObjectExistsKey(oid), type_name);
+  if (!token.empty()) batch.Put(AppliedMarkerKey(oid, token, 0), "");
   Status s = co_await commit_sink_(oid, std::move(batch), {});
   metrics_.commits++;
   lock.Unlock();
@@ -73,7 +83,8 @@ sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
 
 sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
                                                std::string argument,
-                                               obs::TraceContext trace) {
+                                               obs::TraceContext trace,
+                                               std::string token) {
   metrics_.invocations++;
   Result<std::string> type_name = TypeOf(oid);
   if (!type_name.ok()) {
@@ -128,6 +139,7 @@ sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
   InvocationContext ctx(this, oid, MethodKind::kReadWrite, /*snapshot=*/nullptr);
   ctx.set_object_lock(&lock);
   ctx.set_trace(trace);
+  ctx.set_idempotency_token(std::move(token));
   uint64_t fuel = 0;
   auto result = co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel);
   if (result.ok()) {
@@ -180,6 +192,23 @@ sim::Task<Status> Runtime::CommitContext(InvocationContext& ctx) {
   if (!ctx.has_writes()) co_return Status::OK();
   std::vector<std::string> written = ctx.written_keys();
   storage::WriteBatch batch = ctx.TakeWriteBatch();
+  if (!ctx.idempotency_token().empty()) {
+    std::string marker =
+        AppliedMarkerKey(ctx.oid(), ctx.idempotency_token(), ctx.NextCommitIndex());
+    if (db_->Get({}, marker).ok()) {
+      // This commit already applied durably — the client's earlier attempt
+      // got this far but its ack was lost (crash, partition, failover; the
+      // marker replicates inside the batch, so a promoted backup sees it
+      // too). The retry's re-execution may have buffered slightly
+      // different bytes (it read post-commit state), but the committed
+      // effect it represents is already in, so applying again would
+      // double-apply. Report success and drop the buffer.
+      metrics_.dedup_commit_skips++;
+      co_return Status::OK();
+    }
+    // Marker rides in the same atomic batch as the writes it guards.
+    batch.Put(marker, "");
+  }
   Status s = co_await commit_sink_(ctx.oid(), std::move(batch), ctx.trace());
   if (s.ok()) {
     metrics_.commits++;

@@ -52,14 +52,22 @@ class Runtime {
   Runtime(sim::Simulator* sim, storage::DB* db, const TypeRegistry* types,
           RuntimeOptions options = {});
 
-  /// Instantiates an object of `type_name`. Fails if it already exists.
-  sim::Task<Result<std::string>> CreateObject(ObjectId oid, std::string type_name);
+  /// Instantiates an object of `type_name`. Fails if it already exists —
+  /// except when a non-empty `token` matches the marker of an earlier
+  /// create of the same object, i.e. this is a retry whose ack was lost;
+  /// that returns success so retried creates are idempotent.
+  sim::Task<Result<std::string>> CreateObject(ObjectId oid, std::string type_name,
+                                              std::string token = {});
 
   /// Invokes `method` on `oid` with invocation linearizability. A sampled
-  /// `trace` context parents the vm_exec/commit spans this records.
+  /// `trace` context parents the vm_exec/commit spans this records. A
+  /// non-empty `token` (stable across client retries) makes the commits
+  /// idempotent: a commit whose marker is already present is skipped, so
+  /// a retry after a lost ack or a failover never double-applies.
   sim::Task<Result<std::string>> Invoke(ObjectId oid, std::string method,
                                         std::string argument,
-                                        obs::TraceContext trace = {});
+                                        obs::TraceContext trace = {},
+                                        std::string token = {});
 
   /// Type name of an existing object (NotFound otherwise).
   Result<std::string> TypeOf(const ObjectId& oid);
@@ -80,6 +88,9 @@ class Runtime {
     uint64_t aborts = 0;
     uint64_t lock_waits = 0;  // invocations that queued behind the object lock
     uint64_t fuel_executed = 0;
+    /// Commits skipped because their idempotency marker was already
+    /// durable (a retried invocation that had in fact applied).
+    uint64_t dedup_commit_skips = 0;
   };
   const Metrics& metrics() const { return metrics_; }
   const ResultCache::Stats& cache_stats() const { return cache_.stats(); }

@@ -36,12 +36,22 @@ void Network::Send(NodeId from, NodeId to, std::string payload) {
   // Fault state is evaluated when the packet enters the wire.
   if (down_nodes_.contains(from) || down_nodes_.contains(to) ||
       partitions_.contains(Ordered(from, to)) ||
+      one_way_partitions_.contains({from, to}) ||
       (config_.drop_probability > 0 &&
-       sim_.rng().Bernoulli(config_.drop_probability))) {
+       sim_.rng().Bernoulli(config_.drop_probability)) ||
+      (faults_.drop_probability > 0 &&
+       sim_.rng().Bernoulli(faults_.drop_probability))) {
     messages_dropped_++;
+    fault_drops_++;
     return;
   }
   Duration latency = SampleLatency();
+  if (faults_.spike_probability > 0 &&
+      sim_.rng().Bernoulli(faults_.spike_probability)) {
+    delay_spikes_++;
+    latency += static_cast<Duration>(
+        sim_.rng().Exponential(static_cast<double>(faults_.spike_mean)));
+  }
   sim_.After(latency, [this, from, to, payload = std::move(payload)]() mutable {
     // Receiver may have crashed while the packet was in flight.
     if (down_nodes_.contains(to)) {
@@ -69,8 +79,19 @@ bool Network::IsNodeUp(NodeId node) const { return !down_nodes_.contains(node); 
 
 void Network::Partition(NodeId a, NodeId b) { partitions_.insert(Ordered(a, b)); }
 
-void Network::Heal(NodeId a, NodeId b) { partitions_.erase(Ordered(a, b)); }
+void Network::PartitionOneWay(NodeId from, NodeId to) {
+  one_way_partitions_.insert({from, to});
+}
 
-void Network::HealAll() { partitions_.clear(); }
+void Network::Heal(NodeId a, NodeId b) {
+  partitions_.erase(Ordered(a, b));
+  one_way_partitions_.erase({a, b});
+  one_way_partitions_.erase({b, a});
+}
+
+void Network::HealAll() {
+  partitions_.clear();
+  one_way_partitions_.clear();
+}
 
 }  // namespace lo::sim

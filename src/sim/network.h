@@ -24,6 +24,18 @@ struct NetworkConfig {
   double drop_probability = 0.0;
 };
 
+/// Runtime-adjustable fault plan, sampled from the seeded sim RNG at
+/// send time so a given seed replays the same failure schedule.
+struct NetworkFaults {
+  /// Per-message loss on top of NetworkConfig::drop_probability.
+  double drop_probability = 0.0;
+  /// With `spike_probability`, a message's latency gains an extra
+  /// exponential delay of mean `spike_mean` (models congestion /
+  /// incast; messages may overtake each other, like UDP).
+  double spike_probability = 0.0;
+  Duration spike_mean = Millis(2);
+};
+
 class Network {
  public:
   Network(Simulator& sim, NetworkConfig config);
@@ -41,12 +53,23 @@ class Network {
   bool IsNodeUp(NodeId node) const;
   /// Cuts both directions between a and b.
   void Partition(NodeId a, NodeId b);
+  /// Cuts only from→to (asymmetric failure: `from` can be heard but not
+  /// hear back — the classic one-way partition that confuses failure
+  /// detectors).
+  void PartitionOneWay(NodeId from, NodeId to);
   void Heal(NodeId a, NodeId b);
   void HealAll();
+  /// Installs / replaces the RNG-driven fault plan ({} clears it).
+  void SetFaults(NetworkFaults faults) { faults_ = faults; }
+  const NetworkFaults& faults() const { return faults_; }
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Drops attributable to injected faults (partitions, down nodes,
+  /// random loss) — a subset of messages_dropped().
+  uint64_t fault_drops() const { return fault_drops_; }
+  uint64_t delay_spikes() const { return delay_spikes_; }
   Simulator& sim() { return sim_; }
   const NetworkConfig& config() const { return config_; }
 
@@ -57,10 +80,14 @@ class Network {
   NetworkConfig config_;
   std::unordered_map<NodeId, std::function<void(NodeId, std::string)>> handlers_;
   std::set<NodeId> down_nodes_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // symmetric, ordered
+  std::set<std::pair<NodeId, NodeId>> one_way_partitions_;  // directed
+  NetworkFaults faults_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t fault_drops_ = 0;
+  uint64_t delay_spikes_ = 0;
 };
 
 }  // namespace lo::sim

@@ -186,7 +186,9 @@ Status DB::Initialize() {
   mem_ = std::make_unique<MemTable>();
 
   if (env->FileExists(CurrentFileName(name_))) {
+    stats_.recoveries++;
     LO_RETURN_IF_ERROR(versions_->Recover());
+    if (versions_->recovered_torn_manifest_tail()) stats_.manifest_torn_tails++;
     // WAL files written after the last manifest record may carry numbers
     // the manifest never learned about; never reuse them.
     LO_ASSIGN_OR_RETURN(auto names, env->ListDir(name_));
@@ -222,17 +224,28 @@ Status DB::RecoverWal() {
     }
   }
   std::sort(logs.begin(), logs.end());
+  bool saw_torn_tail = false;
   for (uint64_t log : logs) {
     LO_ASSIGN_OR_RETURN(auto file, env->NewSequentialFile(WalFileName(name_, log)));
     wal::LogReader reader(std::move(file));
     std::string record;
     while (reader.ReadRecord(&record)) {
+      if (saw_torn_tail) {
+        // Records after a torn tail in an *earlier* log would replay
+        // out of commit order. The log floor makes this unreachable
+        // (a later log only gets records once a flush advanced the
+        // floor past the earlier one), so reaching here means the
+        // directory is inconsistent, not crashed.
+        return Status::Corruption("WAL records follow a torn tail");
+      }
       auto batch = WriteBatch::FromRep(record);
       if (!batch.ok()) {
-        // A corrupt record marks the crash point; everything before it
-        // was synced and is kept.
-        break;
+        // CRC-valid but undecodable: torn writes never pass the
+        // checksum, so this is real corruption, not a crash point.
+        return Status::Corruption("undecodable WAL record in log " +
+                                  std::to_string(log));
       }
+      stats_.wal_records_replayed++;
       SequenceNumber base = batch->sequence();
       LO_RETURN_IF_ERROR(batch->InsertInto(base, mem_.get()));
       SequenceNumber last = base + batch->Count() - 1;
@@ -241,7 +254,13 @@ Status DB::RecoverWal() {
         LO_RETURN_IF_ERROR(FlushMemTable());
       }
     }
-    // A torn tail is the expected crash shape; data past it is discarded.
+    if (reader.hit_corruption()) {
+      // A torn tail marks the crash point: the batch it held was never
+      // acknowledged (AddRecord+Sync had not returned), so truncating
+      // the replay here loses nothing that was committed.
+      stats_.wal_torn_tails++;
+      saw_torn_tail = true;
+    }
   }
   if (mem_->entries() > 0) {
     LO_RETURN_IF_ERROR(FlushMemTable());
@@ -256,6 +275,23 @@ Status DB::NewWal() {
   wal_ = std::make_unique<wal::Writer>(std::move(file));
   // Everything at or below wal_number_ - 1 is captured by SSTables after
   // the next flush; record the log floor now.
+  return Status::OK();
+}
+
+Status DB::RotateWal() {
+  if (mem_->entries() > 0) {
+    // The memtable holds exactly the acknowledged (fully-logged) prefix;
+    // flushing it persists that prefix and rotates to a fresh WAL.
+    return FlushMemTable();
+  }
+  uint64_t old_wal = wal_number_;
+  LO_RETURN_IF_ERROR(NewWal());
+  VersionEdit edit;
+  edit.SetLogNumber(wal_number_);
+  LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  // Best effort: a leftover log below the floor is ignored by recovery
+  // and reaped by the next DeleteObsoleteFiles pass.
+  options_.env->DeleteFile(WalFileName(name_, old_wal)).ok();
   return Status::OK();
 }
 
@@ -275,12 +311,27 @@ Status DB::Delete(const WriteOptions& opts, std::string_view key) {
 
 Status DB::Write(const WriteOptions& opts, WriteBatch* batch) {
   if (batch->Count() == 0) return Status::OK();
+  if (wal_failed_) {
+    // The live WAL tail may be torn by the earlier failure; appending to
+    // it would corrupt replay. Rotate first, fail the write if we can't.
+    LO_RETURN_IF_ERROR(RotateWal());
+    wal_failed_ = false;
+    stats_.wal_rotations_after_error++;
+  }
   SequenceNumber base = versions_->last_sequence() + 1;
   batch->SetSequence(base);
-  LO_RETURN_IF_ERROR(wal_->AddRecord(batch->rep()));
-  if (opts.sync) {
-    LO_RETURN_IF_ERROR(wal_->Sync());
-    stats_.wal_syncs++;
+  Status wal_status = wal_->AddRecord(batch->rep());
+  if (wal_status.ok() && opts.sync) {
+    wal_status = wal_->Sync();
+    if (wal_status.ok()) stats_.wal_syncs++;
+  }
+  if (!wal_status.ok()) {
+    // Surface the failure to the commit caller — the batch is NOT
+    // applied (not in the memtable), so the acknowledged state and the
+    // recoverable state stay identical.
+    stats_.wal_write_failures++;
+    wal_failed_ = true;
+    return wal_status;
   }
   LO_RETURN_IF_ERROR(batch->InsertInto(base, mem_.get()));
   versions_->SetLastSequence(base + batch->Count() - 1);
@@ -406,6 +457,10 @@ Status DB::FlushMemTable() {
   edit.SetLogNumber(wal_number_);
   LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
   mem_ = std::make_unique<MemTable>();
+  // Best effort: the old log is below the floor recorded above, so
+  // recovery ignores it and DeleteObsoleteFiles reaps it later. Nothing
+  // user-visible depends on this delete succeeding — unlike the WAL and
+  // manifest writes above, whose failures all propagate.
   options_.env->DeleteFile(WalFileName(name_, old_wal)).ok();
   return Status::OK();
 }

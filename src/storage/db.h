@@ -104,6 +104,15 @@ class DB {
     uint64_t compactions = 0;
     uint64_t compaction_bytes_read = 0;
     uint64_t compaction_bytes_written = 0;
+    // Recovery phases (DB::Open on an existing directory) and write-path
+    // fault handling — the obs registry exports these so degraded-mode
+    // runs are diagnosable.
+    uint64_t recoveries = 0;
+    uint64_t wal_records_replayed = 0;
+    uint64_t wal_torn_tails = 0;
+    uint64_t manifest_torn_tails = 0;
+    uint64_t wal_write_failures = 0;
+    uint64_t wal_rotations_after_error = 0;
     int files_per_level[kNumLevels] = {};
     uint64_t bytes_per_level[kNumLevels] = {};
     size_t memtable_bytes = 0;
@@ -116,6 +125,11 @@ class DB {
   Status Initialize();
   Status RecoverWal();
   Status NewWal();
+  /// Abandons a WAL whose tail may be torn (a failed Append/Sync):
+  /// flushes the memtable — whose contents are exactly the acknowledged
+  /// prefix — and rotates to a fresh log, restoring the invariant that
+  /// the live WAL tail is well-formed.
+  Status RotateWal();
   Status FlushMemTable();
   Status MaybeCompact();
   /// Zero-duration span under the write that triggered the maintenance.
@@ -131,6 +145,9 @@ class DB {
   std::unique_ptr<MemTable> mem_;
   std::unique_ptr<wal::Writer> wal_;
   uint64_t wal_number_ = 0;
+  /// Set when a WAL append/sync failed; the next write rotates the WAL
+  /// before proceeding (the torn tail must never be appended to).
+  bool wal_failed_ = false;
   std::multiset<SequenceNumber> snapshots_;
   InternalKeyComparator icmp_;
   /// Trace context of the write currently being applied (empty outside

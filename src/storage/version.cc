@@ -163,10 +163,30 @@ Status VersionSet::Recover() {
   std::string record;
   while (reader.ReadRecord(&record)) {
     VersionEdit edit;
+    // A CRC-valid record that does not decode is real corruption (torn
+    // writes never pass the checksum), so DecodeFrom errors propagate.
     LO_RETURN_IF_ERROR(edit.DecodeFrom(record));
     Apply(edit);
   }
-  if (reader.hit_corruption()) return Status::Corruption("manifest corrupt");
+  if (reader.hit_corruption()) {
+    // Torn tail: the crash hit mid-LogAndApply. Every applied edit was
+    // synced before being acknowledged, so the prefix is consistent —
+    // keep it. The lost edit is re-derived on recovery: the WAL holding
+    // its data is only deleted *after* LogAndApply succeeds, so replay
+    // regenerates the flush the torn record described.
+    torn_manifest_tail_ = true;
+  }
+  // Reconcile: every table the recovered version references must exist.
+  // Tables are synced before the manifest records them, so a missing
+  // file cannot be a crash artifact — it is real corruption.
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const auto& meta : files_[level]) {
+      if (!env_->FileExists(TableFileName(dbname_, meta.number))) {
+        return Status::Corruption("manifest references missing table " +
+                                  std::to_string(meta.number));
+      }
+    }
+  }
   uint64_t current_manifest = 0;
   ParseFileName(current, &current_manifest);
   manifest_number_ = std::max(manifest_number_, current_manifest);

@@ -123,6 +123,11 @@ class VersionSet {
   /// All live table numbers (for orphan cleanup on recovery).
   std::vector<uint64_t> LiveFiles() const;
 
+  /// True if the last Recover() discarded a torn manifest tail — the
+  /// expected shape of a crash during LogAndApply (the half-appended
+  /// record was never synced, so its edit was never acknowledged).
+  bool recovered_torn_manifest_tail() const { return torn_manifest_tail_; }
+
  private:
   void Apply(const VersionEdit& edit);
   double CompactionScore(int level) const;
@@ -138,6 +143,7 @@ class VersionSet {
   uint64_t manifest_number_ = 1;
   uint64_t log_number_ = 0;
   SequenceNumber last_sequence_ = 0;
+  bool torn_manifest_tail_ = false;
   std::unique_ptr<wal::Writer> manifest_;
 };
 

@@ -3,7 +3,9 @@
 // including primary failover under load and microshard migration.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "baseline/deployment.h"
 #include "cluster/deployment.h"
@@ -150,6 +152,142 @@ TEST_F(AggregatedRetwisTest, ResultCacheServesRepeatedTimelines) {
   auto posts = retwis::DecodeTimeline(*timeline);
   ASSERT_TRUE(posts.ok());
   EXPECT_EQ((*posts)[0].message, "newer");
+}
+
+// Kills the primary mid-way through a sequential post stream and checks
+// the linearizability contract end to end: every acknowledged post
+// appears in the final timeline exactly once, no post (acked or not)
+// appears twice — client retries carry idempotency tokens, so a retry
+// that races a successful-but-unacked commit must not double-apply —
+// and the whole failure schedule replays identically under one seed.
+TEST(FailoverLinearizability, AckedPostsSurvivePrimaryKillExactlyOnce) {
+  struct Outcome {
+    std::vector<std::string> acked;
+    std::vector<std::string> timeline;  // newest first
+    uint64_t retries = 0;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto run = [](uint64_t seed) {
+    sim::Simulator sim(seed);
+    runtime::TypeRegistry types;
+    EXPECT_TRUE(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+    AggregatedDeployment deployment(sim, &types, DeploymentOptions{});
+    deployment.WaitUntilReady();
+    Client& client = deployment.NewClient();
+
+    bool ready = false;
+    Detach([](Client* c, bool* done) -> Task<void> {
+      auto created = co_await c->Create("user/lin", "user");
+      EXPECT_TRUE(created.ok());
+      auto inited = co_await c->Invoke("user/lin", "init", "lin");
+      EXPECT_TRUE(inited.ok());
+      *done = true;
+    }(&client, &ready));
+    while (!ready) EXPECT_TRUE(sim.Step());
+
+    // The bootstrap primary of the (single) shard dies mid-stream.
+    Detach([](sim::Simulator* s, AggregatedDeployment* d) -> Task<void> {
+      co_await s->Sleep(sim::Millis(2));
+      d->KillStorageNode(0);
+    }(&sim, &deployment));
+
+    Outcome out;
+    bool done = false;
+    Detach([](Client* c, Outcome* out, bool* done) -> Task<void> {
+      for (int i = 0; i < 40; i++) {
+        std::string msg = "post-" + std::to_string(i);
+        auto reply = co_await c->Invoke("user/lin", "create_post", msg);
+        if (reply.ok()) out->acked.push_back(msg);
+      }
+      *done = true;
+    }(&client, &out, &done));
+    while (!done) EXPECT_TRUE(sim.Step());
+    sim.RunFor(sim::Millis(500));  // failover fully settles
+
+    bool read = false;
+    Detach([](Client* c, Outcome* out, bool* done) -> Task<void> {
+      auto timeline = co_await c->Invoke("user/lin", "get_timeline",
+                                         retwis::EncodeU64(100));
+      EXPECT_TRUE(timeline.ok()) << timeline.status().ToString();
+      if (timeline.ok()) {
+        auto posts = retwis::DecodeTimeline(*timeline);
+        EXPECT_TRUE(posts.ok());
+        if (posts.ok()) {
+          for (const auto& post : *posts) out->timeline.push_back(post.message);
+        }
+      }
+      *done = true;
+    }(&client, &out, &read));
+    while (!read) EXPECT_TRUE(sim.Step());
+    out.retries = client.metrics().retries;
+    return out;
+  };
+
+  Outcome first = run(101);
+  // The kill genuinely interrupted the stream.
+  EXPECT_GT(first.retries, 0u);
+  EXPECT_FALSE(first.acked.empty());
+  std::map<std::string, int> seen;
+  for (const auto& msg : first.timeline) seen[msg]++;
+  for (const auto& msg : first.acked) {
+    EXPECT_EQ(seen[msg], 1) << "acked post lost or duplicated: " << msg;
+  }
+  for (const auto& [msg, count] : seen) {
+    EXPECT_LE(count, 1) << "double-applied post: " << msg;
+  }
+  // Same seed, same failure schedule, same outcome — bit for bit.
+  EXPECT_TRUE(first == run(101)) << "fault schedule is not replayable";
+}
+
+// The commit-side half of the guarantee, deterministically: replaying an
+// invocation with the same idempotency token must hit the applied-marker
+// and skip the second commit.
+TEST(IdempotentCommit, SameTokenCommitsOnce) {
+  sim::Simulator sim(53);
+  runtime::TypeRegistry types;
+  ASSERT_TRUE(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  AggregatedDeployment deployment(sim, &types, DeploymentOptions{});
+  deployment.WaitUntilReady();
+  Client& client = deployment.NewClient();
+
+  auto run = [&](auto&& coroutine) {
+    bool done = false;
+    Detach([](std::decay_t<decltype(coroutine)> body, bool* done) -> Task<void> {
+      co_await body();
+      *done = true;
+    }(std::move(coroutine), &done));
+    while (!done) ASSERT_TRUE(sim.Step());
+  };
+
+  run([&]() -> Task<void> {
+    EXPECT_TRUE((co_await client.Create("user/idem", "user")).ok());
+    EXPECT_TRUE((co_await client.Invoke("user/idem", "init", "idem")).ok());
+  });
+
+  auto& primary = deployment.node(0);
+  uint64_t skips_before = primary.runtime().metrics().dedup_commit_skips;
+  run([&]() -> Task<void> {
+    // A lost reply makes the client resend; both executions reach commit.
+    auto first = co_await primary.InvokeLocal("user/idem", "create_post",
+                                              "only once", {}, "tok-1");
+    EXPECT_TRUE(first.ok()) << first.status().ToString();
+    auto retry = co_await primary.InvokeLocal("user/idem", "create_post",
+                                              "only once", {}, "tok-1");
+    EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  });
+  EXPECT_EQ(primary.runtime().metrics().dedup_commit_skips, skips_before + 1);
+
+  run([&]() -> Task<void> {
+    auto timeline = co_await client.Invoke("user/idem", "get_timeline",
+                                           retwis::EncodeU64(10));
+    EXPECT_TRUE(timeline.ok());
+    if (!timeline.ok()) co_return;
+    auto posts = retwis::DecodeTimeline(*timeline);
+    EXPECT_TRUE(posts.ok());
+    if (posts.ok()) {
+      EXPECT_EQ(posts->size(), 1u);  // the retried commit was deduplicated
+    }
+  });
 }
 
 TEST(MigrationTest, ObjectMovesBetweenShards) {

@@ -175,6 +175,54 @@ TEST(ReplicationLatency, ChainIsSlowerThanPrimaryBackup) {
   EXPECT_GT(chain, pb + sim::Micros(50)) << "chain should pay an extra hop";
 }
 
+TEST(ReplicationFaults, OneWayPartitionFailsCommitThenPromotionRecovers) {
+  sim::Simulator sim(13);
+  sim::Network net(sim, sim::NetworkConfig{});
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (sim::NodeId id = 1; id <= 3; id++) {
+    nodes.push_back(std::make_unique<Node>(net, id, Mode::kPrimaryBackup));
+  }
+  nodes[0]->replicator.Configure(0, 1, true, {2, 3});
+  nodes[1]->replicator.Configure(0, 1, false, {});
+  nodes[2]->replicator.Configure(0, 1, false, {});
+
+  auto replicate = [&](Node* node, std::string key, std::string value) {
+    Status out = Status::Unavailable("not run");
+    Detach([](Node* n, std::string k, std::string v, Status* out) -> Task<void> {
+      storage::WriteBatch batch;
+      batch.Put(k, v);
+      *out = co_await n->replicator.ReplicateAndApply(0, std::move(batch));
+    }(node, std::move(key), std::move(value), &out));
+    sim.Run();
+    return out;
+  };
+
+  ASSERT_TRUE(replicate(nodes[0].get(), "a", "1").ok());
+
+  // Gray failure: the primary's shipments to backup 3 vanish, but 3 is
+  // alive and can still talk to everyone else. The commit must fail
+  // loudly (ack timeout), never succeed with a silently stale backup.
+  net.PartitionOneWay(1, 3);
+  Status s = replicate(nodes[0].get(), "b", "2");
+  ASSERT_FALSE(s.ok());
+  EXPECT_GE(nodes[0]->replicator.metrics().failed_peer_acks, 1u);
+  EXPECT_TRUE(nodes[2]->db->Get({}, "b").status().IsNotFound());
+
+  // Failover: epoch bump promotes backup 2 (it holds the full acked
+  // prefix); the partitioned node 3 is evicted from the set — without
+  // anti-entropy it cannot rejoin mid-epoch, having missed a shipment.
+  nodes[1]->replicator.Configure(0, 2, true, {});
+  EXPECT_EQ(nodes[1]->replicator.metrics().promotions, 1u);
+  ASSERT_TRUE(replicate(nodes[1].get(), "c", "3").ok());
+  EXPECT_EQ(*nodes[1]->db->Get({}, "c"), "3");
+
+  // The deposed primary is fenced: its epoch-1 shipments are refused.
+  s = replicate(nodes[0].get(), "d", "4");
+  EXPECT_FALSE(s.ok());
+  EXPECT_GE(nodes[1]->replicator.metrics().stale_epoch_rejections, 1u);
+  EXPECT_TRUE(nodes[1]->db->Get({}, "d").status().IsNotFound());
+}
+
 TEST(ReplicatedLogTest, AppendReplicatesToFollowers) {
   sim::Simulator sim(9);
   sim::Network net(sim, sim::NetworkConfig{});

@@ -230,6 +230,62 @@ TEST_F(NetworkTest, DropProbabilityOneDropsEverything) {
   EXPECT_EQ(lossy.messages_dropped(), 20u);
 }
 
+TEST_F(NetworkTest, OneWayPartitionDropsOnlyOneDirection) {
+  int at_1 = 0, at_2 = 0;
+  net_.Register(1, [&](NodeId, std::string) { at_1++; });
+  net_.Register(2, [&](NodeId, std::string) { at_2++; });
+  net_.PartitionOneWay(1, 2);
+  net_.Send(1, 2, "a");  // swallowed by the partition
+  net_.Send(2, 1, "b");  // reverse direction still flows
+  sim_.Run();
+  EXPECT_EQ(at_2, 0);
+  EXPECT_EQ(at_1, 1);
+  EXPECT_EQ(net_.fault_drops(), 1u);
+  // Heal is symmetric: it clears the directed edge too.
+  net_.Heal(1, 2);
+  net_.Send(1, 2, "c");
+  sim_.Run();
+  EXPECT_EQ(at_2, 1);
+}
+
+TEST_F(NetworkTest, DelaySpikesDelayButStillDeliver) {
+  net_.SetFaults({.drop_probability = 0, .spike_probability = 1.0,
+                  .spike_mean = Millis(5)});
+  int delivered = 0;
+  Time last = 0;
+  net_.Register(2, [&](NodeId, std::string) {
+    delivered++;
+    last = sim_.Now();
+  });
+  for (int i = 0; i < 10; i++) net_.Send(1, 2, "x");
+  sim_.Run();
+  EXPECT_EQ(delivered, 10);  // spikes never lose messages
+  EXPECT_EQ(net_.delay_spikes(), 10u);
+  EXPECT_GT(last, cfg_.one_way_latency);  // and they genuinely slow things
+}
+
+TEST_F(NetworkTest, FaultScheduleIsSeededAndReplayable) {
+  // Drops and spikes draw from the simulator's seeded RNG: the same seed
+  // must produce the identical fault schedule (which messages die, when
+  // survivors arrive), so every degraded-mode run can be replayed.
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    Network net(sim, NetworkConfig{});
+    net.SetFaults({.drop_probability = 0.3, .spike_probability = 0.2,
+                   .spike_mean = Millis(1)});
+    std::vector<Time> deliveries;
+    net.Register(2, [&](NodeId, std::string) { deliveries.push_back(sim.Now()); });
+    for (int i = 0; i < 50; i++) net.Send(1, 2, "m");
+    sim.Run();
+    return std::make_tuple(deliveries, net.fault_drops(), net.delay_spikes());
+  };
+  auto first = run(11);
+  EXPECT_EQ(first, run(11));
+  EXPECT_GT(std::get<1>(first), 0u);
+  EXPECT_GT(std::get<2>(first), 0u);
+  EXPECT_NE(std::get<0>(first), std::get<0>(run(12)));  // seed matters
+}
+
 class RpcTest : public ::testing::Test {
  public:
   RpcTest() : server_(net_, 1), client_(net_, 2) {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in the repo's documentation
+# resolves to an existing file, so the docs index cannot rot silently.
+# Runs as part of the default ctest suite (test name: check_docs).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+broken=$(
+  for md in "$root"/*.md "$root"/docs/*.md; do
+    [ -f "$md" ] || continue
+    dir="$(dirname "$md")"
+    # Every [text](target); external URLs and in-page anchors excluded.
+    # Fenced code blocks are stripped first: C++ lambdas (`[](...)`)
+    # would otherwise read as markdown links.
+    awk '/^[[:space:]]*```/ { in_code = !in_code; next } !in_code' "$md" |
+      grep -oE '\]\([^)#? ]+' | sed 's/^](//' | while read -r link; do
+      case "$link" in
+        http://* | https://* | mailto:*) continue ;;
+      esac
+      if [ ! -e "$dir/$link" ]; then
+        echo "BROKEN: ${md#"$root"/} -> $link"
+      fi
+    done
+  done
+)
+
+if [ -n "$broken" ]; then
+  echo "$broken"
+  exit 1
+fi
+echo "all documentation links resolve"
