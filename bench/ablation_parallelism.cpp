@@ -1,0 +1,122 @@
+// Ablation A8: execution lanes × WAL group commit. The paper's
+// co-location argument leaves the storage engine's write path as the
+// throughput ceiling; this sweep shows the two mechanisms that raise it:
+//   - lanes: read-write invocations on distinct objects execute
+//     concurrently (hash(object) % lanes), instead of one at a time per
+//     node — lanes=1 is the pre-parallelism serial runtime;
+//   - group commit: commits arriving while the WAL device is busy share
+//     the next fsync (and the replication round behind it), so
+//     fsyncs/commit drops well below 1 at saturation.
+// Retwis mixed workload (post-heavy enough that the write path is the
+// bottleneck). Sweep 1: lanes at the default group-commit bounds.
+// Sweep 2: group-commit batch-size bound at 8 lanes, including a bound so
+// small that every commit syncs alone — isolating what grouping buys.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace lo;
+using namespace lo::bench;
+
+namespace {
+
+struct GcTotals {
+  unsigned long long commits = 0;
+  unsigned long long groups = 0;
+  unsigned long long max_group = 0;
+  unsigned long long max_busy_lanes = 0;
+  double FsyncsPerCommit() const {
+    return commits == 0 ? 0.0 : static_cast<double>(groups) / commits;
+  }
+};
+
+GcTotals Collect(cluster::AggregatedDeployment& deployment) {
+  GcTotals totals;
+  for (int i = 0; i < deployment.num_nodes(); i++) {
+    const auto& gc = deployment.node(i).group_committer().stats();
+    totals.commits += gc.commits;
+    totals.groups += gc.groups;
+    if (gc.max_group_commits > totals.max_group) {
+      totals.max_group = gc.max_group_commits;
+    }
+    const auto& rt = deployment.node(i).runtime().metrics();
+    if (rt.max_busy_lanes > totals.max_busy_lanes) {
+      totals.max_busy_lanes = rt.max_busy_lanes;
+    }
+  }
+  return totals;
+}
+
+retwis::DriverResult RunMixed(AggregatedSystem& system,
+                              const ExperimentConfig& config,
+                              const retwis::Workload& workload) {
+  std::vector<retwis::Invoker> invokers;
+  for (int i = 0; i < config.num_clients; i++) {
+    cluster::Client* client = &system.deployment().NewClient();
+    invokers.push_back([client](const retwis::Request& request) {
+      return client->Invoke(request.oid, request.method, request.argument);
+    });
+  }
+  retwis::DriverConfig driver;
+  driver.warmup = config.warmup;
+  driver.measure = config.measure;
+  driver.seed = config.seed;
+  driver.mix = {{retwis::OpType::kPost, 0.5},
+                {retwis::OpType::kGetTimeline, 0.35},
+                {retwis::OpType::kFollow, 0.15}};
+  return retwis::RunClosedLoop(system.sim(), workload, std::move(invokers),
+                               driver);
+}
+
+void PrintResult(const char* label, const retwis::DriverResult& result,
+                 const GcTotals& gc) {
+  PrintRow("%-12s %12.0f %10.2f %10.2f %10.3f %10llu %10llu", label,
+           result.Throughput(),
+           static_cast<double>(result.latency_us.Percentile(0.5)) / 1000.0,
+           static_cast<double>(result.latency_us.Percentile(0.99)) / 1000.0,
+           gc.FsyncsPerCommit(), gc.max_group, gc.max_busy_lanes);
+}
+
+}  // namespace
+
+int main() {
+  ExperimentConfig config = MaybeQuick(ExperimentConfig{});
+  retwis::Workload workload(config.workload);
+
+  PrintHeader("Ablation A8: execution lanes x WAL group commit (Retwis mix)");
+  PrintRow("%-12s %12s %10s %10s %10s %10s %10s", "Config", "jobs/sec",
+           "p50(ms)", "p99(ms)", "fsync/cmt", "max_grp", "max_lanes");
+
+  double throughput_1_lane = 0, throughput_8_lanes = 0;
+  for (size_t lanes : {1, 2, 4, 8, 16}) {
+    ExperimentConfig run_config = config;
+    run_config.lanes = lanes;
+    AggregatedSystem system(run_config, workload);
+    auto result = RunMixed(system, run_config, workload);
+    char label[32];
+    std::snprintf(label, sizeof(label), "lanes=%zu", lanes);
+    PrintResult(label, result, Collect(system.deployment()));
+    if (lanes == 1) throughput_1_lane = result.Throughput();
+    if (lanes == 8) throughput_8_lanes = result.Throughput();
+  }
+
+  PrintRow("%s", "");
+  for (size_t gc_bytes : {64, 4096, 1 << 20}) {
+    ExperimentConfig run_config = config;
+    run_config.lanes = 8;
+    run_config.gc_max_batch_bytes = gc_bytes;
+    AggregatedSystem system(run_config, workload);
+    auto result = RunMixed(system, run_config, workload);
+    char label[32];
+    std::snprintf(label, sizeof(label), "8l,gc=%zuB", gc_bytes);
+    PrintResult(label, result, Collect(system.deployment()));
+  }
+
+  PrintRow("\nspeedup 8 lanes vs 1: %.2fx  (acceptance: >= 2x, fsync/cmt < 0.5)",
+           throughput_1_lane > 0 ? throughput_8_lanes / throughput_1_lane : 0.0);
+  PrintRow("expected: throughput scales with lanes until the WAL device or");
+  PrintRow("cores saturate; fsyncs/commit falls as backpressure grows groups;");
+  PrintRow("a tiny gc byte-bound forces one fsync per commit and gives the");
+  PrintRow("un-amortized cost back");
+  return 0;
+}

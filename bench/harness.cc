@@ -65,6 +65,28 @@ void ObsHooks::Dump(const std::string& label) {
                  obs::ExportChromeTrace(tracer_.Spans()));
 }
 
+void ApplyParallelismKnobs(const ExperimentConfig& config,
+                           cluster::StorageNodeOptions* node) {
+  auto int_env = [](const char* name, int64_t fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' ? std::strtoll(v, nullptr, 10) : fallback;
+  };
+  int64_t lanes = int_env("LO_LANES", -1);
+  if (lanes > 0) node->runtime.lanes = static_cast<size_t>(lanes);
+  int64_t gc_bytes = int_env("LO_GC_BYTES", -1);
+  if (gc_bytes > 0) node->gc_max_batch_bytes = static_cast<size_t>(gc_bytes);
+  int64_t gc_delay = int_env("LO_GC_DELAY_US", -1);
+  if (gc_delay >= 0) node->gc_max_batch_delay = sim::Micros(gc_delay);
+  // Explicit experiment config overrides env (ablation sweeps).
+  if (config.lanes > 0) node->runtime.lanes = config.lanes;
+  if (config.gc_max_batch_bytes > 0) {
+    node->gc_max_batch_bytes = config.gc_max_batch_bytes;
+  }
+  if (config.gc_max_batch_delay_us >= 0) {
+    node->gc_max_batch_delay = sim::Micros(config.gc_max_batch_delay_us);
+  }
+}
+
 FaultPlan FaultPlanFromEnv() {
   auto int_env = [](const char* name, int64_t fallback) {
     const char* v = std::getenv(name);
@@ -102,6 +124,7 @@ AggregatedSystem::AggregatedSystem(const ExperimentConfig& config,
   cluster::DeploymentOptions options;
   options.node.replication_mode = config.replication_mode;
   options.node.runtime.enable_result_cache = config.result_cache;
+  ApplyParallelismKnobs(config, &options.node);
   // Closed-loop measurement clients must out-wait celebrity-post fan-outs.
   options.client.request_timeout = sim::Seconds(5);
   options.metrics_registry = obs_.registry();
@@ -152,6 +175,7 @@ DisaggregatedSystem::DisaggregatedSystem(const ExperimentConfig& config,
   LO_CHECK(retwis::RegisterUserType(&types_, /*use_vm=*/true).ok());
   baseline::BaselineOptions options;
   options.storage.replication_mode = config.replication_mode;
+  ApplyParallelismKnobs(config, &options.storage);
   options.metrics_registry = obs_.registry();
   options.tracer = obs_.tracer();
   deployment_ = std::make_unique<baseline::DisaggregatedDeployment>(sim_, &types_,

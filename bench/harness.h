@@ -34,7 +34,19 @@ struct ExperimentConfig {
   /// paper's early prototype numbers.
   bool result_cache = false;
   bool quick = false;  // shrunk parameters for smoke runs
+  /// Parallelism knobs (0 / -1 = keep the node defaults). Set explicitly
+  /// by ablation sweeps; every bench also honors the LO_LANES /
+  /// LO_GC_BYTES / LO_GC_DELAY_US env vars (explicit config wins).
+  size_t lanes = 0;                  // execution lanes per storage node
+  size_t gc_max_batch_bytes = 0;     // WAL group-commit size bound
+  int64_t gc_max_batch_delay_us = -1;  // WAL group-commit window
 };
+
+/// Resolves the parallelism knobs (env, then explicit config) onto a
+/// node's options. Both system constructors call this, so benches pick
+/// the knobs up automatically.
+void ApplyParallelismKnobs(const ExperimentConfig& config,
+                           cluster::StorageNodeOptions* node);
 
 /// Applies LO_BENCH_QUICK=1 (env) to shrink an experiment ~20x.
 ExperimentConfig MaybeQuick(ExperimentConfig config);

@@ -71,16 +71,30 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
     runtime_->OnExternalCommit(batch);
   });
 
-  // Commit path of the runtime: charge the WAL sync, then replicate
-  // within the object's shard.
+  // The node's WAL device: serial fsyncs, group commit (the sink runs
+  // once per group — one replication round per fsync, both amortized).
+  WalGroupCommitterOptions gc_options;
+  gc_options.wal_sync_latency = options.wal_sync_latency;
+  gc_options.max_batch_bytes = options.gc_max_batch_bytes;
+  gc_options.max_batch_delay = options.gc_max_batch_delay;
+  gc_options.tracer = options.tracer;
+  gc_options.node_label = id;
+  group_committer_ = std::make_unique<WalGroupCommitter>(
+      &net.sim(),
+      [this](coord::ShardId shard, storage::WriteBatch batch,
+             obs::TraceContext trace) -> sim::Task<Status> {
+        co_return co_await replicator_->ReplicateAndApply(shard, std::move(batch),
+                                                          trace);
+      },
+      gc_options);
+
+  // Commit path of the runtime: through the WAL device (group commit),
+  // then replicate within the object's shard.
   runtime_->SetCommitSink(
       [this](const runtime::ObjectId& oid, storage::WriteBatch batch,
              obs::TraceContext trace) -> sim::Task<Status> {
-        sim::Time started = rpc_.sim().Now();
-        co_await rpc_.sim().Sleep(options_.wal_sync_latency);
-        RecordSpan(trace, "wal_sync", started);
-        co_return co_await replicator_->ReplicateAndApply(
-            shard_map_.ShardFor(oid), std::move(batch), trace);
+        co_return co_await group_committer_->Commit(shard_map_.ShardFor(oid),
+                                                    std::move(batch), trace);
       });
   // CPU: sandbox instantiation plus executed fuel occupies a worker core.
   runtime_->SetCpuCharger([this](uint64_t fuel) -> sim::Task<void> {
@@ -163,7 +177,15 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
   reg->RegisterExternal("runtime.commits", node, &rt.commits);
   reg->RegisterExternal("runtime.aborts", node, &rt.aborts);
   reg->RegisterExternal("runtime.lock_waits", node, &rt.lock_waits);
+  reg->RegisterExternal("runtime.max_busy_lanes", node, &rt.max_busy_lanes);
   reg->RegisterExternal("runtime.fuel_executed", node, &rt.fuel_executed);
+  // Lane occupancy: configured width plus the instantaneous busy count.
+  reg->RegisterCallback("runtime.lanes", node, [this] {
+    return static_cast<double>(runtime_->lanes());
+  });
+  reg->RegisterCallback("runtime.busy_lanes", node, [this] {
+    return static_cast<double>(runtime_->BusyLanes());
+  });
   reg->RegisterExternal("runtime.dedup_commit_skips", node,
                         &rt.dedup_commit_skips);
   const runtime::ResultCache::Stats& cache = runtime_->cache_stats();
@@ -180,6 +202,19 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
                         &repl.stale_epoch_rejections);
   reg->RegisterExternal("repl.failed_peer_acks", node, &repl.failed_peer_acks);
   reg->RegisterExternal("repl.promotions", node, &repl.promotions);
+  // WAL group commit: how well fsyncs amortize over commits.
+  const WalGroupCommitter::Stats& gc = group_committer_->stats();
+  reg->RegisterExternal("gc.commits", node, &gc.commits);
+  reg->RegisterExternal("gc.groups", node, &gc.groups);
+  reg->RegisterExternal("gc.synced_bytes", node, &gc.synced_bytes);
+  reg->RegisterExternal("gc.max_group_commits", node, &gc.max_group_commits);
+  reg->RegisterExternal("gc.sync_failures", node, &gc.sync_failures);
+  reg->RegisterCallback("gc.fsyncs_per_commit", node, [this] {
+    const auto& s = group_committer_->stats();
+    return s.commits == 0 ? 0.0
+                          : static_cast<double>(s.groups) /
+                                static_cast<double>(s.commits);
+  });
   // DB stats are returned by value; read lazily at snapshot time.
   reg->RegisterCallback("db.wal_syncs", node, [this] {
     return static_cast<double>(db_->GetStats().wal_syncs);
@@ -364,12 +399,9 @@ sim::Task<Result<std::string>> StorageNode::HandleKvPut(sim::NodeId,
   } else {
     batch.Put(key, value);
   }
-  sim::Time sync_started = rpc_.sim().Now();
-  co_await rpc_.sim().Sleep(options_.wal_sync_latency);
-  RecordSpan(trace, "wal_sync", sync_started);
   coord::ShardId shard = shard_map_.ShardFor(OidFromStorageKey(key));
   LO_CO_RETURN_IF_ERROR(
-      co_await replicator_->ReplicateAndApply(shard, std::move(batch), trace));
+      co_await group_committer_->Commit(shard, std::move(batch), trace));
   co_return std::string("ok");
 }
 
@@ -396,12 +428,9 @@ sim::Task<Result<std::string>> StorageNode::HandleKvBatch(sim::NodeId,
     }
   } first;
   LO_CO_RETURN_IF_ERROR(batch->Iterate(&first));
-  sim::Time sync_started = rpc_.sim().Now();
-  co_await rpc_.sim().Sleep(options_.wal_sync_latency);
-  RecordSpan(trace, "wal_sync", sync_started);
   coord::ShardId shard = shard_map_.ShardFor(OidFromStorageKey(first.key));
   LO_CO_RETURN_IF_ERROR(
-      co_await replicator_->ReplicateAndApply(shard, std::move(*batch), trace));
+      co_await group_committer_->Commit(shard, std::move(*batch), trace));
   co_return std::string("ok");
 }
 
@@ -446,9 +475,8 @@ sim::Task<Result<std::string>> StorageNode::HandleInstall(sim::NodeId,
   if (!reader.GetVarint32(&shard)) co_return Status::Corruption("bad install");
   auto batch = storage::WriteBatch::FromRep(std::string(reader.rest()));
   if (!batch.ok()) co_return batch.status();
-  co_await rpc_.sim().Sleep(options_.wal_sync_latency);
   LO_CO_RETURN_IF_ERROR(
-      co_await replicator_->ReplicateAndApply(shard, std::move(*batch)));
+      co_await group_committer_->Commit(shard, std::move(*batch), {}));
   metrics_.objects_migrated_in++;
   co_return std::string("ok");
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/routing.h"
+#include "cluster/wal_group_commit.h"
 #include "coord/coordinator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -34,6 +35,12 @@ struct StorageNodeOptions {
   int cores = 20;                                   // Xeon Silver 4114 pair
   size_t db_write_buffer_size = 8 << 20;            // memtable flush threshold
   sim::Duration wal_sync_latency = sim::Micros(80); // NVMe flush per commit
+  /// WAL group commit (cluster/wal_group_commit.h): commits queued while
+  /// the shard's WAL device is busy coalesce into one fsync, bounded by
+  /// these two knobs (bench/harness reads LO_GC_BYTES / LO_GC_DELAY_US
+  /// into them).
+  size_t gc_max_batch_bytes = 1 << 20;
+  sim::Duration gc_max_batch_delay = sim::Duration(0);
   sim::Duration dispatch_overhead = sim::Micros(15);// request demux/sched
   /// Server-side CPU per raw kv op (parse + LSM + syscall path) — paid by
   /// the disaggregated baseline on every storage access.
@@ -65,6 +72,7 @@ class StorageNode {
   runtime::Runtime& runtime() { return *runtime_; }
   storage::DB& db() { return *db_; }
   replication::Replicator& replicator() { return *replicator_; }
+  WalGroupCommitter& group_committer() { return *group_committer_; }
   sim::CpuModel& cpu() { return cpu_; }
   const ShardMap& shard_map() const { return shard_map_; }
 
@@ -129,6 +137,7 @@ class StorageNode {
   std::unique_ptr<storage::DB> db_;
   std::unique_ptr<runtime::Runtime> runtime_;
   std::unique_ptr<replication::Replicator> replicator_;
+  std::unique_ptr<WalGroupCommitter> group_committer_;
   std::unique_ptr<coord::CoordClient> coord_client_;
   ShardMap shard_map_;
   std::set<runtime::ObjectId> migrated_away_;

@@ -1,7 +1,8 @@
-// FIFO mutex for coroutines. One per object: LambdaStore "combines
-// function scheduling and concurrency control" (paper §4.2) by never
-// running two read-write invocations of the same object concurrently —
-// the application's object granularity *is* the lock granularity.
+// FIFO mutex for coroutines. One per execution lane (objects are pinned
+// to lanes by hash): LambdaStore "combines function scheduling and
+// concurrency control" (paper §4.2) by never running two read-write
+// invocations of the same object concurrently — same-object invocations
+// share a lane, so the lane lock is the object lock.
 #pragma once
 
 #include <deque>

@@ -1,0 +1,143 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace lo::runtime {
+
+ParallelNode::ParallelNode(storage::DB* db, const TypeRegistry* types,
+                           ParallelNodeOptions options)
+    : db_(db),
+      options_(options),
+      committer_(std::make_unique<storage::GroupCommitter>(db, options.group_commit)) {
+  size_t lane_count = std::max<size_t>(1, options_.lanes);
+  lanes_.reserve(lane_count);
+  for (size_t i = 0; i < lane_count; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->sim = std::make_unique<sim::Simulator>();
+    RuntimeOptions rt_options = options_.runtime;
+    rt_options.lanes = 1;  // one worker thread == one internal lane
+    lane->runtime = std::make_unique<Runtime>(lane->sim.get(), db_, types, rt_options);
+    // All lanes commit through the shared group committer: the worker
+    // thread blocks inside Commit() until its batch's shared fsync lands.
+    lane->runtime->SetCommitSink(
+        [this](const ObjectId&, storage::WriteBatch batch,
+               obs::TraceContext) -> sim::Task<Status> {
+          co_return committer_->Commit(std::move(batch));
+        });
+    // Nested invocations stay on-lane (see header). Same-lane targets
+    // recurse directly; the runtime released its lane lock first, so the
+    // recursive Invoke acquires it without suspending.
+    Runtime* rt = lane->runtime.get();
+    lane->runtime->SetRemoteInvoker(
+        [this, i, rt](ObjectId oid, std::string method, std::string argument,
+                      obs::TraceContext trace) -> sim::Task<Result<std::string>> {
+          if (LaneFor(oid) != i) {
+            co_return Status::FailedPrecondition(
+                "cross-lane nested invocation (object " + oid +
+                " is pinned to another lane)");
+          }
+          co_return co_await rt->Invoke(std::move(oid), std::move(method),
+                                        std::move(argument), trace);
+        });
+    lane->worker = std::thread([this, raw = lane.get()] { WorkerLoop(raw); });
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+ParallelNode::~ParallelNode() {
+  for (auto& lane : lanes_) {
+    {
+      std::unique_lock<std::mutex> lock(lane->mu);
+      lane->stop = true;
+    }
+    lane->work_cv.notify_all();
+  }
+  for (auto& lane : lanes_) lane->worker.join();
+  // committer_ destructor drains whatever the lanes submitted last.
+}
+
+size_t ParallelNode::LaneFor(const ObjectId& oid) const {
+  return static_cast<size_t>(Fnv1a64(oid) % lanes_.size());
+}
+
+uint64_t ParallelNode::lane_executed(size_t lane) const {
+  std::unique_lock<std::mutex> lock(lanes_[lane]->mu);
+  return lanes_[lane]->executed;
+}
+
+void ParallelNode::Enqueue(size_t lane_index, std::function<void()> job) {
+  Lane& lane = *lanes_[lane_index];
+  {
+    std::unique_lock<std::mutex> lock(lane.mu);
+    lane.queue.push_back(std::move(job));
+  }
+  lane.work_cv.notify_one();
+}
+
+std::future<Result<std::string>> ParallelNode::Invoke(ObjectId oid,
+                                                      std::string method,
+                                                      std::string argument,
+                                                      std::string token) {
+  auto promise = std::make_shared<std::promise<Result<std::string>>>();
+  auto future = promise->get_future();
+  size_t lane_index = LaneFor(oid);
+  Runtime* rt = lanes_[lane_index]->runtime.get();
+  Enqueue(lane_index, [rt, promise, oid = std::move(oid),
+                       method = std::move(method), argument = std::move(argument),
+                       token = std::move(token)]() mutable {
+    promise->set_value(RunSync(rt->Invoke(std::move(oid), std::move(method),
+                                          std::move(argument), {},
+                                          std::move(token))));
+  });
+  return future;
+}
+
+std::future<Result<std::string>> ParallelNode::CreateObject(ObjectId oid,
+                                                            std::string type_name,
+                                                            std::string token) {
+  auto promise = std::make_shared<std::promise<Result<std::string>>>();
+  auto future = promise->get_future();
+  size_t lane_index = LaneFor(oid);
+  Runtime* rt = lanes_[lane_index]->runtime.get();
+  Enqueue(lane_index, [rt, promise, oid = std::move(oid),
+                       type_name = std::move(type_name),
+                       token = std::move(token)]() mutable {
+    promise->set_value(RunSync(
+        rt->CreateObject(std::move(oid), std::move(type_name), std::move(token))));
+  });
+  return future;
+}
+
+void ParallelNode::Drain() {
+  for (auto& lane : lanes_) {
+    std::unique_lock<std::mutex> lock(lane->mu);
+    lane->idle_cv.wait(lock, [&] { return lane->queue.empty() && !lane->busy; });
+  }
+  committer_->Drain();
+}
+
+void ParallelNode::WorkerLoop(Lane* lane) {
+  std::unique_lock<std::mutex> lock(lane->mu);
+  while (true) {
+    lane->work_cv.wait(lock, [&] { return lane->stop || !lane->queue.empty(); });
+    if (lane->queue.empty()) {
+      if (lane->stop) return;
+      continue;
+    }
+    std::function<void()> job = std::move(lane->queue.front());
+    lane->queue.pop_front();
+    lane->busy = true;
+    lock.unlock();
+    job();
+    lock.lock();
+    lane->executed++;
+    lane->busy = false;
+    lane->idle_cv.notify_all();
+    if (lane->stop && lane->queue.empty()) return;  // drained
+  }
+}
+
+}  // namespace lo::runtime

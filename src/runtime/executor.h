@@ -1,0 +1,132 @@
+// Real-threaded sharded executor: the OS-thread counterpart of the
+// simulated execution lanes in runtime.h, used by the model-checked
+// concurrency tests (and usable standalone).
+//
+// A ParallelNode owns `lanes` worker threads. Every invocation is pinned
+// to lane `hash(object_id) % lanes`: distinct objects run concurrently on
+// distinct threads, same-object invocations land in one lane's FIFO queue
+// and can never reorder — per-object linearizability by construction.
+// Each lane holds its own runtime::Runtime (method dispatch, VM
+// instances, result cache); lane-affinity is what keeps the per-lane
+// caches consistent, since every commit touching an object passes through
+// that object's lane. All lanes share one MiniLSM DB (opened with
+// Options::serialize_access) and one storage::GroupCommitter, so commits
+// issued concurrently from several lanes coalesce into shared fsyncs.
+//
+// The runtime is coroutine-based but none of its awaits suspends on an
+// external event when driven this way (the lane's internal AsyncMutex is
+// always free — the worker thread is the only entrant — and the commit
+// sink blocks the worker thread inside GroupCommitter::Commit instead of
+// suspending). RunSync exploits that: it starts the coroutine and
+// requires it to finish in one go.
+//
+// Restriction: nested invocations (`ctx.Invoke`) must stay on the
+// caller's lane; a cross-lane nested call returns Unimplemented rather
+// than risk lane-to-lane deadlock. The simulated cluster path has no such
+// limit — this executor is a single-node engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/status.h"
+#include "runtime/object.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+#include "storage/db.h"
+#include "storage/group_commit.h"
+
+namespace lo::runtime {
+
+/// Runs a coroutine that never suspends on an external event and returns
+/// its value. Aborts if the task parks (that would mean an await with no
+/// one left to resume it — a bug in how the runtime was wired).
+template <typename T>
+T RunSync(sim::Task<T> task) {
+  std::optional<T> out;
+  sim::Detach([](sim::Task<T> t, std::optional<T>* out) -> sim::Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(task), &out));
+  LO_CHECK_MSG(out.has_value(), "coroutine suspended under RunSync");
+  return std::move(*out);
+}
+
+struct ParallelNodeOptions {
+  /// Worker threads; objects are pinned by hash(object_id) % lanes.
+  size_t lanes = 8;
+  /// Per-lane runtime configuration (its `lanes` field is overridden
+  /// to 1 — threading is this executor's job, not the lane runtime's).
+  RuntimeOptions runtime;
+  storage::GroupCommitterOptions group_commit;
+};
+
+class ParallelNode {
+ public:
+  /// `db` must be opened with Options::serialize_access and outlive this
+  /// node (not owned — tests close/reopen it across crashes). `types`
+  /// must also outlive the node.
+  ParallelNode(storage::DB* db, const TypeRegistry* types,
+               ParallelNodeOptions options = {});
+  /// Drains every queued invocation and pending group commit, then joins.
+  ~ParallelNode();
+
+  ParallelNode(const ParallelNode&) = delete;
+  ParallelNode& operator=(const ParallelNode&) = delete;
+
+  /// Thread-safe. Enqueues on the object's lane; the future resolves when
+  /// the invocation has executed and its writes (if any) are durable.
+  /// Submission order from one thread = execution order on the lane.
+  std::future<Result<std::string>> Invoke(ObjectId oid, std::string method,
+                                          std::string argument,
+                                          std::string token = {});
+  std::future<Result<std::string>> CreateObject(ObjectId oid,
+                                                std::string type_name,
+                                                std::string token = {});
+
+  /// Blocks until all lanes are idle and all group commits resolved.
+  void Drain();
+
+  size_t lanes() const { return lanes_.size(); }
+  size_t LaneFor(const ObjectId& oid) const;
+  /// Invocations executed by `lane` so far.
+  uint64_t lane_executed(size_t lane) const;
+  const storage::GroupCommitter& committer() const { return *committer_; }
+  /// The lane's runtime — only safe to inspect while the node is idle.
+  const Runtime& lane_runtime(size_t lane) const { return *lanes_[lane]->runtime; }
+
+ private:
+  struct Lane {
+    // Never stepped: it only supplies the runtime's virtual clock; every
+    // coroutine this lane drives completes synchronously (see header).
+    std::unique_ptr<sim::Simulator> sim;
+    std::unique_ptr<Runtime> runtime;
+    std::mutex mu;
+    std::condition_variable work_cv;
+    std::condition_variable idle_cv;
+    std::deque<std::function<void()>> queue;
+    bool busy = false;
+    bool stop = false;
+    uint64_t executed = 0;
+    std::thread worker;  // last: started after the fields it reads
+  };
+
+  void WorkerLoop(Lane* lane);
+  void Enqueue(size_t lane_index, std::function<void()> job);
+
+  storage::DB* db_;
+  ParallelNodeOptions options_;
+  std::unique_ptr<storage::GroupCommitter> committer_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace lo::runtime

@@ -1,7 +1,9 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace lo::runtime {
@@ -13,6 +15,10 @@ Runtime::Runtime(sim::Simulator* sim, storage::DB* db, const TypeRegistry* types
       types_(types),
       options_(options),
       cache_(options.result_cache_capacity) {
+  size_t lanes = std::max<size_t>(1, options_.lanes);
+  lanes_.reserve(lanes);
+  for (size_t i = 0; i < lanes; ++i) lanes_.push_back(std::make_unique<AsyncMutex>());
+  lane_acquisitions_.assign(lanes, 0);
   // Default commit sink: local durable write.
   commit_sink_ = [this](const ObjectId&, storage::WriteBatch batch,
                         obs::TraceContext trace) -> sim::Task<Status> {
@@ -41,10 +47,27 @@ Result<std::string> Runtime::TypeOf(const ObjectId& oid) {
   return db_->Get({}, ObjectExistsKey(oid));
 }
 
+size_t Runtime::LaneIndexFor(const ObjectId& oid) const {
+  return static_cast<size_t>(Fnv1a64(oid) % lanes_.size());
+}
+
 AsyncMutex& Runtime::LockFor(const ObjectId& oid) {
-  auto& slot = locks_[oid];
-  if (slot == nullptr) slot = std::make_unique<AsyncMutex>();
-  return *slot;
+  return *lanes_[LaneIndexFor(oid)];
+}
+
+size_t Runtime::BusyLanes() const {
+  size_t busy = 0;
+  for (const auto& lane : lanes_) busy += lane->locked() ? 1 : 0;
+  return busy;
+}
+
+sim::Task<void> Runtime::AcquireLane(size_t lane) {
+  AsyncMutex& lock = *lanes_[lane];
+  if (lock.locked()) metrics_.lock_waits++;
+  co_await lock.Lock();
+  lane_acquisitions_[lane]++;
+  size_t busy = BusyLanes();
+  if (busy > metrics_.max_busy_lanes) metrics_.max_busy_lanes = busy;
 }
 
 sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
@@ -56,8 +79,9 @@ sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
   if (types_->Find(type_name) == nullptr) {
     co_return Status::NotFound("unknown object type: " + type_name);
   }
-  AsyncMutex& lock = LockFor(oid);
-  co_await lock.Lock();
+  size_t lane = LaneIndexFor(oid);
+  AsyncMutex& lock = *lanes_[lane];
+  co_await AcquireLane(lane);
   Result<std::string> existing = TypeOf(oid);
   if (existing.ok()) {
     // "Already exists" from our own earlier attempt (create committed,
@@ -132,10 +156,12 @@ sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
     co_return result;
   }
 
-  // Read-write: exclusive per object (scheduling == concurrency control).
-  AsyncMutex& lock = LockFor(oid);
-  if (lock.locked()) metrics_.lock_waits++;
-  co_await lock.Lock();
+  // Read-write: exclusive per lane. Same-object invocations share a lane
+  // (FIFO — per-object linearizability); distinct objects usually land on
+  // different lanes and run concurrently.
+  size_t lane = LaneIndexFor(oid);
+  AsyncMutex& lock = *lanes_[lane];
+  co_await AcquireLane(lane);
   InvocationContext ctx(this, oid, MethodKind::kReadWrite, /*snapshot=*/nullptr);
   ctx.set_object_lock(&lock);
   ctx.set_trace(trace);

@@ -15,7 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/trace.h"
@@ -30,6 +30,13 @@ namespace lo::runtime {
 
 struct RuntimeOptions {
   vm::VmLimits vm_limits;
+  /// Execution lanes: invocations are scheduled on lane
+  /// `hash(object_id) % lanes`. Distinct objects run concurrently (up to
+  /// `lanes` at once, modeling a bounded worker pool), while same-object
+  /// invocations always collide on one lane and stay FIFO — per-object
+  /// linearizability is the lane-affinity invariant. 1 restores the
+  /// fully serial runtime.
+  size_t lanes = 8;
   bool enable_result_cache = true;
   size_t result_cache_capacity = 4096;
   /// Fuel equivalent charged for native methods (they are not metered).
@@ -86,7 +93,8 @@ class Runtime {
     uint64_t nested_invocations = 0;
     uint64_t commits = 0;
     uint64_t aborts = 0;
-    uint64_t lock_waits = 0;  // invocations that queued behind the object lock
+    uint64_t lock_waits = 0;  // invocations that queued behind their lane
+    uint64_t max_busy_lanes = 0;  // high-water mark of concurrently held lanes
     uint64_t fuel_executed = 0;
     /// Commits skipped because their idempotency marker was already
     /// durable (a retried invocation that had in fact applied).
@@ -109,8 +117,21 @@ class Runtime {
   sim::Simulator* sim() { return sim_; }
   storage::DB* db() { return db_; }
 
+  // --- lane introspection (obs export, tests, Transaction) -------------
+  size_t lanes() const { return lanes_.size(); }
+  /// The lane an object's invocations are pinned to.
+  size_t LaneIndexFor(const ObjectId& oid) const;
+  /// The lane's scheduling lock. Transactions lock several lanes: they
+  /// must dedupe indices (two objects can share a lane) and lock in
+  /// ascending index order to stay deadlock-free.
+  AsyncMutex& LaneLock(size_t lane) { return *lanes_[lane]; }
+  /// Lanes whose lock is currently held (instantaneous occupancy).
+  size_t BusyLanes() const;
+  /// Invocations scheduled on `lane` so far.
+  uint64_t lane_acquisitions(size_t lane) const { return lane_acquisitions_[lane]; }
+
   // --- internal API used by Transaction (runtime/transaction.h) --------
-  /// The per-object scheduling lock (transactions take several, sorted).
+  /// The scheduling lock for an object's lane (kept for tests).
   AsyncMutex& LockForTesting(const ObjectId& oid) { return LockFor(oid); }
   /// Commits a cross-object batch through the sink + cache invalidation.
   sim::Task<Status> CommitBatchForTransaction(
@@ -123,6 +144,8 @@ class Runtime {
                                            InvocationContext& ctx,
                                            std::string argument, uint64_t* fuel);
   AsyncMutex& LockFor(const ObjectId& oid);
+  /// Awaits the lane lock and updates wait/occupancy metrics.
+  sim::Task<void> AcquireLane(size_t lane);
 
   sim::Simulator* sim_;
   storage::DB* db_;
@@ -131,7 +154,8 @@ class Runtime {
   CommitSink commit_sink_;
   RemoteInvoker remote_invoker_;
   CpuCharger cpu_charger_;
-  std::unordered_map<ObjectId, std::unique_ptr<AsyncMutex>> locks_;
+  std::vector<std::unique_ptr<AsyncMutex>> lanes_;
+  std::vector<uint64_t> lane_acquisitions_;
   ResultCache cache_;
   Metrics metrics_;
 };

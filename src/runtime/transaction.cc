@@ -1,5 +1,7 @@
 #include "runtime/transaction.h"
 
+#include <set>
+
 #include "common/hash.h"
 #include "common/log.h"
 
@@ -66,11 +68,18 @@ sim::Task<Status> Transaction::Commit() {
     co_return Status::OK();
   }
 
-  // Lock phase: canonical order (std::map iteration is sorted), so two
-  // transactions can never deadlock on each other.
-  std::vector<AsyncMutex*> held;
+  // Lock phase: objects map to execution lanes, and two write objects can
+  // share a lane — locking per object would self-deadlock on the second
+  // acquire. Dedupe to lane indices and lock in ascending index order
+  // (canonical across transactions), so neither self- nor cross-deadlock
+  // is possible.
+  std::set<size_t> lanes;
   for (const auto& [oid, unused] : write_objects_) {
-    AsyncMutex& lock = runtime_->LockForTesting(oid);
+    lanes.insert(runtime_->LaneIndexFor(oid));
+  }
+  std::vector<AsyncMutex*> held;
+  for (size_t lane : lanes) {
+    AsyncMutex& lock = runtime_->LaneLock(lane);
     co_await lock.Lock();
     held.push_back(&lock);
   }

@@ -296,20 +296,27 @@ Status DB::RotateWal() {
 }
 
 Status DB::Put(const WriteOptions& opts, std::string_view key, std::string_view value) {
+  auto guard = Guard();
   stats_.puts++;
   WriteBatch batch;
   batch.Put(key, value);
-  return Write(opts, &batch);
+  return WriteLocked(opts, &batch);
 }
 
 Status DB::Delete(const WriteOptions& opts, std::string_view key) {
+  auto guard = Guard();
   stats_.deletes++;
   WriteBatch batch;
   batch.Delete(key);
-  return Write(opts, &batch);
+  return WriteLocked(opts, &batch);
 }
 
 Status DB::Write(const WriteOptions& opts, WriteBatch* batch) {
+  auto guard = Guard();
+  return WriteLocked(opts, batch);
+}
+
+Status DB::WriteLocked(const WriteOptions& opts, WriteBatch* batch) {
   if (batch->Count() == 0) return Status::OK();
   if (wal_failed_) {
     // The live WAL tail may be torn by the earlier failure; appending to
@@ -346,6 +353,7 @@ Status DB::Write(const WriteOptions& opts, WriteBatch* batch) {
 }
 
 Result<std::string> DB::Get(const ReadOptions& opts, std::string_view key) {
+  auto guard = Guard();
   stats_.gets++;
   SequenceNumber seq =
       opts.snapshot != nullptr ? opts.snapshot->sequence() : versions_->last_sequence();
@@ -389,6 +397,7 @@ Result<std::string> DB::Get(const ReadOptions& opts, std::string_view key) {
 }
 
 std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& opts) {
+  auto guard = Guard();
   SequenceNumber seq =
       opts.snapshot != nullptr ? opts.snapshot->sequence() : versions_->last_sequence();
   std::vector<std::unique_ptr<Iterator>> children;
@@ -408,6 +417,7 @@ std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& opts) {
 }
 
 const Snapshot* DB::GetSnapshot() {
+  auto guard = Guard();
   auto* snapshot = new Snapshot(versions_->last_sequence());
   snapshots_.insert(snapshot->sequence());
   return snapshot;
@@ -415,6 +425,7 @@ const Snapshot* DB::GetSnapshot() {
 
 void DB::ReleaseSnapshot(const Snapshot* snapshot) {
   if (snapshot == nullptr) return;
+  auto guard = Guard();
   auto it = snapshots_.find(snapshot->sequence());
   LO_CHECK_MSG(it != snapshots_.end(), "double snapshot release");
   snapshots_.erase(it);
@@ -584,6 +595,7 @@ Status DB::DeleteObsoleteFiles() {
 }
 
 Status DB::CompactAll() {
+  auto guard = Guard();
   LO_RETURN_IF_ERROR(FlushMemTable());
   for (int level = 0; level < kNumLevels - 1; level++) {
     while (versions_->NumLevelFiles(level) > 0) {
@@ -608,6 +620,7 @@ Status DB::CompactAll() {
 }
 
 DB::Stats DB::GetStats() const {
+  auto guard = Guard();
   Stats stats = stats_;
   for (int level = 0; level < kNumLevels; level++) {
     stats.files_per_level[level] = versions_->NumLevelFiles(level);

@@ -1,14 +1,18 @@
 // MiniLSM public API — the persistence substrate of LambdaStore (the
 // paper uses LevelDB in this role).
 //
-// Single-threaded by design: each simulated storage node owns one DB and
+// Single-threaded by default: each simulated storage node owns one DB and
 // the simulator serializes all access on a node. Flushes and compactions
-// run synchronously (deterministically) inside the write path.
+// run synchronously (deterministically) inside the write path. The
+// real-threaded execution path (runtime/executor.h + GroupCommitter)
+// instead opens the DB with Options::serialize_access, which guards every
+// public entry point with an internal mutex.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -31,6 +35,11 @@ struct Options {
   TableOptions table;
   /// If false, Open fails when the DB does not exist yet.
   bool create_if_missing = true;
+  /// Guards every public DB entry point with an internal mutex so real
+  /// threads (execution lanes + the group-commit thread) can share one
+  /// DB. Off by default: simulated nodes are single-threaded and skip
+  /// the locking entirely.
+  bool serialize_access = false;
   /// Records instant memtable_flush / compaction spans; nullptr disables.
   obs::Tracer* tracer = nullptr;
   /// Clock for span timestamps (storage has no sim dependency, so the
@@ -93,7 +102,10 @@ class DB {
   /// Flushes the memtable and fully compacts every level (tests/tools).
   Status CompactAll();
 
-  SequenceNumber LastSequence() const { return versions_->last_sequence(); }
+  SequenceNumber LastSequence() const {
+    auto guard = Guard();
+    return versions_->last_sequence();
+  }
 
   struct Stats {
     uint64_t puts = 0;
@@ -122,6 +134,17 @@ class DB {
  private:
   DB(Options options, std::string name);
 
+  /// Serialization of real-threaded callers (no-op unless
+  /// Options::serialize_access): every public entry point takes this
+  /// before touching DB state.
+  std::unique_lock<std::mutex> Guard() const {
+    return options_.serialize_access ? std::unique_lock<std::mutex>(mu_)
+                                     : std::unique_lock<std::mutex>();
+  }
+
+  /// Write body; the caller holds the guard (Put/Delete funnel here).
+  Status WriteLocked(const WriteOptions& opts, WriteBatch* batch);
+
   Status Initialize();
   Status RecoverWal();
   Status NewWal();
@@ -140,6 +163,7 @@ class DB {
 
   Options options_;
   std::string name_;
+  mutable std::mutex mu_;  // taken only when options_.serialize_access
   TableCache table_cache_;
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<MemTable> mem_;

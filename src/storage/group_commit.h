@@ -1,0 +1,91 @@
+// WAL group commit for real-threaded committers (LevelDB's writer queue
+// recast with a dedicated committer thread).
+//
+// Execution lanes commit concurrently; each Commit() call blocks its
+// calling thread until its batch is durable (or failed). The committer
+// thread coalesces every batch queued within one commit window — bounded
+// by `max_batch_bytes` and `max_batch_delay_us` — into a single combined
+// WriteBatch, hands it to DB::Write once (one WAL append + one fsync),
+// and propagates the resulting status to exactly the waiters whose
+// batches rode in that group. A sync failure therefore fails precisely
+// the commits whose bytes were at risk; later groups go through the DB's
+// WAL-rotation recovery path untouched. Idempotency markers ride inside
+// each member batch and are preserved verbatim by the coalescing
+// (WriteBatch::Append concatenates records).
+//
+// The DB must be opened with Options::serialize_access so the committer
+// thread and concurrent readers can share it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "storage/db.h"
+#include "storage/write_batch.h"
+
+namespace lo::storage {
+
+struct GroupCommitterOptions {
+  /// A group is sealed once its combined payload reaches this size.
+  size_t max_batch_bytes = 1 << 20;
+  /// How long the committer waits for more batches to join an open
+  /// group before syncing it. 0 = sync whatever is queued immediately
+  /// (grouping then comes purely from backpressure while a sync is in
+  /// flight, which is the LevelDB behavior).
+  int64_t max_batch_delay_us = 0;
+};
+
+class GroupCommitter {
+ public:
+  /// `db` is not owned and must outlive this committer.
+  explicit GroupCommitter(DB* db, GroupCommitterOptions options = {});
+  /// Drains every commit already queued, then joins. Commits submitted
+  /// after shutdown begins fail with Unavailable.
+  ~GroupCommitter();
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Thread-safe. Blocks until the batch is durable in the WAL (shared
+  /// fsync) or its group's write failed. Empty batches return OK
+  /// immediately.
+  Status Commit(WriteBatch batch);
+
+  /// Blocks until every commit submitted before this call has resolved.
+  void Drain();
+
+  struct Stats {
+    uint64_t commits = 0;          // Commit() calls that reached the WAL path
+    uint64_t groups = 0;           // DB::Write calls (== fsyncs while healthy)
+    uint64_t coalesced_bytes = 0;  // payload bytes across all groups
+    uint64_t max_group_commits = 0;
+    uint64_t sync_failures = 0;    // groups whose write/sync failed
+  };
+  Stats stats() const;
+
+ private:
+  struct Waiter {
+    WriteBatch batch;
+    Status status;
+    bool done = false;
+  };
+
+  void CommitterLoop();
+
+  DB* db_;
+  GroupCommitterOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // committer: queue became non-empty
+  std::condition_variable done_cv_;  // waiters: some group resolved
+  std::deque<Waiter*> queue_;
+  uint64_t in_flight_ = 0;  // waiters taken off the queue, not yet resolved
+  bool stop_ = false;
+  Stats stats_;
+  std::thread committer_;  // last member: started after everything above
+};
+
+}  // namespace lo::storage

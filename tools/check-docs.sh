@@ -4,11 +4,26 @@
 # Runs as part of the default ctest suite (test name: check_docs).
 set -u
 
-root="$(cd "$(dirname "$0")/.." && pwd)"
+# Resolve the repo root from the script's own (symlink-free) location,
+# never from the caller's working directory — ctest runs tests from the
+# build tree, and a cwd-relative root silently skipped docs/ there.
+script="${BASH_SOURCE[0]:-$0}"
+while [ -h "$script" ]; do
+  dir="$(cd "$(dirname "$script")" && pwd)"
+  script="$(readlink "$script")"
+  case "$script" in
+    /*) ;;
+    *) script="$dir/$script" ;;
+  esac
+done
+root="$(cd "$(dirname "$script")/.." && pwd)"
 
 broken=$(
-  for md in "$root"/*.md "$root"/docs/*.md; do
-    [ -f "$md" ] || continue
+  # Every markdown file in the tree, however deeply nested, excluding
+  # build trees and VCS internals.
+  find "$root" \
+    -name '.git' -prune -o -name 'build*' -prune -o \
+    -name '*.md' -print | while read -r md; do
     dir="$(dirname "$md")"
     # Every [text](target); external URLs and in-page anchors excluded.
     # Fenced code blocks are stripped first: C++ lambdas (`[](...)`)
