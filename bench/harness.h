@@ -139,6 +139,33 @@ class DisaggregatedSystem {
 retwis::DriverResult RunExperiment(bool aggregated, retwis::OpType op,
                                    const ExperimentConfig& config);
 
+// --- LO_NET=real: multi-process loopback deployment --------------------
+
+/// Real-transport mode, parsed from env:
+///   LO_NET=real             enable (anything else = sim only)
+///   LO_NET_PORT=<p>         server listen port (default 0 = ephemeral)
+///   LO_NET_SERVER_BIN=<p>   lambdastore-server binary (default: next to
+///                           this binary, ../tools/lambdastore-server)
+/// When enabled, benches additionally spawn one lambdastore-server
+/// process and drive it over loopback TCP with net::RemoteClient — the
+/// same closed loop, but in wall-clock time on real threads.
+struct RealNetConfig {
+  bool enabled = false;
+  uint16_t port = 0;
+  std::string server_bin;
+};
+RealNetConfig RealNetFromEnv();
+
+/// Runs one op against a freshly spawned lambdastore-server: seeds the
+/// same ReTwis graph (workload num_users/posts/seed travel as server
+/// flags), runs `config.num_clients` real threads each owning a
+/// net::RemoteClient over one shared net::RpcClient, measures for
+/// `config.measure` wall-clock nanoseconds after `config.warmup`, then
+/// shuts the server down (admin.shutdown + waitpid). Dies if the server
+/// cannot be spawned or does not come up.
+retwis::DriverResult RunRealNetExperiment(retwis::OpType op,
+                                          const ExperimentConfig& config);
+
 // --- output helpers ----------------------------------------------------
 
 void PrintHeader(const std::string& title);

@@ -1,0 +1,245 @@
+// LO_NET=real half of the harness: spawns one lambdastore-server
+// process, drives it over loopback TCP with net::RemoteClient on real
+// threads, and shuts it down cleanly. The closed loop mirrors
+// retwis::RunClosedLoop, but in wall-clock time: N client threads each
+// issue the next request as soon as the previous one completes,
+// latencies recorded after a warmup window.
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "net/remote_client.h"
+#include "net/rpc_client.h"
+
+extern char** environ;
+
+namespace lo::bench {
+
+namespace {
+
+// The bench binaries live in <build>/bench, the server in <build>/tools.
+std::string DefaultServerBin() {
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "lambdastore-server";
+  buf[n] = '\0';
+  std::string path(buf);
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "lambdastore-server";
+  return path.substr(0, slash) + "/../tools/lambdastore-server";
+}
+
+int64_t IntEnv(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? std::strtoll(v, nullptr, 10) : fallback;
+}
+
+// Owns the spawned server; kills it on any early exit so a failed bench
+// never leaks a process holding the port (and our stderr).
+struct ServerProcess {
+  pid_t pid = -1;
+  int stdout_fd = -1;
+  uint16_t port = 0;
+
+  ~ServerProcess() {
+    if (stdout_fd >= 0) close(stdout_fd);
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+  }
+  void Release() { pid = -1; }
+};
+
+void SpawnServer(const RealNetConfig& net, const ExperimentConfig& config,
+                 ServerProcess* server) {
+  std::vector<std::string> args;
+  args.push_back(net.server_bin);
+  args.push_back("--port=" + std::to_string(net.port));
+  // Seed the same social graph the client-side Workload generates from.
+  // (Only num_users/posts/seed travel; the fig benches leave the other
+  // workload knobs at their defaults, which the server shares.)
+  args.push_back("--seed-users=" + std::to_string(config.workload.num_users));
+  args.push_back("--seed-posts=" +
+                 std::to_string(config.workload.initial_posts_per_user));
+  args.push_back("--seed=" + std::to_string(config.workload.seed));
+  // Same env-then-explicit-config precedence as ApplyParallelismKnobs,
+  // delivered as flags since the server is a fresh process.
+  int64_t lanes = config.lanes > 0 ? static_cast<int64_t>(config.lanes)
+                                   : IntEnv("LO_LANES", -1);
+  if (lanes > 0) args.push_back("--lanes=" + std::to_string(lanes));
+  int64_t gc_bytes = config.gc_max_batch_bytes > 0
+                         ? static_cast<int64_t>(config.gc_max_batch_bytes)
+                         : IntEnv("LO_GC_BYTES", -1);
+  if (gc_bytes > 0) args.push_back("--gc-bytes=" + std::to_string(gc_bytes));
+  int64_t gc_delay = config.gc_max_batch_delay_us >= 0
+                         ? config.gc_max_batch_delay_us
+                         : IntEnv("LO_GC_DELAY_US", -1);
+  if (gc_delay >= 0) args.push_back("--gc-delay-us=" + std::to_string(gc_delay));
+
+  int pipefd[2];
+  LO_CHECK_MSG(pipe(pipefd) == 0, "pipe");
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, pipefd[1], STDOUT_FILENO);
+  posix_spawn_file_actions_addclose(&actions, pipefd[0]);
+  posix_spawn_file_actions_addclose(&actions, pipefd[1]);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  int rc = posix_spawn(&pid, args[0].c_str(), &actions, nullptr, argv.data(),
+                       environ);
+  posix_spawn_file_actions_destroy(&actions);
+  close(pipefd[1]);
+  if (rc != 0) {
+    close(pipefd[0]);
+    std::fprintf(stderr, "posix_spawn %s: %s\n", args[0].c_str(), strerror(rc));
+    LO_CHECK_MSG(false, "cannot spawn lambdastore-server (set LO_NET_SERVER_BIN)");
+  }
+  server->pid = pid;
+  server->stdout_fd = pipefd[0];
+
+  // Wait for "READY port=<p>". Seeding a 10k-user graph takes a moment.
+  std::string out;
+  while (true) {
+    size_t pos = out.find("READY port=");
+    if (pos != std::string::npos && out.find('\n', pos) != std::string::npos) {
+      server->port = static_cast<uint16_t>(
+          std::atoi(out.c_str() + pos + strlen("READY port=")));
+      return;
+    }
+    struct pollfd pfd = {server->stdout_fd, POLLIN, 0};
+    int pr = poll(&pfd, 1, 30'000);
+    LO_CHECK_MSG(pr > 0, "lambdastore-server did not print READY in 30s");
+    char buf[256];
+    ssize_t n = read(server->stdout_fd, buf, sizeof(buf));
+    LO_CHECK_MSG(n > 0, "lambdastore-server exited before READY");
+    out.append(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+RealNetConfig RealNetFromEnv() {
+  RealNetConfig config;
+  const char* mode = std::getenv("LO_NET");
+  if (mode == nullptr || std::string(mode) != "real") return config;
+  config.enabled = true;
+  config.port = static_cast<uint16_t>(IntEnv("LO_NET_PORT", 0));
+  const char* bin = std::getenv("LO_NET_SERVER_BIN");
+  config.server_bin =
+      bin != nullptr && bin[0] != '\0' ? bin : DefaultServerBin();
+  return config;
+}
+
+retwis::DriverResult RunRealNetExperiment(retwis::OpType op,
+                                          const ExperimentConfig& config) {
+  RealNetConfig net = RealNetFromEnv();
+  if (net.server_bin.empty()) net.server_bin = DefaultServerBin();
+  ServerProcess server;
+  SpawnServer(net, config, &server);
+
+  retwis::Workload workload(config.workload);
+  net::RpcClient rpc;  // one loop thread multiplexes every client thread
+  const std::string address = "127.0.0.1:" + std::to_string(server.port);
+
+  // 0 = warmup, 1 = measure, 2 = done. Requests in flight when the
+  // window closes are dropped from the tally, like the sim driver.
+  std::atomic<int> phase{0};
+  struct PerThread {
+    Histogram latency_us;
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+  };
+  std::vector<PerThread> slots(config.num_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(config.num_clients);
+  for (int i = 0; i < config.num_clients; i++) {
+    threads.emplace_back([&, i] {
+      net::RemoteClientOptions options;
+      options.seed = config.seed * 1000003 + static_cast<uint64_t>(i);
+      // Closed-loop measurement clients must out-wait celebrity-post
+      // fan-outs, like the sim bench client (cluster request_timeout).
+      options.request_timeout_us = 5'000'000;
+      options.retry_budget_us = 10'000'000;
+      net::RemoteClient client(&rpc, {address}, options);
+      Rng rng(config.workload.seed ^
+              (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1)));
+      PerThread& slot = slots[static_cast<size_t>(i)];
+      while (phase.load(std::memory_order_acquire) < 2) {
+        retwis::Request request = workload.Next(op, rng);
+        auto started = std::chrono::steady_clock::now();
+        Result<std::string> result =
+            client.Invoke(request.oid, request.method, request.argument);
+        int64_t elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - started)
+                                 .count();
+        if (phase.load(std::memory_order_acquire) == 1) {
+          if (result.ok()) {
+            slot.completed++;
+            slot.latency_us.Record(elapsed_us);
+          } else {
+            slot.errors++;
+          }
+        }
+      }
+    });
+  }
+
+  // sim::Duration is nanoseconds, so the sim windows map 1:1 onto
+  // wall-clock sleeps.
+  std::this_thread::sleep_for(std::chrono::nanoseconds(config.warmup));
+  auto measure_start = std::chrono::steady_clock::now();
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(config.measure));
+  phase.store(2, std::memory_order_release);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    measure_start)
+          .count();
+  for (std::thread& t : threads) t.join();
+
+  retwis::DriverResult result;
+  result.seconds = seconds;
+  for (PerThread& slot : slots) {
+    result.latency_us.Merge(slot.latency_us);
+    result.completed += slot.completed;
+    result.errors += slot.errors;
+  }
+
+  {
+    net::RemoteClient admin(&rpc, {address});
+    admin.Shutdown();
+  }
+  int status = 0;
+  for (int i = 0; i < 100; i++) {  // up to 5s for the drain
+    if (waitpid(server.pid, &status, WNOHANG) == server.pid) {
+      server.Release();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (server.pid > 0) {
+    std::fprintf(stderr, "lambdastore-server ignored shutdown; killing\n");
+  } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "lambdastore-server exited uncleanly (status %d)\n",
+                 status);
+  }
+  return result;
+}
+
+}  // namespace lo::bench

@@ -255,6 +255,12 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
   reg->RegisterCallback("rpc.timeouts", node, [this] {
     return static_cast<double>(rpc_.timeouts());
   });
+  reg->RegisterCallback("rpc.frame_rejects", node, [this] {
+    return static_cast<double>(rpc_.frame_rejects());
+  });
+  reg->RegisterCallback("rpc.deadline_sheds", node, [this] {
+    return static_cast<double>(rpc_.deadline_sheds());
+  });
   reg->RegisterCallback("cpu.busy_core_ns", node, [this] {
     return static_cast<double>(cpu_.busy_core_ns());
   });

@@ -1,0 +1,118 @@
+#include "net/frame.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace lo::net {
+namespace {
+
+std::string EncodeRequestBody(const RequestFrame& request) {
+  std::string body;
+  body.push_back(static_cast<char>(MessageKind::kRequest));
+  PutVarint64(&body, request.rpc_id);
+  PutVarint64(&body, request.trace_id);
+  PutVarint64(&body, request.span_id);
+  PutVarint64(&body, static_cast<uint64_t>(request.deadline_us));
+  PutLengthPrefixed(&body, request.service);
+  PutLengthPrefixed(&body, request.payload);
+  return body;
+}
+
+std::string EncodeResponseBody(uint64_t rpc_id, const Result<std::string>& result) {
+  std::string body;
+  body.push_back(static_cast<char>(MessageKind::kResponse));
+  PutVarint64(&body, rpc_id);
+  if (result.ok()) {
+    body.push_back(static_cast<char>(StatusCode::kOk));
+    PutLengthPrefixed(&body, result.value());
+  } else {
+    body.push_back(static_cast<char>(result.status().code()));
+    PutLengthPrefixed(&body, result.status().message());
+  }
+  return body;
+}
+
+void Bump(std::atomic<uint64_t>* counter) {
+  counter->fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, std::string_view body) {
+  PutFixed32(out, static_cast<uint32_t>(body.size()));
+  PutFixed32(out, crc32c::Mask(crc32c::Value(body)));
+  out->append(body);
+}
+
+std::string EncodeRequest(const RequestFrame& request) {
+  std::string out;
+  AppendFrame(&out, EncodeRequestBody(request));
+  return out;
+}
+
+std::string EncodeResponse(uint64_t rpc_id, const Result<std::string>& result) {
+  std::string out;
+  AppendFrame(&out, EncodeResponseBody(rpc_id, result));
+  return out;
+}
+
+DecodeResult TryDecodeFrame(std::string_view buffer, size_t* consumed,
+                            std::string_view* body, FrameStats* stats) {
+  if (buffer.size() < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  uint32_t body_len = DecodeFixed32(buffer.data());
+  uint32_t masked_crc = DecodeFixed32(buffer.data() + 4);
+  if (body_len > kMaxFrameBytes) {
+    if (stats != nullptr) Bump(&stats->oversize_rejects);
+    return DecodeResult::kCorrupt;
+  }
+  if (buffer.size() < kFrameHeaderBytes + body_len) return DecodeResult::kNeedMore;
+  std::string_view candidate = buffer.substr(kFrameHeaderBytes, body_len);
+  if (crc32c::Unmask(masked_crc) != crc32c::Value(candidate)) {
+    if (stats != nullptr) Bump(&stats->crc_rejects);
+    return DecodeResult::kCorrupt;
+  }
+  if (stats != nullptr) Bump(&stats->frames_decoded);
+  *consumed = kFrameHeaderBytes + body_len;
+  *body = candidate;
+  return DecodeResult::kOk;
+}
+
+bool DecodeMessage(std::string_view body, Message* out, FrameStats* stats) {
+  Reader reader{body};
+  std::string_view kind_bytes;
+  if (!reader.GetBytes(1, &kind_bytes)) {
+    if (stats != nullptr) Bump(&stats->malformed_rejects);
+    return false;
+  }
+  uint8_t kind = static_cast<uint8_t>(kind_bytes[0]);
+  if (kind == static_cast<uint8_t>(MessageKind::kRequest)) {
+    RequestFrame& req = out->request;
+    uint64_t deadline = 0;
+    if (!reader.GetVarint64(&req.rpc_id) || !reader.GetVarint64(&req.trace_id) ||
+        !reader.GetVarint64(&req.span_id) || !reader.GetVarint64(&deadline) ||
+        !reader.GetLengthPrefixed(&req.service) ||
+        !reader.GetLengthPrefixed(&req.payload)) {
+      if (stats != nullptr) Bump(&stats->malformed_rejects);
+      return false;
+    }
+    req.deadline_us = static_cast<int64_t>(deadline);
+    out->kind = MessageKind::kRequest;
+    return true;
+  }
+  if (kind == static_cast<uint8_t>(MessageKind::kResponse)) {
+    ResponseFrame& resp = out->response;
+    std::string_view code_bytes;
+    if (!reader.GetVarint64(&resp.rpc_id) || !reader.GetBytes(1, &code_bytes) ||
+        !reader.GetLengthPrefixed(&resp.body)) {
+      if (stats != nullptr) Bump(&stats->malformed_rejects);
+      return false;
+    }
+    resp.code = static_cast<StatusCode>(static_cast<uint8_t>(code_bytes[0]));
+    out->kind = MessageKind::kResponse;
+    return true;
+  }
+  if (stats != nullptr) Bump(&stats->malformed_rejects);
+  return false;
+}
+
+}  // namespace lo::net

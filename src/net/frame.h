@@ -1,0 +1,111 @@
+// RPC wire format shared by the simulated transport (sim/rpc) and the
+// real TCP transport (net/rpc_client, net/rpc_server).
+//
+// Every message travels as one frame:
+//
+//   [body_len  : fixed32 LE]                 frame header, 8 bytes
+//   [body_crc  : fixed32 LE, masked CRC32C]
+//   [body      : body_len bytes]
+//
+// and the body is either a request or a response:
+//
+//   request:  kRequest(1) | rpc_id varint | trace_id varint |
+//             span_id varint | deadline_us varint | service lp | payload lp
+//   response: kResponse(1) | rpc_id varint | status_code(1) | body lp
+//
+// (`lp` = varint length-prefixed bytes.) The CRC uses the LevelDB-style
+// mask from common/crc32c, so both transports reject torn or corrupted
+// payloads identically — a corrupt frame is *rejected*, never delivered.
+//
+// `deadline_us` is an absolute timestamp in the transport's clock domain:
+// sim time (microseconds) on the simulated network, CLOCK_MONOTONIC
+// microseconds for the TCP transport (shared by all processes on one
+// machine — the loopback multi-process deployment this repo targets).
+// 0 means "no deadline". Servers shed requests whose deadline has
+// already passed instead of doing the work (see docs/net.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lo::net {
+
+/// Frame header: body_len + masked body CRC, both fixed32 LE.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Upper bound on one frame's body. A length field above this is treated
+/// as corruption (a torn length would otherwise stall a stream forever
+/// waiting for bytes that never come).
+inline constexpr size_t kMaxFrameBytes = 8u << 20;
+
+enum class MessageKind : uint8_t { kRequest = 0, kResponse = 1 };
+
+struct RequestFrame {
+  uint64_t rpc_id = 0;
+  uint64_t trace_id = 0;   // obs trace propagation (0 = unsampled)
+  uint64_t span_id = 0;
+  int64_t deadline_us = 0; // absolute, transport clock domain; 0 = none
+  std::string_view service;
+  std::string_view payload;
+};
+
+struct ResponseFrame {
+  uint64_t rpc_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string_view body;   // result value when kOk, error message otherwise
+};
+
+/// A decoded message body; `service`/`payload`/`body` view into the
+/// buffer handed to DecodeMessage.
+struct Message {
+  MessageKind kind = MessageKind::kRequest;
+  RequestFrame request;
+  ResponseFrame response;
+};
+
+/// Decode-side counters, safe to bump from any transport thread. One
+/// instance per endpoint/connection owner; surfaced through obs as
+/// `net.frame_rejects`-style counters.
+struct FrameStats {
+  std::atomic<uint64_t> frames_decoded{0};
+  std::atomic<uint64_t> crc_rejects{0};       // checksum mismatch
+  std::atomic<uint64_t> oversize_rejects{0};  // body_len > kMaxFrameBytes
+  std::atomic<uint64_t> malformed_rejects{0}; // frame ok, body undecodable
+
+  uint64_t rejects() const {
+    return crc_rejects.load(std::memory_order_relaxed) +
+           oversize_rejects.load(std::memory_order_relaxed) +
+           malformed_rejects.load(std::memory_order_relaxed);
+  }
+};
+
+/// Encodes a complete framed request (header + CRC + body).
+std::string EncodeRequest(const RequestFrame& request);
+/// Encodes a complete framed response carrying a value or an error.
+std::string EncodeResponse(uint64_t rpc_id, const Result<std::string>& result);
+
+/// Wraps an already-encoded body in a frame (tests, fuzzing).
+void AppendFrame(std::string* out, std::string_view body);
+
+enum class DecodeResult {
+  kOk,        // one whole frame decoded; *consumed bytes eaten
+  kNeedMore,  // buffer holds only part of a frame — read more
+  kCorrupt,   // checksum/length violation; the stream cannot be trusted
+};
+
+/// Attempts to decode one frame from the front of `buffer`. On kOk,
+/// `*body` views the checksum-verified body inside `buffer` and
+/// `*consumed` is the total frame size. On kCorrupt the matching
+/// `stats` counter is bumped (stats may be nullptr).
+DecodeResult TryDecodeFrame(std::string_view buffer, size_t* consumed,
+                            std::string_view* body, FrameStats* stats = nullptr);
+
+/// Decodes a frame body into a request or response. Returns false (and
+/// bumps stats->malformed_rejects) on malformed input.
+bool DecodeMessage(std::string_view body, Message* out,
+                   FrameStats* stats = nullptr);
+
+}  // namespace lo::net

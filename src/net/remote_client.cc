@@ -1,0 +1,140 @@
+#include "net/remote_client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/log.h"
+
+namespace lo::net {
+
+namespace {
+// Process-unique client ids keep idempotency tokens distinct across the
+// many per-thread RemoteClients sharing one server.
+std::atomic<uint64_t> g_next_client_id{1};
+}  // namespace
+
+RemoteClient::RemoteClient(RpcClient* rpc, std::vector<std::string> nodes,
+                           RemoteClientOptions options)
+    : rpc_(rpc),
+      nodes_(std::move(nodes)),
+      options_(options),
+      rng_(options.seed),
+      client_id_(g_next_client_id.fetch_add(1, std::memory_order_relaxed)) {
+  LO_CHECK_MSG(!nodes_.empty(), "RemoteClient needs at least one node address");
+  if (options_.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics_registry;
+    uint32_t label = options_.node_label;
+    reg->RegisterExternal("client.requests", label, &metrics_.requests);
+    reg->RegisterExternal("client.retries", label, &metrics_.retries);
+    reg->RegisterExternal("client.budget_exhausted", label,
+                          &metrics_.budget_exhausted);
+    invoke_latency_us_ = reg->GetHistogram("client.invoke_latency_us", label);
+  }
+}
+
+const std::string& RemoteClient::NodeFor(const std::string& oid) const {
+  // Same hash the sim's ShardMap uses, so both deployments place an
+  // object on the same shard index.
+  return nodes_[Fnv1a64(oid) % nodes_.size()];
+}
+
+std::string RemoteClient::NextInvocationToken() {
+  return "r" + std::to_string(client_id_) + "-" + std::to_string(next_token_++);
+}
+
+Result<std::string> RemoteClient::CallWithRetry(const std::string& oid,
+                                                std::string service,
+                                                std::string payload) {
+  metrics_.requests++;
+  const std::string& address = NodeFor(oid);
+  obs::TraceContext trace;
+  if (options_.tracer != nullptr) trace = options_.tracer->StartTrace();
+  const int64_t started_us = EventLoop::NowUs();
+  const int64_t budget_deadline_us = started_us + options_.retry_budget_us;
+  Status last = Status::Unavailable("no attempts made");
+  int64_t backoff_us = options_.retry_backoff_us;
+  for (int attempt = 0; attempt < options_.max_attempts; attempt++) {
+    if (attempt > 0) {
+      // Exponential backoff with ±25% jitter — the same policy the sim
+      // client uses, on wall-clock instead of sim time.
+      double jitter = 0.75 + 0.5 * rng_.NextDouble();
+      auto pause_us =
+          static_cast<int64_t>(static_cast<double>(backoff_us) * jitter);
+      if (EventLoop::NowUs() + pause_us >= budget_deadline_us) {
+        metrics_.budget_exhausted++;
+        break;  // surface `last`: better an error than an unbounded stall
+      }
+      metrics_.retries++;
+      std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+      backoff_us = std::min(backoff_us * 2, options_.retry_backoff_max_us);
+    }
+    auto result = rpc_->CallSync(address, service, payload,
+                                 options_.request_timeout_us, trace);
+    if (result.ok()) {
+      if (obs::Tracing(options_.tracer, trace)) {
+        int64_t now_us = EventLoop::NowUs();
+        options_.tracer->Record(trace, "invoke", options_.node_label,
+                                started_us * 1000, now_us * 1000);
+      }
+      if (invoke_latency_us_ != nullptr) {
+        invoke_latency_us_->Record(EventLoop::NowUs() - started_us);
+      }
+      return result;
+    }
+    last = result.status();
+    switch (last.code()) {
+      case StatusCode::kWrongNode:
+      case StatusCode::kNotPrimary:
+      case StatusCode::kTimeout:
+      case StatusCode::kUnavailable:
+        continue;  // transient or mid-failover; back off and re-send
+      default:
+        return last;  // application-level error: surface it
+    }
+  }
+  return last;
+}
+
+Result<std::string> RemoteClient::Invoke(const std::string& oid,
+                                         const std::string& method,
+                                         const std::string& argument) {
+  std::string payload;
+  PutLengthPrefixed(&payload, oid);
+  PutLengthPrefixed(&payload, method);
+  PutLengthPrefixed(&payload, argument);
+  // The token is baked into the payload once, before the retry loop, so
+  // every attempt of this request carries the same identity.
+  PutLengthPrefixed(&payload, NextInvocationToken());
+  return CallWithRetry(oid, "lambda.invoke", std::move(payload));
+}
+
+Result<std::string> RemoteClient::Create(const std::string& oid,
+                                         const std::string& type_name) {
+  std::string payload;
+  PutLengthPrefixed(&payload, oid);
+  PutLengthPrefixed(&payload, type_name);
+  PutLengthPrefixed(&payload, NextInvocationToken());
+  return CallWithRetry(oid, "lambda.create", std::move(payload));
+}
+
+Status RemoteClient::Ping() {
+  for (const std::string& address : nodes_) {
+    auto reply = rpc_->CallSync(address, "ping", "ping",
+                                options_.request_timeout_us);
+    if (!reply.ok()) return reply.status();
+  }
+  return Status::OK();
+}
+
+void RemoteClient::Shutdown() {
+  for (const std::string& address : nodes_) {
+    (void)rpc_->CallSync(address, "admin.shutdown", "",
+                         options_.request_timeout_us);
+  }
+}
+
+}  // namespace lo::net

@@ -1,0 +1,91 @@
+// Client library for a real (multi-process) LambdaStore deployment —
+// the TCP counterpart of cluster::Client, speaking the same services
+// ("lambda.invoke", "lambda.create") with the same payload encoding,
+// idempotency tokens, and retry policy (exponential backoff + jitter
+// under a total retry budget, paper §4.2.1).
+//
+// Routing: object → shard by hash (cluster::ShardMap's hash, so the sim
+// and real deployments agree on placement), shard i served by
+// `nodes[i]`. There is no coordinator in the real path yet — the node
+// list is the configuration — so WrongNode/NotPrimary retries re-send
+// to the same mapping after backoff rather than refreshing a shard map.
+//
+// One RemoteClient per thread (it owns a jitter RNG and a token
+// counter); many RemoteClients share one RpcClient, whose loop thread
+// multiplexes all of their calls over pooled connections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/rpc_client.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lo::net {
+
+struct RemoteClientOptions {
+  int64_t request_timeout_us = 1'000'000;
+  /// Initial retry pause; doubles per attempt (±25% jitter) up to
+  /// `retry_backoff_max_us` — the policy of cluster::ClientOptions.
+  int64_t retry_backoff_us = 10'000;
+  int64_t retry_backoff_max_us = 160'000;
+  /// Total budget for one request including retries.
+  int64_t retry_budget_us = 2'000'000;
+  int max_attempts = 8;
+  uint64_t seed = 7;
+  /// Observability (nullptr = off). NOTE: the tracer is touched from
+  /// this client's calling thread — give concurrent RemoteClients
+  /// separate tracers or none.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  uint32_t node_label = 0;
+};
+
+class RemoteClient {
+ public:
+  /// `rpc` is shared and must outlive this client. `nodes` lists
+  /// "ip:port" per shard, in shard order.
+  RemoteClient(RpcClient* rpc, std::vector<std::string> nodes,
+               RemoteClientOptions options = {});
+
+  /// Blocking. Retries per the backoff policy; every attempt carries the
+  /// same idempotency token, so a retry after a lost ack never
+  /// double-applies.
+  Result<std::string> Invoke(const std::string& oid, const std::string& method,
+                             const std::string& argument);
+  Result<std::string> Create(const std::string& oid, const std::string& type_name);
+
+  /// One round-trip to every node ("ping" echo); OK iff all answer.
+  Status Ping();
+
+  /// Asks every node to shut down cleanly (admin.shutdown). Best-effort.
+  void Shutdown();
+
+  struct Metrics {
+    uint64_t requests = 0;
+    uint64_t retries = 0;
+    uint64_t budget_exhausted = 0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  Result<std::string> CallWithRetry(const std::string& oid, std::string service,
+                                    std::string payload);
+  const std::string& NodeFor(const std::string& oid) const;
+  std::string NextInvocationToken();
+
+  RpcClient* rpc_;
+  std::vector<std::string> nodes_;
+  RemoteClientOptions options_;
+  Rng rng_;
+  Metrics metrics_;
+  uint64_t client_id_ = 0;  // process-unique, for token minting
+  uint64_t next_token_ = 1;
+  Histogram* invoke_latency_us_ = nullptr;  // owned by the registry
+};
+
+}  // namespace lo::net

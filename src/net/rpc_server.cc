@@ -1,0 +1,269 @@
+#include "net/rpc_server.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <utility>
+
+#include "common/log.h"
+#include "net/socket.h"
+
+namespace lo::net {
+
+RpcServer::RpcServer(RpcServerOptions options) : options_(std::move(options)) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Handle(std::string service, Handler handler) {
+  LO_CHECK_MSG(!started_, "Handle() must be called before Start()");
+  handlers_[std::move(service)] = std::move(handler);
+}
+
+Status RpcServer::Start() {
+  LO_CHECK_MSG(!started_, "Start() called twice");
+  auto listen_fd = ListenTcp(options_.bind_address, options_.port);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = *listen_fd;
+  auto port = LocalPort(listen_fd_);
+  if (!port.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  // Safe off-loop: the loop thread does not exist yet.
+  loop_.AddFd(listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); });
+  if (options_.metrics_registry != nullptr) RegisterMetrics();
+  started_ = true;
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  if (!started_) return;
+  loop_.RunInLoop([this] {
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (uint64_t id : ids) CloseConn(id);
+    loop_.RemoveFd(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  });
+  loop_.Stop();
+  loop_thread_.join();
+  started_ = false;
+}
+
+void RpcServer::RegisterMetrics() {
+  obs::MetricsRegistry* reg = options_.metrics_registry;
+  uint32_t node = options_.node_label;
+  auto counter = [&](const char* name, const std::atomic<uint64_t>* value) {
+    reg->RegisterCallback(name, node, [value] {
+      return static_cast<double>(value->load(std::memory_order_relaxed));
+    });
+  };
+  counter("net.server.requests", &stats_.requests);
+  counter("net.server.responses", &stats_.responses);
+  counter("net.server.deadline_shed", &stats_.deadline_shed);
+  counter("net.server.bytes_in", &stats_.bytes_in);
+  counter("net.server.bytes_out", &stats_.bytes_out);
+  counter("net.server.connections", &stats_.connections_accepted);
+  counter("net.server.frame_crc_rejects", &frame_stats_.crc_rejects);
+  counter("net.server.frame_malformed_rejects", &frame_stats_.malformed_rejects);
+}
+
+void RpcServer::AcceptReady() {
+  while (true) {
+    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      LO_WARN << "accept failed: " << strerror(errno);
+      return;
+    }
+    if (Status st = SetNoDelay(fd); !st.ok()) {
+      LO_WARN << "TCP_NODELAY: " << st.ToString();
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    uint64_t id = conn->id;
+    conns_[id] = std::move(conn);
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    loop_.AddFd(fd, EPOLLIN, [this, id](uint32_t events) { ConnReady(id, events); });
+  }
+}
+
+void RpcServer::ConnReady(uint64_t conn_id, uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConn(conn_id);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!conn->want_write) {
+      // Spurious; nothing queued.
+    } else {
+      FlushConn(conn);
+      if (conns_.find(conn_id) == conns_.end()) return;  // closed on error
+    }
+  }
+  if ((events & EPOLLIN) == 0) return;
+  bool peer_closed = false;
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      stats_.bytes_in.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn_id);
+    return;
+  }
+  if (!DrainInbuf(conn)) return;  // corrupt stream, connection closed
+  if (peer_closed) CloseConn(conn_id);
+}
+
+bool RpcServer::DrainInbuf(Connection* conn) {
+  uint64_t conn_id = conn->id;
+  size_t offset = 0;
+  std::string_view view(conn->inbuf);
+  while (true) {
+    size_t consumed = 0;
+    std::string_view body;
+    DecodeResult result =
+        TryDecodeFrame(view.substr(offset), &consumed, &body, &frame_stats_);
+    if (result == DecodeResult::kNeedMore) break;
+    if (result == DecodeResult::kCorrupt) {
+      // A byte stream that fails its checksum cannot be re-synchronized;
+      // drop the connection (the client reconnects and retries).
+      LO_WARN << "closing connection " << conn_id << ": corrupt frame";
+      CloseConn(conn_id);
+      return false;
+    }
+    Message message;
+    if (DecodeMessage(body, &message, &frame_stats_) &&
+        message.kind == MessageKind::kRequest) {
+      DispatchRequest(conn, message.request);
+      // A synchronous responder can hit a write error that closes the
+      // connection under us.
+      if (conns_.find(conn_id) == conns_.end()) return false;
+    }
+    offset += consumed;
+  }
+  conn->inbuf.erase(0, offset);
+  return true;
+}
+
+void RpcServer::DispatchRequest(Connection* conn, const RequestFrame& request) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  uint64_t rpc_id = request.rpc_id;
+  Request req;
+  req.service.assign(request.service);
+  req.payload.assign(request.payload);
+  req.deadline_us = request.deadline_us;
+  obs::TraceContext caller_ctx;
+  caller_ctx.trace_id = request.trace_id;
+  caller_ctx.span_id = request.span_id;
+  if (req.Expired()) {
+    // Shed: the request outlived its deadline in a buffer; the caller
+    // has already timed out or is about to — don't do the work.
+    stats_.deadline_shed.fetch_add(1, std::memory_order_relaxed);
+    stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    SendOnConn(conn, EncodeResponse(
+                         rpc_id, Status::Timeout("deadline expired at server")));
+    return;
+  }
+  auto handler_it = handlers_.find(req.service);
+  if (handler_it == handlers_.end()) {
+    stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    SendOnConn(conn, EncodeResponse(
+                         rpc_id, Status::NotFound("no such service: " + req.service)));
+    return;
+  }
+  // Server-side span, mirroring sim::RpcEndpoint: handler wall time as
+  // "srv.<service>" under the caller's rpc span.
+  obs::TraceContext server_ctx = obs::Tracing(options_.tracer, caller_ctx)
+                                     ? options_.tracer->Child(caller_ctx)
+                                     : obs::TraceContext{};
+  req.trace = server_ctx.sampled() ? server_ctx : caller_ctx;
+  int64_t started_us = EventLoop::NowUs();
+  uint64_t conn_id = conn->id;
+  auto used = std::make_shared<std::atomic<bool>>(false);
+  std::string service = req.service;
+  Responder respond = [this, conn_id, rpc_id, used, server_ctx, started_us,
+                       service](Result<std::string> result) {
+    if (used->exchange(true)) return;  // single-shot
+    loop_.RunInLoop([this, conn_id, rpc_id, server_ctx, started_us, service,
+                     result = std::move(result)] {
+      if (server_ctx.sampled()) {
+        options_.tracer->Record(server_ctx, "srv." + service,
+                                options_.node_label, started_us * 1000,
+                                EventLoop::NowUs() * 1000);
+      }
+      stats_.responses.fetch_add(1, std::memory_order_relaxed);
+      auto it = conns_.find(conn_id);
+      if (it == conns_.end()) return;  // connection died; drop the reply
+      SendOnConn(it->second.get(), EncodeResponse(rpc_id, result));
+    });
+  };
+  handler_it->second(std::move(req), std::move(respond));
+}
+
+void RpcServer::SendOnConn(Connection* conn, std::string frame) {
+  conn->outbuf.append(frame);
+  FlushConn(conn);
+}
+
+void RpcServer::FlushConn(Connection* conn) {
+  while (conn->out_offset < conn->outbuf.size()) {
+    ssize_t n = write(conn->fd, conn->outbuf.data() + conn->out_offset,
+                      conn->outbuf.size() - conn->out_offset);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        loop_.ModFd(conn->fd, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    CloseConn(conn->id);
+    return;
+  }
+  conn->outbuf.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    loop_.ModFd(conn->fd, EPOLLIN);
+  }
+}
+
+void RpcServer::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  loop_.RemoveFd(it->second->fd);
+  close(it->second->fd);
+  conns_.erase(it);
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace lo::net

@@ -1,0 +1,137 @@
+// Async TCP RPC server on net::EventLoop — the real-transport
+// counterpart of the server half of sim::RpcEndpoint.
+//
+// One loop thread owns every connection: accept, frame decode (CRC
+// verified, corrupt streams are closed), request dispatch, response
+// writes. Handlers receive a Responder that may be called from ANY
+// thread exactly once — completion marshals back onto the loop thread —
+// so a handler can hand the request to worker threads (the lambdastore
+// server enqueues onto runtime::ParallelNode lanes) and return
+// immediately.
+//
+// Deadline shedding: a request whose frame-header deadline has already
+// passed when it is dispatched is answered with Status::Timeout without
+// invoking the handler (it sat in a socket buffer or behind a slow
+// handler for longer than the caller was willing to wait — doing the
+// work now only burns CPU on a response nobody reads). Handlers that
+// queue work should re-check Request::Expired() at execution time; both
+// shed points count into stats().deadline_shed via RecordShed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lo::net {
+
+struct RpcServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back with port().
+  uint16_t port = 0;
+  size_t max_frame_bytes = kMaxFrameBytes;
+  /// Observability (nullptr = off). Counters register under `node_label`
+  /// as net.server.*; sampled requests get "srv.<service>" spans with
+  /// CLOCK_MONOTONIC-µs timestamps, parented under the caller's rpc span
+  /// exactly like the sim transport.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  obs::Tracer* tracer = nullptr;
+  uint32_t node_label = 0;
+};
+
+class RpcServer {
+ public:
+  struct Request {
+    std::string service;
+    std::string payload;
+    obs::TraceContext trace;
+    /// Absolute CLOCK_MONOTONIC µs deadline from the frame; 0 = none.
+    int64_t deadline_us = 0;
+
+    bool Expired() const {
+      return deadline_us != 0 && EventLoop::NowUs() > deadline_us;
+    }
+  };
+  /// Thread-safe, single-shot. Calling it after the connection died (or
+  /// after Stop()) is harmless — the response is dropped — but every
+  /// Responder must be invoked or destroyed before the RpcServer is
+  /// destructed: drain worker threads first.
+  using Responder = std::function<void(Result<std::string>)>;
+  using Handler = std::function<void(Request request, Responder respond)>;
+
+  explicit RpcServer(RpcServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Installs the handler for `service`. Call before Start().
+  void Handle(std::string service, Handler handler);
+
+  /// Binds, listens, and spawns the loop thread.
+  Status Start();
+  /// Closes every connection and joins the loop thread. Idempotent.
+  void Stop();
+
+  /// Actual bound port (after Start with port 0).
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> responses{0};
+    std::atomic<uint64_t> deadline_shed{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+  };
+  const Stats& stats() const { return stats_; }
+  const FrameStats& frame_stats() const { return frame_stats_; }
+  /// Handlers that shed queued work themselves (lane-level deadline
+  /// checks) report it here so one counter covers both shed points.
+  void RecordShed() { stats_.deadline_shed.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    size_t out_offset = 0;  // bytes of outbuf already written
+    bool want_write = false;
+  };
+
+  void AcceptReady();
+  void ConnReady(uint64_t conn_id, uint32_t events);
+  /// Returns false when the connection was closed mid-processing.
+  bool DrainInbuf(Connection* conn);
+  void DispatchRequest(Connection* conn, const RequestFrame& request);
+  /// Queues bytes on the connection and flushes what the socket accepts.
+  void SendOnConn(Connection* conn, std::string frame);
+  void FlushConn(Connection* conn);
+  void CloseConn(uint64_t conn_id);
+  void RegisterMetrics();
+
+  RpcServerOptions options_;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::string, Handler> handlers_;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  Stats stats_;
+  FrameStats frame_stats_;
+};
+
+}  // namespace lo::net

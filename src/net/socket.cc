@@ -1,0 +1,128 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace lo::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + strerror(errno));
+}
+
+}  // namespace
+
+Status ParseAddress(const std::string& address, std::string* host,
+                    uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= address.size()) {
+    return Status::InvalidArgument("address must be host:port: " + address);
+  }
+  *host = address.substr(0, colon);
+  char* end = nullptr;
+  long value = strtol(address.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0 || value > 65535) {
+    return Status::InvalidArgument("bad port in address: " + address);
+  }
+  *port = static_cast<uint16_t>(value);
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind");
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 128) != 0) {
+    Status st = Errno("listen");
+    close(fd);
+    return st;
+  }
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    close(fd);
+    return st;
+  }
+  SetNoDelay(fd).ok();  // best-effort
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    Status st = Errno("connect");
+    close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Status ConnectError(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    return Status::Unavailable(std::string("connect: ") + strerror(err));
+  }
+  return Status::OK();
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+}  // namespace lo::net

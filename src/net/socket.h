@@ -1,0 +1,35 @@
+// Thin non-blocking TCP socket helpers for the net transport. IPv4 only
+// (the target deployment is loopback multi-process; see docs/net.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace lo::net {
+
+/// "host:port" → (host, port). Host must be a dotted-quad IPv4 literal.
+Status ParseAddress(const std::string& address, std::string* host,
+                    uint16_t* port);
+
+/// Non-blocking listening socket bound to host:port with SO_REUSEADDR.
+/// port 0 binds an ephemeral port — read it back with LocalPort.
+Result<int> ListenTcp(const std::string& host, uint16_t port);
+
+/// Starts a non-blocking connect. The returned fd is usually still
+/// connecting (EINPROGRESS) — wait for EPOLLOUT, then check
+/// ConnectError to learn the outcome.
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// SO_ERROR after a non-blocking connect completes: OK or the failure.
+Status ConnectError(int fd);
+
+/// Port a socket is actually bound to (after binding port 0).
+Result<uint16_t> LocalPort(int fd);
+
+Status SetNonBlocking(int fd);
+/// Disables Nagle: RPC frames are latency-sensitive and self-contained.
+Status SetNoDelay(int fd);
+
+}  // namespace lo::net

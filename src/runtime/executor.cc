@@ -1,6 +1,7 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/hash.h"
@@ -27,17 +28,19 @@ ParallelNode::ParallelNode(storage::DB* db, const TypeRegistry* types,
                obs::TraceContext) -> sim::Task<Status> {
           co_return committer_->Commit(std::move(batch));
         });
-    // Nested invocations stay on-lane (see header). Same-lane targets
-    // recurse directly; the runtime released its lane lock first, so the
-    // recursive Invoke acquires it without suspending.
+    // Same-lane nested targets recurse directly (the runtime released
+    // its lane lock first, so the recursive Invoke acquires it without
+    // suspending); cross-lane targets hand off to the target lane's
+    // worker while this one helps with its own queue (see header).
     Runtime* rt = lane->runtime.get();
     lane->runtime->SetRemoteInvoker(
         [this, i, rt](ObjectId oid, std::string method, std::string argument,
                       obs::TraceContext trace) -> sim::Task<Result<std::string>> {
-          if (LaneFor(oid) != i) {
-            co_return Status::FailedPrecondition(
-                "cross-lane nested invocation (object " + oid +
-                " is pinned to another lane)");
+          size_t target = LaneFor(oid);
+          if (target != i) {
+            co_return CrossLaneNestedInvoke(i, target, std::move(oid),
+                                            std::move(method),
+                                            std::move(argument), trace);
           }
           co_return co_await rt->Invoke(std::move(oid), std::move(method),
                                         std::move(argument), trace);
@@ -68,6 +71,60 @@ uint64_t ParallelNode::lane_executed(size_t lane) const {
   return lanes_[lane]->executed;
 }
 
+Result<std::string> ParallelNode::CrossLaneNestedInvoke(
+    size_t caller_lane, size_t target_lane, ObjectId oid, std::string method,
+    std::string argument, obs::TraceContext trace) {
+  struct CallState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::string> result{Status::Aborted("nested call never ran")};
+  };
+  auto call = std::make_shared<CallState>();
+  Runtime* target_rt = lanes_[target_lane]->runtime.get();
+  Enqueue(target_lane, [target_rt, call, oid = std::move(oid),
+                        method = std::move(method),
+                        argument = std::move(argument), trace]() mutable {
+    Result<std::string> result = RunSync(target_rt->Invoke(
+        std::move(oid), std::move(method), std::move(argument), trace));
+    {
+      std::lock_guard<std::mutex> lock(call->mu);
+      call->result = std::move(result);
+      call->done = true;
+    }
+    call->cv.notify_all();
+  });
+  // Wait, helping: whenever this lane's lock is free (read-write callers
+  // committed + unlocked before nesting), run jobs from our own queue so
+  // a nested call another blocked lane parked here still executes. The
+  // 1ms poll only bounds how long a *helpable* job waits; the common
+  // case wakes on cv immediately.
+  Lane& self = *lanes_[caller_lane];
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(call->mu);
+      if (call->cv.wait_for(lock, std::chrono::milliseconds(1),
+                            [&] { return call->done; })) {
+        return std::move(call->result);
+      }
+    }
+    if (self.runtime->LaneLock(0).locked()) continue;  // read-only caller
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(self.mu);
+      if (!self.queue.empty()) {
+        job = std::move(self.queue.front());
+        self.queue.pop_front();
+      }
+    }
+    if (job) {
+      job();
+      std::unique_lock<std::mutex> lock(self.mu);
+      self.executed++;
+    }
+  }
+}
+
 void ParallelNode::Enqueue(size_t lane_index, std::function<void()> job) {
   Lane& lane = *lanes_[lane_index];
   {
@@ -77,21 +134,54 @@ void ParallelNode::Enqueue(size_t lane_index, std::function<void()> job) {
   lane.work_cv.notify_one();
 }
 
+void ParallelNode::InvokeAsync(ObjectId oid, std::string method,
+                               std::string argument, std::string token,
+                               Callback done, std::function<bool()> shed) {
+  size_t lane_index = LaneFor(oid);
+  Runtime* rt = lanes_[lane_index]->runtime.get();
+  Enqueue(lane_index, [rt, oid = std::move(oid), method = std::move(method),
+                       argument = std::move(argument), token = std::move(token),
+                       done = std::move(done), shed = std::move(shed)]() mutable {
+    // Shed decision happens here — at execution time, not enqueue time —
+    // because the interesting case is a deadline that expired while the
+    // job sat behind a busy lane.
+    if (shed && shed()) {
+      done(Status::Timeout("deadline expired before execution"));
+      return;
+    }
+    done(RunSync(rt->Invoke(std::move(oid), std::move(method),
+                            std::move(argument), {}, std::move(token))));
+  });
+}
+
+void ParallelNode::CreateObjectAsync(ObjectId oid, std::string type_name,
+                                     std::string token, Callback done,
+                                     std::function<bool()> shed) {
+  size_t lane_index = LaneFor(oid);
+  Runtime* rt = lanes_[lane_index]->runtime.get();
+  Enqueue(lane_index, [rt, oid = std::move(oid),
+                       type_name = std::move(type_name), token = std::move(token),
+                       done = std::move(done), shed = std::move(shed)]() mutable {
+    if (shed && shed()) {
+      done(Status::Timeout("deadline expired before execution"));
+      return;
+    }
+    done(RunSync(rt->CreateObject(std::move(oid), std::move(type_name),
+                                  std::move(token))));
+  });
+}
+
 std::future<Result<std::string>> ParallelNode::Invoke(ObjectId oid,
                                                       std::string method,
                                                       std::string argument,
                                                       std::string token) {
   auto promise = std::make_shared<std::promise<Result<std::string>>>();
   auto future = promise->get_future();
-  size_t lane_index = LaneFor(oid);
-  Runtime* rt = lanes_[lane_index]->runtime.get();
-  Enqueue(lane_index, [rt, promise, oid = std::move(oid),
-                       method = std::move(method), argument = std::move(argument),
-                       token = std::move(token)]() mutable {
-    promise->set_value(RunSync(rt->Invoke(std::move(oid), std::move(method),
-                                          std::move(argument), {},
-                                          std::move(token))));
-  });
+  InvokeAsync(std::move(oid), std::move(method), std::move(argument),
+              std::move(token),
+              [promise](Result<std::string> result) {
+                promise->set_value(std::move(result));
+              });
   return future;
 }
 
@@ -100,14 +190,10 @@ std::future<Result<std::string>> ParallelNode::CreateObject(ObjectId oid,
                                                             std::string token) {
   auto promise = std::make_shared<std::promise<Result<std::string>>>();
   auto future = promise->get_future();
-  size_t lane_index = LaneFor(oid);
-  Runtime* rt = lanes_[lane_index]->runtime.get();
-  Enqueue(lane_index, [rt, promise, oid = std::move(oid),
-                       type_name = std::move(type_name),
-                       token = std::move(token)]() mutable {
-    promise->set_value(RunSync(
-        rt->CreateObject(std::move(oid), std::move(type_name), std::move(token))));
-  });
+  CreateObjectAsync(std::move(oid), std::move(type_name), std::move(token),
+                    [promise](Result<std::string> result) {
+                      promise->set_value(std::move(result));
+                    });
   return future;
 }
 

@@ -20,10 +20,18 @@
 // suspending). RunSync exploits that: it starts the coroutine and
 // requires it to finish in one go.
 //
-// Restriction: nested invocations (`ctx.Invoke`) must stay on the
-// caller's lane; a cross-lane nested call returns Unimplemented rather
-// than risk lane-to-lane deadlock. The simulated cluster path has no such
-// limit — this executor is a single-node engine.
+// Nested invocations (`ctx.Invoke`) may cross lanes: the call is
+// enqueued on the target object's lane and the calling worker blocks for
+// the result. While blocked, the caller *helps* — it drains jobs from
+// its own lane's queue (only while its runtime's lane lock is free,
+// i.e. the blocked invocation was read-write and committed + unlocked
+// before nesting, per Runtime::NestedInvoke) — so a cycle of lanes
+// waiting on each other always makes progress: some blocked worker runs
+// the nested call parked in its queue. Read-only nested callers hold
+// the lane lock across the call and cannot help; a *cycle* of read-only
+// nesters would deadlock, exactly as it would under the sim runtime's
+// AsyncMutex, so the same "don't nest cyclically from read-only
+// methods" rule applies to both engines.
 #pragma once
 
 #include <condition_variable>
@@ -93,6 +101,20 @@ class ParallelNode {
                                                 std::string type_name,
                                                 std::string token = {});
 
+  using Callback = std::function<void(Result<std::string>)>;
+  /// Callback-style Invoke for async servers (net::RpcServer handlers):
+  /// `done` runs on the lane thread once the invocation is durable, so
+  /// the caller's thread never blocks on a future. If `shed` is set it is
+  /// checked on the lane thread just before execution; returning true
+  /// skips the work and completes with Status::Timeout — how a server
+  /// drops queued requests whose client deadline expired while they
+  /// waited behind a busy lane.
+  void InvokeAsync(ObjectId oid, std::string method, std::string argument,
+                   std::string token, Callback done,
+                   std::function<bool()> shed = {});
+  void CreateObjectAsync(ObjectId oid, std::string type_name, std::string token,
+                         Callback done, std::function<bool()> shed = {});
+
   /// Blocks until all lanes are idle and all group commits resolved.
   void Drain();
 
@@ -122,6 +144,15 @@ class ParallelNode {
 
   void WorkerLoop(Lane* lane);
   void Enqueue(size_t lane_index, std::function<void()> job);
+  /// Runs a nested invocation pinned to another lane. Blocks the calling
+  /// worker thread, helping with its own lane's queued jobs while it
+  /// waits (see the header's deadlock note). Runs on lane worker threads
+  /// only.
+  Result<std::string> CrossLaneNestedInvoke(size_t caller_lane,
+                                            size_t target_lane, ObjectId oid,
+                                            std::string method,
+                                            std::string argument,
+                                            obs::TraceContext trace);
 
   storage::DB* db_;
   ParallelNodeOptions options_;

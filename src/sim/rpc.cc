@@ -2,43 +2,9 @@
 
 #include <utility>
 
-#include "common/coding.h"
 #include "common/log.h"
 
 namespace lo::sim {
-namespace {
-
-constexpr uint8_t kRequest = 0;
-constexpr uint8_t kResponse = 1;
-
-std::string EncodeRequest(uint64_t rpc_id, const obs::TraceContext& trace,
-                          std::string_view service, std::string_view payload) {
-  std::string out;
-  out.push_back(static_cast<char>(kRequest));
-  PutVarint64(&out, rpc_id);
-  // Trace propagation: the callee parents its spans under this rpc span.
-  PutVarint64(&out, trace.trace_id);
-  PutVarint64(&out, trace.span_id);
-  PutLengthPrefixed(&out, service);
-  PutLengthPrefixed(&out, payload);
-  return out;
-}
-
-std::string EncodeResponse(uint64_t rpc_id, const Result<std::string>& result) {
-  std::string out;
-  out.push_back(static_cast<char>(kResponse));
-  PutVarint64(&out, rpc_id);
-  if (result.ok()) {
-    out.push_back(static_cast<char>(StatusCode::kOk));
-    PutLengthPrefixed(&out, result.value());
-  } else {
-    out.push_back(static_cast<char>(result.status().code()));
-    PutLengthPrefixed(&out, result.status().message());
-  }
-  return out;
-}
-
-}  // namespace
 
 RpcEndpoint::RpcEndpoint(Network& net, NodeId node) : net_(net), node_(node) {
   net_.Register(node, [this](NodeId from, std::string payload) {
@@ -71,7 +37,16 @@ Task<Result<std::string>> RpcEndpoint::Call(NodeId to, std::string service,
   Time started = sim().Now();
   auto slot = std::make_shared<OneShot<Result<std::string>>>();
   pending_[rpc_id] = slot;
-  net_.Send(node_, to, EncodeRequest(rpc_id, span_ctx, service, payload));
+  net::RequestFrame frame;
+  frame.rpc_id = rpc_id;
+  frame.trace_id = span_ctx.trace_id;
+  frame.span_id = span_ctx.span_id;
+  // Absolute sim-time deadline: the server sheds this request if it is
+  // still undelivered/undispatched when the caller has already given up.
+  frame.deadline_us = timeout > 0 ? (started + timeout) / 1000 : 0;
+  frame.service = service;
+  frame.payload = payload;
+  net_.Send(node_, to, net::EncodeRequest(frame));
   if (timeout > 0) {
     sim().After(timeout, [this, rpc_id, slot] {
       if (slot->Fulfill(Status::Timeout("rpc timeout"))) {
@@ -89,51 +64,66 @@ Task<Result<std::string>> RpcEndpoint::Call(NodeId to, std::string service,
 }
 
 void RpcEndpoint::OnMessage(NodeId from, std::string raw) {
-  Reader reader{raw};
-  std::string_view kind_bytes;
-  uint64_t rpc_id = 0;
-  if (!reader.GetBytes(1, &kind_bytes) || !reader.GetVarint64(&rpc_id)) {
-    LO_WARN << "malformed rpc frame from node " << from;
+  // The sim network delivers whole datagrams, so each message is exactly
+  // one frame. A partial frame here means truncation in flight — on this
+  // transport that is corruption, same as a CRC mismatch.
+  size_t consumed = 0;
+  std::string_view body;
+  net::DecodeResult frame_result =
+      net::TryDecodeFrame(raw, &consumed, &body, &frame_stats_);
+  if (frame_result == net::DecodeResult::kNeedMore) {
+    frame_stats_.crc_rejects.fetch_add(1, std::memory_order_relaxed);
+    LO_WARN << "truncated rpc frame from node " << from;
     return;
   }
-  uint8_t kind = static_cast<uint8_t>(kind_bytes[0]);
-  if (kind == kRequest) {
-    uint64_t trace_id = 0, span_id = 0;
-    std::string_view service, payload;
-    if (!reader.GetVarint64(&trace_id) || !reader.GetVarint64(&span_id) ||
-        !reader.GetLengthPrefixed(&service) || !reader.GetLengthPrefixed(&payload)) {
-      LO_WARN << "malformed rpc request from node " << from;
-      return;
-    }
+  if (frame_result != net::DecodeResult::kOk) {
+    LO_WARN << "corrupt rpc frame from node " << from;
+    return;
+  }
+  net::Message message;
+  if (!net::DecodeMessage(body, &message, &frame_stats_)) {
+    LO_WARN << "malformed rpc body from node " << from;
+    return;
+  }
+  if (message.kind == net::MessageKind::kRequest) {
+    const net::RequestFrame& request = message.request;
     obs::TraceContext trace;
-    trace.trace_id = trace_id;
-    trace.span_id = span_id;
-    DispatchRequest(from, rpc_id, trace, std::string(service), std::string(payload));
-  } else if (kind == kResponse) {
-    std::string_view code_bytes, body;
-    if (!reader.GetBytes(1, &code_bytes) || !reader.GetLengthPrefixed(&body)) {
-      LO_WARN << "malformed rpc response from node " << from;
-      return;
-    }
-    auto it = pending_.find(rpc_id);
+    trace.trace_id = request.trace_id;
+    trace.span_id = request.span_id;
+    DispatchRequest(from, request.rpc_id, trace, request.deadline_us,
+                    std::string(request.service), std::string(request.payload));
+  } else {
+    const net::ResponseFrame& response = message.response;
+    auto it = pending_.find(response.rpc_id);
     if (it == pending_.end()) return;  // late response after timeout
     auto slot = it->second;
-    auto code = static_cast<StatusCode>(static_cast<uint8_t>(code_bytes[0]));
-    if (code == StatusCode::kOk) {
-      slot->Fulfill(std::string(body));
+    if (response.code == StatusCode::kOk) {
+      slot->Fulfill(std::string(response.body));
     } else {
-      slot->Fulfill(Status(code, std::string(body)));
+      slot->Fulfill(Status(response.code, std::string(response.body)));
     }
   }
 }
 
 void RpcEndpoint::DispatchRequest(NodeId from, uint64_t rpc_id,
-                                  obs::TraceContext trace, std::string service,
-                                  std::string payload) {
+                                  obs::TraceContext trace, int64_t deadline_us,
+                                  std::string service, std::string payload) {
+  if (deadline_us != 0 && sim().Now() / 1000 > deadline_us) {
+    // The caller's deadline passed while this request sat in the network
+    // or a queue: the response would be ignored, so don't do the work.
+    // (The reply still goes out — on the sim transport it documents the
+    // shed; the caller's OneShot has already been fulfilled by timeout.)
+    deadline_sheds_++;
+    net_.Send(node_, from,
+              net::EncodeResponse(
+                  rpc_id, Status::Timeout("deadline expired at server")));
+    return;
+  }
   auto it = handlers_.find(service);
   if (it == handlers_.end()) {
     net_.Send(node_, from,
-              EncodeResponse(rpc_id, Status::NotFound("no such service: " + service)));
+              net::EncodeResponse(
+                  rpc_id, Status::NotFound("no such service: " + service)));
     return;
   }
   // Run the handler as a detached coroutine; it may itself await RPCs.
@@ -152,7 +142,7 @@ void RpcEndpoint::DispatchRequest(NodeId from, uint64_t rpc_id,
       self->tracer_->Record(server_ctx, "srv." + service, self->node_, started,
                             self->sim().Now());
     }
-    self->net_.Send(self->node_, from, EncodeResponse(rpc_id, result));
+    self->net_.Send(self->node_, from, net::EncodeResponse(rpc_id, result));
   }(this, &it->second, from, rpc_id, trace, service, std::move(payload)));
 }
 

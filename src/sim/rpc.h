@@ -5,6 +5,12 @@
 // caller until the response arrives or the timeout fires. Undeliverable
 // messages simply never produce a response — exactly how a real datagram
 // loss behaves — so callers see Status::Timeout.
+//
+// The wire format is net/frame.h — the same CRC32C-checked frames the
+// TCP transport uses — so both transports reject corrupt payloads
+// identically (frame_rejects()) and both carry an absolute deadline that
+// lets the server shed requests that expired in flight (deadline_sheds()).
+// Deadlines on this transport are sim-time microseconds.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "net/frame.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/task.h"
@@ -56,11 +63,17 @@ class RpcEndpoint {
 
   uint64_t calls_started() const { return calls_started_; }
   uint64_t timeouts() const { return timeouts_; }
+  /// Frames dropped for failed CRC / truncation / undecodable body.
+  uint64_t frame_rejects() const { return frame_stats_.rejects(); }
+  /// Requests answered Timeout without running the handler because their
+  /// frame deadline had already passed on arrival.
+  uint64_t deadline_sheds() const { return deadline_sheds_; }
 
  private:
   void OnMessage(NodeId from, std::string raw);
   void DispatchRequest(NodeId from, uint64_t rpc_id, obs::TraceContext trace,
-                       std::string service, std::string payload);
+                       int64_t deadline_us, std::string service,
+                       std::string payload);
 
   Network& net_;
   NodeId node_;
@@ -68,6 +81,8 @@ class RpcEndpoint {
   uint64_t next_rpc_id_ = 1;
   uint64_t calls_started_ = 0;
   uint64_t timeouts_ = 0;
+  uint64_t deadline_sheds_ = 0;
+  net::FrameStats frame_stats_;
   std::unordered_map<std::string, TracedHandler> handlers_;
   std::unordered_map<uint64_t, std::shared_ptr<OneShot<Result<std::string>>>> pending_;
 };

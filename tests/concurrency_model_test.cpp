@@ -344,5 +344,96 @@ TEST(ConcurrencyModel, GroupCommitNeverAcksALostWrite) {
   }
 }
 
+// "fanout": a read-write method that nested-invokes "add" on every
+// target named in its comma-separated argument — the ReTwis post
+// fan-out shape, with targets pinned to arbitrary lanes.
+void RegisterFanoutType(TypeRegistry* types) {
+  ObjectType type;
+  type.name = "fanout";
+  type.methods["spray"] = MethodImpl{
+      .kind = MethodKind::kReadWrite,
+      .native = [](InvocationContext& ctx,
+                   std::string arg) -> sim::Task<Result<std::string>> {
+        uint64_t acked = 0;
+        size_t start = 0;
+        while (start < arg.size()) {
+          size_t comma = arg.find(',', start);
+          if (comma == std::string::npos) comma = arg.size();
+          std::string target = arg.substr(start, comma - start);
+          start = comma + 1;
+          if (target.empty()) continue;
+          auto added = co_await ctx.InvokeObject(target, "add", "1");
+          if (!added.ok()) co_return added.status();
+          acked++;
+        }
+        LO_CO_RETURN_IF_ERROR(co_await ctx.Set("sprays", std::to_string(acked)));
+        co_return std::to_string(acked);
+      }};
+  LO_CHECK(types->Register(std::move(type)).ok());
+}
+
+// Cross-lane nested invocation: sprayers on every lane fan out to
+// targets on every lane, so workers constantly block on each other's
+// lanes; the help-while-waiting handoff must keep them all progressing
+// (no lane-to-lane deadlock) and every nested increment must land
+// exactly once.
+TEST(ConcurrencyModel, CrossLaneNestedFanoutLosesNothing) {
+  storage::MemEnv env;
+  storage::Options db_options;
+  db_options.env = &env;
+  db_options.serialize_access = true;
+  auto db = std::move(*storage::DB::Open(db_options, "/db"));
+  TypeRegistry types;
+  RegisterMixedType(&types);
+  RegisterFanoutType(&types);
+
+  ParallelNodeOptions node_options;
+  node_options.lanes = 4;
+  node_options.group_commit.max_batch_delay_us = 100;
+  ParallelNode node(db.get(), &types, node_options);
+
+  constexpr size_t kTargets = 12;
+  constexpr size_t kSprayers = 8;
+  constexpr size_t kRounds = 15;
+  std::string all_targets;
+  for (size_t i = 0; i < kTargets; i++) {
+    ASSERT_TRUE(node.CreateObject(Oid(i), "mixed").get().ok());
+    if (!all_targets.empty()) all_targets += ',';
+    all_targets += Oid(i);
+  }
+  for (size_t s = 0; s < kSprayers; s++) {
+    ASSERT_TRUE(
+        node.CreateObject("fan/" + std::to_string(s), "fanout").get().ok());
+  }
+
+  std::vector<std::string> errors(kSprayers);
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < kSprayers; s++) {
+    threads.emplace_back([&node, &all_targets, &error = errors[s], s] {
+      for (size_t round = 0; round < kRounds; round++) {
+        auto result =
+            node.Invoke("fan/" + std::to_string(s), "spray", all_targets).get();
+        if (!result.ok()) {
+          error = result.status().ToString();
+          return;
+        }
+        if (*result != std::to_string(kTargets)) {
+          error = "short fan-out: " + *result;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  node.Drain();
+  for (const std::string& error : errors) EXPECT_EQ(error, "");
+
+  for (size_t i = 0; i < kTargets; i++) {
+    auto value = node.Invoke(Oid(i), "read", "").get();
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_EQ(*value, std::to_string(kSprayers * kRounds)) << Oid(i);
+  }
+}
+
 }  // namespace
 }  // namespace lo::runtime

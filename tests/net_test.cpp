@@ -1,0 +1,662 @@
+// Tests for the src/net subsystem: the shared frame codec (round-trip
+// plus seeded fuzzing of torn/oversized/corrupt frames), the event loop
+// (timers, cross-thread RunInLoop), the TCP RPC client/server pair
+// (echo, multiplexing under threads, deadline expiry and server-side
+// shedding, reconnect with backoff across a server restart), the
+// RemoteClient retry policy, and a multi-process loopback smoke test
+// that spawns the real lambdastore-server binary and runs a small
+// ReTwis slice against it.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <spawn.h>
+#include <stdio.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+extern char** environ;
+
+#include "common/coding.h"
+#include "common/rng.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/remote_client.h"
+#include "net/rpc_client.h"
+#include "net/rpc_server.h"
+#include "retwis/retwis.h"
+
+namespace lo::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// Frame codec
+
+TEST(Frame, RequestRoundTrip) {
+  RequestFrame request;
+  request.rpc_id = 42;
+  request.trace_id = 7;
+  request.span_id = 9;
+  request.deadline_us = 123456789;
+  request.service = "lambda.invoke";
+  const std::string payload("payload\0with\0nuls", 17);
+  request.payload = payload;
+  std::string wire = EncodeRequest(request);
+
+  size_t consumed = 0;
+  std::string_view body;
+  FrameStats stats;
+  ASSERT_EQ(TryDecodeFrame(wire, &consumed, &body, &stats), DecodeResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  Message message;
+  ASSERT_TRUE(DecodeMessage(body, &message, &stats));
+  ASSERT_EQ(message.kind, MessageKind::kRequest);
+  EXPECT_EQ(message.request.rpc_id, 42u);
+  EXPECT_EQ(message.request.trace_id, 7u);
+  EXPECT_EQ(message.request.span_id, 9u);
+  EXPECT_EQ(message.request.deadline_us, 123456789);
+  EXPECT_EQ(message.request.service, "lambda.invoke");
+  EXPECT_EQ(message.request.payload, request.payload);
+  EXPECT_EQ(stats.frames_decoded.load(), 1u);
+  EXPECT_EQ(stats.rejects(), 0u);
+}
+
+TEST(Frame, ResponseRoundTripOkAndError) {
+  for (bool ok : {true, false}) {
+    Result<std::string> result =
+        ok ? Result<std::string>(std::string("value"))
+           : Result<std::string>(Status::NotFound("no such service"));
+    std::string wire = EncodeResponse(77, result);
+    size_t consumed = 0;
+    std::string_view body;
+    ASSERT_EQ(TryDecodeFrame(wire, &consumed, &body), DecodeResult::kOk);
+    Message message;
+    ASSERT_TRUE(DecodeMessage(body, &message));
+    ASSERT_EQ(message.kind, MessageKind::kResponse);
+    EXPECT_EQ(message.response.rpc_id, 77u);
+    if (ok) {
+      EXPECT_EQ(message.response.code, StatusCode::kOk);
+      EXPECT_EQ(message.response.body, "value");
+    } else {
+      EXPECT_EQ(message.response.code, StatusCode::kNotFound);
+      EXPECT_EQ(message.response.body, "no such service");
+    }
+  }
+}
+
+TEST(Frame, TornFrameNeedsMore) {
+  RequestFrame request;
+  request.rpc_id = 1;
+  request.service = "svc";
+  request.payload = "0123456789";
+  std::string wire = EncodeRequest(request);
+  // Every strict prefix is incomplete, never corrupt: a stream decoder
+  // must keep waiting for bytes, not kill the connection.
+  for (size_t len = 0; len < wire.size(); len++) {
+    size_t consumed = 0;
+    std::string_view body;
+    EXPECT_EQ(TryDecodeFrame(std::string_view(wire).substr(0, len), &consumed,
+                             &body),
+              DecodeResult::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Frame, OversizedLengthIsCorrupt) {
+  // A torn/garbage length field larger than kMaxFrameBytes must be
+  // rejected immediately — waiting for 4GiB that never arrives would
+  // stall the stream forever.
+  std::string wire;
+  PutFixed32(&wire, 0xffffffffu);
+  PutFixed32(&wire, 0);  // bogus crc; never reached
+  FrameStats stats;
+  size_t consumed = 0;
+  std::string_view body;
+  EXPECT_EQ(TryDecodeFrame(wire, &consumed, &body, &stats),
+            DecodeResult::kCorrupt);
+  EXPECT_EQ(stats.oversize_rejects.load(), 1u);
+}
+
+TEST(Frame, CorruptByteNeverDecodesOk) {
+  RequestFrame request;
+  request.rpc_id = 99;
+  request.trace_id = 3;
+  request.deadline_us = 1000;
+  request.service = "lambda.invoke";
+  request.payload = "some payload bytes";
+  const std::string wire = EncodeRequest(request);
+  // Flip every single byte (all 8 bit positions): no mutation of header
+  // or body may ever yield a successfully decoded frame.
+  for (size_t i = 0; i < wire.size(); i++) {
+    for (int bit = 0; bit < 8; bit++) {
+      std::string mutated = wire;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      size_t consumed = 0;
+      std::string_view body;
+      FrameStats stats;
+      DecodeResult result = TryDecodeFrame(mutated, &consumed, &body, &stats);
+      if (result == DecodeResult::kOk) {
+        // The only acceptable kOk is a body-length mutation that made the
+        // frame *shorter* and the CRC still matching — impossible with
+        // CRC over the body. Flag any kOk as a codec hole.
+        FAIL() << "bit flip at byte " << i << " bit " << bit
+               << " decoded as kOk";
+      }
+    }
+  }
+}
+
+TEST(Frame, SeededFuzzNeverCrashesOrFalselyAccepts) {
+  Rng rng(20240806);
+  RequestFrame request;
+  request.rpc_id = 5;
+  request.service = "fuzz.target";
+  FrameStats stats;
+  for (int round = 0; round < 2000; round++) {
+    std::string wire;
+    uint64_t shape = rng.Uniform(3);
+    if (shape == 0) {
+      // Pure garbage.
+      wire = rng.Bytes(rng.Uniform(64));
+    } else {
+      std::string payload = rng.Bytes(rng.Uniform(128));
+      request.payload = payload;
+      request.deadline_us = static_cast<int64_t>(rng.Uniform(1 << 30));
+      wire = EncodeRequest(request);
+      if (shape == 1 && !wire.empty()) {
+        // Mutate 1-4 random bytes.
+        uint64_t flips = 1 + rng.Uniform(4);
+        for (uint64_t f = 0; f < flips; f++) {
+          size_t pos = rng.Uniform(wire.size());
+          wire[pos] = static_cast<char>(rng.Next());
+        }
+      } else if (shape == 2) {
+        // Truncate.
+        wire.resize(rng.Uniform(wire.size() + 1));
+      }
+    }
+    size_t consumed = 0;
+    std::string_view body;
+    DecodeResult result = TryDecodeFrame(wire, &consumed, &body, &stats);
+    if (result == DecodeResult::kOk) {
+      // Whatever decodes must carry a CRC-consistent body; decoding the
+      // message may still fail (mutations confined to the payload change
+      // the CRC, so kOk here means the frame was untouched or truncation
+      // landed exactly on the frame boundary).
+      Message message;
+      if (DecodeMessage(body, &message)) {
+        ASSERT_EQ(message.kind, MessageKind::kRequest);
+        EXPECT_EQ(message.request.rpc_id, 5u);
+      }
+    }
+  }
+}
+
+TEST(Frame, DecodeMessageRejectsMalformedBody) {
+  FrameStats stats;
+  Message message;
+  EXPECT_FALSE(DecodeMessage("", &message, &stats));
+  EXPECT_FALSE(DecodeMessage("\x07garbage", &message, &stats));  // bad kind
+  std::string truncated_request;
+  truncated_request.push_back('\0');  // kRequest, then nothing
+  EXPECT_FALSE(DecodeMessage(truncated_request, &message, &stats));
+  EXPECT_EQ(stats.malformed_rejects.load(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Event loop
+
+TEST(EventLoop, TimersFireInOrderAndCancel) {
+  EventLoop loop;
+  std::vector<int> fired;
+  std::thread runner([&loop] { loop.Run(); });
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  loop.RunInLoop([&] {
+    loop.AddTimer(30'000, [&] { fired.push_back(3); });
+    loop.AddTimer(10'000, [&] { fired.push_back(1); });
+    TimerId cancelled = loop.AddTimer(20'000, [&] { fired.push_back(2); });
+    EXPECT_TRUE(loop.CancelTimer(cancelled));
+    loop.AddTimer(50'000, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+  }
+  loop.Stop();
+  runner.join();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 3);
+}
+
+TEST(EventLoop, RunInLoopFromManyThreads) {
+  EventLoop loop;
+  std::thread runner([&loop] { loop.Run(); });
+  std::atomic<int> count{0};
+  constexpr int kThreads = 8, kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; i++) {
+        loop.RunInLoop([&] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Flush: a final marker task queued after all others.
+  std::promise<void> flushed;
+  loop.RunInLoop([&] { flushed.set_value(); });
+  flushed.get_future().wait();
+  loop.Stop();
+  runner.join();
+  EXPECT_EQ(count.load(), kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------
+// RPC client/server over loopback
+
+TEST(Rpc, EchoAndUnknownService) {
+  RpcServer server;
+  server.Handle("echo", [](RpcServer::Request request,
+                           RpcServer::Responder respond) {
+    respond(std::string(request.payload));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string address = "127.0.0.1:" + std::to_string(server.port());
+
+  RpcClient client;
+  auto echoed = client.CallSync(address, "echo", "hello frames", 1'000'000);
+  ASSERT_TRUE(echoed.ok()) << echoed.status().ToString();
+  EXPECT_EQ(*echoed, "hello frames");
+
+  auto missing = client.CallSync(address, "nope", "x", 1'000'000);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  client.Stop();
+  server.Stop();
+  EXPECT_GE(server.stats().requests.load(), 2u);
+  EXPECT_EQ(server.frame_stats().rejects(), 0u);
+}
+
+TEST(Rpc, ServerRejectsCorruptFrame) {
+  RpcServer server;
+  server.Handle("echo", [](RpcServer::Request request,
+                           RpcServer::Responder respond) {
+    respond(std::string(request.payload));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string address = "127.0.0.1:" + std::to_string(server.port());
+
+  // Hand-corrupt a frame and push it through a raw client; the server
+  // must reject it (CRC) and close the stream, never dispatch.
+  RequestFrame request;
+  request.rpc_id = 1;
+  request.service = "echo";
+  request.payload = "boom";
+  std::string wire = EncodeRequest(request);
+  wire[wire.size() - 1] ^= 0x01;  // flip a payload bit
+
+  RpcClient prober;  // used only to learn the address parses; raw socket below
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  // The server closes the corrupted connection: read() returns EOF.
+  char buf[16];
+  ssize_t n = ::read(fd, buf, sizeof(buf));
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  prober.Stop();
+  server.Stop();
+  EXPECT_EQ(server.frame_stats().crc_rejects.load(), 1u);
+  EXPECT_EQ(server.stats().requests.load(), 0u);
+}
+
+TEST(Rpc, DeadlineExpiryClientAndServerShed) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  RpcServer server;
+  // First call blocks the handler (on the loop thread) until released;
+  // the second call's deadline expires while its frame waits in the
+  // socket buffer behind the blocked handler, so the server sheds it on
+  // dispatch instead of running it.
+  server.Handle("slow", [&](RpcServer::Request request,
+                            RpcServer::Responder respond) {
+    if (request.payload == "block") {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; });
+    }
+    respond(std::string("done"));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string address = "127.0.0.1:" + std::to_string(server.port());
+
+  RpcClient client;
+  std::promise<Result<std::string>> blocked_result;
+  client.Call(address, "slow", "block", 2'000'000,
+              [&](Result<std::string> result) {
+                blocked_result.set_value(std::move(result));
+              });
+  // Wait until the blocking request is actually inside the handler, so
+  // the second frame is guaranteed to queue behind it.
+  for (int i = 0; i < 1000 && server.stats().requests.load() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.stats().requests.load(), 1u);
+  // Second call: 30ms deadline; the loop thread stays blocked well past
+  // it. The client times out locally...
+  auto shed = client.CallSync(address, "slow", "fast", 30'000);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kTimeout);
+  // ...and only after the deadline is long past (the loop's timer wheel
+  // may fire up to one 1ms tick early) does the handler unblock, so the
+  // server dispatches an unambiguously expired frame.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  auto blocked = blocked_result.get_future().get();
+  EXPECT_TRUE(blocked.ok());
+  // Give the server a beat to process the stale frame and shed it.
+  for (int i = 0; i < 1000 && server.stats().deadline_shed.load() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.stats().deadline_shed.load(), 1u);
+  client.Stop();
+  server.Stop();
+}
+
+TEST(Rpc, CallTimesOutWhenServerNeverResponds) {
+  RpcServer server;
+  std::vector<RpcServer::Responder> parked;
+  std::mutex parked_mu;
+  server.Handle("hold", [&](RpcServer::Request, RpcServer::Responder respond) {
+    std::lock_guard<std::mutex> lock(parked_mu);
+    parked.push_back(std::move(respond));  // never answered
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string address = "127.0.0.1:" + std::to_string(server.port());
+
+  RpcClient client;
+  auto started = std::chrono::steady_clock::now();
+  auto result = client.CallSync(address, "hold", "x", 80'000);
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            2000);
+  EXPECT_EQ(client.stats().timeouts.load(), 1u);
+  client.Stop();
+  {
+    // Responders must die before the server (they reference it).
+    std::lock_guard<std::mutex> lock(parked_mu);
+    parked.clear();
+  }
+  server.Stop();
+}
+
+TEST(Rpc, ReconnectWithBackoffAfterServerRestart) {
+  auto echo = [](RpcServer::Request request, RpcServer::Responder respond) {
+    respond(std::string(request.payload));
+  };
+  RpcServerOptions server_options;
+  auto server = std::make_unique<RpcServer>(server_options);
+  server->Handle("echo", echo);
+  ASSERT_TRUE(server->Start().ok());
+  uint16_t port = server->port();
+  std::string address = "127.0.0.1:" + std::to_string(port);
+
+  RpcClient client;
+  auto first = client.CallSync(address, "echo", "one", 1'000'000);
+  ASSERT_TRUE(first.ok());
+
+  // Kill the server; the established connection drops.
+  server->Stop();
+  server.reset();
+
+  // Re-issue with a generous deadline while restarting the server on the
+  // SAME port in a racing thread: the client's reconnect-with-backoff
+  // must eventually re-dial and the queued call must complete.
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server_options.port = port;
+    server = std::make_unique<RpcServer>(server_options);
+    server->Handle("echo", echo);
+    // The port lingers in TIME_WAIT-adjacent states occasionally; retry.
+    for (int i = 0; i < 50; i++) {
+      if (server->Start().ok()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    FAIL() << "could not rebind port " << port;
+  });
+  auto second = client.CallSync(address, "echo", "two", 5'000'000);
+  restarter.join();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(*second, "two");
+  EXPECT_GE(client.stats().reconnects.load(), 1u);
+  client.Stop();
+  server->Stop();
+}
+
+TEST(Rpc, MultiplexedEchoConcurrent) {
+  RpcServer server;
+  server.Handle("echo", [](RpcServer::Request request,
+                           RpcServer::Responder respond) {
+    respond(std::string(request.payload));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string address = "127.0.0.1:" + std::to_string(server.port());
+
+  RpcClient client;  // one client, one connection: all calls multiplex
+  constexpr int kThreads = 8, kCallsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; i++) {
+        std::string msg = "t" + std::to_string(t) + "-" + std::to_string(i);
+        auto result = client.CallSync(address, "echo", msg, 5'000'000);
+        if (!result.ok() || *result != msg) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(client.stats().calls.load(),
+            static_cast<uint64_t>(kThreads * kCallsPerThread));
+  // One connection carried everything: multiplexing, not conn-per-call.
+  EXPECT_EQ(client.stats().connects.load(), 1u);
+  client.Stop();
+  server.Stop();
+}
+
+TEST(RemoteClient, RetriesTransientFailuresWithSameToken) {
+  std::atomic<int> attempts{0};
+  std::mutex tokens_mu;
+  std::vector<std::string> tokens;
+  RpcServer server;
+  server.Handle("lambda.invoke", [&](RpcServer::Request request,
+                                     RpcServer::Responder respond) {
+    Reader reader{request.payload};
+    std::string_view oid, method, argument, token;
+    ASSERT_TRUE(reader.GetLengthPrefixed(&oid));
+    ASSERT_TRUE(reader.GetLengthPrefixed(&method));
+    ASSERT_TRUE(reader.GetLengthPrefixed(&argument));
+    ASSERT_TRUE(reader.GetLengthPrefixed(&token));
+    {
+      std::lock_guard<std::mutex> lock(tokens_mu);
+      tokens.emplace_back(token);
+    }
+    if (attempts.fetch_add(1) < 2) {
+      respond(Status::Unavailable("warming up"));  // transient: retried
+    } else {
+      respond(std::string("ok:") + std::string(argument));
+    }
+  });
+  server.Handle("lambda.create", [](RpcServer::Request,
+                                    RpcServer::Responder respond) {
+    respond(Status::InvalidArgument("bad type"));
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcClient rpc;
+  RemoteClientOptions options;
+  options.retry_backoff_us = 1'000;  // keep the test fast
+  options.retry_backoff_max_us = 4'000;
+  RemoteClient remote(&rpc, {"127.0.0.1:" + std::to_string(server.port())},
+                      options);
+  auto result = remote.Invoke("user1", "get_timeline", "10");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, "ok:10");
+  EXPECT_EQ(remote.metrics().retries, 2u);
+  ASSERT_EQ(tokens.size(), 3u);
+  // Idempotency: every retry of one logical request reuses one token.
+  EXPECT_EQ(tokens[0], tokens[1]);
+  EXPECT_EQ(tokens[1], tokens[2]);
+
+  // Application errors surface immediately, no retry.
+  uint64_t retries_before = remote.metrics().retries;
+  auto created = remote.Create("user2", "nosuch");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(remote.metrics().retries, retries_before);
+
+  rpc.Stop();
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Multi-process loopback smoke test: spawn the real server binary, run
+// a small ReTwis slice over TCP, shut it down cleanly.
+
+std::string ServerBinaryPath() {
+  if (const char* env = std::getenv("LO_SERVER_BIN")) return env;
+#ifdef LO_SERVER_BIN_DEFAULT
+  return LO_SERVER_BIN_DEFAULT;
+#else
+  return "";
+#endif
+}
+
+/// Kills the spawned server on any early test exit (a failed ASSERT
+/// would otherwise leak the child; its inherited stderr then wedges
+/// ctest's output pipe forever).
+struct SpawnGuard {
+  pid_t pid = -1;
+  ~SpawnGuard() {
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+  }
+  /// Hands ownership back for a normal waitpid.
+  pid_t Release() {
+    pid_t p = pid;
+    pid = -1;
+    return p;
+  }
+};
+
+TEST(MultiProcess, LoopbackRetwisSlice) {
+  std::string binary = ServerBinaryPath();
+  ASSERT_FALSE(binary.empty()) << "set LO_SERVER_BIN";
+
+  // Spawn the server with a pipe on its stdout to parse "READY port=N".
+  int out_pipe[2];
+  ASSERT_EQ(pipe(out_pipe), 0);
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, out_pipe[1], STDOUT_FILENO);
+  posix_spawn_file_actions_addclose(&actions, out_pipe[0]);
+  posix_spawn_file_actions_addclose(&actions, out_pipe[1]);
+  std::string arg_port = "--port=0";
+  std::string arg_lanes = "--lanes=4";
+  std::string arg_users = "--seed-users=100";
+  char* argv[] = {binary.data(), arg_port.data(), arg_lanes.data(),
+                  arg_users.data(), nullptr};
+  pid_t pid = -1;
+  ASSERT_EQ(posix_spawn(&pid, binary.c_str(), &actions, nullptr, argv, environ),
+            0)
+      << "spawning " << binary;
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(out_pipe[1]);
+  SpawnGuard guard{pid};
+
+  // Read the READY line.
+  std::string ready;
+  char c;
+  while (ready.find('\n') == std::string::npos &&
+         ::read(out_pipe[0], &c, 1) == 1) {
+    ready.push_back(c);
+  }
+  ::close(out_pipe[0]);
+  ASSERT_EQ(ready.rfind("READY port=", 0), 0u) << "got: " << ready;
+  uint16_t port = static_cast<uint16_t>(std::stoi(ready.substr(11)));
+  ASSERT_GT(port, 0);
+
+  {
+    RpcClient rpc;
+    RemoteClient remote(&rpc, {"127.0.0.1:" + std::to_string(port)});
+    ASSERT_TRUE(remote.Ping().ok());
+
+    // Fresh object end-to-end: create, init, post, read the timeline.
+    ASSERT_TRUE(remote.Create("zz_test", "user").ok());
+    ASSERT_TRUE(remote.Invoke("zz_test", "init", "tester").ok());
+    ASSERT_TRUE(remote.Invoke("zz_test", "create_post", "hello world").ok());
+    auto timeline = remote.Invoke("zz_test", "get_timeline", "10");
+    ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+    auto posts = retwis::DecodeTimeline(*timeline);
+    ASSERT_TRUE(posts.ok());
+    ASSERT_EQ(posts->size(), 1u);
+    EXPECT_EQ((*posts)[0].message, "hello world");
+    EXPECT_EQ((*posts)[0].author, "tester");
+
+    // Seeded object: the --seed-users graph pre-loaded timelines.
+    auto seeded = remote.Invoke("user/1", "get_timeline", "10");
+    ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+    auto seeded_posts = retwis::DecodeTimeline(*seeded);
+    ASSERT_TRUE(seeded_posts.ok());
+    EXPECT_FALSE(seeded_posts->empty());
+
+    remote.Shutdown();
+    rpc.Stop();
+  }
+
+  int wstatus = 0;
+  pid = guard.Release();
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus)) << "server did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+}  // namespace
+}  // namespace lo::net

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/frame.h"
 #include "sim/cpu.h"
 #include "sim/network.h"
 #include "sim/rpc.h"
@@ -378,6 +379,51 @@ TEST_F(RpcTest, ManyConcurrentCallsMatchResponses) {
   for (int i = 0; i < kCalls; i++) {
     EXPECT_EQ(results[i], "msg" + std::to_string(i));
   }
+}
+
+TEST_F(RpcTest, CorruptFrameIsRejectedNotDispatched) {
+  // The sim transport now speaks the CRC-checked net/frame.h wire format.
+  // A frame corrupted in flight must be counted and dropped — never
+  // dispatched, never a crash. The caller simply times out, exactly like
+  // a datagram loss.
+  bool handler_ran = false;
+  server_.Handle("echo", [&handler_ran](NodeId, std::string payload)
+                     -> Task<Result<std::string>> {
+    handler_ran = true;
+    co_return payload;
+  });
+  net::RequestFrame request;
+  request.rpc_id = 1;
+  request.service = "echo";
+  request.payload = "ping";
+  std::string wire = net::EncodeRequest(request);
+  wire[wire.size() - 1] ^= 0x01;  // flip one payload bit in flight
+  net_.Send(2, 1, std::move(wire));
+  sim_.Run();
+  EXPECT_EQ(server_.frame_rejects(), 1u);
+  EXPECT_FALSE(handler_ran);
+}
+
+TEST_F(RpcTest, ExpiredRequestShedAtServerWithoutExecuting) {
+  // Client timeout (50µs) below the one-way network latency (60µs): the
+  // request reaches the server already expired, so the server sheds it —
+  // the handler must NOT run (the work would be wasted; in the sim this
+  // also models load-shedding under queueing delay).
+  bool handler_ran = false;
+  server_.Handle("echo", [&handler_ran](NodeId, std::string payload)
+                     -> Task<Result<std::string>> {
+    handler_ran = true;
+    co_return payload;
+  });
+  Result<std::string> result = std::string();
+  Detach([](RpcTest* t, Result<std::string>* out) -> Task<void> {
+    *out = co_await t->client_.Call(1, "echo", "ping", Micros(50));
+  }(this, &result));
+  sim_.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout());
+  EXPECT_EQ(server_.deadline_sheds(), 1u);
+  EXPECT_FALSE(handler_ran);
 }
 
 TEST(Cpu, SerializesBeyondCapacity) {

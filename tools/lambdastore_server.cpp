@@ -1,0 +1,272 @@
+// lambdastore-server: one LambdaStore node as a real process.
+//
+// Hosts runtime::ParallelNode (execution lanes + WAL group commit) behind
+// net::RpcServer, speaking the shared frame wire format. This is the
+// server half of the LO_NET=real bench path: the harness (or
+// net::RemoteClient) connects over loopback TCP and drives the same
+// "lambda.invoke"/"lambda.create" services the simulated cluster serves.
+//
+// Invocations complete asynchronously: the RPC handler decodes the
+// payload and enqueues on the object's lane with ParallelNode::
+// InvokeAsync; the lane thread runs the method, waits for the group
+// commit, and fires the Responder, which marshals the response back to
+// the server's loop thread. The handler itself never blocks, so one loop
+// thread feeds every lane. Requests whose frame deadline expired — on
+// arrival or while queued behind a busy lane — are shed with Timeout
+// instead of executed.
+//
+// Flags:
+//   --port=N         listen port; 0 = ephemeral (default; also LO_NET_PORT)
+//   --db=PATH        persist under PATH with PosixEnv; default in-memory
+//   --lanes=N        execution lanes (default 8)
+//   --seed-users=N   pre-seed a ReTwis social graph with N users
+//   --seed-posts=N   initial posts per user for the seeded graph
+//   --seed=N         workload generator seed (default 42)
+//   --gc-bytes=N     group-commit batch size cap
+//   --gc-delay-us=N  group-commit batch delay
+//
+// Prints "READY port=<p>" on stdout once listening (the harness and the
+// loopback smoke test parse it), then serves until SIGINT/SIGTERM or an
+// "admin.shutdown" RPC, and exits 0 after a clean drain.
+#include <signal.h>
+#include <stdio.h>
+#include <string.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/coding.h"
+#include "common/log.h"
+#include "net/rpc_server.h"
+#include "retwis/retwis.h"
+#include "retwis/workload.h"
+#include "runtime/executor.h"
+#include "storage/db.h"
+#include "storage/env.h"
+
+namespace {
+
+struct Flags {
+  uint16_t port = 0;
+  std::string db_path;  // empty = MemEnv
+  size_t lanes = 8;
+  uint64_t seed_users = 0;
+  uint64_t seed_posts = 10;
+  uint64_t seed = 42;
+  int64_t gc_bytes = -1;
+  int64_t gc_delay_us = -1;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  if (const char* env_port = std::getenv("LO_NET_PORT")) {
+    flags.port = static_cast<uint16_t>(std::atoi(env_port));
+  }
+  for (int i = 1; i < argc; i++) {
+    std::string value;
+    if (ParseFlag(argv[i], "port", &value)) {
+      flags.port = static_cast<uint16_t>(std::stoi(value));
+    } else if (ParseFlag(argv[i], "db", &value)) {
+      flags.db_path = value;
+    } else if (ParseFlag(argv[i], "lanes", &value)) {
+      flags.lanes = static_cast<size_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "seed-users", &value)) {
+      flags.seed_users = std::stoull(value);
+    } else if (ParseFlag(argv[i], "seed-posts", &value)) {
+      flags.seed_posts = std::stoull(value);
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      flags.seed = std::stoull(value);
+    } else if (ParseFlag(argv[i], "gc-bytes", &value)) {
+      flags.gc_bytes = std::stoll(value);
+    } else if (ParseFlag(argv[i], "gc-delay-us", &value)) {
+      flags.gc_delay_us = std::stoll(value);
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      exit(2);
+    }
+  }
+  return flags;
+}
+
+bool DecodeInvokePayload(std::string_view payload, std::string_view* oid,
+                         std::string_view* method, std::string_view* argument,
+                         std::string_view* token) {
+  lo::Reader reader{payload};
+  return reader.GetLengthPrefixed(oid) && reader.GetLengthPrefixed(method) &&
+         reader.GetLengthPrefixed(argument) && reader.GetLengthPrefixed(token);
+}
+
+bool DecodeCreatePayload(std::string_view payload, std::string_view* oid,
+                         std::string_view* type_name, std::string_view* token) {
+  lo::Reader reader{payload};
+  return reader.GetLengthPrefixed(oid) && reader.GetLengthPrefixed(type_name) &&
+         reader.GetLengthPrefixed(token);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  // Block the shutdown signals before any thread spawns, so every thread
+  // inherits the mask and only the main thread (via sigtimedwait below)
+  // ever observes them.
+  sigset_t sigmask;
+  sigemptyset(&sigmask);
+  sigaddset(&sigmask, SIGINT);
+  sigaddset(&sigmask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigmask, nullptr);
+
+  lo::storage::MemEnv mem_env;
+  lo::storage::PosixEnv posix_env;
+  lo::storage::Options db_options;
+  db_options.env = flags.db_path.empty()
+                       ? static_cast<lo::storage::Env*>(&mem_env)
+                       : static_cast<lo::storage::Env*>(&posix_env);
+  db_options.serialize_access = true;  // lanes + committer share the DB
+  std::string db_name = flags.db_path.empty() ? "/db" : flags.db_path;
+  auto opened = lo::storage::DB::Open(db_options, db_name);
+  if (!opened.ok()) {
+    fprintf(stderr, "DB::Open(%s): %s\n", db_name.c_str(),
+            opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<lo::storage::DB> db = std::move(*opened);
+
+  lo::runtime::TypeRegistry types;
+  LO_CHECK(lo::retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+
+  if (flags.seed_users > 0) {
+    lo::retwis::WorkloadConfig config;
+    config.num_users = flags.seed_users;
+    config.initial_posts_per_user = flags.seed_posts;
+    config.seed = flags.seed;
+    lo::retwis::Workload workload(config);
+    lo::Status seeded = workload.SeedDb(db.get());
+    if (!seeded.ok()) {
+      fprintf(stderr, "SeedDb: %s\n", seeded.ToString().c_str());
+      return 1;
+    }
+  }
+
+  lo::runtime::ParallelNodeOptions node_options;
+  node_options.lanes = flags.lanes;
+  if (flags.gc_bytes > 0) {
+    node_options.group_commit.max_batch_bytes = static_cast<size_t>(flags.gc_bytes);
+  }
+  if (flags.gc_delay_us >= 0) {
+    node_options.group_commit.max_batch_delay_us = flags.gc_delay_us;
+  }
+
+  std::atomic<bool> shutdown_requested{false};
+
+  // Declared after `node_holder` scope note: the server is constructed
+  // first and destructed last, because lane jobs hold Responders that
+  // reference it; Drain() below runs them all before teardown.
+  lo::net::RpcServer server([&flags] {
+    lo::net::RpcServerOptions options;
+    options.port = flags.port;
+    return options;
+  }());
+  lo::runtime::ParallelNode node(db.get(), &types, node_options);
+
+  server.Handle("lambda.invoke", [&node, &server](lo::net::RpcServer::Request request,
+                                                  lo::net::RpcServer::Responder respond) {
+    std::string_view oid, method, argument, token;
+    if (!DecodeInvokePayload(request.payload, &oid, &method, &argument, &token)) {
+      respond(lo::Status::Corruption("bad invoke payload"));
+      return;
+    }
+    int64_t deadline_us = request.deadline_us;
+    node.InvokeAsync(
+        std::string(oid), std::string(method), std::string(argument),
+        std::string(token), std::move(respond),
+        [deadline_us, &server] {
+          // Lane-level shed: the request waited behind a busy lane past
+          // its deadline. Counts into the same counter as arrival sheds.
+          bool expired = deadline_us != 0 &&
+                         lo::net::EventLoop::NowUs() > deadline_us;
+          if (expired) server.RecordShed();
+          return expired;
+        });
+  });
+  server.Handle("lambda.create", [&node, &server](lo::net::RpcServer::Request request,
+                                                  lo::net::RpcServer::Responder respond) {
+    std::string_view oid, type_name, token;
+    if (!DecodeCreatePayload(request.payload, &oid, &type_name, &token)) {
+      respond(lo::Status::Corruption("bad create payload"));
+      return;
+    }
+    int64_t deadline_us = request.deadline_us;
+    node.CreateObjectAsync(
+        std::string(oid), std::string(type_name), std::string(token),
+        std::move(respond),
+        [deadline_us, &server] {
+          bool expired = deadline_us != 0 &&
+                         lo::net::EventLoop::NowUs() > deadline_us;
+          if (expired) server.RecordShed();
+          return expired;
+        });
+  });
+  server.Handle("ping", [](lo::net::RpcServer::Request request,
+                           lo::net::RpcServer::Responder respond) {
+    respond(std::string(request.payload));
+  });
+  server.Handle("admin.stats", [&node, &server](lo::net::RpcServer::Request,
+                                                lo::net::RpcServer::Responder respond) {
+    const auto& stats = server.stats();
+    std::string out;
+    out += "requests=" + std::to_string(stats.requests.load()) + "\n";
+    out += "responses=" + std::to_string(stats.responses.load()) + "\n";
+    out += "deadline_shed=" + std::to_string(stats.deadline_shed.load()) + "\n";
+    out += "frame_rejects=" + std::to_string(server.frame_stats().rejects()) + "\n";
+    out += "lanes=" + std::to_string(node.lanes()) + "\n";
+    uint64_t executed = 0;
+    for (size_t i = 0; i < node.lanes(); i++) executed += node.lane_executed(i);
+    out += "invocations_executed=" + std::to_string(executed) + "\n";
+    const auto& gc = node.committer().stats();
+    out += "gc_commits=" + std::to_string(gc.commits) + "\n";
+    out += "gc_groups=" + std::to_string(gc.groups) + "\n";
+    respond(out);
+  });
+  server.Handle("admin.shutdown", [&shutdown_requested](
+                                      lo::net::RpcServer::Request,
+                                      lo::net::RpcServer::Responder respond) {
+    respond(std::string("bye"));
+    shutdown_requested.store(true, std::memory_order_release);
+  });
+
+  lo::Status started = server.Start();
+  if (!started.ok()) {
+    fprintf(stderr, "server start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  printf("READY port=%u\n", server.port());
+  fflush(stdout);
+
+  // Wait for a signal or an admin.shutdown RPC. sigtimedwait (rather
+  // than a signal handler) keeps shutdown on the main thread with no
+  // async-signal-safety constraints.
+  struct timespec poll_interval = {0, 50'000'000};  // 50ms
+  while (!shutdown_requested.load(std::memory_order_acquire)) {
+    int sig = sigtimedwait(&sigmask, nullptr, &poll_interval);
+    if (sig == SIGINT || sig == SIGTERM) break;
+  }
+
+  // Teardown order matters: stop the server first (no new requests),
+  // then drain the lanes (every outstanding Responder fires — into
+  // closed connections, harmlessly), then let destructors run.
+  server.Stop();
+  node.Drain();
+  return 0;
+}
