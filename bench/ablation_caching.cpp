@@ -1,15 +1,179 @@
-// Ablation A2: the consistent result cache for deterministic read-only
-// functions (§4.2.2). GetTimeline with a skewed read mix: with the cache
-// on, repeated reads of the same timelines are served from recorded
-// results and invalidated precisely by overlapping writes.
+// Caching ablations.
+//
+// A2: the consistent result cache for deterministic read-only functions
+// (§4.2.2). GetTimeline with a skewed read mix: with the cache on,
+// repeated reads of the same timelines are served from recorded results
+// and invalidated precisely by overlapping writes.
+//
+// A2b: the MiniLSM block cache under the same access shape, measured
+// directly against the storage engine in wall-clock time (the simulator
+// charges I/O through the CPU model, so sim throughput cannot see the
+// block cache — wall clock can). A Zipf(0.8)-skewed point-read + short-
+// scan mix over ~10x more table data than fits in the memtable, across
+// three cache configs: off, sized (~2/3 of the data set, the realistic
+// operating point), and oversized (everything fits, upper bound).
+//
+// Every row is also emitted as a machine-readable JSON line
+// (`{"bench":...}`) so sweeps can scrape results without parsing the
+// human table.
+//
+// Flags:
+//   --block-cache-only   run just A2b and exit nonzero if the sized
+//                        config's hit rate regresses below 0.9 (used as
+//                        a ctest smoke under LO_BENCH_QUICK=1)
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "bench/harness.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "storage/db.h"
+#include "storage/env.h"
 
 using namespace lo;
 using namespace lo::bench;
 
-int main() {
+namespace {
+
+std::string KeyOf(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+struct BlockCacheRun {
+  double ops_per_sec = 0;
+  double hit_rate = 0;
+  uint64_t evictions = 0;
+  uint64_t cache_bytes = 0;
+};
+
+// One config: fresh DB, populate + compact so every read hits the table
+// path, warm the cache on the measured distribution, then time the mix.
+BlockCacheRun RunBlockCacheConfig(size_t cache_mb, uint64_t num_keys,
+                                  uint64_t warm_ops, uint64_t measure_ops) {
+  storage::MemEnv env;
+  storage::Options options;
+  options.env = &env;
+  options.write_buffer_size = 1 << 20;  // data must live in SSTables
+  options.block_cache_bytes = cache_mb << 20;
+  auto opened = storage::DB::Open(options, "/bench");
+  LO_CHECK(opened.ok());
+  std::unique_ptr<storage::DB> db = std::move(*opened);
+
+  std::string value(100, 'v');
+  for (uint64_t i = 0; i < num_keys; i++) {
+    LO_CHECK(db->Put({.sync = false}, KeyOf(i), value).ok());
+  }
+  LO_CHECK(db->CompactAll().ok());
+
+  // Timeline-shaped mix: 80% point reads, 20% seek + 10-entry scans, both
+  // Zipf-skewed (rank 0 = hottest key; ranks map to adjacent keys, so hot
+  // keys share blocks the way one user's timeline does).
+  ZipfGenerator zipf(num_keys, 0.8);
+  Rng rng(7);
+  auto one_op = [&](uint64_t op) {
+    uint64_t rank = zipf.Sample(rng);
+    if (op % 5 != 0) {
+      auto got = db->Get({}, KeyOf(rank));
+      LO_CHECK(got.ok());
+    } else {
+      auto iter = db->NewIterator({});
+      iter->Seek(KeyOf(rank));
+      int n = 0;
+      for (; iter->Valid() && n < 10; iter->Next()) n++;
+      LO_CHECK(n > 0);
+    }
+  };
+
+  for (uint64_t op = 0; op < warm_ops; op++) one_op(op);
+
+  storage::DB::Stats before = db->GetStats();
+  auto started = std::chrono::steady_clock::now();
+  for (uint64_t op = 0; op < measure_ops; op++) one_op(op);
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - started)
+                     .count();
+  storage::DB::Stats after = db->GetStats();
+
+  BlockCacheRun run;
+  run.ops_per_sec = static_cast<double>(measure_ops) / elapsed;
+  uint64_t hits = after.block_cache_hits - before.block_cache_hits;
+  uint64_t misses = after.block_cache_misses - before.block_cache_misses;
+  run.hit_rate = hits + misses == 0
+                     ? 0.0
+                     : static_cast<double>(hits) /
+                           static_cast<double>(hits + misses);
+  run.evictions = after.block_cache_evictions;
+  run.cache_bytes = after.block_cache_bytes;
+  return run;
+}
+
+// Returns false on a hit-rate regression (checked in --block-cache-only).
+bool RunBlockCacheAblation() {
+  bool quick = false;
+  if (const char* q = std::getenv("LO_BENCH_QUICK")) quick = q[0] == '1';
+  // ~24 MiB of table data (quick: ~4.8 MiB); "sized" holds ~85% of it —
+  // small enough that the LRU keeps evicting the Zipf tail, big enough
+  // that the hot set stays resident.
+  const uint64_t num_keys = quick ? 40000 : 200000;
+  const uint64_t warm_ops = quick ? 30000 : 150000;
+  const uint64_t measure_ops = quick ? 60000 : 400000;
+  const size_t sized_mb = quick ? 4 : 20;
+  const size_t oversized_mb = quick ? 64 : 256;
+
+  PrintHeader("Ablation A2b: MiniLSM block cache (Zipf(0.8) reads, wall clock)");
+  PrintRow("%-10s %10s %12s %10s %12s %14s", "Cache", "MB", "ops/sec",
+           "hit rate", "evictions", "cached bytes");
+
+  struct Config {
+    const char* name;
+    size_t mb;
+  };
+  const Config configs[] = {
+      {"off", 0}, {"sized", sized_mb}, {"oversized", oversized_mb}};
+  double off_ops_per_sec = 0;
+  double sized_hit_rate = 0;
+  double sized_speedup = 0;
+  for (const Config& config : configs) {
+    BlockCacheRun run =
+        RunBlockCacheConfig(config.mb, num_keys, warm_ops, measure_ops);
+    PrintRow("%-10s %10zu %12.0f %10.3f %12llu %14llu", config.name, config.mb,
+             run.ops_per_sec, run.hit_rate,
+             static_cast<unsigned long long>(run.evictions),
+             static_cast<unsigned long long>(run.cache_bytes));
+    PrintRow("{\"bench\":\"block_cache\",\"config\":\"%s\",\"cache_mb\":%zu,"
+             "\"ops\":%llu,\"ops_per_sec\":%.0f,\"hit_rate\":%.4f,"
+             "\"evictions\":%llu,\"cache_bytes\":%llu}",
+             config.name, config.mb,
+             static_cast<unsigned long long>(measure_ops), run.ops_per_sec,
+             run.hit_rate, static_cast<unsigned long long>(run.evictions),
+             static_cast<unsigned long long>(run.cache_bytes));
+    if (std::strcmp(config.name, "off") == 0) off_ops_per_sec = run.ops_per_sec;
+    if (std::strcmp(config.name, "sized") == 0) {
+      sized_hit_rate = run.hit_rate;
+      sized_speedup = run.ops_per_sec / off_ops_per_sec;
+    }
+  }
+  PrintRow("\nsized vs off speedup: %.2fx (hit rate %.3f)", sized_speedup,
+           sized_hit_rate);
+  PrintRow("expected: a sized cache smaller than the data set captures the");
+  PrintRow("Zipf mass (>=0.9 hit rate); oversized shows the no-eviction bound");
+
+  if (sized_hit_rate < 0.9) {
+    std::fprintf(stderr,
+                 "block cache hit-rate regression: sized config %.3f < 0.9\n",
+                 sized_hit_rate);
+    return false;
+  }
+  return true;
+}
+
+void RunResultCacheAblation() {
   ExperimentConfig config = MaybeQuick(ExperimentConfig{});
   // A read-heavy mix with some writes and Zipf-skewed targets (hot
   // timelines get read repeatedly): shows both the hit-rate win and that
@@ -41,15 +205,39 @@ int main() {
         retwis::RunClosedLoop(system.sim(), workload, std::move(invokers), driver);
 
     auto stats = system.deployment().node(0).runtime().cache_stats();
+    double p50 = static_cast<double>(result.latency_us.Percentile(0.5)) / 1000.0;
+    double p99 = static_cast<double>(result.latency_us.Percentile(0.99)) / 1000.0;
     PrintRow("%-8s %12.0f %10.2f %10.2f %12llu %12llu %12llu",
-             cache_on ? "on" : "off", result.Throughput(),
-             static_cast<double>(result.latency_us.Percentile(0.5)) / 1000.0,
-             static_cast<double>(result.latency_us.Percentile(0.99)) / 1000.0,
+             cache_on ? "on" : "off", result.Throughput(), p50, p99,
+             static_cast<unsigned long long>(stats.hits),
+             static_cast<unsigned long long>(stats.misses),
+             static_cast<unsigned long long>(stats.invalidations));
+    PrintRow("{\"bench\":\"result_cache\",\"config\":\"%s\","
+             "\"jobs_per_sec\":%.0f,\"p50_ms\":%.2f,\"p99_ms\":%.2f,"
+             "\"hits\":%llu,\"misses\":%llu,\"invalidations\":%llu}",
+             cache_on ? "on" : "off", result.Throughput(), p50, p99,
              static_cast<unsigned long long>(stats.hits),
              static_cast<unsigned long long>(stats.misses),
              static_cast<unsigned long long>(stats.invalidations));
   }
   PrintRow("\nexpected: higher read throughput with the cache; invalidations");
   PrintRow("track the write mix (co-location makes the cache *consistent*)");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool block_cache_only = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--block-cache-only") == 0) {
+      block_cache_only = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (!block_cache_only) RunResultCacheAblation();
+  bool ok = RunBlockCacheAblation();
+  return block_cache_only && !ok ? 1 : 0;
 }

@@ -36,10 +36,12 @@ struct ExperimentConfig {
   bool quick = false;  // shrunk parameters for smoke runs
   /// Parallelism knobs (0 / -1 = keep the node defaults). Set explicitly
   /// by ablation sweeps; every bench also honors the LO_LANES /
-  /// LO_GC_BYTES / LO_GC_DELAY_US env vars (explicit config wins).
+  /// LO_GC_BYTES / LO_GC_DELAY_US / LO_BLOCK_CACHE_MB env vars (explicit
+  /// config wins).
   size_t lanes = 0;                  // execution lanes per storage node
   size_t gc_max_batch_bytes = 0;     // WAL group-commit size bound
   int64_t gc_max_batch_delay_us = -1;  // WAL group-commit window
+  int64_t block_cache_mb = -1;       // SSTable block cache (0 = off)
 };
 
 /// Resolves the parallelism knobs (env, then explicit config) onto a

@@ -84,6 +84,39 @@ void BM_GetHotKeys(benchmark::State& state) {
 }
 BENCHMARK(BM_GetHotKeys);
 
+void BM_GetHotZipfBlockCache(benchmark::State& state) {
+  // The block-cache sweep: Zipf(0.8) point reads against table-resident
+  // data, Arg = cache size in MiB (0 = off). A hit skips the Env read,
+  // the CRC pass and the block parse; the sweep shows how much of the hot
+  // read path that is.
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 1 << 20;  // data must live in tables
+  options.block_cache_bytes = static_cast<size_t>(state.range(0)) << 20;
+  auto db = std::move(*DB::Open(options, "/bench"));
+  constexpr uint64_t kKeys = 100000;
+  std::string value(100, 'v');
+  for (uint64_t i = 0; i < kKeys; i++) {
+    (void)db->Put({.sync = false}, KeyOf(i), value);
+  }
+  (void)db->CompactAll();
+  ZipfGenerator zipf(kKeys, 0.8);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto got = db->Get({}, KeyOf(zipf.Sample(rng)));
+    benchmark::DoNotOptimize(got.ok());
+  }
+  auto stats = db->GetStats();
+  uint64_t lookups = stats.block_cache_hits + stats.block_cache_misses;
+  state.counters["hit_rate"] =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.block_cache_hits) /
+                         static_cast<double>(lookups);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GetHotZipfBlockCache)->Arg(0)->Arg(8)->Arg(64);
+
 void BM_GetMissBloomFiltered(benchmark::State& state) {
   MemEnv env;
   auto db = FreshDb(&env, 64 << 10);  // small buffer: data lives in tables

@@ -55,6 +55,7 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   storage::Options db_options;
   db_options.env = &env_;
   db_options.write_buffer_size = options.db_write_buffer_size;
+  db_options.block_cache_bytes = options.db_block_cache_bytes;
   db_options.tracer = options.tracer;
   db_options.node_label = id;
   if (options.tracer != nullptr) {
@@ -247,6 +248,20 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
   });
   reg->RegisterCallback("db.wal_rotations_after_error", node, [this] {
     return static_cast<double>(db_->GetStats().wal_rotations_after_error);
+  });
+  // Block cache: hit ratio is the read path's health metric; bytes shows
+  // steady-state residency against the configured capacity.
+  reg->RegisterCallback("cache.hit", node, [this] {
+    return static_cast<double>(db_->GetStats().block_cache_hits);
+  });
+  reg->RegisterCallback("cache.miss", node, [this] {
+    return static_cast<double>(db_->GetStats().block_cache_misses);
+  });
+  reg->RegisterCallback("cache.evict", node, [this] {
+    return static_cast<double>(db_->GetStats().block_cache_evictions);
+  });
+  reg->RegisterCallback("cache.bytes", node, [this] {
+    return static_cast<double>(db_->GetStats().block_cache_bytes);
   });
   // RPC + CPU.
   reg->RegisterCallback("rpc.calls_started", node, [this] {

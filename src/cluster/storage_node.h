@@ -34,6 +34,10 @@ namespace lo::cluster {
 struct StorageNodeOptions {
   int cores = 20;                                   // Xeon Silver 4114 pair
   size_t db_write_buffer_size = 8 << 20;            // memtable flush threshold
+  /// SSTable block cache per node (0 = off). Read-heavy workloads
+  /// (GetTimeline) live or die on this; bench/harness reads
+  /// LO_BLOCK_CACHE_MB into it.
+  size_t db_block_cache_bytes = 16 << 20;
   sim::Duration wal_sync_latency = sim::Micros(80); // NVMe flush per commit
   /// WAL group commit (cluster/wal_group_commit.h): commits queued while
   /// the shard's WAL device is busy coalesce into one fsync, bounded by

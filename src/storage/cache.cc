@@ -1,0 +1,241 @@
+#include "storage/cache.h"
+
+#include "common/hash.h"
+#include "common/log.h"
+
+namespace lo::storage {
+
+// One cache entry. Heap-allocated and address-stable, so the shard table
+// keys string_views into `key` and handles are just pointers to this.
+//
+// Reference counting: the cache itself holds one reference while the
+// entry is attached (`in_cache`); every outstanding Handle holds one
+// more. Detaching (eviction / Erase / replacement) drops the cache's
+// reference; the entry is destroyed when the count reaches zero, which
+// is what makes pin-while-evicted safe.
+struct Cache::Entry {
+  std::string key;
+  void* value = nullptr;
+  Deleter deleter = nullptr;
+  size_t charge = 0;
+  uint32_t refs = 0;
+  bool in_cache = false;
+  // LRU list links. Only attached, unpinned entries sit in the list
+  // (pinned entries are unevictable, so keeping them out of the list
+  // makes the eviction scan O(victims), never O(pins)).
+  Entry* prev = nullptr;
+  Entry* next = nullptr;
+};
+
+struct Cache::Shard {
+  mutable std::mutex mu;
+  size_t capacity = 0;
+  size_t usage = 0;  // total charge of attached entries
+  // lru.next is the least recently used entry, lru.prev the most recent.
+  Entry lru;
+  std::unordered_map<std::string_view, Entry*> table;
+  // Counters (guarded by mu; snapshotted by GetStats).
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+
+  Shard() {
+    lru.next = &lru;
+    lru.prev = &lru;
+  }
+};
+
+namespace {
+
+void ListRemoveImpl(Cache::Entry* e) {
+  e->next->prev = e->prev;
+  e->prev->next = e->next;
+  e->next = nullptr;
+  e->prev = nullptr;
+}
+
+void ListAppend(Cache::Entry* list, Cache::Entry* e) {
+  // Insert at the MRU end (list->prev).
+  e->next = list;
+  e->prev = list->prev;
+  e->prev->next = e;
+  e->next->prev = e;
+}
+
+}  // namespace
+
+Cache::Cache(size_t capacity, int shard_bits)
+    : capacity_(capacity),
+      num_shards_(size_t{1} << (shard_bits < 0 ? 0 : shard_bits)),
+      shards_(new Shard[num_shards_]) {
+  size_t per_shard = (capacity + num_shards_ - 1) / num_shards_;
+  for (size_t i = 0; i < num_shards_; i++) shards_[i].capacity = per_shard;
+}
+
+Cache::~Cache() {
+  for (size_t i = 0; i < num_shards_; i++) {
+    Shard& shard = shards_[i];
+    // Every handle must have been released by now; attached entries hold
+    // exactly the cache's own reference.
+    for (auto& [key, e] : shard.table) {
+      LO_CHECK_MSG(e->refs == 1, "cache destroyed with pinned entries");
+      if (e->deleter != nullptr) e->deleter(e->key, e->value);
+      delete e;
+    }
+  }
+}
+
+uint32_t Cache::ShardOf(std::string_view key) const {
+  // Upper hash bits pick the shard so the table (which consumes the low
+  // bits) stays decorrelated from the shard choice.
+  return static_cast<uint32_t>((Fnv1a64(key) >> 48) & (num_shards_ - 1));
+}
+
+uint64_t Cache::NewId() {
+  std::lock_guard<std::mutex> lock(id_mu_);
+  return next_id_++;
+}
+
+Cache::Handle* Cache::Insert(std::string_view key, void* value, size_t charge,
+                             Deleter deleter) {
+  Shard& shard = shards_[ShardOf(key)];
+  auto* e = new Entry();
+  e->key.assign(key);
+  e->value = value;
+  e->deleter = deleter;
+  e->charge = charge;
+  e->refs = 2;  // the cache + the returned handle
+  e->in_cache = true;
+
+  std::vector<Entry*> dead;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inserts++;
+    // Replace an existing entry for this key: detach it (outstanding
+    // pins, if any, keep the old value alive until released).
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      Entry* old = it->second;
+      shard.table.erase(it);
+      shard.usage -= old->charge;
+      old->in_cache = false;
+      if (old->prev != nullptr) ListRemoveImpl(old);
+      if (--old->refs == 0) dead.push_back(old);
+    }
+    shard.table.emplace(std::string_view(e->key), e);
+    shard.usage += charge;
+    // Evict from the cold end until back under capacity. Pinned entries
+    // are not in the list, so a fully-pinned shard may exceed capacity —
+    // the overage drains as pins are released and entries re-enter the
+    // list (checked again on the next insert).
+    while (shard.usage > shard.capacity && shard.lru.next != &shard.lru) {
+      Entry* victim = shard.lru.next;
+      ListRemoveImpl(victim);
+      shard.table.erase(std::string_view(victim->key));
+      shard.usage -= victim->charge;
+      victim->in_cache = false;
+      shard.evictions++;
+      if (--victim->refs == 0) dead.push_back(victim);
+    }
+  }
+  for (Entry* d : dead) {
+    if (d->deleter != nullptr) d->deleter(d->key, d->value);
+    delete d;
+  }
+  return reinterpret_cast<Handle*>(e);
+}
+
+Cache::Handle* Cache::Lookup(std::string_view key) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) {
+    shard.misses++;
+    return nullptr;
+  }
+  shard.hits++;
+  Entry* e = it->second;
+  if (e->prev != nullptr) ListRemoveImpl(e);  // now pinned: off the LRU list
+  e->refs++;
+  return reinterpret_cast<Handle*>(e);
+}
+
+void Cache::Release(Handle* handle) {
+  auto* e = reinterpret_cast<Entry*>(handle);
+  LO_CHECK(e != nullptr);
+  Shard& shard = shards_[ShardOf(e->key)];
+  std::vector<Entry*> dead;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    LO_CHECK(e->refs > 0);
+    if (--e->refs == 0) {
+      dead.push_back(e);  // was already detached; last pin just went away
+    } else if (e->refs == 1 && e->in_cache) {
+      // Only the cache's reference remains: back onto the LRU list (MRU
+      // end — it was just in use) and drain any overage accumulated while
+      // entries were pinned (Insert cannot evict pinned entries). The
+      // entry just released is the freshest by definition and is never
+      // its own victim; a lone over-capacity entry stays until a later
+      // Insert displaces it.
+      ListAppend(&shard.lru, e);
+      while (shard.usage > shard.capacity && shard.lru.next != e) {
+        Entry* victim = shard.lru.next;
+        ListRemoveImpl(victim);
+        shard.table.erase(std::string_view(victim->key));
+        shard.usage -= victim->charge;
+        victim->in_cache = false;
+        shard.evictions++;
+        if (--victim->refs == 0) dead.push_back(victim);
+      }
+    }
+  }
+  for (Entry* d : dead) {
+    if (d->deleter != nullptr) d->deleter(d->key, d->value);
+    delete d;
+  }
+}
+
+void* Cache::Value(Handle* handle) {
+  return reinterpret_cast<Entry*>(handle)->value;
+}
+
+void Cache::Erase(std::string_view key) {
+  Shard& shard = shards_[ShardOf(key)];
+  Entry* dead = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(key);
+    if (it == shard.table.end()) return;
+    Entry* e = it->second;
+    shard.table.erase(it);
+    shard.usage -= e->charge;
+    e->in_cache = false;
+    if (e->prev != nullptr) ListRemoveImpl(e);
+    if (--e->refs == 0) dead = e;
+  }
+  if (dead != nullptr) {
+    if (dead->deleter != nullptr) dead->deleter(dead->key, dead->value);
+    delete dead;
+  }
+}
+
+Cache::Stats Cache::GetStats() const {
+  Stats stats;
+  for (size_t i = 0; i < num_shards_; i++) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.inserts += shard.inserts;
+    stats.evictions += shard.evictions;
+    stats.charge += shard.usage;
+    stats.entries += shard.table.size();
+    for (auto& [key, e] : shard.table) {
+      if (e->refs > 1) stats.pinned++;
+    }
+  }
+  return stats;
+}
+
+}  // namespace lo::storage

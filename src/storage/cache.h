@@ -1,0 +1,101 @@
+// Sharded LRU cache (LevelDB-shaped): the shared caching substrate of the
+// storage layer. The block cache and the table cache both sit on this
+// core, and later layers (object/snapshot caching in the runtime) are
+// expected to reuse it.
+//
+//   - charge-based: every entry carries an explicit cost (bytes for
+//     blocks, 1 for table handles) and the cache holds total charge at or
+//     under its capacity by evicting least-recently-used entries;
+//   - sharded: entries hash onto 2^shard_bits independent shards, each
+//     with its own mutex, so lane workers hitting disjoint blocks never
+//     contend on one lock;
+//   - handle-based: Lookup/Insert return a pinned Handle. A pinned entry
+//     is never destroyed — eviction and Erase only *detach* it from the
+//     cache; the value is freed when the last pin is released. Iterators
+//     rely on this to keep their current block alive across evictions.
+//
+// Thread safe. All operations are O(1) amortized.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lo::storage {
+
+class Cache {
+ public:
+  /// Opaque pin on one entry. Obtained from Insert/Lookup, returned via
+  /// Release exactly once.
+  struct Handle;
+  /// Implementation detail (cache.cc); declared here so it is nameable.
+  struct Entry;
+
+  /// Called once per entry, when the last pin on a detached entry goes
+  /// away (eviction, Erase, or cache destruction — whichever comes last).
+  using Deleter = void (*)(std::string_view key, void* value);
+
+  /// `capacity` is total charge across all shards; each of the
+  /// 2^shard_bits shards gets an equal slice.
+  explicit Cache(size_t capacity, int shard_bits = 4);
+  ~Cache();
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Inserts (replacing any entry with the same key) and returns a pinned
+  /// handle to the new entry. Charge is accounted immediately; the
+  /// eviction pass runs before returning.
+  Handle* Insert(std::string_view key, void* value, size_t charge,
+                 Deleter deleter);
+
+  /// Returns a pinned handle, or nullptr on miss.
+  Handle* Lookup(std::string_view key);
+
+  /// Drops one pin. The handle is invalid afterwards.
+  void Release(Handle* handle);
+
+  /// The value Insert stored. Valid while the handle is pinned.
+  static void* Value(Handle* handle);
+
+  /// Detaches the entry with `key`, if any: future Lookups miss, and the
+  /// value dies once the last outstanding pin is released.
+  void Erase(std::string_view key);
+
+  size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(num_shards_); }
+  /// Which shard a key lands on (tests craft per-shard keys with this).
+  uint32_t ShardOf(std::string_view key) const;
+
+  /// Monotonic id source for keyspace partitioning: components sharing
+  /// one cache prefix their keys with a NewId() so they never collide.
+  uint64_t NewId();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;   // capacity-driven detaches only
+    uint64_t charge = 0;      // total charge currently attached
+    uint64_t entries = 0;     // entries currently attached
+    uint64_t pinned = 0;      // attached entries with outstanding pins
+  };
+  /// Sums every shard. Counters are cumulative; charge/entries/pinned are
+  /// instantaneous.
+  Stats GetStats() const;
+
+ private:
+  struct Shard;
+
+  size_t capacity_;
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+  std::mutex id_mu_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace lo::storage

@@ -11,8 +11,8 @@ namespace {
 /// Keeps the Table shared_ptr alive for as long as its iterator.
 class OwningTableIterator : public Iterator {
  public:
-  explicit OwningTableIterator(std::shared_ptr<Table> table)
-      : table_(std::move(table)), iter_(table_->NewIterator()) {}
+  explicit OwningTableIterator(std::shared_ptr<Table> table, bool fill_cache = true)
+      : table_(std::move(table)), iter_(table_->NewIterator(fill_cache)) {}
 
   bool Valid() const override { return iter_->Valid(); }
   void SeekToFirst() override { iter_->SeekToFirst(); }
@@ -168,7 +168,11 @@ class DBIter : public Iterator {
 DB::DB(Options options, std::string name)
     : options_(options),
       name_(std::move(name)),
-      table_cache_(options.env, name_),
+      block_cache_(options.block_cache_bytes > 0
+                       ? std::make_unique<Cache>(options.block_cache_bytes,
+                                                 options.block_cache_shard_bits)
+                       : nullptr),
+      table_cache_(options.env, name_, block_cache_.get()),
       versions_(std::make_unique<VersionSet>(options.env, name_, &table_cache_)) {}
 
 DB::~DB() = default;
@@ -493,7 +497,10 @@ Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
   std::vector<std::unique_ptr<Iterator>> inputs;
   auto add_input = [&](const FileMetaData& meta) -> Status {
     LO_ASSIGN_OR_RETURN(auto table, table_cache_.Get(meta.number));
-    inputs.push_back(std::make_unique<OwningTableIterator>(std::move(table)));
+    // fill_cache=false: a compaction reads each input block exactly once;
+    // inserting them would evict the read path's hot set for nothing.
+    inputs.push_back(
+        std::make_unique<OwningTableIterator>(std::move(table), /*fill_cache=*/false));
     stats_.compaction_bytes_read += meta.file_size;
     return Status::OK();
   };
@@ -565,6 +572,11 @@ Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
   for (const auto& meta : pick.inputs) edit.DeleteFile(pick.level, meta.number);
   for (const auto& meta : pick.next_inputs) edit.DeleteFile(output_level, meta.number);
   LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  // The inputs are dead the moment the edit commits: evict them now so
+  // they stop pinning open file handles and metadata blocks even if the
+  // directory sweep below cannot delete them yet.
+  for (const auto& meta : pick.inputs) table_cache_.Evict(meta.number);
+  for (const auto& meta : pick.next_inputs) table_cache_.Evict(meta.number);
   return DeleteObsoleteFiles();
 }
 
@@ -622,6 +634,17 @@ Status DB::CompactAll() {
 DB::Stats DB::GetStats() const {
   auto guard = Guard();
   Stats stats = stats_;
+  if (block_cache_ != nullptr) {
+    Cache::Stats cache = block_cache_->GetStats();
+    stats.block_cache_hits = cache.hits;
+    stats.block_cache_misses = cache.misses;
+    stats.block_cache_evictions = cache.evictions;
+    stats.block_cache_inserts = cache.inserts;
+    stats.block_cache_bytes = cache.charge;
+  }
+  Cache::Stats tables = table_cache_.GetStats();
+  stats.table_cache_hits = tables.hits;
+  stats.table_cache_misses = tables.misses;
   for (int level = 0; level < kNumLevels; level++) {
     stats.files_per_level[level] = versions_->NumLevelFiles(level);
     stats.bytes_per_level[level] = versions_->LevelBytes(level);

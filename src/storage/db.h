@@ -33,6 +33,15 @@ struct Options {
   /// Max bytes of one compaction output file.
   uint64_t max_output_file_bytes = 2 << 20;
   TableOptions table;
+  /// SSTable block cache (sharded LRU, charge = block bytes), shared by
+  /// every table of this DB. Point reads and iterator seeks consult it
+  /// before touching the Env; compaction reads bypass *insertion* so bulk
+  /// scans don't flush the hot set. 0 disables caching entirely.
+  size_t block_cache_bytes = 8 << 20;
+  /// log2(shards) of the block cache: single-threaded sim nodes can set 0
+  /// to spare the per-shard overhead; real-threaded nodes keep the
+  /// default so lanes don't serialize on one mutex.
+  int block_cache_shard_bits = 4;
   /// If false, Open fails when the DB does not exist yet.
   bool create_if_missing = true;
   /// Guards every public DB entry point with an internal mutex so real
@@ -125,6 +134,15 @@ class DB {
     uint64_t manifest_torn_tails = 0;
     uint64_t wal_write_failures = 0;
     uint64_t wal_rotations_after_error = 0;
+    // Read-path caches (block cache counters are cumulative; bytes is the
+    // attached charge at snapshot time).
+    uint64_t block_cache_hits = 0;
+    uint64_t block_cache_misses = 0;
+    uint64_t block_cache_evictions = 0;
+    uint64_t block_cache_inserts = 0;
+    uint64_t block_cache_bytes = 0;
+    uint64_t table_cache_hits = 0;
+    uint64_t table_cache_misses = 0;
     int files_per_level[kNumLevels] = {};
     uint64_t bytes_per_level[kNumLevels] = {};
     size_t memtable_bytes = 0;
@@ -164,6 +182,8 @@ class DB {
   Options options_;
   std::string name_;
   mutable std::mutex mu_;  // taken only when options_.serialize_access
+  /// Declared before table_cache_: tables hold a raw pointer into it.
+  std::unique_ptr<Cache> block_cache_;
   TableCache table_cache_;
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<MemTable> mem_;

@@ -102,10 +102,15 @@ Status TableBuilder::Finish() {
 // ------------------------------------------------------------------ Table
 
 Table::Table(std::shared_ptr<RandomAccessFile> file, std::unique_ptr<Block> index,
-             std::string filter)
-    : file_(std::move(file)), index_(std::move(index)), filter_(std::move(filter)) {}
+             std::string filter, Cache* block_cache, uint64_t cache_id)
+    : file_(std::move(file)),
+      index_(std::move(index)),
+      filter_(std::move(filter)),
+      block_cache_(block_cache),
+      cache_id_(cache_id) {}
 
-Result<std::shared_ptr<Table>> Table::Open(std::shared_ptr<RandomAccessFile> file) {
+Result<std::shared_ptr<Table>> Table::Open(std::shared_ptr<RandomAccessFile> file,
+                                           Cache* block_cache, uint64_t cache_id) {
   uint64_t size = file->Size();
   if (size < kFooterSize) return Status::Corruption("table too small");
   std::string footer;
@@ -138,11 +143,36 @@ Result<std::shared_ptr<Table>> Table::Open(std::shared_ptr<RandomAccessFile> fil
   LO_ASSIGN_OR_RETURN(std::string filter, read_verified(filter_handle));
   LO_ASSIGN_OR_RETURN(std::string index_raw, read_verified(index_handle));
   LO_ASSIGN_OR_RETURN(auto index, Block::Parse(std::move(index_raw)));
-  return std::shared_ptr<Table>(
-      new Table(std::move(file), std::move(index), std::move(filter)));
+  return std::shared_ptr<Table>(new Table(std::move(file), std::move(index),
+                                          std::move(filter), block_cache, cache_id));
 }
 
-Result<std::unique_ptr<Block>> Table::ReadBlock(const BlockHandle& handle) const {
+namespace {
+
+/// Block-cache key: (cache_id, block_offset), fixed-width so distinct
+/// files / offsets can never collide byte-wise.
+std::string BlockCacheKey(uint64_t cache_id, uint64_t offset) {
+  std::string key;
+  key.reserve(16);
+  PutFixed64(&key, cache_id);
+  PutFixed64(&key, offset);
+  return key;
+}
+
+void DeleteCachedBlock(std::string_view, void* value) {
+  delete static_cast<Block*>(value);
+}
+
+}  // namespace
+
+Result<BlockRef> Table::ReadBlock(const BlockHandle& handle, bool fill_cache) const {
+  std::string cache_key;
+  if (block_cache_ != nullptr) {
+    cache_key = BlockCacheKey(cache_id_, handle.offset);
+    if (Cache::Handle* cached = block_cache_->Lookup(cache_key)) {
+      return BlockRef(block_cache_, cached);
+    }
+  }
   std::string raw;
   LO_RETURN_IF_ERROR(file_->Read(handle.offset, handle.size + kBlockTrailerSize, &raw));
   if (raw.size() != handle.size + kBlockTrailerSize) {
@@ -152,7 +182,14 @@ Result<std::unique_ptr<Block>> Table::ReadBlock(const BlockHandle& handle) const
   uint32_t actual = crc32c::Extend(0, raw.data(), handle.size + 1);
   if (expected != actual) return Status::Corruption("data block checksum mismatch");
   raw.resize(handle.size);
-  return Block::Parse(std::move(raw));
+  LO_ASSIGN_OR_RETURN(auto block, Block::Parse(std::move(raw)));
+  if (block_cache_ != nullptr && fill_cache) {
+    size_t charge = block->size() + sizeof(Block);
+    Block* released = block.release();
+    return BlockRef(block_cache_, block_cache_->Insert(cache_key, released, charge,
+                                                       &DeleteCachedBlock));
+  }
+  return BlockRef(std::move(block));
 }
 
 Status Table::InternalGet(
@@ -169,7 +206,7 @@ Status Table::InternalGet(
   if (!BlockHandle::DecodeFrom(&handle_reader, &handle)) {
     return Status::Corruption("bad index entry");
   }
-  LO_ASSIGN_OR_RETURN(auto block, ReadBlock(handle));
+  LO_ASSIGN_OR_RETURN(BlockRef block, ReadBlock(handle));
   auto block_iter = block->NewIterator(&icmp_);
   block_iter->Seek(ikey);
   if (block_iter->Valid()) {
@@ -180,12 +217,17 @@ Status Table::InternalGet(
 
 namespace {
 
-/// Index-then-data two-level iterator.
+/// Index-then-data two-level iterator. Holds its current data block via
+/// a cache pin (BlockRef) and reuses it when consecutive seeks land on
+/// the same block, so a seek-heavy scan parses each block at most once.
 class TableIteratorImpl : public Iterator {
  public:
   TableIteratorImpl(const Table* table, std::unique_ptr<Iterator> index_iter,
-                    const InternalKeyComparator* cmp)
-      : table_(table), index_iter_(std::move(index_iter)), cmp_(cmp) {}
+                    const InternalKeyComparator* cmp, bool fill_cache)
+      : table_(table),
+        index_iter_(std::move(index_iter)),
+        cmp_(cmp),
+        fill_cache_(fill_cache) {}
 
   bool Valid() const override { return data_iter_ != nullptr && data_iter_->Valid(); }
 
@@ -220,21 +262,34 @@ class TableIteratorImpl : public Iterator {
 
  private:
   void InitDataBlock() {
-    data_iter_.reset();
-    block_.reset();
-    if (!index_iter_->Valid()) return;
+    if (!index_iter_->Valid()) {
+      data_iter_.reset();
+      block_.Reset();
+      block_offset_ = kNoBlock;
+      return;
+    }
     Reader handle_reader{index_iter_->value()};
     BlockHandle handle;
     if (!BlockHandle::DecodeFrom(&handle_reader, &handle)) {
+      data_iter_.reset();
+      block_.Reset();
+      block_offset_ = kNoBlock;
       status_ = Status::Corruption("bad index entry");
       return;
     }
-    auto block = table_->ReadBlock(handle);
+    // Same block as the one already pinned: keep it (the caller re-seeks
+    // the data iterator, so no fresh read or parse is needed).
+    if (block_ && handle.offset == block_offset_) return;
+    data_iter_.reset();
+    block_.Reset();
+    block_offset_ = kNoBlock;
+    auto block = table_->ReadBlock(handle, fill_cache_);
     if (!block.ok()) {
       status_ = block.status();
       return;
     }
     block_ = std::move(block).value();
+    block_offset_ = handle.offset;
     data_iter_ = block_->NewIterator(cmp_);
   }
 
@@ -250,18 +305,25 @@ class TableIteratorImpl : public Iterator {
     }
   }
 
+  static constexpr uint64_t kNoBlock = ~0ull;
+
   const Table* table_;
   std::unique_ptr<Iterator> index_iter_;
   const InternalKeyComparator* cmp_;
-  std::unique_ptr<Block> block_;
+  bool fill_cache_;
+  // block_ must outlive data_iter_ (the iterator points into its bytes);
+  // declaration order gives reverse destruction order.
+  BlockRef block_;
+  uint64_t block_offset_ = kNoBlock;
   std::unique_ptr<Iterator> data_iter_;
   Status status_;
 };
 
 }  // namespace
 
-std::unique_ptr<Iterator> Table::NewIterator() const {
-  return std::make_unique<TableIteratorImpl>(this, index_->NewIterator(&icmp_), &icmp_);
+std::unique_ptr<Iterator> Table::NewIterator(bool fill_cache) const {
+  return std::make_unique<TableIteratorImpl>(this, index_->NewIterator(&icmp_),
+                                             &icmp_, fill_cache);
 }
 
 uint64_t Table::ApproximateEntryCount() const {

@@ -14,6 +14,7 @@
 
 #include "storage/block.h"
 #include "storage/bloom.h"
+#include "storage/cache.h"
 #include "storage/dbformat.h"
 #include "storage/env.h"
 #include "storage/iterator.h"
@@ -64,10 +65,71 @@ class TableBuilder {
   bool finished_ = false;
 };
 
+/// A pinned, parsed data block: either a handle into the block cache
+/// (released on destruction, so the block outlives eviction while any
+/// iterator still points into it) or, with caching off or bypassed, a
+/// uniquely-owned block. Move-only RAII.
+class BlockRef {
+ public:
+  BlockRef() = default;
+  /// Pins `handle` (whose value is a Block*) until destruction.
+  BlockRef(Cache* cache, Cache::Handle* handle)
+      : cache_(cache), handle_(handle),
+        block_(static_cast<const Block*>(Cache::Value(handle))) {}
+  /// Uncached: owns the block outright.
+  explicit BlockRef(std::unique_ptr<Block> owned)
+      : owned_(std::move(owned)), block_(owned_.get()) {}
+
+  BlockRef(BlockRef&& other) noexcept { *this = std::move(other); }
+  BlockRef& operator=(BlockRef&& other) noexcept {
+    Reset();
+    cache_ = other.cache_;
+    handle_ = other.handle_;
+    owned_ = std::move(other.owned_);
+    block_ = other.block_;
+    other.cache_ = nullptr;
+    other.handle_ = nullptr;
+    other.block_ = nullptr;
+    return *this;
+  }
+  BlockRef(const BlockRef&) = delete;
+  BlockRef& operator=(const BlockRef&) = delete;
+  ~BlockRef() { Reset(); }
+
+  void Reset() {
+    if (handle_ != nullptr) cache_->Release(handle_);
+    cache_ = nullptr;
+    handle_ = nullptr;
+    owned_.reset();
+    block_ = nullptr;
+  }
+
+  const Block* get() const { return block_; }
+  const Block* operator->() const { return block_; }
+  explicit operator bool() const { return block_ != nullptr; }
+
+ private:
+  Cache* cache_ = nullptr;
+  Cache::Handle* handle_ = nullptr;
+  std::unique_ptr<Block> owned_;
+  const Block* block_ = nullptr;
+};
+
 /// Reader over one SSTable file.
+///
+/// The index and bloom filter blocks are read, verified and *pinned* at
+/// Open — they live exactly as long as the Table and never touch the Env
+/// again. Data blocks go through the optional block cache, keyed by
+/// (cache_id, block_offset); cache_id is the file number (never reused
+/// within a DB — see VersionSet::EnsureFileNumberAbove), so a key can
+/// never alias a different file's block.
 class Table {
  public:
-  static Result<std::shared_ptr<Table>> Open(std::shared_ptr<RandomAccessFile> file);
+  /// `block_cache` may be nullptr (every read hits the Env). `cache_id`
+  /// must be unique per cached file, typically the file number.
+  static Result<std::shared_ptr<Table>> Open(std::shared_ptr<RandomAccessFile> file,
+                                             Cache* block_cache = nullptr,
+                                             uint64_t cache_id = 0);
 
   /// Point lookup for the entry the iterator would land on at `ikey`.
   /// Calls yield(found_ikey, value) if the seek lands on an entry whose
@@ -75,21 +137,30 @@ class Table {
   Status InternalGet(std::string_view ikey,
                      const std::function<void(std::string_view, std::string_view)>& yield);
 
-  /// Two-level iterator (index block -> data blocks).
-  std::unique_ptr<Iterator> NewIterator() const;
+  /// Two-level iterator (index block -> data blocks). `fill_cache=false`
+  /// still *reads* through the cache but never populates it — compaction
+  /// uses it so one-shot bulk scans don't flush the hot set (LevelDB's
+  /// ReadOptions::fill_cache).
+  std::unique_ptr<Iterator> NewIterator(bool fill_cache = true) const;
 
   uint64_t ApproximateEntryCount() const;
 
-  /// Reads and checksum-verifies one block (used by the iterator impl).
-  Result<std::unique_ptr<Block>> ReadBlock(const BlockHandle& handle) const;
+  /// Size of the pinned metadata (index + filter) in bytes.
+  size_t pinned_bytes() const { return index_->size() + filter_.size(); }
+
+  /// Reads one block: block cache first, then the Env (checksum-verified,
+  /// inserted on miss unless `fill_cache` is false).
+  Result<BlockRef> ReadBlock(const BlockHandle& handle, bool fill_cache = true) const;
 
  private:
   Table(std::shared_ptr<RandomAccessFile> file, std::unique_ptr<Block> index,
-        std::string filter);
+        std::string filter, Cache* block_cache, uint64_t cache_id);
 
   std::shared_ptr<RandomAccessFile> file_;
   std::unique_ptr<Block> index_;
   std::string filter_;
+  Cache* block_cache_;
+  uint64_t cache_id_;
   InternalKeyComparator icmp_;
 };
 

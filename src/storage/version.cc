@@ -98,29 +98,49 @@ Status VersionEdit::DecodeFrom(std::string_view src) {
 
 // -------------------------------------------------------------- TableCache
 
-TableCache::TableCache(Env* env, std::string dbname, size_t capacity)
-    : env_(env), dbname_(std::move(dbname)), capacity_(capacity) {}
+namespace {
+
+std::string TableCacheKey(uint64_t file_number) {
+  std::string key;
+  key.reserve(8);
+  PutFixed64(&key, file_number);
+  return key;
+}
+
+void DeleteCachedTable(std::string_view, void* value) {
+  delete static_cast<std::shared_ptr<Table>*>(value);
+}
+
+}  // namespace
+
+TableCache::TableCache(Env* env, std::string dbname, Cache* block_cache,
+                       size_t capacity)
+    : env_(env),
+      dbname_(std::move(dbname)),
+      block_cache_(block_cache),
+      // One shard: a table open touches the Env anyway, and per-DB open
+      // tables are few enough that lock contention is not the issue here.
+      cache_(capacity, /*shard_bits=*/0) {}
 
 Result<std::shared_ptr<Table>> TableCache::Get(uint64_t file_number) {
-  for (size_t i = 0; i < entries_.size(); i++) {
-    if (entries_[i].first == file_number) {
-      auto entry = entries_[i];
-      entries_.erase(entries_.begin() + static_cast<long>(i));
-      entries_.push_back(entry);  // move to MRU position
-      return entry.second;
-    }
+  std::string key = TableCacheKey(file_number);
+  if (Cache::Handle* handle = cache_.Lookup(key)) {
+    auto table = *static_cast<std::shared_ptr<Table>*>(Cache::Value(handle));
+    cache_.Release(handle);
+    return table;
   }
   LO_ASSIGN_OR_RETURN(auto file,
                       env_->NewRandomAccessFile(TableFileName(dbname_, file_number)));
   LO_ASSIGN_OR_RETURN(auto table,
-                      Table::Open(std::shared_ptr<RandomAccessFile>(std::move(file))));
-  entries_.emplace_back(file_number, table);
-  if (entries_.size() > capacity_) entries_.erase(entries_.begin());
+                      Table::Open(std::shared_ptr<RandomAccessFile>(std::move(file)),
+                                  block_cache_, file_number));
+  cache_.Release(cache_.Insert(key, new std::shared_ptr<Table>(table), 1,
+                               &DeleteCachedTable));
   return table;
 }
 
 void TableCache::Evict(uint64_t file_number) {
-  std::erase_if(entries_, [&](const auto& e) { return e.first == file_number; });
+  cache_.Erase(TableCacheKey(file_number));
 }
 
 // --------------------------------------------------------------- VersionSet

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/cache.h"
 #include "storage/dbformat.h"
 #include "storage/env.h"
 #include "storage/sstable.h"
@@ -58,20 +59,32 @@ class VersionEdit {
   std::vector<std::pair<int, uint64_t>> deleted_files_;
 };
 
-/// Opens Tables by file number with a small LRU cache.
+/// Opens Tables by file number, memoized on the shared LRU core (hash
+/// lookup + handle lifetime instead of the old O(n) vector scan). Each
+/// cached Table pins its index/filter blocks for as long as it stays in
+/// the cache; open iterators keep their Table alive via shared_ptr even
+/// after eviction.
 class TableCache {
  public:
-  TableCache(Env* env, std::string dbname, size_t capacity = 64);
+  /// `block_cache` (nullable, not owned) is handed to every Table opened
+  /// through this cache; tables key their blocks by file number.
+  TableCache(Env* env, std::string dbname, Cache* block_cache = nullptr,
+             size_t capacity = 64);
 
   Result<std::shared_ptr<Table>> Get(uint64_t file_number);
+  /// Drops the table (compaction-input deletion must call this so dead
+  /// files don't pin open file handles and metadata blocks).
   void Evict(uint64_t file_number);
+
+  Cache::Stats GetStats() const { return cache_.GetStats(); }
 
  private:
   Env* env_;
   std::string dbname_;
-  size_t capacity_;
-  // LRU: most recently used at back.
-  std::vector<std::pair<uint64_t, std::shared_ptr<Table>>> entries_;
+  Cache* block_cache_;
+  // Key: fixed64 file number. Value: heap shared_ptr<Table>; charge 1 per
+  // entry, so `capacity` counts open tables.
+  Cache cache_;
 };
 
 /// The current file layout plus manifest persistence.

@@ -894,6 +894,173 @@ TEST_F(DBTest, BinaryKeysAndValues) {
   EXPECT_EQ(*db_->Get({}, key1), value);
   EXPECT_EQ(*db_->Get({}, key2), "x");
 }
+
+// ------------------------------------------------------------ Block cache
+
+// MemEnv that counts positional reads: with the block cache warm, the hot
+// read path must not touch the Env at all.
+class CountingEnv : public MemEnv {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    auto base = MemEnv::NewRandomAccessFile(path);
+    if (!base.ok()) return base.status();
+    return {std::make_unique<CountingFile>(std::move(*base), &random_reads_)};
+  }
+
+  uint64_t random_reads() const { return random_reads_.load(); }
+
+ private:
+  class CountingFile : public RandomAccessFile {
+   public:
+    CountingFile(std::unique_ptr<RandomAccessFile> base,
+                 std::atomic<uint64_t>* reads)
+        : base_(std::move(base)), reads_(reads) {}
+    Status Read(uint64_t offset, size_t n, std::string* out) const override {
+      reads_->fetch_add(1);
+      return base_->Read(offset, n, out);
+    }
+    uint64_t Size() const override { return base_->Size(); }
+
+   private:
+    std::unique_ptr<RandomAccessFile> base_;
+    std::atomic<uint64_t>* reads_;
+  };
+
+  std::atomic<uint64_t> random_reads_{0};
+};
+
+class BlockCacheTest : public ::testing::Test {
+ public:
+  void Open(size_t block_cache_bytes) {
+    db_.reset();
+    Options options;
+    options.env = &env_;
+    options.write_buffer_size = 8 << 10;  // tiny: data lives in tables
+    options.block_cache_bytes = block_cache_bytes;
+    auto db = DB::Open(options, "/db");
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  // Writes kKeys keys and compacts, so every read goes through SSTables.
+  void Populate() {
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(db_->Put({.sync = false}, Key(i), "val" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(db_->CompactAll().ok());
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  // All table file numbers currently in the DB directory.
+  std::set<uint64_t> TableNumbers() {
+    std::set<uint64_t> numbers;
+    std::vector<std::string> names = *env_.ListDir("/db");
+    for (const std::string& name : names) {
+      uint64_t number = 0;
+      if (ParseFileName(name, &number) == FileKind::kTable) numbers.insert(number);
+    }
+    return numbers;
+  }
+
+  static constexpr int kKeys = 2000;
+  CountingEnv env_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(BlockCacheTest, HotGetDoesZeroEnvReads) {
+  Open(/*block_cache_bytes=*/8 << 20);
+  Populate();
+  // First read warms the data block (index + filter are pinned at table
+  // open, so only the data block can miss).
+  ASSERT_EQ(*db_->Get({}, Key(123)), "val123");
+  uint64_t reads_after_warm = env_.random_reads();
+  for (int i = 0; i < 10; i++) {
+    ASSERT_EQ(*db_->Get({}, Key(123)), "val123");
+  }
+  EXPECT_EQ(env_.random_reads(), reads_after_warm);
+  auto stats = db_->GetStats();
+  EXPECT_GE(stats.block_cache_hits, 10u);
+  EXPECT_GT(stats.block_cache_bytes, 0u);
+}
+
+TEST_F(BlockCacheTest, DisabledCacheReadsEnvEveryTime) {
+  Open(/*block_cache_bytes=*/0);
+  Populate();
+  ASSERT_EQ(*db_->Get({}, Key(123)), "val123");
+  uint64_t reads_after_first = env_.random_reads();
+  ASSERT_EQ(*db_->Get({}, Key(123)), "val123");
+  EXPECT_GT(env_.random_reads(), reads_after_first);
+  EXPECT_EQ(db_->GetStats().block_cache_hits, 0u);
+}
+
+TEST_F(BlockCacheTest, RepeatedScanServedFromCache) {
+  Open(/*block_cache_bytes=*/8 << 20);
+  Populate();
+  auto scan = [&] {
+    int n = 0;
+    auto iter = db_->NewIterator({});
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) n++;
+    EXPECT_EQ(n, kKeys);
+  };
+  scan();  // warms every data block
+  uint64_t reads_after_warm = env_.random_reads();
+  scan();
+  EXPECT_EQ(env_.random_reads(), reads_after_warm);
+}
+
+TEST_F(BlockCacheTest, CorruptionSurfacesAfterReopenNeverStaleCache) {
+  Open(/*block_cache_bytes=*/8 << 20);
+  Populate();
+  ASSERT_EQ(*db_->Get({}, Key(0)), "val0");  // now cached
+  std::set<uint64_t> tables = TableNumbers();
+  ASSERT_FALSE(tables.empty());
+  db_.reset();
+  // Flip one bit inside the first data block of every table, then reopen.
+  // The cache is per-DB-instance, so the reopened DB must re-read and
+  // report Corruption — a stale cached copy of the old bytes would wrongly
+  // return "val0" here.
+  for (uint64_t number : tables) {
+    std::string path = TableFileName("/db", number);
+    auto data = *env_.ReadFileToString(path);
+    data[32] ^= 0x01;
+    ASSERT_TRUE(env_.WriteStringToFile(path, data, true).ok());
+  }
+  Open(/*block_cache_bytes=*/8 << 20);
+  auto got = db_->Get({}, Key(0));
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status().ToString();
+}
+
+TEST_F(BlockCacheTest, TableNumbersNeverRecycled) {
+  // The block-cache key is (file number, offset): safe only because table
+  // numbers are never reused within a DB, even across compactions (which
+  // delete old tables) and reopens. Walk the DB through several
+  // generations and check every new table number exceeds all prior ones.
+  Open(/*block_cache_bytes=*/8 << 20);
+  uint64_t max_seen = 0;
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(
+          db_->Put({.sync = false}, Key(i), "r" + std::to_string(round)).ok());
+    }
+    ASSERT_TRUE(db_->CompactAll().ok());
+    std::set<uint64_t> tables = TableNumbers();
+    ASSERT_FALSE(tables.empty());
+    for (uint64_t number : tables) {
+      EXPECT_GT(number, max_seen) << "table number recycled in round " << round;
+    }
+    max_seen = std::max(max_seen, *tables.rbegin());
+    if (round == 1) Open(/*block_cache_bytes=*/8 << 20);  // clean reopen
+  }
+  ASSERT_EQ(*db_->Get({}, Key(7)), "r2");
+}
+
 // Model check: random Put/Delete/Get/scan/reopen/crash against std::map.
 class DBModelCheck : public ::testing::TestWithParam<int> {};
 

@@ -21,6 +21,7 @@
 //   --lanes=N        execution lanes (default 8)
 //   --seed-users=N   pre-seed a ReTwis social graph with N users
 //   --seed-posts=N   initial posts per user for the seeded graph
+//   --block-cache-mb=N  SSTable block cache size (0 = off; default 8 MiB)
 //   --seed=N         workload generator seed (default 42)
 //   --gc-bytes=N     group-commit batch size cap
 //   --gc-delay-us=N  group-commit batch delay
@@ -58,6 +59,7 @@ struct Flags {
   uint64_t seed = 42;
   int64_t gc_bytes = -1;
   int64_t gc_delay_us = -1;
+  int64_t block_cache_mb = -1;  // -1 = DB default; 0 = off
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -90,6 +92,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.gc_bytes = std::stoll(value);
     } else if (ParseFlag(argv[i], "gc-delay-us", &value)) {
       flags.gc_delay_us = std::stoll(value);
+    } else if (ParseFlag(argv[i], "block-cache-mb", &value)) {
+      flags.block_cache_mb = std::stoll(value);
     } else {
       fprintf(stderr, "unknown flag: %s\n", argv[i]);
       exit(2);
@@ -134,6 +138,10 @@ int main(int argc, char** argv) {
                        ? static_cast<lo::storage::Env*>(&mem_env)
                        : static_cast<lo::storage::Env*>(&posix_env);
   db_options.serialize_access = true;  // lanes + committer share the DB
+  if (flags.block_cache_mb >= 0) {
+    db_options.block_cache_bytes = static_cast<size_t>(flags.block_cache_mb)
+                                   << 20;
+  }
   std::string db_name = flags.db_path.empty() ? "/db" : flags.db_path;
   auto opened = lo::storage::DB::Open(db_options, db_name);
   if (!opened.ok()) {
