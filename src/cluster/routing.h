@@ -15,6 +15,19 @@
 
 namespace lo::cluster {
 
+/// Routing policy over a raw ClusterState: an explicit directory entry
+/// wins; otherwise hash over `hash_shards` when set (elastic clusters
+/// pin the hash space at bootstrap) or over the live shard count.
+inline coord::ShardId ShardForObject(const coord::ClusterState& state,
+                                     std::string_view oid) {
+  auto it = state.directory.find(std::string(oid));
+  if (it != state.directory.end()) return it->second;
+  uint64_t space = state.hash_shards != 0 ? state.hash_shards
+                                          : state.shards.size();
+  if (space == 0) return 0;
+  return static_cast<coord::ShardId>(Fnv1a64(oid) % space);
+}
+
 class ShardMap {
  public:
   ShardMap() = default;
@@ -25,10 +38,7 @@ class ShardMap {
   bool empty() const { return state_.shards.empty(); }
 
   coord::ShardId ShardFor(std::string_view oid) const {
-    auto it = state_.directory.find(std::string(oid));
-    if (it != state_.directory.end()) return it->second;
-    if (state_.shards.empty()) return 0;
-    return static_cast<coord::ShardId>(Fnv1a64(oid) % state_.shards.size());
+    return ShardForObject(state_, oid);
   }
 
   /// Primary node for the object, or 0 if the shard is unknown.

@@ -1,5 +1,6 @@
 #include "cluster/storage_node.h"
 
+#include "cluster/microshard.h"
 #include "common/coding.h"
 #include "common/log.h"
 #include "runtime/object.h"
@@ -29,16 +30,6 @@ bool DecodeInvoke(std::string_view payload, std::string_view* oid,
   *token = {};
   reader.GetLengthPrefixed(token);
   return true;
-}
-
-/// Storage keys embed the owning object id: "o\0<oid>" or
-/// "f\0<oid>\0...". Extracts it for shard routing.
-std::string_view OidFromStorageKey(std::string_view key) {
-  size_t first = key.find('\0');
-  if (first == std::string_view::npos) return {};
-  size_t second = key.find('\0', first + 1);
-  if (second == std::string_view::npos) return key.substr(first + 1);
-  return key.substr(first + 1, second - first - 1);
 }
 
 }  // namespace
@@ -455,37 +446,18 @@ sim::Task<Result<std::string>> StorageNode::HandleKvBatch(sim::NodeId,
   co_return std::string("ok");
 }
 
-Result<std::vector<std::pair<std::string, std::string>>>
-StorageNode::CollectObjectKeys(const runtime::ObjectId& oid) {
-  std::vector<std::pair<std::string, std::string>> entries;
-  auto existence = db_->Get({}, runtime::ObjectExistsKey(oid));
-  if (!existence.ok()) return existence.status();
-  entries.emplace_back(runtime::ObjectExistsKey(oid), *existence);
-  std::string prefix = runtime::FieldKey(oid, "");
-  auto iter = db_->NewIterator({});
-  for (iter->Seek(prefix); iter->Valid(); iter->Next()) {
-    std::string_view key = iter->key();
-    if (key.substr(0, prefix.size()) != prefix) break;
-    entries.emplace_back(std::string(key), std::string(iter->value()));
-  }
-  LO_RETURN_IF_ERROR(iter->status());
-  return entries;
-}
-
 sim::Task<Result<std::string>> StorageNode::HandleExtract(sim::NodeId,
                                                           std::string payload) {
   // payload = oid. Returns a WriteBatch rep containing the whole object.
   runtime::ObjectId oid(payload);
   if (!IsPrimaryFor(oid)) co_return Status::WrongNode("not primary for object");
-  auto entries = CollectObjectKeys(oid);
-  if (!entries.ok()) co_return entries.status();
-  storage::WriteBatch batch;
-  for (const auto& [key, value] : *entries) batch.Put(key, value);
+  auto rep = ExtractObjectRep(db_.get(), oid);
+  if (!rep.ok()) co_return rep.status();
   // Stop serving the object; clients will refresh the directory. The
   // keys are deleted lazily (kept for crash-safety of the migration).
   migrated_away_.insert(oid);
   metrics_.objects_migrated_out++;
-  co_return batch.rep();
+  co_return *rep;
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleInstall(sim::NodeId,

@@ -129,10 +129,6 @@ class StorageNode {
   sim::Task<Result<std::string>> HandleExtract(sim::NodeId from, std::string payload);
   sim::Task<Result<std::string>> HandleInstall(sim::NodeId from, std::string payload);
 
-  /// All storage keys belonging to one object (existence + fields).
-  Result<std::vector<std::pair<std::string, std::string>>> CollectObjectKeys(
-      const runtime::ObjectId& oid);
-
   StorageNodeOptions options_;
   const runtime::TypeRegistry* types_;
   sim::RpcEndpoint rpc_;

@@ -1,0 +1,50 @@
+#include "clusterd/client.h"
+
+namespace lo::clusterd {
+
+Client::Client(net::RpcClient* rpc, std::string coordinator_address,
+               ClientOptions options)
+    : rpc_(rpc),
+      coordinator_(std::move(coordinator_address)),
+      options_(options),
+      remote_(rpc, /*nodes=*/{}, options.remote) {
+  remote_.SetRouter([this](const std::string& oid) {
+    auto current = view();
+    return current == nullptr ? std::string()
+                              : current->AddressForObject(oid);
+  });
+  remote_.SetOnMisroute([this] { return RefreshDirectory().ok(); });
+}
+
+std::shared_ptr<const ClusterView> Client::view() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_;
+}
+
+Status Client::RefreshDirectory() {
+  auto reply =
+      rpc_->CallSync(coordinator_, kSvcGetConfig, "", options_.coord_timeout_us);
+  if (!reply.ok()) return reply.status();
+  auto fresh = ClusterView::Decode(*reply);
+  if (!fresh.ok()) return fresh.status();
+  auto shared = std::make_shared<const ClusterView>(std::move(*fresh));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (view_ == nullptr || shared->version >= view_->version) {
+    view_ = std::move(shared);
+  }
+  metrics_.directory_refreshes++;
+  return Status::OK();
+}
+
+Result<std::string> Client::Invoke(const std::string& oid,
+                                   const std::string& method,
+                                   const std::string& argument) {
+  return remote_.Invoke(oid, method, argument);
+}
+
+Result<std::string> Client::Create(const std::string& oid,
+                                   const std::string& type_name) {
+  return remote_.Create(oid, type_name);
+}
+
+}  // namespace lo::clusterd

@@ -1,0 +1,72 @@
+// clusterd::Client — real-transport cluster client with a cached
+// microshard directory (the TCP counterpart of cluster::Client).
+//
+// Routing: the client caches the coordinator's versioned ClusterView
+// and resolves every request oid -> shard (directory entry wins, hash
+// otherwise) -> primary node -> "ip:port". A kWrongShard bounce — the
+// object migrated, or the cache predates the object's placement — takes
+// the cheap fast-path in net::RemoteClient: refresh the directory once
+// and re-send immediately, without burning the retry budget. Faults
+// (timeouts, connection loss) keep the PR 2 backoff-and-retry policy
+// with idempotency tokens.
+//
+// One Client per thread (it wraps a per-thread net::RemoteClient); many
+// share one RpcClient, whose loop thread multiplexes the connections.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "clusterd/wire.h"
+#include "net/remote_client.h"
+#include "net/rpc_client.h"
+
+namespace lo::clusterd {
+
+struct ClientOptions {
+  /// Base retry/backoff policy + observability (see RemoteClientOptions).
+  net::RemoteClientOptions remote;
+  int64_t coord_timeout_us = 2'000'000;
+};
+
+class Client {
+ public:
+  Client(net::RpcClient* rpc, std::string coordinator_address,
+         ClientOptions options = {});
+
+  /// Blocking; routes by directory, redirects on kWrongShard, retries
+  /// faults under the backoff budget with a stable idempotency token.
+  Result<std::string> Invoke(const std::string& oid, const std::string& method,
+                             const std::string& argument);
+  Result<std::string> Create(const std::string& oid,
+                             const std::string& type_name);
+
+  /// Blocking directory fetch from the coordinator. Invoke/Create call
+  /// it on demand (first use, kWrongShard bounces); tests can force it.
+  Status RefreshDirectory();
+
+  /// Last fetched view (null before the first refresh).
+  std::shared_ptr<const ClusterView> view() const;
+
+  struct Metrics {
+    uint64_t directory_refreshes = 0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+  /// Underlying transport metrics (requests, retries, redirects, ...).
+  const net::RemoteClient::Metrics& remote_metrics() const {
+    return remote_.metrics();
+  }
+
+ private:
+  net::RpcClient* rpc_;
+  std::string coordinator_;
+  ClientOptions options_;
+  net::RemoteClient remote_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const ClusterView> view_;
+  Metrics metrics_;
+};
+
+}  // namespace lo::clusterd

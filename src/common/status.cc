@@ -17,6 +17,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kTrap: return "Trap";
     case StatusCode::kWrongNode: return "WrongNode";
     case StatusCode::kNotPrimary: return "NotPrimary";
+    case StatusCode::kWrongShard: return "WrongShard";
   }
   return "Unknown";
 }

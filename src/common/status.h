@@ -29,6 +29,7 @@ enum class StatusCode : uint8_t {
   kTrap,           // LambdaVM execution fault (bounds, fuel, bad opcode)
   kWrongNode,      // request routed to a node that does not own the shard
   kNotPrimary,     // mutation sent to a backup replica
+  kWrongShard,     // object's microshard moved; refresh the directory
 };
 
 /// Human-readable name of a status code, e.g. "NotFound".
@@ -54,6 +55,7 @@ class [[nodiscard]] Status {
   static Status Trap(std::string m = "") { return {StatusCode::kTrap, std::move(m)}; }
   static Status WrongNode(std::string m = "") { return {StatusCode::kWrongNode, std::move(m)}; }
   static Status NotPrimary(std::string m = "") { return {StatusCode::kNotPrimary, std::move(m)}; }
+  static Status WrongShard(std::string m = "") { return {StatusCode::kWrongShard, std::move(m)}; }
 
   bool ok() const noexcept { return code_ == StatusCode::kOk; }
   StatusCode code() const noexcept { return code_; }

@@ -14,6 +14,7 @@ constexpr char kTagNodeDead = 'D';
 constexpr char kTagNodeAlive = 'A';
 constexpr char kTagPlace = 'P';
 constexpr char kTagNoop = 'N';
+constexpr char kTagHashShards = 'H';
 
 }  // namespace
 
@@ -48,6 +49,12 @@ std::string CmdPlaceObject(std::string_view oid, ShardId shard) {
   std::string out(1, kTagPlace);
   PutLengthPrefixed(&out, oid);
   PutVarint32(&out, shard);
+  return out;
+}
+
+std::string CmdSetHashShards(uint32_t hash_shards) {
+  std::string out(1, kTagHashShards);
+  PutVarint32(&out, hash_shards);
   return out;
 }
 
@@ -92,6 +99,12 @@ Status ClusterState::Apply(std::string_view command) {
       directory[std::string(oid)] = shard;
       return Status::OK();
     }
+    case kTagHashShards: {
+      uint32_t n = 0;
+      if (!reader.GetVarint32(&n)) return Status::Corruption("bad HashShards");
+      hash_shards = n;
+      return Status::OK();
+    }
     case kTagNoop:
       return Status::OK();
     default:
@@ -116,6 +129,7 @@ std::string ClusterState::Encode() const {
     PutLengthPrefixed(&out, oid);
     PutVarint32(&out, shard);
   }
+  PutVarint32(&out, hash_shards);
   return out;
 }
 
@@ -155,6 +169,11 @@ Result<ClusterState> ClusterState::Decode(std::string_view bytes) {
       return Status::Corruption("bad directory entry");
     }
     state.directory[std::string(oid)] = shard;
+  }
+  // hash_shards was appended after the fact; decode it when present so
+  // encodings from before the field round-trip as hash_shards == 0.
+  if (!reader.rest().empty() && !reader.GetVarint32(&state.hash_shards)) {
+    return Status::Corruption("bad hash_shards");
   }
   return state;
 }

@@ -40,6 +40,12 @@ struct ClusterState {
   /// Microshard directory: explicit object placements; objects not
   /// listed here hash onto a shard (cluster layer policy).
   std::map<std::string, ShardId> directory;
+  /// Size of the hash placement space. 0 (the default) means "hash over
+  /// shards.size()", the original policy. A nonzero value pins the hash
+  /// space so shards added later (elastic scale-out) receive objects
+  /// only through directory entries — adding a node never remaps
+  /// unrelated objects, it only gives migration somewhere to go.
+  uint32_t hash_shards = 0;
 
   std::string Encode() const;
   static Result<ClusterState> Decode(std::string_view bytes);
@@ -52,6 +58,7 @@ std::string CmdSetShard(ShardId shard, const ShardConfig& config);
 std::string CmdNodeDead(sim::NodeId node);
 std::string CmdNodeAlive(sim::NodeId node);
 std::string CmdPlaceObject(std::string_view oid, ShardId shard);
+std::string CmdSetHashShards(uint32_t hash_shards);
 
 struct CoordinatorOptions {
   sim::Duration heartbeat_interval = sim::Millis(10);

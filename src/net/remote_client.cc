@@ -24,7 +24,6 @@ RemoteClient::RemoteClient(RpcClient* rpc, std::vector<std::string> nodes,
       options_(options),
       rng_(options.seed),
       client_id_(g_next_client_id.fetch_add(1, std::memory_order_relaxed)) {
-  LO_CHECK_MSG(!nodes_.empty(), "RemoteClient needs at least one node address");
   if (options_.metrics_registry != nullptr) {
     obs::MetricsRegistry* reg = options_.metrics_registry;
     uint32_t label = options_.node_label;
@@ -32,13 +31,16 @@ RemoteClient::RemoteClient(RpcClient* rpc, std::vector<std::string> nodes,
     reg->RegisterExternal("client.retries", label, &metrics_.retries);
     reg->RegisterExternal("client.budget_exhausted", label,
                           &metrics_.budget_exhausted);
+    reg->RegisterExternal("client.redirects", label, &metrics_.redirects);
     invoke_latency_us_ = reg->GetHistogram("client.invoke_latency_us", label);
   }
 }
 
 const std::string& RemoteClient::NodeFor(const std::string& oid) const {
   // Same hash the sim's ShardMap uses, so both deployments place an
-  // object on the same shard index.
+  // object on the same shard index. Directory-routed clients install a
+  // Router instead and may run with an empty static node list.
+  LO_CHECK_MSG(!nodes_.empty(), "RemoteClient needs a node list or a router");
   return nodes_[Fnv1a64(oid) % nodes_.size()];
 }
 
@@ -50,15 +52,16 @@ Result<std::string> RemoteClient::CallWithRetry(const std::string& oid,
                                                 std::string service,
                                                 std::string payload) {
   metrics_.requests++;
-  const std::string& address = NodeFor(oid);
   obs::TraceContext trace;
   if (options_.tracer != nullptr) trace = options_.tracer->StartTrace();
   const int64_t started_us = EventLoop::NowUs();
   const int64_t budget_deadline_us = started_us + options_.retry_budget_us;
   Status last = Status::Unavailable("no attempts made");
   int64_t backoff_us = options_.retry_backoff_us;
+  int redirects = 0;
+  bool redirected = false;  // last iteration was a directory-refresh re-send
   for (int attempt = 0; attempt < options_.max_attempts; attempt++) {
-    if (attempt > 0) {
+    if (attempt > 0 && !redirected) {
       // Exponential backoff with ±25% jitter — the same policy the sim
       // client uses, on wall-clock instead of sim time.
       double jitter = 0.75 + 0.5 * rng_.NextDouble();
@@ -72,21 +75,47 @@ Result<std::string> RemoteClient::CallWithRetry(const std::string& oid,
       std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
       backoff_us = std::min(backoff_us * 2, options_.retry_backoff_max_us);
     }
-    auto result = rpc_->CallSync(address, service, payload,
-                                 options_.request_timeout_us, trace);
-    if (result.ok()) {
-      if (obs::Tracing(options_.tracer, trace)) {
-        int64_t now_us = EventLoop::NowUs();
-        options_.tracer->Record(trace, "invoke", options_.node_label,
-                                started_us * 1000, now_us * 1000);
+    redirected = false;
+    // Re-resolve every attempt: a directory refresh (misroute hook) or a
+    // failover may have moved the object since the last send.
+    std::string address = router_ ? router_(oid) : NodeFor(oid);
+    if (address.empty()) {
+      last = Status::WrongShard("no route for " + oid);
+    } else {
+      auto result = rpc_->CallSync(address, service, payload,
+                                   options_.request_timeout_us, trace);
+      if (result.ok()) {
+        if (obs::Tracing(options_.tracer, trace)) {
+          int64_t now_us = EventLoop::NowUs();
+          options_.tracer->Record(trace, "invoke", options_.node_label,
+                                  started_us * 1000, now_us * 1000);
+        }
+        if (invoke_latency_us_ != nullptr) {
+          invoke_latency_us_->Record(EventLoop::NowUs() - started_us);
+        }
+        return result;
       }
-      if (invoke_latency_us_ != nullptr) {
-        invoke_latency_us_->Record(EventLoop::NowUs() - started_us);
-      }
-      return result;
+      last = result.status();
     }
-    last = result.status();
     switch (last.code()) {
+      case StatusCode::kWrongShard:
+        // Misroute: the shard moved (or we never knew where it lives).
+        // This is not a fault, so don't spend the retry budget on it —
+        // refresh the directory and re-send immediately. Past the
+        // redirect budget the object is most likely mid-migration (the
+        // directory still names the source), so fall back to plain
+        // backoff-and-retry until the new placement publishes. Without a
+        // refresh hook the typed status surfaces so the caller can act.
+        if (on_misroute_ && redirects < options_.max_redirects &&
+            on_misroute_()) {
+          redirects++;
+          metrics_.redirects++;
+          redirected = true;
+          attempt--;  // redirects are budgeted by max_redirects instead
+          continue;
+        }
+        if (on_misroute_) continue;
+        return last;
       case StatusCode::kWrongNode:
       case StatusCode::kNotPrimary:
       case StatusCode::kTimeout:

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct RemoteClientOptions {
   /// Total budget for one request including retries.
   int64_t retry_budget_us = 2'000'000;
   int max_attempts = 8;
+  /// Misroute (kWrongShard) redirects per request. Redirects are a fast
+  /// path — refresh the directory via the misroute hook and re-send
+  /// immediately — so they are budgeted separately from `max_attempts`
+  /// and skip the exponential backoff.
+  int max_redirects = 4;
   uint64_t seed = 7;
   /// Observability (nullptr = off). NOTE: the tracer is touched from
   /// this client's calling thread — give concurrent RemoteClients
@@ -51,6 +57,20 @@ class RemoteClient {
   /// "ip:port" per shard, in shard order.
   RemoteClient(RpcClient* rpc, std::vector<std::string> nodes,
                RemoteClientOptions options = {});
+
+  /// Overrides the static hash placement with a directory-backed route:
+  /// oid -> "ip:port", empty when the object's owner is unknown (treated
+  /// like a kWrongShard reply). Used by clusterd::Client.
+  using Router = std::function<std::string(const std::string& oid)>;
+  void SetRouter(Router router) { router_ = std::move(router); }
+
+  /// Called when a request bounced with kWrongShard (or the router had
+  /// no entry): refresh the directory; return true to re-send
+  /// immediately (no backoff), false to give up and surface the typed
+  /// status. Without a hook the kWrongShard surfaces to the caller at
+  /// once instead of burning the retry budget on a stale route.
+  using MisrouteHook = std::function<bool()>;
+  void SetOnMisroute(MisrouteHook hook) { on_misroute_ = std::move(hook); }
 
   /// Blocking. Retries per the backoff policy; every attempt carries the
   /// same idempotency token, so a retry after a lost ack never
@@ -69,6 +89,8 @@ class RemoteClient {
     uint64_t requests = 0;
     uint64_t retries = 0;
     uint64_t budget_exhausted = 0;
+    /// kWrongShard bounces answered by a directory refresh + re-send.
+    uint64_t redirects = 0;
   };
   const Metrics& metrics() const { return metrics_; }
 
@@ -81,6 +103,8 @@ class RemoteClient {
   RpcClient* rpc_;
   std::vector<std::string> nodes_;
   RemoteClientOptions options_;
+  Router router_;
+  MisrouteHook on_misroute_;
   Rng rng_;
   Metrics metrics_;
   uint64_t client_id_ = 0;  // process-unique, for token minting

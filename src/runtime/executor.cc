@@ -36,6 +36,17 @@ ParallelNode::ParallelNode(storage::DB* db, const TypeRegistry* types,
     lane->runtime->SetRemoteInvoker(
         [this, i, rt](ObjectId oid, std::string method, std::string argument,
                       obs::TraceContext trace) -> sim::Task<Result<std::string>> {
+          // Objects owned by a peer node leave the process entirely;
+          // peer_is_local_/peer_invoke_ are installed before serving
+          // starts (SetPeerInvoker), so reading them unlocked is safe.
+          if (peer_is_local_ && !peer_is_local_(oid)) {
+            co_return HelpingWait(
+                i, [this, oid = std::move(oid), method = std::move(method),
+                    argument = std::move(argument)](Callback done) mutable {
+                  peer_invoke_(std::move(oid), std::move(method),
+                               std::move(argument), std::move(done));
+                });
+          }
           size_t target = LaneFor(oid);
           if (target != i) {
             co_return CrossLaneNestedInvoke(i, target, std::move(oid),
@@ -74,6 +85,24 @@ uint64_t ParallelNode::lane_executed(size_t lane) const {
 Result<std::string> ParallelNode::CrossLaneNestedInvoke(
     size_t caller_lane, size_t target_lane, ObjectId oid, std::string method,
     std::string argument, obs::TraceContext trace) {
+  Runtime* target_rt = lanes_[target_lane]->runtime.get();
+  return HelpingWait(
+      caller_lane,
+      [this, target_lane, target_rt, oid = std::move(oid),
+       method = std::move(method), argument = std::move(argument),
+       trace](Callback done) mutable {
+        Enqueue(target_lane, [target_rt, oid = std::move(oid),
+                              method = std::move(method),
+                              argument = std::move(argument), trace,
+                              done = std::move(done)]() mutable {
+          done(RunSync(target_rt->Invoke(std::move(oid), std::move(method),
+                                         std::move(argument), trace)));
+        });
+      });
+}
+
+Result<std::string> ParallelNode::HelpingWait(
+    size_t caller_lane, std::function<void(Callback)> start) {
   struct CallState {
     std::mutex mu;
     std::condition_variable cv;
@@ -81,12 +110,7 @@ Result<std::string> ParallelNode::CrossLaneNestedInvoke(
     Result<std::string> result{Status::Aborted("nested call never ran")};
   };
   auto call = std::make_shared<CallState>();
-  Runtime* target_rt = lanes_[target_lane]->runtime.get();
-  Enqueue(target_lane, [target_rt, call, oid = std::move(oid),
-                        method = std::move(method),
-                        argument = std::move(argument), trace]() mutable {
-    Result<std::string> result = RunSync(target_rt->Invoke(
-        std::move(oid), std::move(method), std::move(argument), trace));
+  start([call](Result<std::string> result) {
     {
       std::lock_guard<std::mutex> lock(call->mu);
       call->result = std::move(result);
@@ -123,6 +147,18 @@ Result<std::string> ParallelNode::CrossLaneNestedInvoke(
       self.executed++;
     }
   }
+}
+
+void ParallelNode::SetPeerInvoker(PeerLocalFn is_local, PeerInvokeFn invoke) {
+  peer_is_local_ = std::move(is_local);
+  peer_invoke_ = std::move(invoke);
+}
+
+void ParallelNode::RunOnLane(const ObjectId& oid,
+                             std::function<void(Runtime&)> job) {
+  size_t lane_index = LaneFor(oid);
+  Runtime* rt = lanes_[lane_index]->runtime.get();
+  Enqueue(lane_index, [rt, job = std::move(job)] { job(*rt); });
 }
 
 void ParallelNode::Enqueue(size_t lane_index, std::function<void()> job) {

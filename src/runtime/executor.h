@@ -115,6 +115,23 @@ class ParallelNode {
   void CreateObjectAsync(ObjectId oid, std::string type_name, std::string token,
                          Callback done, std::function<bool()> shed = {});
 
+  /// True if this node should execute `oid` itself; false routes the
+  /// nested invocation to `invoke` (an async peer call, e.g. RPC to the
+  /// owning server). Install before serving traffic. While a worker
+  /// waits on a peer call it helps with its own lane's queue, exactly as
+  /// for cross-lane nesting, so cross-node call cycles keep making
+  /// progress as long as the remote side eventually answers.
+  using PeerLocalFn = std::function<bool(const ObjectId&)>;
+  using PeerInvokeFn = std::function<void(ObjectId oid, std::string method,
+                                          std::string argument, Callback done)>;
+  void SetPeerInvoker(PeerLocalFn is_local, PeerInvokeFn invoke);
+
+  /// Thread-safe. Runs `job` on the object's lane thread, serialized
+  /// behind every invocation of that object already queued — the hook
+  /// microshard migration uses to extract an object only after its
+  /// in-flight work drained. Returns immediately.
+  void RunOnLane(const ObjectId& oid, std::function<void(Runtime&)> job);
+
   /// Blocks until all lanes are idle and all group commits resolved.
   void Drain();
 
@@ -123,6 +140,7 @@ class ParallelNode {
   /// Invocations executed by `lane` so far.
   uint64_t lane_executed(size_t lane) const;
   const storage::GroupCommitter& committer() const { return *committer_; }
+  storage::GroupCommitter& committer() { return *committer_; }
   /// The lane's runtime — only safe to inspect while the node is idle.
   const Runtime& lane_runtime(size_t lane) const { return *lanes_[lane]->runtime; }
 
@@ -153,10 +171,18 @@ class ParallelNode {
                                             std::string method,
                                             std::string argument,
                                             obs::TraceContext trace);
+  /// Starts an async operation via `start` and blocks the calling worker
+  /// until its completion callback fires, helping with the caller's own
+  /// lane queue while waiting (the shared engine behind cross-lane and
+  /// cross-node nested invocations).
+  Result<std::string> HelpingWait(size_t caller_lane,
+                                  std::function<void(Callback)> start);
 
   storage::DB* db_;
   ParallelNodeOptions options_;
   std::unique_ptr<storage::GroupCommitter> committer_;
+  PeerLocalFn peer_is_local_;
+  PeerInvokeFn peer_invoke_;
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

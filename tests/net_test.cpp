@@ -456,7 +456,14 @@ TEST(Rpc, ReconnectWithBackoffAfterServerRestart) {
     }
     FAIL() << "could not rebind port " << port;
   });
-  auto second = client.CallSync(address, "echo", "two", 5'000'000);
+  // If this call races ahead of the loop thread noticing the close, it
+  // counts as on-the-wire and fails Unavailable per the client contract
+  // (the caller cannot know whether it executed) — retry it like a real
+  // caller would. The reconnect machinery is still what must deliver.
+  Result<std::string> second = Status::Unavailable("not sent");
+  for (int i = 0; i < 50 && !second.ok(); i++) {
+    second = client.CallSync(address, "echo", "two", 5'000'000);
+  }
   restarter.join();
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_EQ(*second, "two");
@@ -552,6 +559,58 @@ TEST(RemoteClient, RetriesTransientFailuresWithSameToken) {
 
   rpc.Stop();
   server.Stop();
+}
+
+TEST(RemoteClient, WrongShardSurfacesTypedStatusAndRedirectsWithHook) {
+  // `wrong` always bounces; `right` serves. A directory-routed client
+  // starts with a stale route to `wrong` and must follow the redirect.
+  RpcServer wrong;
+  wrong.Handle("lambda.invoke",
+               [](RpcServer::Request, RpcServer::Responder respond) {
+                 respond(Status::WrongShard("object not served here"));
+               });
+  RpcServer right;
+  right.Handle("lambda.invoke",
+               [](RpcServer::Request, RpcServer::Responder respond) {
+                 respond(std::string("served"));
+               });
+  ASSERT_TRUE(wrong.Start().ok());
+  ASSERT_TRUE(right.Start().ok());
+  const std::string wrong_address = "127.0.0.1:" + std::to_string(wrong.port());
+  const std::string right_address = "127.0.0.1:" + std::to_string(right.port());
+
+  RpcClient rpc;
+  // Without a misroute hook the typed status surfaces immediately — no
+  // backoff, no burned retry budget.
+  {
+    RemoteClient remote(&rpc, {wrong_address});
+    auto result = remote.Invoke("user1", "get_timeline", "10");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kWrongShard);
+    EXPECT_EQ(remote.metrics().retries, 0u);
+    EXPECT_EQ(remote.metrics().redirects, 0u);
+  }
+  // With a hook the bounce is a cheap fast-path: refresh the directory,
+  // re-send straight to the new owner, count a redirect — not a retry.
+  {
+    RemoteClient remote(&rpc, {wrong_address});
+    bool refreshed = false;
+    remote.SetRouter([&](const std::string&) {
+      return refreshed ? right_address : wrong_address;
+    });
+    remote.SetOnMisroute([&] {
+      refreshed = true;
+      return true;
+    });
+    auto result = remote.Invoke("user1", "get_timeline", "10");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(*result, "served");
+    EXPECT_EQ(remote.metrics().redirects, 1u);
+    EXPECT_EQ(remote.metrics().retries, 0u);
+  }
+  rpc.Stop();
+  right.Stop();
+  wrong.Stop();
 }
 
 // ---------------------------------------------------------------------

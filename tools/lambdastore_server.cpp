@@ -1,24 +1,27 @@
 // lambdastore-server: one LambdaStore node as a real process.
 //
-// Hosts runtime::ParallelNode (execution lanes + WAL group commit) behind
-// net::RpcServer, speaking the shared frame wire format. This is the
-// server half of the LO_NET=real bench path: the harness (or
-// net::RemoteClient) connects over loopback TCP and drives the same
-// "lambda.invoke"/"lambda.create" services the simulated cluster serves.
+// Hosts clusterd::ServerNode — runtime::ParallelNode (execution lanes +
+// WAL group commit) behind net::RpcServer, speaking the shared frame
+// wire format. Standalone (no --coordinator) it is the server half of
+// the LO_NET=real bench path; with --coordinator it registers with a
+// lambdastore-coordinator process, serves only the microshards the
+// directory assigns it (bouncing the rest with kWrongShard), reports
+// per-window load, and takes part in live object migration
+// (shard.migrate / shard.install).
 //
 // Invocations complete asynchronously: the RPC handler decodes the
-// payload and enqueues on the object's lane with ParallelNode::
-// InvokeAsync; the lane thread runs the method, waits for the group
-// commit, and fires the Responder, which marshals the response back to
-// the server's loop thread. The handler itself never blocks, so one loop
-// thread feeds every lane. Requests whose frame deadline expired — on
-// arrival or while queued behind a busy lane — are shed with Timeout
-// instead of executed.
+// payload and enqueues on the object's lane; the lane thread re-checks
+// ownership and the deadline, runs the method, waits for the group
+// commit, and fires the Responder. The handler itself never blocks, so
+// one loop thread feeds every lane.
 //
 // Flags:
 //   --port=N         listen port; 0 = ephemeral (default; also LO_NET_PORT)
 //   --db=PATH        persist under PATH with PosixEnv; default in-memory
 //   --lanes=N        execution lanes (default 8)
+//   --coordinator=IP:PORT  join the cluster at this coordinator
+//   --advertise=HOST host peers/clients dial (default 127.0.0.1)
+//   --report-interval-ms=N  load-report/heartbeat cadence (default 200)
 //   --seed-users=N   pre-seed a ReTwis social graph with N users
 //   --seed-posts=N   initial posts per user for the seeded graph
 //   --block-cache-mb=N  SSTable block cache size (0 = off; default 8 MiB)
@@ -28,7 +31,9 @@
 //
 // Prints "READY port=<p>" on stdout once listening (the harness and the
 // loopback smoke test parse it), then serves until SIGINT/SIGTERM or an
-// "admin.shutdown" RPC, and exits 0 after a clean drain.
+// "admin.shutdown" RPC. Shutdown is a graceful drain: stop accepting,
+// finish in-flight lanes, flush the memtable. Exit code 0 = clean
+// drain; 1 = forced (a second signal arrived before the drain ended).
 #include <signal.h>
 #include <stdio.h>
 #include <string.h>
@@ -38,13 +43,12 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
-#include "common/coding.h"
+#include "clusterd/server.h"
 #include "common/log.h"
-#include "net/rpc_server.h"
 #include "retwis/retwis.h"
 #include "retwis/workload.h"
-#include "runtime/executor.h"
 #include "storage/db.h"
 #include "storage/env.h"
 
@@ -53,7 +57,10 @@ namespace {
 struct Flags {
   uint16_t port = 0;
   std::string db_path;  // empty = MemEnv
+  std::string coordinator;
+  std::string advertise = "127.0.0.1";
   size_t lanes = 8;
+  int64_t report_interval_ms = 200;
   uint64_t seed_users = 0;
   uint64_t seed_posts = 10;
   uint64_t seed = 42;
@@ -80,8 +87,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.port = static_cast<uint16_t>(std::stoi(value));
     } else if (ParseFlag(argv[i], "db", &value)) {
       flags.db_path = value;
+    } else if (ParseFlag(argv[i], "coordinator", &value)) {
+      flags.coordinator = value;
+    } else if (ParseFlag(argv[i], "advertise", &value)) {
+      flags.advertise = value;
     } else if (ParseFlag(argv[i], "lanes", &value)) {
       flags.lanes = static_cast<size_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "report-interval-ms", &value)) {
+      flags.report_interval_ms = std::stoll(value);
     } else if (ParseFlag(argv[i], "seed-users", &value)) {
       flags.seed_users = std::stoull(value);
     } else if (ParseFlag(argv[i], "seed-posts", &value)) {
@@ -100,21 +113,6 @@ Flags ParseFlags(int argc, char** argv) {
     }
   }
   return flags;
-}
-
-bool DecodeInvokePayload(std::string_view payload, std::string_view* oid,
-                         std::string_view* method, std::string_view* argument,
-                         std::string_view* token) {
-  lo::Reader reader{payload};
-  return reader.GetLengthPrefixed(oid) && reader.GetLengthPrefixed(method) &&
-         reader.GetLengthPrefixed(argument) && reader.GetLengthPrefixed(token);
-}
-
-bool DecodeCreatePayload(std::string_view payload, std::string_view* oid,
-                         std::string_view* type_name, std::string_view* token) {
-  lo::Reader reader{payload};
-  return reader.GetLengthPrefixed(oid) && reader.GetLengthPrefixed(type_name) &&
-         reader.GetLengthPrefixed(token);
 }
 
 }  // namespace
@@ -167,114 +165,56 @@ int main(int argc, char** argv) {
     }
   }
 
-  lo::runtime::ParallelNodeOptions node_options;
-  node_options.lanes = flags.lanes;
+  lo::clusterd::ServerNodeOptions options;
+  options.port = flags.port;
+  options.coordinator = flags.coordinator;
+  options.advertise_host = flags.advertise;
+  options.lanes = flags.lanes;
+  options.report_interval_ms = flags.report_interval_ms;
   if (flags.gc_bytes > 0) {
-    node_options.group_commit.max_batch_bytes = static_cast<size_t>(flags.gc_bytes);
+    options.group_commit.max_batch_bytes = static_cast<size_t>(flags.gc_bytes);
   }
   if (flags.gc_delay_us >= 0) {
-    node_options.group_commit.max_batch_delay_us = flags.gc_delay_us;
+    options.group_commit.max_batch_delay_us = flags.gc_delay_us;
   }
 
-  std::atomic<bool> shutdown_requested{false};
-
-  // Declared after `node_holder` scope note: the server is constructed
-  // first and destructed last, because lane jobs hold Responders that
-  // reference it; Drain() below runs them all before teardown.
-  lo::net::RpcServer server([&flags] {
-    lo::net::RpcServerOptions options;
-    options.port = flags.port;
-    return options;
-  }());
-  lo::runtime::ParallelNode node(db.get(), &types, node_options);
-
-  server.Handle("lambda.invoke", [&node, &server](lo::net::RpcServer::Request request,
-                                                  lo::net::RpcServer::Responder respond) {
-    std::string_view oid, method, argument, token;
-    if (!DecodeInvokePayload(request.payload, &oid, &method, &argument, &token)) {
-      respond(lo::Status::Corruption("bad invoke payload"));
-      return;
-    }
-    int64_t deadline_us = request.deadline_us;
-    node.InvokeAsync(
-        std::string(oid), std::string(method), std::string(argument),
-        std::string(token), std::move(respond),
-        [deadline_us, &server] {
-          // Lane-level shed: the request waited behind a busy lane past
-          // its deadline. Counts into the same counter as arrival sheds.
-          bool expired = deadline_us != 0 &&
-                         lo::net::EventLoop::NowUs() > deadline_us;
-          if (expired) server.RecordShed();
-          return expired;
-        });
-  });
-  server.Handle("lambda.create", [&node, &server](lo::net::RpcServer::Request request,
-                                                  lo::net::RpcServer::Responder respond) {
-    std::string_view oid, type_name, token;
-    if (!DecodeCreatePayload(request.payload, &oid, &type_name, &token)) {
-      respond(lo::Status::Corruption("bad create payload"));
-      return;
-    }
-    int64_t deadline_us = request.deadline_us;
-    node.CreateObjectAsync(
-        std::string(oid), std::string(type_name), std::string(token),
-        std::move(respond),
-        [deadline_us, &server] {
-          bool expired = deadline_us != 0 &&
-                         lo::net::EventLoop::NowUs() > deadline_us;
-          if (expired) server.RecordShed();
-          return expired;
-        });
-  });
-  server.Handle("ping", [](lo::net::RpcServer::Request request,
-                           lo::net::RpcServer::Responder respond) {
-    respond(std::string(request.payload));
-  });
-  server.Handle("admin.stats", [&node, &server](lo::net::RpcServer::Request,
-                                                lo::net::RpcServer::Responder respond) {
-    const auto& stats = server.stats();
-    std::string out;
-    out += "requests=" + std::to_string(stats.requests.load()) + "\n";
-    out += "responses=" + std::to_string(stats.responses.load()) + "\n";
-    out += "deadline_shed=" + std::to_string(stats.deadline_shed.load()) + "\n";
-    out += "frame_rejects=" + std::to_string(server.frame_stats().rejects()) + "\n";
-    out += "lanes=" + std::to_string(node.lanes()) + "\n";
-    uint64_t executed = 0;
-    for (size_t i = 0; i < node.lanes(); i++) executed += node.lane_executed(i);
-    out += "invocations_executed=" + std::to_string(executed) + "\n";
-    const auto& gc = node.committer().stats();
-    out += "gc_commits=" + std::to_string(gc.commits) + "\n";
-    out += "gc_groups=" + std::to_string(gc.groups) + "\n";
-    respond(out);
-  });
-  server.Handle("admin.shutdown", [&shutdown_requested](
-                                      lo::net::RpcServer::Request,
-                                      lo::net::RpcServer::Responder respond) {
-    respond(std::string("bye"));
-    shutdown_requested.store(true, std::memory_order_release);
-  });
-
-  lo::Status started = server.Start();
+  lo::clusterd::ServerNode node(db.get(), &types, options);
+  lo::Status started = node.Start();
   if (!started.ok()) {
     fprintf(stderr, "server start: %s\n", started.ToString().c_str());
     return 1;
   }
-  printf("READY port=%u\n", server.port());
+  printf("READY port=%u\n", node.port());
   fflush(stdout);
 
   // Wait for a signal or an admin.shutdown RPC. sigtimedwait (rather
   // than a signal handler) keeps shutdown on the main thread with no
   // async-signal-safety constraints.
   struct timespec poll_interval = {0, 50'000'000};  // 50ms
-  while (!shutdown_requested.load(std::memory_order_acquire)) {
+  while (!node.shutdown_requested()) {
     int sig = sigtimedwait(&sigmask, nullptr, &poll_interval);
     if (sig == SIGINT || sig == SIGTERM) break;
   }
 
-  // Teardown order matters: stop the server first (no new requests),
-  // then drain the lanes (every outstanding Responder fires — into
-  // closed connections, harmlessly), then let destructors run.
-  server.Stop();
-  node.Drain();
+  // Graceful drain on a helper thread so the main thread can keep
+  // watching for a second signal: stop accepting, run every in-flight
+  // lane to completion, flush the memtable. A second SIGINT/SIGTERM
+  // before the drain finishes forces an immediate exit with code 1, so
+  // process supervisors can tell a clean stop from a kill -9-adjacent
+  // one.
+  std::atomic<bool> drained{false};
+  std::thread drain_thread([&node, &drained] {
+    node.Shutdown();
+    drained.store(true, std::memory_order_release);
+  });
+  struct timespec force_poll = {0, 20'000'000};  // 20ms
+  while (!drained.load(std::memory_order_acquire)) {
+    int sig = sigtimedwait(&sigmask, nullptr, &force_poll);
+    if (sig == SIGINT || sig == SIGTERM) {
+      fprintf(stderr, "forced shutdown before drain completed\n");
+      _exit(1);
+    }
+  }
+  drain_thread.join();
   return 0;
 }

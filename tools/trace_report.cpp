@@ -11,6 +11,7 @@
 // (approximately) the end-to-end median.
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -26,6 +27,32 @@ Result<std::string> ReadFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Per-shard request-count rollup: one root span per request, labeled
+/// with the node/shard it ran on. The share column makes load skew (and
+/// whether a migration actually moved it) visible at a glance.
+void PrintShardRollup(const std::vector<obs::SpanRecord>& spans) {
+  std::map<uint32_t, uint64_t> requests;
+  std::map<uint32_t, int64_t> busy_us;
+  uint64_t total = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.parent_span_id != 0) continue;
+    requests[span.node]++;
+    busy_us[span.node] += span.duration_ns() / 1000;
+    total++;
+  }
+  if (total == 0) return;
+  std::printf("per-shard requests:\n");
+  std::printf("  %-8s %10s %8s %12s\n", "shard", "requests", "share",
+              "busy_ms");
+  for (const auto& [node, count] : requests) {
+    std::printf("  %-8u %10llu %7.1f%% %12.1f\n", node,
+                static_cast<unsigned long long>(count),
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(total),
+                static_cast<double>(busy_us[node]) / 1000.0);
+  }
 }
 
 int Report(const std::string& path) {
@@ -49,6 +76,7 @@ int Report(const std::string& path) {
   obs::TraceBreakdown breakdown = obs::ComputeBreakdown(*spans);
   std::printf("== %s (%zu spans) ==\n%s", path.c_str(), spans->size(),
               breakdown.Format().c_str());
+  PrintShardRollup(*spans);
   return 0;
 }
 
