@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace lo {
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t n = std::max<size_t>(1, threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainBatch(std::unique_lock<std::mutex>& lock) {
+  while (batch_ != nullptr && batch_->next < batch_->tasks.size()) {
+    size_t index = batch_->next++;
+    Batch* batch = batch_;
+    lock.unlock();
+    batch->tasks[index]();
+    lock.lock();
+    batch->finished++;
+    if (batch == batch_ && batch->finished == batch->tasks.size()) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (batch_ != nullptr && batch_->next < batch_->tasks.size());
+    });
+    if (stop_) return;
+    DrainBatch(lock);
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  Batch batch;
+  batch.tasks = std::move(tasks);
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_ = &batch;
+  work_cv_.notify_all();
+  // The caller thread works too: with every worker busy elsewhere the
+  // batch still makes progress.
+  DrainBatch(lock);
+  done_cv_.wait(lock, [&] { return batch.finished == batch.tasks.size(); });
+  batch_ = nullptr;
+}
+
+}  // namespace lo

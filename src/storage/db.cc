@@ -1,12 +1,40 @@
 #include "storage/db.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.h"
 #include "storage/filename.h"
 
 namespace lo::storage {
 namespace {
+
+uint64_t SteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Keeps the memtable alive for as long as its iterator (a flush may
+/// retire the memtable while a DB iterator still walks it).
+class OwningMemIterator : public Iterator {
+ public:
+  explicit OwningMemIterator(std::shared_ptr<ShardedMemTable> mem)
+      : mem_(std::move(mem)), iter_(mem_->NewIterator()) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void Seek(std::string_view target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  std::string_view key() const override { return iter_->key(); }
+  std::string_view value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::shared_ptr<ShardedMemTable> mem_;
+  std::unique_ptr<Iterator> iter_;
+};
 
 /// Keeps the Table shared_ptr alive for as long as its iterator.
 class OwningTableIterator : public Iterator {
@@ -175,10 +203,23 @@ DB::DB(Options options, std::string name)
       table_cache_(options.env, name_, block_cache_.get()),
       versions_(std::make_unique<VersionSet>(options.env, name_, &table_cache_)) {}
 
-DB::~DB() = default;
+DB::~DB() {
+  if (bg_thread_.joinable()) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      bg_stop_ = true;
+    }
+    bg_work_cv_.notify_all();
+    bg_thread_.join();
+    // Unflushed imm contents are covered by their WALs (the log floor
+    // never advanced past them), so recovery replays them on reopen.
+  }
+}
 
 Result<std::unique_ptr<DB>> DB::Open(const Options& options, std::string name) {
   LO_CHECK_MSG(options.env != nullptr, "Options::env is required");
+  LO_CHECK_MSG(!options.background_maintenance || options.serialize_access,
+               "background_maintenance requires serialize_access");
   std::unique_ptr<DB> db(new DB(options, std::move(name)));
   LO_RETURN_IF_ERROR(db->Initialize());
   return db;
@@ -187,7 +228,33 @@ Result<std::unique_ptr<DB>> DB::Open(const Options& options, std::string name) {
 Status DB::Initialize() {
   Env* env = options_.env;
   LO_RETURN_IF_ERROR(env->CreateDir(name_));
-  mem_ = std::make_unique<MemTable>();
+  mem_ = std::make_shared<ShardedMemTable>(options_.memtable_shards);
+  stats_.memtable_shards = mem_->shard_count();
+
+  // Resolve the L0 tier ladder. Each flush emits up to one file per
+  // shard, so the auto trigger scales with the shard count to keep the
+  // trigger at ~4 flushes regardless of sharding.
+  int trigger = options_.l0_compaction_trigger > 0
+                    ? options_.l0_compaction_trigger
+                    : 4 * mem_->shard_count();
+  versions_->SetL0CompactionTrigger(trigger);
+  l0_slowdown_trigger_ = options_.l0_slowdown_trigger > 0
+                             ? options_.l0_slowdown_trigger
+                             : 2 * trigger;
+  l0_stop_trigger_ =
+      options_.l0_stop_trigger > 0 ? options_.l0_stop_trigger : 3 * trigger;
+
+  if (options_.compaction_rate_bytes_per_sec > 0) {
+    rate_limiter_ =
+        std::make_unique<RateLimiter>(options_.compaction_rate_bytes_per_sec);
+  }
+  int parallelism = std::max(options_.subcompactions, mem_->shard_count() > 1
+                                                          ? std::min(mem_->shard_count(), 4)
+                                                          : 1);
+  if (parallelism > 1) {
+    // Workers beyond the calling thread (RunAll participates).
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(parallelism - 1));
+  }
 
   if (env->FileExists(CurrentFileName(name_))) {
     stats_.recoveries++;
@@ -198,8 +265,16 @@ Status DB::Initialize() {
     LO_ASSIGN_OR_RETURN(auto names, env->ListDir(name_));
     for (const auto& n : names) {
       uint64_t number = 0;
-      if (ParseFileName(n, &number) != FileKind::kUnknown) {
+      FileKind kind = ParseFileName(n, &number);
+      if (kind != FileKind::kUnknown) {
         versions_->EnsureFileNumberAbove(number);
+      }
+      if (kind == FileKind::kWalPool) {
+        if (options_.wal_recycle) {
+          wal_pool_.push_back(number);  // adopt parked WALs across restarts
+        } else {
+          env->DeleteFile(name_ + "/" + n).ok();
+        }
       }
     }
     LO_RETURN_IF_ERROR(versions_->WriteSnapshot());  // opens manifest writer
@@ -213,7 +288,11 @@ Status DB::Initialize() {
   VersionEdit edit;
   edit.SetLogNumber(wal_number_);
   LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
-  return DeleteObsoleteFiles();
+  LO_RETURN_IF_ERROR(DeleteObsoleteFiles());
+  if (options_.background_maintenance) {
+    bg_thread_ = std::thread([this] { BackgroundLoop(); });
+  }
+  return Status::OK();
 }
 
 Status DB::RecoverWal() {
@@ -274,27 +353,82 @@ Status DB::RecoverWal() {
 
 Status DB::NewWal() {
   wal_number_ = versions_->NewFileNumber();
-  LO_ASSIGN_OR_RETURN(auto file,
-                      options_.env->NewWritableFile(WalFileName(name_, wal_number_)));
+  std::string path = WalFileName(name_, wal_number_);
+  WritableFileOptions wfo;
+  wfo.preallocate_bytes = options_.wal_preallocate_bytes;
+  std::unique_ptr<WritableFile> file;
+  if (options_.wal_recycle && !wal_pool_.empty()) {
+    // Adopt a parked (logically empty, see RetireWal) pool file so the
+    // new WAL inherits its allocation instead of growing from zero.
+    uint64_t pooled = wal_pool_.back();
+    Status renamed =
+        options_.env->RenameFile(WalPoolFileName(name_, pooled), path);
+    if (renamed.ok()) {
+      wal_pool_.pop_back();
+      wfo.reuse = true;
+      LO_ASSIGN_OR_RETURN(file, options_.env->NewWritableFile(path, wfo));
+      stats_.wal_recycles++;
+    }
+  }
+  if (file == nullptr) {
+    LO_ASSIGN_OR_RETURN(file, options_.env->NewWritableFile(path, wfo));
+    if (wfo.preallocate_bytes > 0) stats_.wal_preallocations++;
+  }
   wal_ = std::make_unique<wal::Writer>(std::move(file));
   // Everything at or below wal_number_ - 1 is captured by SSTables after
   // the next flush; record the log floor now.
   return Status::OK();
 }
 
+void DB::RetireWal(uint64_t number) {
+  // All best-effort: a leftover log below the floor is ignored by
+  // recovery and reaped by the next DeleteObsoleteFiles pass.
+  std::string path = WalFileName(name_, number);
+  if (options_.wal_recycle && wal_pool_.size() < 2) {
+    // Truncate the logical content *before* parking so a pool file can
+    // never carry stale records into a future WAL — a crash between
+    // these steps leaves either an empty .log below the floor or an
+    // empty POOL file, both harmless to replay.
+    WritableFileOptions wfo;
+    wfo.reuse = true;
+    auto cleared = options_.env->NewWritableFile(path, wfo);
+    if (cleared.ok()) {
+      (*cleared)->Sync().ok();
+      (*cleared)->Close().ok();
+      if (options_.env->RenameFile(path, WalPoolFileName(name_, number)).ok()) {
+        wal_pool_.push_back(number);
+        return;
+      }
+    }
+  }
+  options_.env->DeleteFile(path).ok();
+}
+
 Status DB::RotateWal() {
   if (mem_->entries() > 0) {
-    // The memtable holds exactly the acknowledged (fully-logged) prefix;
-    // flushing it persists that prefix and rotates to a fresh WAL.
+    if (options_.background_maintenance) {
+      // The memtable holds exactly the acknowledged prefix; hand it to
+      // the maintenance thread (its WAL — the torn one — stays until
+      // that flush lands, and a crash before then replays its intact
+      // prefix).
+      LO_RETURN_IF_ERROR(SwitchMemTable());
+      bg_work_cv_.notify_one();
+      return Status::OK();
+    }
+    // Inline mode: flushing persists the acknowledged prefix and
+    // rotates to a fresh WAL.
     return FlushMemTable();
   }
   uint64_t old_wal = wal_number_;
   LO_RETURN_IF_ERROR(NewWal());
-  VersionEdit edit;
-  edit.SetLogNumber(wal_number_);
-  LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
-  // Best effort: a leftover log below the floor is ignored by recovery
-  // and reaped by the next DeleteObsoleteFiles pass.
+  if (imm_.empty()) {
+    // With unflushed imms the log floor must stay at the oldest imm's
+    // WAL; their flushes will advance it.
+    VersionEdit edit;
+    edit.SetLogNumber(wal_number_);
+    LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  }
+  // The abandoned WAL's tail may be torn — delete, never recycle.
   options_.env->DeleteFile(WalFileName(name_, old_wal)).ok();
   return Status::OK();
 }
@@ -304,7 +438,7 @@ Status DB::Put(const WriteOptions& opts, std::string_view key, std::string_view 
   stats_.puts++;
   WriteBatch batch;
   batch.Put(key, value);
-  return WriteLocked(opts, &batch);
+  return WriteLocked(opts, &batch, guard);
 }
 
 Status DB::Delete(const WriteOptions& opts, std::string_view key) {
@@ -312,16 +446,70 @@ Status DB::Delete(const WriteOptions& opts, std::string_view key) {
   stats_.deletes++;
   WriteBatch batch;
   batch.Delete(key);
-  return WriteLocked(opts, &batch);
+  return WriteLocked(opts, &batch, guard);
 }
 
 Status DB::Write(const WriteOptions& opts, WriteBatch* batch) {
   auto guard = Guard();
-  return WriteLocked(opts, batch);
+  return WriteLocked(opts, batch, guard);
 }
 
-Status DB::WriteLocked(const WriteOptions& opts, WriteBatch* batch) {
+Status DB::StallIfNeeded(std::unique_lock<std::mutex>& guard) {
+  // Tier ladder (background mode only):
+  //   L0 < slowdown                  -> free flow
+  //   slowdown <= L0 < stop          -> one delayed write (soft tier)
+  //   L0 >= stop or imm backlog full -> block until maintenance catches up
+  bool took_soft_delay = false;
+  for (;;) {
+    if (!bg_error_.ok()) return bg_error_;
+    int l0 = versions_->NumLevelFiles(0);
+    if (l0 >= l0_stop_trigger_ || imm_.size() >= 2) {
+      stats_.stall_hard++;
+      uint64_t start = SteadyMicros();
+      bg_work_cv_.notify_one();
+      bg_done_cv_.wait(guard);
+      stats_.stall_us += SteadyMicros() - start;
+      continue;  // re-evaluate from the top
+    }
+    if (!took_soft_delay && l0 >= l0_slowdown_trigger_) {
+      // Cede the mutex for one bounded delay so compaction gains ground
+      // gradually instead of every writer slamming into the hard stop.
+      stats_.stall_soft++;
+      took_soft_delay = true;
+      uint64_t start = SteadyMicros();
+      guard.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.slowdown_delay_us));
+      guard.lock();
+      stats_.stall_us += SteadyMicros() - start;
+      continue;  // state may have moved while unlocked
+    }
+    return Status::OK();
+  }
+}
+
+Status DB::SwitchMemTable() {
+  ImmMemTable imm;
+  imm.mem = std::move(mem_);
+  imm.wal_number = wal_number_;
+  mem_ = std::make_shared<ShardedMemTable>(options_.memtable_shards);
+  Status s = NewWal();
+  if (!s.ok()) {
+    // Roll back so the DB keeps accepting writes against the old state.
+    mem_ = std::move(imm.mem);
+    wal_number_ = imm.wal_number;
+    return s;
+  }
+  imm_.push_back(std::move(imm));
+  return Status::OK();
+}
+
+Status DB::WriteLocked(const WriteOptions& opts, WriteBatch* batch,
+                       std::unique_lock<std::mutex>& guard) {
   if (batch->Count() == 0) return Status::OK();
+  if (options_.background_maintenance) {
+    LO_RETURN_IF_ERROR(StallIfNeeded(guard));
+  }
   if (wal_failed_) {
     // The live WAL tail may be torn by the earlier failure; appending to
     // it would corrupt replay. Rotate first, fail the write if we can't.
@@ -347,11 +535,18 @@ Status DB::WriteLocked(const WriteOptions& opts, WriteBatch* batch) {
   LO_RETURN_IF_ERROR(batch->InsertInto(base, mem_.get()));
   versions_->SetLastSequence(base + batch->Count() - 1);
   if (mem_->ApproximateMemoryUsage() > options_.write_buffer_size) {
-    write_trace_ = opts.trace;
-    Status s = FlushMemTable();
-    if (s.ok()) s = MaybeCompact();
-    write_trace_ = {};
-    LO_RETURN_IF_ERROR(s);
+    if (options_.background_maintenance) {
+      // Hand the full memtable to the maintenance thread; the stall
+      // tiers above bound how far writes can outrun it.
+      LO_RETURN_IF_ERROR(SwitchMemTable());
+      bg_work_cv_.notify_one();
+    } else {
+      write_trace_ = opts.trace;
+      Status s = FlushMemTable();
+      if (s.ok()) s = MaybeCompact();
+      write_trace_ = {};
+      LO_RETURN_IF_ERROR(s);
+    }
   }
   return Status::OK();
 }
@@ -367,6 +562,14 @@ Result<std::string> DB::Get(const ReadOptions& opts, std::string_view key) {
   if (mem_->Get(key, seq, &value, &s)) {
     if (s.ok()) return value;
     return s;  // NotFound tombstone (or corruption)
+  }
+  // Unflushed imms, newest first (each one is older than the active
+  // memtable but newer than anything on disk).
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
+    if (it->mem->Get(key, seq, &value, &s)) {
+      if (s.ok()) return value;
+      return s;
+    }
   }
 
   std::string lookup = MakeInternalKey(key, seq, kValueTypeForSeek);
@@ -405,7 +608,10 @@ std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& opts) {
   SequenceNumber seq =
       opts.snapshot != nullptr ? opts.snapshot->sequence() : versions_->last_sequence();
   std::vector<std::unique_ptr<Iterator>> children;
-  children.push_back(mem_->NewIterator());
+  children.push_back(std::make_unique<OwningMemIterator>(mem_));
+  for (const auto& imm : imm_) {
+    children.push_back(std::make_unique<OwningMemIterator>(imm.mem));
+  }
   for (const auto& meta : versions_->files(0)) {
     auto table = table_cache_.Get(meta.number);
     if (!table.ok()) return NewEmptyIterator(table.status());
@@ -446,77 +652,156 @@ void DB::RecordInstantSpan(const char* name) {
   options_.tracer->RecordChild(write_trace_, name, options_.node_label, now, now);
 }
 
+Status DB::BuildL0Files(const ShardedMemTable& mem, std::vector<FileMetaData>* files) {
+  std::vector<int> shards;
+  for (int i = 0; i < mem.shard_count(); i++) {
+    if (mem.shard(i).entries() > 0) shards.push_back(i);
+  }
+  files->assign(shards.size(), FileMetaData{});
+  // Mint file numbers in shard order up front so output numbering stays
+  // deterministic even when the builds below run in parallel.
+  for (auto& meta : *files) meta.number = versions_->NewFileNumber();
+
+  std::vector<Status> statuses(shards.size());
+  auto build = [&](size_t i) {
+    const MemTable& shard = mem.shard(shards[i]);
+    FileMetaData& meta = (*files)[i];
+    auto file = options_.env->NewWritableFile(TableFileName(name_, meta.number));
+    if (!file.ok()) {
+      statuses[i] = file.status();
+      return;
+    }
+    TableBuilder builder(options_.table, std::move(file).value());
+    auto iter = shard.NewIterator();
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      if (meta.smallest.empty()) meta.smallest.assign(iter->key());
+      meta.largest.assign(iter->key());
+      builder.Add(iter->key(), iter->value());
+    }
+    statuses[i] = builder.Finish();
+    meta.file_size = builder.file_size();
+  };
+  if (pool_ != nullptr && shards.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards.size());
+    for (size_t i = 0; i < shards.size(); i++) tasks.push_back([&, i] { build(i); });
+    pool_->RunAll(std::move(tasks));
+  } else {
+    for (size_t i = 0; i < shards.size(); i++) build(i);
+  }
+  for (const auto& s : statuses) LO_RETURN_IF_ERROR(s);
+  return Status::OK();
+}
+
 Status DB::FlushMemTable() {
   if (mem_->entries() == 0) return Status::OK();
   stats_.flushes++;
   RecordInstantSpan("memtable_flush");
-  uint64_t number = versions_->NewFileNumber();
-  std::string path = TableFileName(name_, number);
-  LO_ASSIGN_OR_RETURN(auto file, options_.env->NewWritableFile(path));
-  TableBuilder builder(options_.table, std::move(file));
-  auto iter = mem_->NewIterator();
-  FileMetaData meta;
-  meta.number = number;
-  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
-    if (meta.smallest.empty()) meta.smallest.assign(iter->key());
-    meta.largest.assign(iter->key());
-    builder.Add(iter->key(), iter->value());
-  }
-  LO_RETURN_IF_ERROR(builder.Finish());
-  meta.file_size = builder.file_size();
+  std::vector<FileMetaData> files;
+  LO_RETURN_IF_ERROR(BuildL0Files(*mem_, &files));
 
   uint64_t old_wal = wal_number_;
   LO_RETURN_IF_ERROR(NewWal());
   VersionEdit edit;
-  edit.AddFile(0, std::move(meta));
+  stats_.flush_output_files += files.size();
+  for (auto& meta : files) edit.AddFile(0, std::move(meta));
   edit.SetLogNumber(wal_number_);
   LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
-  mem_ = std::make_unique<MemTable>();
+  mem_ = std::make_shared<ShardedMemTable>(options_.memtable_shards);
   // Best effort: the old log is below the floor recorded above, so
-  // recovery ignores it and DeleteObsoleteFiles reaps it later. Nothing
-  // user-visible depends on this delete succeeding — unlike the WAL and
+  // recovery ignores it; RetireWal recycles or deletes it. Nothing
+  // user-visible depends on that succeeding — unlike the WAL and
   // manifest writes above, whose failures all propagate.
-  options_.env->DeleteFile(WalFileName(name_, old_wal)).ok();
+  RetireWal(old_wal);
   return Status::OK();
+}
+
+Status DB::FlushOldestImm(std::unique_lock<std::mutex>& lock) {
+  LO_CHECK(!imm_.empty());
+  // The shared_ptr keeps the memtable alive while the lock is dropped;
+  // it is immutable from the moment it left the write path.
+  std::shared_ptr<ShardedMemTable> mem = imm_.front().mem;
+  uint64_t imm_wal = imm_.front().wal_number;
+  stats_.flushes++;
+
+  lock.unlock();
+  std::vector<FileMetaData> files;
+  Status build = BuildL0Files(*mem, &files);
+  lock.lock();
+  LO_RETURN_IF_ERROR(build);
+
+  VersionEdit edit;
+  stats_.flush_output_files += files.size();
+  for (auto& meta : files) edit.AddFile(0, std::move(meta));
+  // The log floor advances to the next unflushed imm's WAL (everything
+  // below it is now in L0), or to the live WAL when the queue drains.
+  edit.SetLogNumber(imm_.size() > 1 ? imm_[1].wal_number : wal_number_);
+  LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  imm_.pop_front();
+  RetireWal(imm_wal);
+  return DeleteObsoleteFiles();
+}
+
+void DB::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    bg_work_cv_.wait(lock, [this] {
+      return bg_stop_ || (bg_error_.ok() &&
+                          (!imm_.empty() || versions_->NeedsCompaction()));
+    });
+    if (bg_stop_) return;
+    bg_busy_ = true;
+    // Flushes before compactions: the imm backlog gates writers harder
+    // (two pending imms is a hard stall) than L0 depth does.
+    Status s = !imm_.empty() ? FlushOldestImm(lock)
+                             : DoCompaction(versions_->PickCompaction(), &lock);
+    bg_busy_ = false;
+    if (!s.ok()) bg_error_ = s;
+    bg_done_cv_.notify_all();
+  }
 }
 
 Status DB::MaybeCompact() {
   while (versions_->NeedsCompaction()) {
-    LO_RETURN_IF_ERROR(DoCompaction(versions_->PickCompaction()));
+    LO_RETURN_IF_ERROR(DoCompaction(versions_->PickCompaction(), nullptr));
   }
   return Status::OK();
 }
 
-Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
-  if (pick.level < 0) return Status::OK();
-  stats_.compactions++;
-  RecordInstantSpan("compaction");
-  int output_level = pick.level + 1;
-  SequenceNumber smallest_snapshot = SmallestSnapshot();
-
+Status DB::SubCompact(const std::vector<FileMetaData>& input_metas,
+                      std::string_view begin, std::string_view end,
+                      SequenceNumber smallest_snapshot, int output_level,
+                      std::vector<FileMetaData>* outputs, uint64_t* bytes_written) {
   std::vector<std::unique_ptr<Iterator>> inputs;
-  auto add_input = [&](const FileMetaData& meta) -> Status {
+  for (const auto& meta : input_metas) {
+    // Files entirely outside [begin, end) contribute nothing to this
+    // sub-range; skip opening an iterator over them.
+    if (!end.empty() && ExtractUserKey(meta.smallest) >= end) continue;
+    if (!begin.empty() && ExtractUserKey(meta.largest) < begin) continue;
     LO_ASSIGN_OR_RETURN(auto table, table_cache_.Get(meta.number));
     // fill_cache=false: a compaction reads each input block exactly once;
     // inserting them would evict the read path's hot set for nothing.
     inputs.push_back(
         std::make_unique<OwningTableIterator>(std::move(table), /*fill_cache=*/false));
-    stats_.compaction_bytes_read += meta.file_size;
-    return Status::OK();
-  };
-  for (const auto& meta : pick.inputs) LO_RETURN_IF_ERROR(add_input(meta));
-  for (const auto& meta : pick.next_inputs) LO_RETURN_IF_ERROR(add_input(meta));
+  }
   auto merged = NewMergingIterator(icmp_, std::move(inputs));
+  if (begin.empty()) {
+    merged->SeekToFirst();
+  } else {
+    // kMaxSequenceNumber sorts first within a user key, so this lands on
+    // the newest entry of `begin` — the sub-range owns the key's entire
+    // version history.
+    merged->Seek(MakeInternalKey(begin, kMaxSequenceNumber, kValueTypeForSeek));
+  }
 
-  VersionEdit edit;
   std::unique_ptr<TableBuilder> builder;
   FileMetaData out_meta;
   auto finish_output = [&]() -> Status {
     if (builder == nullptr) return Status::OK();
     LO_RETURN_IF_ERROR(builder->Finish());
     out_meta.file_size = builder->file_size();
-    stats_.compaction_bytes_written += out_meta.file_size;
-    edit.AddFile(output_level, out_meta);
+    *bytes_written += out_meta.file_size;
+    outputs->push_back(out_meta);
     builder.reset();
     return Status::OK();
   };
@@ -524,8 +809,9 @@ Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
   std::string current_user_key;
   bool has_current_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+  uint64_t uncharged_bytes = 0;
 
-  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+  for (; merged->Valid(); merged->Next()) {
     std::string_view ikey = merged->key();
     ParsedInternalKey parsed;
     bool drop = false;
@@ -534,6 +820,7 @@ Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
       has_current_user_key = false;
       last_sequence_for_key = kMaxSequenceNumber;
     } else {
+      if (!end.empty() && parsed.user_key >= end) break;  // next sub-range's keys
       if (!has_current_user_key || parsed.user_key != current_user_key) {
         current_user_key.assign(parsed.user_key);
         has_current_user_key = true;
@@ -549,6 +836,14 @@ Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
         drop = true;
       }
       last_sequence_for_key = parsed.sequence;
+    }
+
+    // Rate limiting charges processed bytes (kept or dropped — both cost
+    // I/O) in coarse chunks so the token bucket isn't hammered per key.
+    uncharged_bytes += ikey.size() + merged->value().size();
+    if (rate_limiter_ != nullptr && uncharged_bytes >= 128 * 1024) {
+      rate_limiter_->Request(uncharged_bytes);
+      uncharged_bytes = 0;
     }
 
     if (drop) continue;
@@ -567,11 +862,104 @@ Status DB::DoCompaction(const VersionSet::CompactionPick& pick) {
     }
   }
   LO_RETURN_IF_ERROR(merged->status());
-  LO_RETURN_IF_ERROR(finish_output());
+  if (rate_limiter_ != nullptr && uncharged_bytes > 0) {
+    rate_limiter_->Request(uncharged_bytes);
+  }
+  return finish_output();
+}
+
+Status DB::DoCompaction(const VersionSet::CompactionPick& pick,
+                        std::unique_lock<std::mutex>* lock) {
+  if (pick.level < 0) return Status::OK();
+  stats_.compactions++;
+  stats_.compactions_inflight++;
+  RecordInstantSpan("compaction");
+  int output_level = pick.level + 1;
+  SequenceNumber smallest_snapshot = SmallestSnapshot();
+
+  std::vector<FileMetaData> input_metas;
+  input_metas.reserve(pick.inputs.size() + pick.next_inputs.size());
+  for (const auto& meta : pick.inputs) input_metas.push_back(meta);
+  for (const auto& meta : pick.next_inputs) input_metas.push_back(meta);
+  for (const auto& meta : input_metas) stats_.compaction_bytes_read += meta.file_size;
+
+  // Partition the input key space into disjoint sub-ranges along file
+  // boundary user keys. Splitting on user keys (never inside one) keeps
+  // each key's whole version history in a single sub-range, so the
+  // per-range shadowing/tombstone logic sees exactly what a
+  // single-threaded pass would.
+  std::vector<std::string> splits;
+  int want = (pool_ != nullptr && options_.subcompactions > 1)
+                 ? std::min<int>(options_.subcompactions,
+                                 static_cast<int>(input_metas.size()))
+                 : 1;
+  if (want > 1) {
+    std::vector<std::string> keys;
+    keys.reserve(input_metas.size() * 2);
+    for (const auto& meta : input_metas) {
+      keys.emplace_back(ExtractUserKey(meta.smallest));
+      keys.emplace_back(ExtractUserKey(meta.largest));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    // Interior boundaries only: keys[0] would make sub-range 0 empty.
+    for (int i = 1; i < want; i++) {
+      const std::string& k = keys[i * keys.size() / want];
+      if (k != keys.front() && (splits.empty() || k > splits.back())) {
+        splits.push_back(k);
+      }
+    }
+  }
+  size_t n_ranges = splits.size() + 1;
+
+  struct SubResult {
+    std::vector<FileMetaData> outputs;
+    uint64_t bytes = 0;
+    Status status;
+  };
+  std::vector<SubResult> results(n_ranges);
+  auto run_range = [&](size_t i) {
+    std::string_view begin = (i == 0) ? std::string_view() : std::string_view(splits[i - 1]);
+    std::string_view end =
+        (i == splits.size()) ? std::string_view() : std::string_view(splits[i]);
+    results[i].status = SubCompact(input_metas, begin, end, smallest_snapshot,
+                                   output_level, &results[i].outputs, &results[i].bytes);
+  };
+
+  // The workers read versions_ and table_cache_ without the DB mutex;
+  // safe under the single-maintenance-executor invariant (no concurrent
+  // version mutation while a compaction is in flight).
+  if (lock != nullptr) lock->unlock();
+  if (n_ranges > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n_ranges);
+    for (size_t i = 0; i < n_ranges; i++) tasks.push_back([&, i] { run_range(i); });
+    pool_->RunAll(std::move(tasks));
+  } else {
+    run_range(0);
+  }
+  if (lock != nullptr) lock->lock();
+  if (n_ranges > 1) stats_.subcompactions_run += n_ranges;
+
+  VersionEdit edit;
+  Status s;
+  for (auto& r : results) {
+    if (!r.status.ok() && s.ok()) s = r.status;
+    stats_.compaction_bytes_written += r.bytes;
+    // Sub-ranges are disjoint and processed in key order, so appending
+    // their outputs in range order keeps level files sorted.
+    for (auto& meta : r.outputs) edit.AddFile(output_level, std::move(meta));
+  }
+  if (!s.ok()) {
+    stats_.compactions_inflight--;
+    return s;
+  }
 
   for (const auto& meta : pick.inputs) edit.DeleteFile(pick.level, meta.number);
   for (const auto& meta : pick.next_inputs) edit.DeleteFile(output_level, meta.number);
-  LO_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  s = versions_->LogAndApply(&edit);
+  stats_.compactions_inflight--;
+  LO_RETURN_IF_ERROR(s);
   // The inputs are dead the moment the edit commits: evict them now so
   // they stop pinning open file handles and metadata blocks even if the
   // directory sweep below cannot delete them yet.
@@ -594,10 +982,20 @@ Status DB::DeleteObsoleteFiles() {
           env->DeleteFile(name_ + "/" + n).ok();
         }
         break;
-      case FileKind::kWal:
-        if (number < versions_->log_number() && number != wal_number_) {
+      case FileKind::kWal: {
+        // WALs backing unflushed imms are at or above the manifest log
+        // floor, but guard explicitly anyway — losing one loses writes.
+        bool backs_imm = false;
+        for (const auto& imm : imm_) backs_imm |= (imm.wal_number == number);
+        if (number < versions_->log_number() && number != wal_number_ && !backs_imm) {
           env->DeleteFile(name_ + "/" + n).ok();
         }
+        break;
+      }
+      case FileKind::kWalPool:
+        // Parked recycled WALs; kept while recycling is on. Initialize
+        // already reaped them when it is off.
+        if (!options_.wal_recycle) env->DeleteFile(name_ + "/" + n).ok();
         break;
       default:
         break;  // CURRENT, manifests, unknown: kept
@@ -608,7 +1006,21 @@ Status DB::DeleteObsoleteFiles() {
 
 Status DB::CompactAll() {
   auto guard = Guard();
-  LO_RETURN_IF_ERROR(FlushMemTable());
+  if (options_.background_maintenance) {
+    // Hand the memtable to the maintenance thread and wait until it has
+    // drained every imm and every pending compaction; from then on this
+    // thread is the sole maintenance executor (the bg thread has nothing
+    // left to pick up while we hold the mutex).
+    if (mem_->entries() > 0) LO_RETURN_IF_ERROR(SwitchMemTable());
+    bg_work_cv_.notify_all();
+    bg_done_cv_.wait(guard, [this] {
+      return !bg_error_.ok() ||
+             (!bg_busy_ && imm_.empty() && !versions_->NeedsCompaction());
+    });
+    LO_RETURN_IF_ERROR(bg_error_);
+  } else {
+    LO_RETURN_IF_ERROR(FlushMemTable());
+  }
   for (int level = 0; level < kNumLevels - 1; level++) {
     while (versions_->NumLevelFiles(level) > 0) {
       VersionSet::CompactionPick pick;
@@ -625,7 +1037,7 @@ Status DB::CompactAll() {
       }
       pick.next_inputs = versions_->OverlappingFiles(
           level + 1, ExtractUserKey(smallest), ExtractUserKey(largest));
-      LO_RETURN_IF_ERROR(DoCompaction(pick));
+      LO_RETURN_IF_ERROR(DoCompaction(pick, nullptr));
     }
   }
   return Status::OK();
@@ -650,6 +1062,10 @@ DB::Stats DB::GetStats() const {
     stats.bytes_per_level[level] = versions_->LevelBytes(level);
   }
   stats.memtable_bytes = mem_->ApproximateMemoryUsage();
+  for (const auto& imm : imm_) stats.memtable_bytes += imm.mem->ApproximateMemoryUsage();
+  if (rate_limiter_ != nullptr) {
+    stats.compaction_throttle_us = rate_limiter_->throttled_us();
+  }
   return stats;
 }
 

@@ -4,6 +4,11 @@
 #include <filesystem>
 #include <system_error>
 
+#ifdef __linux__
+#include <fcntl.h>
+#include <stdio.h>
+#endif
+
 namespace lo::storage {
 
 Result<std::string> Env::ReadFileToString(const std::string& path) {
@@ -94,37 +99,62 @@ class MemSequentialFile : public SequentialFile {
 }  // namespace
 
 Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(const std::string& path) {
-  auto state = std::make_shared<FileState>();
-  files_[path] = state;  // truncates any existing file
+  return NewWritableFile(path, WritableFileOptions{});
+}
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, const WritableFileOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<FileState> state;
+  auto it = files_.find(path);
+  if (opts.reuse && it != files_.end()) {
+    // Recycle the existing buffer: clear() keeps the string's capacity,
+    // so appends into a recycled WAL never reallocate.
+    state = it->second;
+    state->data.clear();
+    state->synced_length = 0;
+  } else {
+    state = std::make_shared<FileState>();
+    files_[path] = state;  // truncates any existing file
+  }
+  if (opts.preallocate_bytes > 0) state->data.reserve(opts.preallocate_bytes);
   return std::unique_ptr<WritableFile>(new MemWritableFile(std::move(state)));
 }
 
 Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   return std::unique_ptr<RandomAccessFile>(new MemRandomAccessFile(it->second));
 }
 
 Result<std::unique_ptr<SequentialFile>> MemEnv::NewSequentialFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   return std::unique_ptr<SequentialFile>(new MemSequentialFile(it->second));
 }
 
-bool MemEnv::FileExists(const std::string& path) { return files_.contains(path); }
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.contains(path);
+}
 
 Result<uint64_t> MemEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   return static_cast<uint64_t>(it->second->data.size());
 }
 
 Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.erase(path) == 0) return Status::NotFound(path);
   return Status::OK();
 }
 
 Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound(from);
   files_[to] = it->second;
@@ -135,6 +165,7 @@ Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
 Status MemEnv::CreateDir(const std::string&) { return Status::OK(); }
 
 Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string prefix = dir;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::vector<std::string> names;
@@ -148,12 +179,14 @@ Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
 }
 
 void MemEnv::DropUnsyncedData() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [path, state] : files_) {
     state->data.resize(state->synced_length);
   }
 }
 
 uint64_t MemEnv::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [path, state] : files_) total += state->data.size();
   return total;
@@ -234,6 +267,22 @@ class PosixSequentialFile : public SequentialFile {
 Result<std::unique_ptr<WritableFile>> PosixEnv::NewWritableFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("open for write: " + path);
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(f));
+}
+
+Result<std::unique_ptr<WritableFile>> PosixEnv::NewWritableFile(
+    const std::string& path, const WritableFileOptions& opts) {
+  // reuse: "wb" already truncates logical content while the filesystem
+  // tends to keep the inode; the reservation below restores the extent.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("open for write: " + path);
+#ifdef __linux__
+  if (opts.preallocate_bytes > 0) {
+    // Best-effort: not every filesystem supports fallocate.
+    (void)posix_fallocate(fileno(f), 0,
+                          static_cast<off_t>(opts.preallocate_bytes));
+  }
+#endif
   return std::unique_ptr<WritableFile>(new PosixWritableFile(f));
 }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -16,6 +17,18 @@
 #include "common/status.h"
 
 namespace lo::storage {
+
+/// Creation hints for NewWritableFile. Both are best-effort: an Env that
+/// cannot honor them falls back to a plain create-and-truncate.
+struct WritableFileOptions {
+  /// Reserve this much space up front so appends never pay an
+  /// allocate-then-fsync metadata round trip (WAL preallocation).
+  uint64_t preallocate_bytes = 0;
+  /// Recycle an existing file's allocation instead of creating a fresh
+  /// one. Logical content is always truncated to empty — readers never
+  /// see stale records — only the underlying allocation is kept.
+  bool reuse = false;
+};
 
 /// Append-only file handle.
 class WritableFile {
@@ -49,6 +62,12 @@ class Env {
   virtual ~Env() = default;
 
   virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path) = 0;
+  /// Overload with creation hints; the default ignores them.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, const WritableFileOptions& opts) {
+    (void)opts;
+    return NewWritableFile(path);
+  }
   virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(const std::string& path) = 0;
   virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(const std::string& path) = 0;
 
@@ -68,9 +87,17 @@ class Env {
 
 /// In-memory filesystem. Also a fault-injection point: sync failures and
 /// torn tail writes (crash simulation) can be enabled per instance.
+///
+/// The namespace (create/open/delete/rename/list) is thread-safe so
+/// parallel sub-compaction workers can open inputs and create outputs
+/// concurrently. Individual file *contents* follow POSIX rules: one
+/// writer per file, readers only after the writer finalized it.
 class MemEnv : public Env {
  public:
+  using Env::NewWritableFile;
   Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, const WritableFileOptions& opts) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(const std::string& path) override;
   Result<std::unique_ptr<SequentialFile>> NewSequentialFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
@@ -94,6 +121,8 @@ class MemEnv : public Env {
   };
 
  private:
+  // Guards the files_ map (namespace operations), not file contents.
+  mutable std::mutex mu_;
   // shared_ptr: open handles stay valid across DeleteFile (POSIX unlink
   // semantics), which compaction relies on.
   std::unordered_map<std::string, std::shared_ptr<FileState>> files_;
@@ -102,7 +131,10 @@ class MemEnv : public Env {
 /// Real-filesystem Env for tools and examples.
 class PosixEnv : public Env {
  public:
+  using Env::NewWritableFile;
   Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, const WritableFileOptions& opts) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(const std::string& path) override;
   Result<std::unique_ptr<SequentialFile>> NewSequentialFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;

@@ -20,10 +20,9 @@ class FaultyWritableFile : public WritableFile {
       : env_(env), base_(std::move(base)) {}
 
   Status Append(std::string_view data) override {
-    if (!env_->ChargeWriteOp()) {
-      size_t torn = static_cast<size_t>(env_->rng_.Uniform(data.size() + 1));
+    size_t torn = 0;
+    if (!env_->ChargeAppend(data.size(), &torn)) {
       if (torn > 0) {
-        env_->stats_.torn_appends++;
         // A prefix of the write had already been flushed to the platter
         // when the lights went out (disks persist in page-sized units,
         // not record-sized ones). Sync it so the wrapped MemEnv's
@@ -38,8 +37,7 @@ class FaultyWritableFile : public WritableFile {
   }
 
   Status Sync() override {
-    if (env_->fail_syncs_) {
-      env_->stats_.injected_sync_failures++;
+    if (env_->SyncShouldFail()) {
       return Status::IOError("injected sync failure");
     }
     if (!env_->ChargeWriteOp()) return Crashed();
@@ -56,6 +54,11 @@ class FaultyWritableFile : public WritableFile {
 FaultyEnv::FaultyEnv(Env* base, uint64_t seed) : base_(base), rng_(seed) {}
 
 bool FaultyEnv::ChargeWriteOp() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return ChargeWriteOpLocked();
+}
+
+bool FaultyEnv::ChargeWriteOpLocked() {
   write_ops_++;
   if (crashed_) {
     stats_.failed_ops_while_crashed++;
@@ -69,20 +72,43 @@ bool FaultyEnv::ChargeWriteOp() {
   return true;
 }
 
+bool FaultyEnv::ChargeAppend(size_t data_size, size_t* torn) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  *torn = 0;
+  if (ChargeWriteOpLocked()) return true;
+  *torn = static_cast<size_t>(rng_.Uniform(data_size + 1));
+  if (*torn > 0) stats_.torn_appends++;
+  return false;
+}
+
+bool FaultyEnv::SyncShouldFail() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!fail_syncs_) return false;
+  stats_.injected_sync_failures++;
+  return true;
+}
+
 void FaultyEnv::CrashAfterWriteOps(uint64_t n) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   countdown_ = n;
   if (n > 0) crashed_ = false;
 }
 
 void FaultyEnv::Revive() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
   crashed_ = false;
   countdown_ = 0;
 }
 
 Result<std::unique_ptr<WritableFile>> FaultyEnv::NewWritableFile(
     const std::string& path) {
+  return NewWritableFile(path, WritableFileOptions{});
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::NewWritableFile(
+    const std::string& path, const WritableFileOptions& opts) {
   if (!ChargeWriteOp()) return Crashed();
-  LO_ASSIGN_OR_RETURN(auto file, base_->NewWritableFile(path));
+  LO_ASSIGN_OR_RETURN(auto file, base_->NewWritableFile(path, opts));
   return std::unique_ptr<WritableFile>(
       new FaultyWritableFile(this, std::move(file)));
 }

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/rng.h"
@@ -37,7 +38,10 @@ class FaultyEnv : public Env {
   /// Wraps `base` (not owned). `seed` drives torn-write lengths.
   explicit FaultyEnv(Env* base, uint64_t seed = 42);
 
+  using Env::NewWritableFile;
   Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, const WritableFileOptions& opts) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(const std::string& path) override;
   Result<std::unique_ptr<SequentialFile>> NewSequentialFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
@@ -55,15 +59,24 @@ class FaultyEnv : public Env {
   /// Clears the crashed state so the env accepts writes again (the
   /// "reboot" before recovery). The countdown stays disabled.
   void Revive();
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return crashed_;
+  }
 
   /// Forces every Sync() to fail with IOError until cleared. The data is
   /// still buffered (no crash) — models fsync returning EIO.
-  void FailSyncs(bool fail) { fail_syncs_ = fail; }
+  void FailSyncs(bool fail) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    fail_syncs_ = fail;
+  }
 
   /// Write-side ops observed so far (sizing the crash matrix: run the
   /// workload once fault-free, read this, then sweep 1..count).
-  uint64_t write_ops() const { return write_ops_; }
+  uint64_t write_ops() const {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return write_ops_;
+  }
 
   struct Stats {
     uint64_t injected_crashes = 0;
@@ -71,21 +84,33 @@ class FaultyEnv : public Env {
     uint64_t torn_appends = 0;
     uint64_t failed_ops_while_crashed = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return stats_;
+  }
 
  private:
   friend class FaultyWritableFile;
   /// Charges one write-side op; returns false if this op must fail
   /// (countdown hit zero or already crashed).
   bool ChargeWriteOp();
+  bool ChargeWriteOpLocked();
+  /// Append variant: on failure also draws the seeded torn-prefix length
+  /// into *torn under the same lock (concurrent appenders stay seeded
+  /// deterministically with respect to op order).
+  bool ChargeAppend(size_t data_size, size_t* torn);
+  bool SyncShouldFail();
 
   Env* base_;
-  Rng rng_;
-  uint64_t countdown_ = 0;  // 0 = disabled
-  bool crashed_ = false;
-  bool fail_syncs_ = false;
-  uint64_t write_ops_ = 0;
-  Stats stats_;
+  // Fault state is shared by every file handle; parallel sub-compaction
+  // workers append through this env concurrently.
+  mutable std::mutex fault_mu_;
+  Rng rng_;                 // guarded by fault_mu_
+  uint64_t countdown_ = 0;  // 0 = disabled; guarded by fault_mu_
+  bool crashed_ = false;    // guarded by fault_mu_
+  bool fail_syncs_ = false; // guarded by fault_mu_
+  uint64_t write_ops_ = 0;  // guarded by fault_mu_
+  Stats stats_;             // guarded by fault_mu_
 };
 
 }  // namespace lo::storage

@@ -1,0 +1,64 @@
+#include "storage/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace lo {
+namespace storage {
+
+namespace {
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+RateLimiter::RateLimiter(uint64_t bytes_per_sec)
+    : bytes_per_sec_(bytes_per_sec),
+      burst_bytes_(std::max<uint64_t>(bytes_per_sec / 4, 64 * 1024)) {
+  if (enabled()) {
+    tokens_ = burst_bytes_;
+    last_refill_us_ = NowMicros();
+  }
+}
+
+void RateLimiter::Refill(uint64_t now_us) {
+  if (now_us <= last_refill_us_) return;
+  uint64_t elapsed = now_us - last_refill_us_;
+  uint64_t add = elapsed * bytes_per_sec_ / 1000000;
+  if (add == 0) return;  // keep the remainder accruing in elapsed time
+  tokens_ = std::min(burst_bytes_, tokens_ + add);
+  last_refill_us_ = now_us;
+}
+
+void RateLimiter::Request(uint64_t bytes) {
+  if (!enabled() || bytes == 0) return;
+  // Oversized single requests are clamped to the burst so they can
+  // ever be satisfied; they still pay the full wait for one burst.
+  uint64_t need = std::min(bytes, burst_bytes_);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Refill(NowMicros());
+    if (tokens_ >= need) {
+      tokens_ -= need;
+      return;
+    }
+    uint64_t deficit = need - tokens_;
+    uint64_t wait_us = deficit * 1000000 / bytes_per_sec_ + 1;
+    throttled_us_ += wait_us;
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+    lock.lock();
+  }
+}
+
+uint64_t RateLimiter::throttled_us() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  return throttled_us_;
+}
+
+}  // namespace storage
+}  // namespace lo

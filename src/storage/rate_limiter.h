@@ -1,0 +1,43 @@
+// Token-bucket byte limiter for compaction I/O. Compaction threads
+// call Request(bytes) before reading or writing; when the bucket is
+// empty the caller sleeps until enough tokens accrue, which spreads
+// compaction I/O out in time so foreground commits see steady latency
+// instead of bursts. A rate of 0 disables limiting entirely (Request
+// returns immediately), which keeps the deterministic simulation path
+// free of wall-clock dependence.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace lo {
+namespace storage {
+
+class RateLimiter {
+ public:
+  /// bytes_per_sec == 0 disables the limiter. Burst capacity is ~250ms
+  /// worth of rate so small compactions pass through without sleeping.
+  explicit RateLimiter(uint64_t bytes_per_sec);
+
+  /// Takes `bytes` tokens, sleeping if the bucket is short. Safe to
+  /// call from multiple compaction workers concurrently.
+  void Request(uint64_t bytes);
+
+  uint64_t bytes_per_sec() const { return bytes_per_sec_; }
+  bool enabled() const { return bytes_per_sec_ != 0; }
+  /// Total microseconds spent sleeping in Request across all callers.
+  uint64_t throttled_us() const;
+
+ private:
+  void Refill(uint64_t now_us);
+
+  const uint64_t bytes_per_sec_;
+  const uint64_t burst_bytes_;
+  std::mutex mu_;
+  uint64_t tokens_ = 0;         // guarded by mu_
+  uint64_t last_refill_us_ = 0; // guarded by mu_
+  uint64_t throttled_us_ = 0;   // guarded by mu_
+};
+
+}  // namespace storage
+}  // namespace lo

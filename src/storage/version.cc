@@ -297,9 +297,14 @@ uint64_t VersionSet::MaxBytesForLevel(int level) const {
   return bytes;
 }
 
+void VersionSet::SetL0CompactionTrigger(int files) {
+  l0_compaction_trigger_ = std::max(files, 1);
+}
+
 double VersionSet::CompactionScore(int level) const {
   if (level == 0) {
-    return static_cast<double>(files_[0].size()) / 4.0;
+    return static_cast<double>(files_[0].size()) /
+           static_cast<double>(l0_compaction_trigger_);
   }
   return static_cast<double>(LevelBytes(level)) /
          static_cast<double>(MaxBytesForLevel(level));

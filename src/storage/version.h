@@ -5,6 +5,7 @@
 // shared_ptr-owned.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -101,11 +102,18 @@ class VersionSet {
   /// Applies the edit in memory and appends it to the manifest (synced).
   Status LogAndApply(VersionEdit* edit);
 
-  uint64_t NewFileNumber() { return next_file_number_++; }
+  /// Lock-free: sub-compaction workers allocate output file numbers
+  /// without holding the DB mutex.
+  uint64_t NewFileNumber() {
+    return next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Guarantees future NewFileNumber() results exceed n (recovery may
   /// find files newer than the last manifest record).
   void EnsureFileNumberAbove(uint64_t n) {
-    if (next_file_number_ <= n) next_file_number_ = n + 1;
+    uint64_t cur = next_file_number_.load(std::memory_order_relaxed);
+    while (cur <= n && !next_file_number_.compare_exchange_weak(
+                           cur, n + 1, std::memory_order_relaxed)) {
+    }
   }
   uint64_t log_number() const { return log_number_; }
   SequenceNumber last_sequence() const { return last_sequence_; }
@@ -133,6 +141,12 @@ class VersionSet {
   CompactionPick PickCompaction() const;
   bool NeedsCompaction() const;
 
+  /// L0 file count that makes the L0 compaction score reach 1.0. The DB
+  /// sets this from Options (sharded memtables flush one file per shard,
+  /// so the trigger scales with the shard count).
+  void SetL0CompactionTrigger(int files);
+  int l0_compaction_trigger() const { return l0_compaction_trigger_; }
+
   /// All live table numbers (for orphan cleanup on recovery).
   std::vector<uint64_t> LiveFiles() const;
 
@@ -152,7 +166,10 @@ class VersionSet {
   InternalKeyComparator icmp_;
 
   std::vector<FileMetaData> files_[kNumLevels];
-  uint64_t next_file_number_ = 2;  // 1 is reserved for the first manifest
+  // Atomic so compaction workers can mint file numbers off-mutex; 1 is
+  // reserved for the first manifest.
+  std::atomic<uint64_t> next_file_number_{2};
+  int l0_compaction_trigger_ = 4;
   uint64_t manifest_number_ = 1;
   uint64_t log_number_ = 0;
   SequenceNumber last_sequence_ = 0;

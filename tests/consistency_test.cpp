@@ -154,6 +154,25 @@ TEST(Determinism, IdenticalSeedsReplayIdenticalClusterRuns) {
   EXPECT_NE(std::get<0>(run(1234)), std::get<0>(run(999)));
 }
 
+// Registers a "counter" type whose add() is a read-modify-write over the
+// "value" field — the returned post-state doubles as a read-your-writes
+// probe (a stale read would repeat or skip a count).
+void RegisterCounterType(runtime::TypeRegistry* types) {
+  runtime::ObjectType type;
+  type.name = "counter";
+  type.methods["add"] = runtime::MethodImpl{
+      .kind = runtime::MethodKind::kReadWrite,
+      .native = [](runtime::InvocationContext& ctx,
+                   std::string) -> Task<Result<std::string>> {
+        auto current = co_await ctx.Get("value");
+        uint64_t value = current.ok() ? std::stoull(*current) : 0;
+        value += 1;
+        LO_CO_RETURN_IF_ERROR(co_await ctx.Set("value", std::to_string(value)));
+        co_return std::to_string(value);
+      }};
+  ASSERT_TRUE(types->Register(std::move(type)).ok());
+}
+
 // Lane-affinity invariant of the real-threaded sharded executor: two
 // invocations on the SAME object submitted from DIFFERENT client threads
 // are never reordered — both hash to one lane, whose queue is FIFO in
@@ -168,19 +187,7 @@ TEST(LaneAffinity, SameObjectCrossThreadSubmissionsExecuteInOrder) {
   db_options.serialize_access = true;
   auto db = std::move(*storage::DB::Open(db_options, "/db"));
   runtime::TypeRegistry types;
-  runtime::ObjectType type;
-  type.name = "counter";
-  type.methods["add"] = runtime::MethodImpl{
-      .kind = runtime::MethodKind::kReadWrite,
-      .native = [](runtime::InvocationContext& ctx,
-                   std::string) -> Task<Result<std::string>> {
-        auto current = co_await ctx.Get("value");
-        uint64_t value = current.ok() ? std::stoull(*current) : 0;
-        value += 1;
-        LO_CO_RETURN_IF_ERROR(co_await ctx.Set("value", std::to_string(value)));
-        co_return std::to_string(value);
-      }};
-  ASSERT_TRUE(types.Register(std::move(type)).ok());
+  RegisterCounterType(&types);
 
   runtime::ParallelNodeOptions node_options;
   node_options.lanes = 8;
@@ -241,6 +248,79 @@ TEST(LaneAffinity, SameObjectCrossThreadSubmissionsExecuteInOrder) {
   auto final_value = db->Get({}, runtime::FieldKey("shared", "value"));
   ASSERT_TRUE(final_value.ok());
   EXPECT_EQ(std::stoull(*final_value), static_cast<uint64_t>(2 * kRounds));
+}
+
+// Read-your-writes across memtable shard boundaries, through the full
+// runtime stack: with the DB's memtable split 8 ways, every counter
+// add() must observe the previous add()'s Set no matter which shard the
+// field key hashed to. Each returned post-state equals the op's ordinal,
+// so a single stale cross-shard read would skip or repeat a count. Four
+// client threads drive disjoint objects (whose keys scatter over the
+// shards), then a flush + compaction moves everything to SSTables and
+// one more add() per object proves the post-flush read path agrees.
+TEST(ShardedStorage, ReadYourWritesAcrossShardsUnderParallelNode) {
+  storage::MemEnv env;
+  storage::Options db_options;
+  db_options.env = &env;
+  db_options.serialize_access = true;
+  db_options.memtable_shards = 8;
+  auto db = std::move(*storage::DB::Open(db_options, "/db"));
+  runtime::TypeRegistry types;
+  RegisterCounterType(&types);
+
+  runtime::ParallelNodeOptions node_options;
+  node_options.lanes = 8;
+  node_options.group_commit.max_batch_delay_us = 50;
+  runtime::ParallelNode node(db.get(), &types, node_options);
+
+  constexpr int kThreads = 4;
+  constexpr int kObjectsPerThread = 4;
+  constexpr int kAddsPerObject = 50;
+  for (int t = 0; t < kThreads; t++) {
+    for (int o = 0; o < kObjectsPerThread; o++) {
+      std::string oid = "obj/" + std::to_string(t) + "/" + std::to_string(o);
+      ASSERT_TRUE(node.CreateObject(oid, "counter").get().ok());
+    }
+  }
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; t++) {
+    clients.emplace_back([&node, t] {
+      for (int o = 0; o < kObjectsPerThread; o++) {
+        std::string oid = "obj/" + std::to_string(t) + "/" + std::to_string(o);
+        for (int i = 1; i <= kAddsPerObject; i++) {
+          auto result = node.Invoke(oid, "add", "").get();
+          EXPECT_TRUE(result.ok()) << result.status().ToString();
+          if (result.ok()) {
+            // The post-state IS the read-your-writes check.
+            EXPECT_EQ(std::stoull(*result), static_cast<uint64_t>(i)) << oid;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  node.Drain();
+
+  storage::DB::Stats stats = db->GetStats();
+  EXPECT_EQ(stats.memtable_shards, 8u);
+
+  // Push every shard through flush + compaction, then make sure the
+  // SSTable read path tells the same story.
+  ASSERT_TRUE(db->CompactAll().ok());
+  for (int t = 0; t < kThreads; t++) {
+    for (int o = 0; o < kObjectsPerThread; o++) {
+      std::string oid = "obj/" + std::to_string(t) + "/" + std::to_string(o);
+      auto value = db->Get({}, runtime::FieldKey(oid, "value"));
+      ASSERT_TRUE(value.ok()) << oid;
+      EXPECT_EQ(std::stoull(*value), static_cast<uint64_t>(kAddsPerObject));
+      auto bumped = node.Invoke(oid, "add", "").get();
+      ASSERT_TRUE(bumped.ok());
+      EXPECT_EQ(std::stoull(*bumped),
+                static_cast<uint64_t>(kAddsPerObject) + 1);
+    }
+  }
+  node.Drain();
 }
 
 }  // namespace

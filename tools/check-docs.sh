@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Verifies that every relative markdown link in the repo's documentation
-# resolves to an existing file, so the docs index cannot rot silently.
-# Runs as part of the default ctest suite (test name: check_docs).
+# Documentation drift checks, run as part of the default ctest suite
+# (test name: check_docs):
+#   1. every relative markdown link resolves to an existing file;
+#   2. every LO_* environment knob referenced anywhere in the code
+#      appears in docs/tuning.md, the canonical knob table.
 set -u
 
 # Resolve the repo root from the script's own (symlink-free) location,
@@ -45,3 +47,29 @@ if [ -n "$broken" ]; then
   exit 1
 fi
 echo "all documentation links resolve"
+
+# Knob drift: every LO_* environment variable the code reads must be
+# documented in docs/tuning.md. Only quoted literals in C++ sources
+# count — a quoted LO_ name is a getenv-style knob; bare LO_ tokens are
+# macros (LO_CHECK, LO_SERVER_BIN_DEFAULT) and compile-time
+# identifiers, not knobs.
+tuning="$root/docs/tuning.md"
+if [ ! -f "$tuning" ]; then
+  echo "MISSING: docs/tuning.md (canonical knob table)"
+  exit 1
+fi
+missing=$(
+  grep -rhoE --include='*.cpp' --include='*.cc' --include='*.h' \
+    '"LO_[A-Z_]+"' \
+    "$root/src" "$root/bench" "$root/tools" "$root/tests" 2>/dev/null |
+    tr -d '"' | sort -u | while read -r knob; do
+    if ! grep -q "$knob" "$tuning"; then
+      echo "UNDOCUMENTED KNOB: $knob (add it to docs/tuning.md)"
+    fi
+  done
+)
+if [ -n "$missing" ]; then
+  echo "$missing"
+  exit 1
+fi
+echo "all LO_* knobs are documented in docs/tuning.md"

@@ -28,6 +28,12 @@
 //   --seed=N         workload generator seed (default 42)
 //   --gc-bytes=N     group-commit batch size cap
 //   --gc-delay-us=N  group-commit batch delay
+//   --memtable-shards=N  LSM memtable shards (power of two; default 1)
+//   --subcompactions=N   parallel sub-compactions per compaction (default 1)
+//   --compaction-rate-mb=N  compaction write cap, MB/s (0 = unlimited)
+//   --wal-prealloc-mb=N  preallocate WAL files to N MiB and recycle them
+//
+// See docs/tuning.md for how these interact with the workload.
 //
 // Prints "READY port=<p>" on stdout once listening (the harness and the
 // loopback smoke test parse it), then serves until SIGINT/SIGTERM or an
@@ -67,6 +73,10 @@ struct Flags {
   int64_t gc_bytes = -1;
   int64_t gc_delay_us = -1;
   int64_t block_cache_mb = -1;  // -1 = DB default; 0 = off
+  int64_t memtable_shards = -1;
+  int64_t subcompactions = -1;
+  int64_t compaction_rate_mb = -1;
+  int64_t wal_prealloc_mb = -1;  // >0 also turns on WAL recycling
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -107,6 +117,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.gc_delay_us = std::stoll(value);
     } else if (ParseFlag(argv[i], "block-cache-mb", &value)) {
       flags.block_cache_mb = std::stoll(value);
+    } else if (ParseFlag(argv[i], "memtable-shards", &value)) {
+      flags.memtable_shards = std::stoll(value);
+    } else if (ParseFlag(argv[i], "subcompactions", &value)) {
+      flags.subcompactions = std::stoll(value);
+    } else if (ParseFlag(argv[i], "compaction-rate-mb", &value)) {
+      flags.compaction_rate_mb = std::stoll(value);
+    } else if (ParseFlag(argv[i], "wal-prealloc-mb", &value)) {
+      flags.wal_prealloc_mb = std::stoll(value);
     } else {
       fprintf(stderr, "unknown flag: %s\n", argv[i]);
       exit(2);
@@ -139,6 +157,21 @@ int main(int argc, char** argv) {
   if (flags.block_cache_mb >= 0) {
     db_options.block_cache_bytes = static_cast<size_t>(flags.block_cache_mb)
                                    << 20;
+  }
+  if (flags.memtable_shards > 0) {
+    db_options.memtable_shards = static_cast<int>(flags.memtable_shards);
+  }
+  if (flags.subcompactions > 0) {
+    db_options.subcompactions = static_cast<int>(flags.subcompactions);
+  }
+  if (flags.compaction_rate_mb > 0) {
+    db_options.compaction_rate_bytes_per_sec =
+        static_cast<uint64_t>(flags.compaction_rate_mb) * 1024 * 1024;
+  }
+  if (flags.wal_prealloc_mb > 0) {
+    db_options.wal_preallocate_bytes =
+        static_cast<uint64_t>(flags.wal_prealloc_mb) << 20;
+    db_options.wal_recycle = true;
   }
   std::string db_name = flags.db_path.empty() ? "/db" : flags.db_path;
   auto opened = lo::storage::DB::Open(db_options, db_name);
