@@ -1,0 +1,345 @@
+// A11 — follower reads: read throughput vs replica count at a fixed
+// write rate (see EXPERIMENTS.md).
+//
+// Each arm runs a pure get_timeline closed loop against a fresh
+// aggregated deployment — reads routed through Client::InvokeRead under
+// one staleness contract (docs/replication.md) — while paced writers
+// append posts at a fixed aggregate rate, feeding the replication
+// stream. The sweep answers the tentpole question — how
+// much read throughput do epoch-gated backup replicas add — and pins the
+// cost of each contract: strict bounces when replication lags, bounded
+// trades slack for fewer bounces, eventual never bounces, chain-tail is
+// the linearizable-read ablation arm.
+//
+// Knobs: LO_FOLLOWER_READS / LO_STALENESS_EPOCHS append an extra
+// env-selected arm; LO_BENCH_QUICK=1 shrinks the sweep. `--smoke` is the
+// ctest regression guard: it fails if eventual mode stops serving the
+// majority of reads from followers, or if a sequential strict client
+// ever fails read-your-writes.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/log.h"
+#include "replication/replicator.h"
+
+namespace lo::bench {
+namespace {
+
+// Fixed write load across every arm: paced writers, not part of the
+// measured closed loop, so the read throughput axis is not polluted by
+// create_post's celebrity fan-out tail.
+constexpr int kWriters = 10;
+constexpr int kWritesPerWriterPerSec = 50;  // 500 writes/s aggregate
+
+struct ArmSpec {
+  std::string label;
+  int replicas;
+  replication::Mode repl_mode;
+  replication::ReadMode read_mode;
+  uint64_t staleness_epochs;
+  /// The headline arms run uncached so the axis is read *execution*
+  /// capacity (the §4.2.2 cache is A2's win and hides it: a cached hit
+  /// never reaches the CPU model). One cached arm shows the compounding
+  /// and the remote-invalidation traffic.
+  bool result_cache = false;
+};
+
+struct ArmResult {
+  retwis::DriverResult run;
+  uint64_t reads_issued = 0;
+  uint64_t writes_issued = 0;
+  // Client-side view: reads answered by a backup / bounced to the primary.
+  uint64_t follower_reads = 0;
+  uint64_t read_bounces = 0;
+  // Node-side counters summed over the replica set.
+  double node_follower_reads = 0;
+  double node_epoch_bounces = 0;
+  double remote_invalidations = 0;
+  double read_tput = 0;
+  double write_tput = 0;
+  double follower_fraction = 0;  // follower-served share of issued reads
+  double primary_cpu_util = 0;   // node 0 busy-core share of the whole run
+};
+
+// One paced writer: create_post at a fixed rate until the run ends
+// (the frame is torn down with the simulator).
+sim::Task<void> WriterTask(cluster::Client* client,
+                           const retwis::Workload* workload, sim::Simulator* sim,
+                           uint64_t seed, sim::Duration interval,
+                           uint64_t* writes, uint64_t* errors) {
+  Rng rng(seed);
+  // Zipf-targeted appends, so the cached arm's hot timelines keep being
+  // invalidated over the replication stream while they are read hot.
+  ZipfGenerator zipf(workload->config().num_users,
+                     workload->config().zipf_alpha);
+  uint64_t n = 0;
+  for (;;) {
+    retwis::Post post{"writer", 0, "post-" + std::to_string(++n)};
+    std::string oid = workload->UserId(zipf.Sample(rng));
+    auto result = co_await client->Invoke(oid, "store_post", post.Encode());
+    if (result.ok()) {
+      (*writes)++;
+    } else {
+      (*errors)++;
+    }
+    co_await sim->Sleep(interval);
+  }
+}
+
+ArmResult RunArm(const ArmSpec& arm, const ExperimentConfig& config) {
+  retwis::Workload workload(config.workload);
+  sim::Simulator sim(config.seed);
+  runtime::TypeRegistry types;
+  LO_CHECK(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  obs::MetricsRegistry registry;
+
+  cluster::DeploymentOptions options;
+  options.num_storage_nodes = arm.replicas;
+  options.node.replication_mode = arm.repl_mode;
+  // Small nodes, so the primary's read path is the binding constraint:
+  // the default 20-core nodes never saturate under this closed loop and
+  // every arm measures client-side latency instead of read capacity.
+  options.node.cores = 4;
+  options.node.runtime.enable_result_cache = arm.result_cache;
+  ApplyParallelismKnobs(config, &options.node);
+  options.client.request_timeout = sim::Seconds(5);
+  options.client.read_mode = arm.read_mode;
+  options.client.staleness_epochs = arm.staleness_epochs;
+  options.metrics_registry = &registry;
+  cluster::AggregatedDeployment deployment(sim, &types, options);
+  deployment.WaitUntilReady();
+  for (int i = 0; i < deployment.num_nodes(); i++) {
+    LO_CHECK(workload.SeedDb(&deployment.node(i).db()).ok());
+  }
+
+  ArmResult out;
+  uint64_t write_errors = 0;
+  for (int i = 0; i < kWriters; i++) {
+    cluster::Client* writer = &deployment.NewClient();
+    sim::Detach(WriterTask(writer, &workload, &sim, config.seed * 31 + i,
+                           sim::Micros(1'000'000 / kWritesPerWriterPerSec),
+                           &out.writes_issued, &write_errors));
+  }
+  std::vector<retwis::Invoker> invokers;
+  std::vector<cluster::Client*> clients;
+  for (int i = 0; i < config.num_clients; i++) {
+    cluster::Client* client = &deployment.NewClient();
+    clients.push_back(client);
+    invokers.push_back([client, &out](const retwis::Request& request) {
+      out.reads_issued++;
+      return client->InvokeRead(request.oid, request.method, request.argument);
+    });
+  }
+  retwis::DriverConfig driver;
+  driver.warmup = config.warmup;
+  driver.measure = config.measure;
+  driver.seed = config.seed;
+  out.run = retwis::RunClosedLoop(sim, workload, retwis::OpType::kGetTimeline,
+                                  std::move(invokers), driver);
+
+  for (const cluster::Client* client : clients) {
+    out.follower_reads += client->metrics().follower_reads;
+    out.read_bounces += client->metrics().read_bounces;
+  }
+  for (const auto& sample : registry.Snapshot()) {
+    if (sample.name == "repl.follower_reads") {
+      out.node_follower_reads += sample.value;
+    } else if (sample.name == "repl.epoch_bounces") {
+      out.node_epoch_bounces += sample.value;
+    } else if (sample.name == "result_cache.remote_invalidations") {
+      out.remote_invalidations += sample.value;
+    }
+  }
+  LO_CHECK_MSG(write_errors == 0, "paced writers hit request errors");
+  out.read_tput = out.run.Throughput();
+  out.write_tput =
+      sim.Now() > 0 ? out.writes_issued / (sim.Now() / 1e9) : 0;
+  out.follower_fraction =
+      out.reads_issued > 0
+          ? static_cast<double>(out.follower_reads) / out.reads_issued
+          : 0;
+  const sim::CpuModel& cpu = deployment.node(0).cpu();
+  if (sim.Now() > 0) {
+    out.primary_cpu_util = static_cast<double>(cpu.busy_core_ns()) /
+                           (static_cast<double>(cpu.cores()) * sim.Now());
+  }
+  return out;
+}
+
+// Sequential strict client: every read after an acked write must see it.
+// Run as a coroutine with by-value parameters (the frame outlives main's
+// scope between Steps).
+sim::Task<void> StrictProbeTask(cluster::Client* client, std::string oid,
+                                int iterations, uint64_t* violations,
+                                uint64_t* errors, bool* done) {
+  for (int i = 0; i < iterations; i++) {
+    std::string msg = "ryw-probe-" + std::to_string(i);
+    auto write = co_await client->Invoke(oid, "create_post", msg);
+    if (!write.ok()) {
+      (*errors)++;
+      continue;
+    }
+    auto read =
+        co_await client->InvokeRead(oid, "get_timeline", retwis::EncodeU64(1));
+    if (!read.ok()) {
+      (*errors)++;
+    } else if (read->find(msg) == std::string::npos) {
+      (*violations)++;
+    }
+  }
+  *done = true;
+}
+
+uint64_t StrictProbe(const ExperimentConfig& config, int iterations) {
+  retwis::Workload workload(config.workload);
+  sim::Simulator sim(config.seed + 1);
+  runtime::TypeRegistry types;
+  LO_CHECK(retwis::RegisterUserType(&types, /*use_vm=*/true).ok());
+  cluster::DeploymentOptions options;
+  options.num_storage_nodes = 3;
+  options.node.runtime.enable_result_cache = true;
+  options.client.request_timeout = sim::Seconds(5);
+  options.client.read_mode = replication::ReadMode::kStrict;
+  cluster::AggregatedDeployment deployment(sim, &types, options);
+  deployment.WaitUntilReady();
+  for (int i = 0; i < deployment.num_nodes(); i++) {
+    LO_CHECK(workload.SeedDb(&deployment.node(i).db()).ok());
+  }
+  cluster::Client& client = deployment.NewClient();
+  uint64_t violations = 0, errors = 0;
+  bool done = false;
+  sim::Detach(StrictProbeTask(&client, workload.UserId(0), iterations,
+                              &violations, &errors, &done));
+  while (!done) sim.Step();
+  LO_CHECK_MSG(errors == 0, "strict probe hit request errors");
+  return violations;
+}
+
+int Main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  ExperimentConfig config = MaybeQuick(ExperimentConfig{});
+  if (smoke && !config.quick) {
+    config.quick = true;
+    config.workload.num_users = 500;
+    config.measure = sim::Millis(300);
+    config.warmup = sim::Millis(50);
+  }
+  // Read capacity only shows once the primary saturates: this sweep
+  // runs more closed-loop clients than the headline figures so the
+  // offered read load exceeds one node's cores (cf. primary_cpu_util
+  // in the output — ~1.0 for primary_only, lower once follower serving
+  // spreads the same load).
+  config.num_clients = config.quick ? 80 : 300;
+
+  using replication::Mode;
+  using replication::ReadMode;
+  std::vector<ArmSpec> arms = {
+      {"primary_only_3", 3, Mode::kPrimaryBackup, ReadMode::kPrimaryOnly, 0},
+      {"eventual_2", 2, Mode::kPrimaryBackup, ReadMode::kEventual, 0},
+      {"eventual_3", 3, Mode::kPrimaryBackup, ReadMode::kEventual, 0},
+      {"eventual_3_cached", 3, Mode::kPrimaryBackup, ReadMode::kEventual, 0,
+       /*result_cache=*/true},
+      {"strict_3", 3, Mode::kPrimaryBackup, ReadMode::kStrict, 0},
+      {"bounded_3", 3, Mode::kPrimaryBackup, ReadMode::kBounded, 8},
+      {"chain_tail_3", 3, Mode::kChain, ReadMode::kTail, 0},
+  };
+  const char* mode_env = std::getenv("LO_FOLLOWER_READS");
+  if (mode_env != nullptr && mode_env[0] != '\0') {
+    ReadMode mode = replication::ParseReadMode(mode_env, ReadMode::kEventual);
+    uint64_t slack = 0;
+    const char* slack_env = std::getenv("LO_STALENESS_EPOCHS");
+    if (slack_env != nullptr && slack_env[0] != '\0') {
+      slack = std::strtoull(slack_env, nullptr, 10);
+    }
+    arms.push_back({"env_" + std::string(replication::ReadModeName(mode)) +
+                        "_3",
+                    3, Mode::kPrimaryBackup, mode, slack});
+  }
+  if (smoke) {
+    std::vector<ArmSpec> kept;
+    for (const auto& arm : arms) {
+      if (arm.label == "primary_only_3" || arm.label == "eventual_3" ||
+          arm.label == "strict_3") {
+        kept.push_back(arm);
+      }
+    }
+    arms = std::move(kept);
+  }
+
+  PrintHeader(
+      "A11 — follower reads: get_timeline throughput vs replicas "
+      "(500 store_post/s paced)");
+  PrintRow("%-16s %5s %9s %9s %7s %7s %9s %9s %8s %8s %7s", "config", "repl",
+           "read/s", "write/s", "p50us", "p99us", "follower", "bounces",
+           "f.frac", "rem.inv", "p.util");
+
+  double primary_read_tput = 0, eventual3_read_tput = 0;
+  double eventual3_fraction = -1;
+  for (const auto& arm : arms) {
+    ArmResult r = RunArm(arm, config);
+    PrintRow("%-16s %5d %9.0f %9.0f %7" PRId64 " %7" PRId64
+             " %9" PRIu64 " %9" PRIu64 " %8.3f %8.0f %7.2f",
+             arm.label.c_str(), arm.replicas, r.read_tput, r.write_tput,
+             r.run.latency_us.Percentile(0.5), r.run.latency_us.Percentile(0.99),
+             r.follower_reads, r.read_bounces, r.follower_fraction,
+             r.remote_invalidations, r.primary_cpu_util);
+    std::printf(
+        "{\"experiment\":\"A11\",\"config\":\"%s\",\"replicas\":%d,"
+        "\"read_mode\":\"%s\",\"staleness_epochs\":%" PRIu64
+        ",\"read_tput\":%.1f,\"write_tput\":%.1f,\"total_tput\":%.1f,"
+        "\"p50_us\":%" PRId64 ",\"p99_us\":%" PRId64
+        ",\"repl.follower_reads\":%.0f,\"repl.epoch_bounces\":%.0f,"
+        "\"result_cache.remote_invalidations\":%.0f,"
+        "\"client_follower_reads\":%" PRIu64 ",\"client_read_bounces\":%" PRIu64
+        ",\"follower_fraction\":%.3f,\"primary_cpu_util\":%.3f,\"errors\":%"
+        PRIu64 "}\n",
+        arm.label.c_str(), arm.replicas,
+        std::string(replication::ReadModeName(arm.read_mode)).c_str(),
+        arm.staleness_epochs, r.read_tput, r.write_tput, r.run.Throughput(),
+        r.run.latency_us.Percentile(0.5), r.run.latency_us.Percentile(0.99),
+        r.node_follower_reads, r.node_epoch_bounces, r.remote_invalidations,
+        r.follower_reads, r.read_bounces, r.follower_fraction,
+        r.primary_cpu_util, r.run.errors);
+    if (arm.label == "primary_only_3") primary_read_tput = r.read_tput;
+    if (arm.label == "eventual_3") {
+      eventual3_read_tput = r.read_tput;
+      eventual3_fraction = r.follower_fraction;
+    }
+  }
+  if (primary_read_tput > 0 && eventual3_read_tput > 0) {
+    PrintRow("eventual_3 / primary_only_3 read throughput: %.2fx",
+             eventual3_read_tput / primary_read_tput);
+  }
+
+  if (smoke) {
+    int failures = 0;
+    if (eventual3_fraction < 0.5) {
+      std::fprintf(stderr,
+                   "FAIL: eventual_3 follower-served fraction %.3f < 0.5\n",
+                   eventual3_fraction);
+      failures++;
+    }
+    uint64_t violations = StrictProbe(config, /*iterations=*/25);
+    if (violations > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %" PRIu64 " strict read-your-writes violations\n",
+                   violations);
+      failures++;
+    } else {
+      PrintRow("strict probe: 25/25 read-your-writes reads consistent");
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lo::bench
+
+int main(int argc, char** argv) { return lo::bench::Main(argc, argv); }

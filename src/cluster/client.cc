@@ -19,8 +19,37 @@ Client::Client(sim::Network& net, sim::NodeId id,
                           &metrics_.config_refreshes);
     reg->RegisterExternal("client.budget_exhausted", id,
                           &metrics_.budget_exhausted);
+    reg->RegisterExternal("client.follower_reads", id, &metrics_.follower_reads);
+    reg->RegisterExternal("client.read_bounces", id, &metrics_.read_bounces);
     invoke_latency_us_ = reg->GetHistogram("client.invoke_latency_us", id);
   }
+}
+
+void Client::ObserveToken(coord::ShardId shard,
+                          const replication::EpochToken& token) {
+  replication::EpochToken& held = tokens_[shard];
+  if (token.epoch > held.epoch) {
+    held = token;
+  } else if (token.epoch == held.epoch) {
+    held.seq = std::max(held.seq, token.seq);
+  }
+}
+
+Result<std::string> Client::UnwrapToken(coord::ShardId shard,
+                                        Result<std::string> wrapped) {
+  if (!wrapped.ok()) return wrapped;
+  replication::EpochToken token;
+  std::string_view body;
+  if (!replication::DecodeTokenWrapped(*wrapped, &token, &body)) {
+    return Status::Corruption("bad token-wrapped response");
+  }
+  ObserveToken(shard, token);
+  return std::string(body);
+}
+
+replication::EpochToken Client::TokenFor(const std::string& oid) const {
+  auto it = tokens_.find(shard_map_.ShardFor(oid));
+  return it == tokens_.end() ? replication::EpochToken{} : it->second;
 }
 
 obs::TraceContext Client::StartRootTrace() {
@@ -109,8 +138,64 @@ sim::Task<Result<std::string>> Client::Invoke(std::string oid, std::string metho
   PutLengthPrefixed(&payload, NextInvocationToken());
   obs::TraceContext trace = StartRootTrace();
   sim::Time started = rpc_.sim().Now();
-  auto result =
-      co_await CallWithRouting(oid, "lambda.invoke", std::move(payload), trace);
+  auto wrapped =
+      co_await CallWithRouting(oid, "lambda.invoke2", std::move(payload), trace);
+  auto result = UnwrapToken(shard_map_.ShardFor(oid), std::move(wrapped));
+  FinishRootTrace(trace, started);
+  co_return result;
+}
+
+sim::Task<Result<std::string>> Client::InvokeRead(std::string oid,
+                                                  std::string method,
+                                                  std::string argument) {
+  metrics_.requests++;
+  if (shard_map_.empty() && !coordinators_.empty()) co_await RefreshConfig();
+  coord::ShardId shard = shard_map_.ShardFor(oid);
+  const coord::ShardConfig* config = shard_map_.ConfigFor(shard);
+  replication::ReadMode mode = options_.read_mode;
+  replication::EpochToken token = TokenFor(oid);
+  // Request: LP oid | LP method | LP arg | varint32 mode |
+  //          varint64 token.epoch | varint64 token.seq | varint64 staleness.
+  // The same payload works at the bounce target: the primary ignores the
+  // gate (it always serves).
+  std::string payload;
+  PutLengthPrefixed(&payload, oid);
+  PutLengthPrefixed(&payload, method);
+  PutLengthPrefixed(&payload, argument);
+  PutVarint32(&payload, static_cast<uint32_t>(mode));
+  PutVarint64(&payload, token.epoch);
+  PutVarint64(&payload, token.seq);
+  PutVarint64(&payload, options_.staleness_epochs);
+  obs::TraceContext trace = StartRootTrace();
+  sim::Time started = rpc_.sim().Now();
+  // Replica choice: chain tail for kTail, otherwise uniform over the
+  // whole replica set (primary included — it carries its share of reads).
+  if (mode != replication::ReadMode::kPrimaryOnly && config != nullptr &&
+      !config->backups.empty()) {
+    sim::NodeId target = 0;
+    if (mode == replication::ReadMode::kTail) {
+      target = config->backups.back();
+    } else {
+      size_t which = rpc_.sim().rng().Uniform(config->backups.size() + 1);
+      if (which < config->backups.size()) target = config->backups[which];
+    }
+    if (target != 0) {
+      auto reply = co_await rpc_.Call(target, "lambda.read", payload,
+                                      options_.request_timeout, trace);
+      if (reply.ok()) {
+        metrics_.follower_reads++;
+        FinishRootTrace(trace, started);
+        co_return UnwrapToken(shard, std::move(reply));
+      }
+      if (reply.status().code() == StatusCode::kEpochBehind) {
+        metrics_.read_bounces++;
+      }
+      // Bounce / failure: fall through to the primary path below.
+    }
+  }
+  auto wrapped =
+      co_await CallWithRouting(oid, "lambda.read", std::move(payload), trace);
+  auto result = UnwrapToken(shard, std::move(wrapped));
   FinishRootTrace(trace, started);
   co_return result;
 }
@@ -154,7 +239,8 @@ sim::Task<Result<std::string>> Client::Create(std::string oid,
   PutLengthPrefixed(&payload, oid);
   PutLengthPrefixed(&payload, type_name);
   PutLengthPrefixed(&payload, NextInvocationToken());
-  co_return co_await CallWithRouting(oid, "lambda.create", std::move(payload));
+  auto wrapped = co_await CallWithRouting(oid, "lambda.create2", std::move(payload));
+  co_return UnwrapToken(shard_map_.ShardFor(oid), std::move(wrapped));
 }
 
 sim::Task<Status> Client::MigrateObject(const std::string& oid,

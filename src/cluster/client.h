@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "coord/coordinator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "replication/replicator.h"
 #include "sim/rpc.h"
 
 namespace lo::cluster {
@@ -34,6 +36,14 @@ struct ClientOptions {
   /// invoke latency histogram.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics_registry = nullptr;
+  /// Staleness contract for InvokeRead (LO_FOLLOWER_READS):
+  /// kPrimaryOnly routes every read to the primary; the other modes
+  /// spread reads across the shard's replicas, carrying the client's
+  /// epoch token so a lagging backup bounces rather than serving stale
+  /// state (docs/replication.md).
+  replication::ReadMode read_mode = replication::ReadMode::kPrimaryOnly;
+  /// Epoch slack a kBounded read tolerates (LO_STALENESS_EPOCHS).
+  uint64_t staleness_epochs = 0;
 };
 
 class Client {
@@ -56,7 +66,21 @@ class Client {
   sim::Task<Result<std::string>> InvokeReadAny(std::string oid, std::string method,
                                                std::string argument);
 
+  /// Epoch-gated follower read ("lambda.read"): routes a deterministic
+  /// read-only method per `options.read_mode` — to the primary
+  /// (kPrimaryOnly), a uniformly random replica (kStrict / kBounded /
+  /// kEventual) or the chain tail (kTail) — carrying this client's epoch
+  /// token. A backup whose apply state does not cover the token answers
+  /// kEpochBehind and the read falls back to the primary (counted in
+  /// metrics().read_bounces), so read-your-writes holds in kStrict mode.
+  sim::Task<Result<std::string>> InvokeRead(std::string oid, std::string method,
+                                            std::string argument);
+
   sim::Task<Result<std::string>> Create(std::string oid, std::string type_name);
+
+  /// The epoch token this client holds for `oid`'s shard (what its next
+  /// follower read would present). Zero until a write of this client acked.
+  replication::EpochToken TokenFor(const std::string& oid) const;
 
   /// Asks the coordinator to move `oid` to `shard` and orchestrates the
   /// copy: extract at the current primary, install at the new one,
@@ -69,6 +93,11 @@ class Client {
     uint64_t config_refreshes = 0;
     /// Requests abandoned because the retry budget ran out.
     uint64_t budget_exhausted = 0;
+    /// InvokeRead requests answered by a backup replica.
+    uint64_t follower_reads = 0;
+    /// InvokeRead requests a backup bounced (kEpochBehind) and the
+    /// client re-issued at the primary.
+    uint64_t read_bounces = 0;
   };
   const Metrics& metrics() const { return metrics_; }
 
@@ -89,11 +118,20 @@ class Client {
   /// re-send and skips the re-apply instead of double-applying.
   std::string NextInvocationToken();
 
+  /// Folds a token from a write ack into the per-shard token map: a newer
+  /// config epoch supersedes; within an epoch the sequence only advances.
+  void ObserveToken(coord::ShardId shard, const replication::EpochToken& token);
+  /// Unwraps a token-wrapped response, folds the token in, returns the body.
+  Result<std::string> UnwrapToken(coord::ShardId shard,
+                                  Result<std::string> wrapped);
+
   sim::RpcEndpoint rpc_;
   ClientOptions options_;
   std::vector<sim::NodeId> coordinators_;
   ShardMap shard_map_;
   Metrics metrics_;
+  /// Last token observed per shard — what this client knows it has written.
+  std::map<coord::ShardId, replication::EpochToken> tokens_;
   uint64_t next_token_ = 1;
   Histogram* invoke_latency_us_ = nullptr;  // owned by the registry
 };

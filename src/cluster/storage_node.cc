@@ -66,6 +66,12 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   replicator_->SetApplyHook([this](const storage::WriteBatch& batch) {
     runtime_->OnExternalCommit(batch);
   });
+  // Promotion (backup -> primary) drops the whole result cache: entries
+  // cached while backup belong to the old primary's history and must not
+  // be served under the new epoch (failover read-safety).
+  replicator_->SetPromotionHook([this](replication::ShardId, uint64_t) {
+    runtime_->ClearResultCache();
+  });
 
   // The node's WAL device: serial fsyncs, group commit (the sink runs
   // once per group — one replication round per fsync, both amortized).
@@ -127,6 +133,17 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   rpc_.Handle("lambda.create", [this](sim::NodeId from, std::string payload) {
     return HandleCreate(from, std::move(payload));
   });
+  rpc_.Handle("lambda.invoke2", [this](sim::NodeId from, obs::TraceContext trace,
+                                       std::string payload) {
+    return HandleInvoke2(from, trace, std::move(payload));
+  });
+  rpc_.Handle("lambda.create2", [this](sim::NodeId from, std::string payload) {
+    return HandleCreate2(from, std::move(payload));
+  });
+  rpc_.Handle("lambda.read", [this](sim::NodeId from, obs::TraceContext trace,
+                                    std::string payload) {
+    return HandleRead(from, trace, std::move(payload));
+  });
   rpc_.Handle("kv.get", [this](sim::NodeId from, std::string payload) {
     return HandleKvGet(from, std::move(payload));
   });
@@ -187,6 +204,8 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
   const runtime::ResultCache::Stats& cache = runtime_->cache_stats();
   reg->RegisterExternal("runtime.cache_hits", node, &cache.hits);
   reg->RegisterExternal("runtime.cache_misses", node, &cache.misses);
+  reg->RegisterExternal("result_cache.remote_invalidations", node,
+                        &cache.remote_invalidations);
   // Replicator.
   const replication::Replicator::Metrics& repl = replicator_->metrics();
   reg->RegisterExternal("repl.replicated_batches", node,
@@ -198,6 +217,13 @@ void StorageNode::RegisterMetrics(obs::MetricsRegistry* reg) {
                         &repl.stale_epoch_rejections);
   reg->RegisterExternal("repl.failed_peer_acks", node, &repl.failed_peer_acks);
   reg->RegisterExternal("repl.promotions", node, &repl.promotions);
+  // Follower-read path: served-at-backup count, bounce count, and this
+  // node's apply-epoch (highest applied replication seq across shards).
+  reg->RegisterExternal("repl.follower_reads", node, &metrics_.follower_reads);
+  reg->RegisterExternal("repl.epoch_bounces", node, &metrics_.epoch_bounces);
+  reg->RegisterCallback("repl.apply_epoch", node, [this] {
+    return static_cast<double>(replicator_->max_applied_seq());
+  });
   // WAL group commit: how well fsyncs amortize over commits.
   const WalGroupCommitter::Stats& gc = group_committer_->stats();
   reg->RegisterExternal("gc.commits", node, &gc.commits);
@@ -411,6 +437,79 @@ sim::Task<Result<std::string>> StorageNode::HandleCreate(sim::NodeId,
   co_return co_await runtime_->CreateObject(runtime::ObjectId(oid),
                                             std::string(type_name),
                                             std::string(token));
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleInvoke2(sim::NodeId from,
+                                                          obs::TraceContext trace,
+                                                          std::string payload) {
+  std::string_view oid, method, argument, token;
+  if (!DecodeInvoke(payload, &oid, &method, &argument, &token)) {
+    co_return Status::Corruption("bad invoke payload");
+  }
+  coord::ShardId shard = shard_map_.ShardFor(oid);
+  auto result = co_await HandleInvoke(from, trace, std::move(payload));
+  if (!result.ok()) co_return result.status();
+  co_return replication::EncodeTokenWrapped(replicator_->ApplyToken(shard),
+                                            *result);
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleCreate2(sim::NodeId from,
+                                                          std::string payload) {
+  Reader reader{payload};
+  std::string_view oid;
+  if (!reader.GetLengthPrefixed(&oid)) {
+    co_return Status::Corruption("bad create payload");
+  }
+  coord::ShardId shard = shard_map_.ShardFor(oid);
+  auto result = co_await HandleCreate(from, std::move(payload));
+  if (!result.ok()) co_return result.status();
+  co_return replication::EncodeTokenWrapped(replicator_->ApplyToken(shard),
+                                            *result);
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleRead(sim::NodeId,
+                                                       obs::TraceContext trace,
+                                                       std::string payload) {
+  // Request: LP oid | LP method | LP arg | varint32 mode |
+  //          varint64 token.epoch | varint64 token.seq | varint64 staleness.
+  Reader reader{payload};
+  std::string_view oid, method, argument;
+  uint32_t mode_raw = 0;
+  replication::EpochToken token;
+  uint64_t staleness = 0;
+  if (!reader.GetLengthPrefixed(&oid) || !reader.GetLengthPrefixed(&method) ||
+      !reader.GetLengthPrefixed(&argument) || !reader.GetVarint32(&mode_raw) ||
+      !reader.GetVarint64(&token.epoch) || !reader.GetVarint64(&token.seq) ||
+      !reader.GetVarint64(&staleness) ||
+      mode_raw > static_cast<uint32_t>(replication::ReadMode::kTail)) {
+    co_return Status::Corruption("bad read payload");
+  }
+  auto mode = static_cast<replication::ReadMode>(mode_raw);
+  sim::Time dispatch_started = rpc_.sim().Now();
+  co_await rpc_.sim().Sleep(options_.dispatch_overhead);
+  RecordSpan(trace, "dispatch", dispatch_started);
+  if (migrated_away_.contains(std::string(oid))) {
+    co_return Status::WrongNode("object migrated away");
+  }
+  coord::ShardId shard = shard_map_.ShardFor(oid);
+  bool primary = IsPrimaryFor(oid);
+  if (!primary) {
+    if (!IsReplicaFor(oid)) co_return Status::WrongNode("not a replica for object");
+    if (!MethodIsReadOnly(oid, method)) {
+      co_return Status::NotPrimary("mutating method on a backup");
+    }
+    Status gate = replicator_->CheckFollowerRead(shard, token, mode, staleness);
+    if (!gate.ok()) {
+      metrics_.epoch_bounces++;
+      co_return gate;
+    }
+  }
+  auto result = co_await InvokeLocal(runtime::ObjectId(oid), std::string(method),
+                                     std::string(argument), trace);
+  if (!result.ok()) co_return result.status();
+  if (!primary) metrics_.follower_reads++;
+  co_return replication::EncodeTokenWrapped(replicator_->ApplyToken(shard),
+                                            *result);
 }
 
 sim::Task<Result<std::string>> StorageNode::HandleKvGet(sim::NodeId,

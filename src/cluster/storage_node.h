@@ -4,6 +4,12 @@
 // replicator, a CPU model (worker cores) and an RPC endpoint exposing:
 //   lambda.invoke   invoke a method (clients and peer nodes)
 //   lambda.create   instantiate an object
+//   lambda.invoke2 / lambda.create2   token-wrapped variants: the
+//                   response carries the shard's apply token (epoch +
+//                   seq) so clients can do read-your-writes follower reads
+//   lambda.read     epoch-gated read-only invocation, served at the
+//                   primary or at any backup whose apply state covers
+//                   the client's token (docs/replication.md)
 //   kv.get/kv.put/kv.batch   raw storage access — this is the service the
 //                   disaggregated baseline uses, so both architectures
 //                   run on the byte-identical storage stack
@@ -115,6 +121,11 @@ class StorageNode {
     uint64_t kv_ops_served = 0;
     uint64_t objects_migrated_out = 0;
     uint64_t objects_migrated_in = 0;
+    /// lambda.read requests served while this node was a backup.
+    uint64_t follower_reads = 0;
+    /// lambda.read requests bounced because this backup's apply state
+    /// did not cover the client's epoch token (strict/bounded gate).
+    uint64_t epoch_bounces = 0;
   };
   const Metrics& metrics() const { return metrics_; }
 
@@ -131,6 +142,19 @@ class StorageNode {
                                               obs::TraceContext trace,
                                               std::string payload);
   sim::Task<Result<std::string>> HandleCreate(sim::NodeId from, std::string payload);
+  /// Token-wrapped variants: same request wire format, response prefixed
+  /// with this node's apply token (epoch + seq) for the object's shard so
+  /// clients can do read-your-writes follower reads.
+  sim::Task<Result<std::string>> HandleInvoke2(sim::NodeId from,
+                                               obs::TraceContext trace,
+                                               std::string payload);
+  sim::Task<Result<std::string>> HandleCreate2(sim::NodeId from, std::string payload);
+  /// Epoch-gated read path ("lambda.read"): serves deterministic
+  /// read-only invocations at the primary or any backup whose apply
+  /// state satisfies the client's token, else kEpochBehind.
+  sim::Task<Result<std::string>> HandleRead(sim::NodeId from,
+                                            obs::TraceContext trace,
+                                            std::string payload);
   sim::Task<Result<std::string>> HandleKvGet(sim::NodeId from, std::string payload);
   sim::Task<Result<std::string>> HandleKvPut(sim::NodeId from,
                                              obs::TraceContext trace,

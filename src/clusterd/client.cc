@@ -42,6 +42,12 @@ Result<std::string> Client::Invoke(const std::string& oid,
   return remote_.Invoke(oid, method, argument);
 }
 
+Result<std::string> Client::InvokeRead(const std::string& oid,
+                                       const std::string& method,
+                                       const std::string& argument) {
+  return remote_.InvokeRead(oid, method, argument);
+}
+
 Result<std::string> Client::Create(const std::string& oid,
                                    const std::string& type_name) {
   return remote_.Create(oid, type_name);

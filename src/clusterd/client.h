@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "clusterd/wire.h"
 #include "net/remote_client.h"
@@ -43,12 +44,27 @@ class Client {
   Result<std::string> Create(const std::string& oid,
                              const std::string& type_name);
 
+  /// Epoch-gated read ("lambda.read") routed like Invoke; the underlying
+  /// RemoteClient carries a monotonic apply-epoch token so a re-routed
+  /// or retried read never observes state older than one it already saw
+  /// (see net::RemoteClient::InvokeRead; mode/staleness come from
+  /// options.remote.read_mode / .staleness_epochs).
+  Result<std::string> InvokeRead(const std::string& oid,
+                                 const std::string& method,
+                                 const std::string& argument);
+
   /// Blocking directory fetch from the coordinator. Invoke/Create call
   /// it on demand (first use, kWrongShard bounces); tests can force it.
   Status RefreshDirectory();
 
   /// Last fetched view (null before the first refresh).
   std::shared_ptr<const ClusterView> view() const;
+
+  /// Last (epoch, seq) apply-epoch token observed from read replies —
+  /// the floor the next strict/bounded InvokeRead is gated on.
+  std::pair<uint64_t, uint64_t> read_token() const {
+    return remote_.last_read_token();
+  }
 
   struct Metrics {
     uint64_t directory_refreshes = 0;

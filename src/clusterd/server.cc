@@ -9,12 +9,14 @@
 #include "cluster/microshard.h"
 #include "common/coding.h"
 #include "common/log.h"
+#include "runtime/object.h"
 
 namespace lo::clusterd {
 
 ServerNode::ServerNode(storage::DB* db, const runtime::TypeRegistry* types,
                        ServerNodeOptions options)
     : db_(db),
+      types_(types),
       options_(options),
       coordinator_(options.coordinator),
       server_([&options] {
@@ -161,6 +163,94 @@ void ServerNode::InstallHandlers() {
           }
           respond(runtime::RunSync(rt.CreateObject(
               std::move(oid), std::move(type_name), std::move(token))));
+        });
+  });
+
+  // Epoch-gated read path, wire-compatible with the sim's "lambda.read".
+  // Every read lands at the shard's owner (the real path replicates by
+  // migration, not by replica sets), so the epoch token buys monotonic
+  // reads: a client that saw apply-epoch E never observes pre-E state
+  // again, across retries and reconnects.
+  server_.Handle("lambda.read", [this](net::RpcServer::Request request,
+                                       net::RpcServer::Responder respond) {
+    Reader reader{request.payload};
+    std::string_view oid, method, argument;
+    uint32_t mode = 0;
+    uint64_t token_epoch = 0, token_seq = 0, staleness = 0;
+    if (!reader.GetLengthPrefixed(&oid) || !reader.GetLengthPrefixed(&method) ||
+        !reader.GetLengthPrefixed(&argument) || !reader.GetVarint32(&mode) ||
+        !reader.GetVarint64(&token_epoch) || !reader.GetVarint64(&token_seq) ||
+        !reader.GetVarint64(&staleness)) {
+      respond(Status::Corruption("bad read payload"));
+      return;
+    }
+    std::string oid_str(oid);
+    CountRequest(oid_str);
+    if (!OwnsForExecution(oid_str)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      metrics_.wrong_shard_rejects++;
+      respond(Status::WrongShard("object not served here"));
+      return;
+    }
+    // strict: the owner must have applied at least the client's seq;
+    // bounded: may trail by `staleness`; eventual/off/tail: no gate.
+    uint64_t min_epoch = 0;
+    if (mode == 1) {
+      min_epoch = token_seq;
+    } else if (mode == 2) {
+      min_epoch = token_seq > staleness ? token_seq - staleness : 0;
+    }
+    int64_t deadline_us = request.deadline_us;
+    node_->RunOnLane(
+        oid_str, [this, oid = std::move(oid_str), method = std::string(method),
+                  argument = std::string(argument), min_epoch, deadline_us,
+                  respond](runtime::Runtime& rt) mutable {
+          if (deadline_us != 0 && net::EventLoop::NowUs() > deadline_us) {
+            server_.RecordShed();
+            respond(Status::Timeout("deadline expired before execution"));
+            return;
+          }
+          if (!OwnsForExecution(oid)) {
+            {
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              metrics_.wrong_shard_rejects++;
+            }
+            respond(Status::WrongShard("object migrated while queued"));
+            return;
+          }
+          uint64_t applied = node_->apply_epoch();
+          if (applied < min_epoch) {
+            respond(Status::EpochBehind("applied " + std::to_string(applied) +
+                                        " < required " +
+                                        std::to_string(min_epoch)));
+            return;
+          }
+          // Only registered read-only methods run through the gated path.
+          auto type_name = db_->Get({}, runtime::ObjectExistsKey(oid));
+          if (!type_name.ok()) {
+            respond(type_name.status());
+            return;
+          }
+          const runtime::ObjectType* type = types_->Find(*type_name);
+          const runtime::MethodImpl* impl =
+              type == nullptr ? nullptr : type->FindMethod(method);
+          if (impl == nullptr || impl->kind != runtime::MethodKind::kReadOnly) {
+            respond(Status::NotPrimary("not a read-only method"));
+            return;
+          }
+          auto result = runtime::RunSync(
+              rt.Invoke(std::move(oid), std::move(method), std::move(argument)));
+          if (!result.ok()) {
+            respond(result.status());
+            return;
+          }
+          // Response: varint64 epoch (0 — no config epochs on the real
+          // path) | varint64 apply-seq | length-prefixed result.
+          std::string out;
+          PutVarint64(&out, 0);
+          PutVarint64(&out, node_->apply_epoch());
+          PutLengthPrefixed(&out, *result);
+          respond(std::move(out));
         });
   });
 

@@ -140,6 +140,7 @@ class ServerNode {
   void ReportLoop();
 
   storage::DB* db_;
+  const runtime::TypeRegistry* types_;
   ServerNodeOptions options_;
   std::string coordinator_;  // empty = standalone
   sim::NodeId node_id_ = 0;

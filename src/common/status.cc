@@ -18,6 +18,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kWrongNode: return "WrongNode";
     case StatusCode::kNotPrimary: return "NotPrimary";
     case StatusCode::kWrongShard: return "WrongShard";
+    case StatusCode::kEpochBehind: return "EpochBehind";
   }
   return "Unknown";
 }

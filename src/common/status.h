@@ -30,6 +30,7 @@ enum class StatusCode : uint8_t {
   kWrongNode,      // request routed to a node that does not own the shard
   kNotPrimary,     // mutation sent to a backup replica
   kWrongShard,     // object's microshard moved; refresh the directory
+  kEpochBehind,    // follower read behind the client's epoch token; retry at primary
 };
 
 /// Human-readable name of a status code, e.g. "NotFound".
@@ -56,6 +57,7 @@ class [[nodiscard]] Status {
   static Status WrongNode(std::string m = "") { return {StatusCode::kWrongNode, std::move(m)}; }
   static Status NotPrimary(std::string m = "") { return {StatusCode::kNotPrimary, std::move(m)}; }
   static Status WrongShard(std::string m = "") { return {StatusCode::kWrongShard, std::move(m)}; }
+  static Status EpochBehind(std::string m = "") { return {StatusCode::kEpochBehind, std::move(m)}; }
 
   bool ok() const noexcept { return code_ == StatusCode::kOk; }
   StatusCode code() const noexcept { return code_; }

@@ -150,6 +150,40 @@ Result<std::string> RemoteClient::Create(const std::string& oid,
   return CallWithRetry(oid, "lambda.create", std::move(payload));
 }
 
+Result<std::string> RemoteClient::InvokeRead(const std::string& oid,
+                                             const std::string& method,
+                                             const std::string& argument) {
+  // Same wire format as the sim's "lambda.read": LP oid | LP method |
+  // LP arg | varint32 mode | varint64 token.epoch | varint64 token.seq |
+  // varint64 staleness.
+  std::string payload;
+  PutLengthPrefixed(&payload, oid);
+  PutLengthPrefixed(&payload, method);
+  PutLengthPrefixed(&payload, argument);
+  PutVarint32(&payload, options_.read_mode);
+  PutVarint64(&payload, last_epoch_);
+  PutVarint64(&payload, last_seq_);
+  PutVarint64(&payload, options_.staleness_epochs);
+  auto wrapped = CallWithRetry(oid, "lambda.read", std::move(payload));
+  if (!wrapped.ok()) return wrapped;
+  Reader reader{*wrapped};
+  uint64_t epoch = 0, seq = 0;
+  std::string_view body;
+  if (!reader.GetVarint64(&epoch) || !reader.GetVarint64(&seq) ||
+      !reader.GetLengthPrefixed(&body)) {
+    return Status::Corruption("bad token-wrapped read response");
+  }
+  // Fold the reply token in monotonically: a newer epoch supersedes;
+  // within an epoch the sequence only advances.
+  if (epoch > last_epoch_) {
+    last_epoch_ = epoch;
+    last_seq_ = seq;
+  } else if (epoch == last_epoch_) {
+    last_seq_ = std::max(last_seq_, seq);
+  }
+  return std::string(body);
+}
+
 Status RemoteClient::Ping() {
   for (const std::string& address : nodes_) {
     auto reply = rpc_->CallSync(address, "ping", "ping",

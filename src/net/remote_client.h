@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -49,6 +50,15 @@ struct RemoteClientOptions {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics_registry = nullptr;
   uint32_t node_label = 0;
+  /// Staleness contract InvokeRead requests, as the wire value of
+  /// replication::ReadMode (0 off/primary, 1 strict, 2 bounded,
+  /// 3 eventual, 4 tail) — kept numeric so lo_net stays independent of
+  /// the replication library. On the real path every read lands at the
+  /// shard's owner; the token enforces monotonic reads (LO_FOLLOWER_READS).
+  uint32_t read_mode = 0;
+  /// Apply-epoch slack a bounded (mode 2) read tolerates
+  /// (LO_STALENESS_EPOCHS).
+  uint64_t staleness_epochs = 0;
 };
 
 class RemoteClient {
@@ -78,6 +88,20 @@ class RemoteClient {
   Result<std::string> Invoke(const std::string& oid, const std::string& method,
                              const std::string& argument);
   Result<std::string> Create(const std::string& oid, const std::string& type_name);
+
+  /// Epoch-gated read ("lambda.read"): carries this client's last
+  /// observed apply-epoch token so the server bounces (kEpochBehind)
+  /// rather than serve state older than the client has already seen —
+  /// monotonic reads under options.read_mode. The token advances on
+  /// every successful InvokeRead reply.
+  Result<std::string> InvokeRead(const std::string& oid,
+                                 const std::string& method,
+                                 const std::string& argument);
+
+  /// Last (epoch, seq) token observed from read replies.
+  std::pair<uint64_t, uint64_t> last_read_token() const {
+    return {last_epoch_, last_seq_};
+  }
 
   /// One round-trip to every node ("ping" echo); OK iff all answer.
   Status Ping();
@@ -109,6 +133,9 @@ class RemoteClient {
   Metrics metrics_;
   uint64_t client_id_ = 0;  // process-unique, for token minting
   uint64_t next_token_ = 1;
+  /// Monotonic read token (this client is single-threaded by contract).
+  uint64_t last_epoch_ = 0;
+  uint64_t last_seq_ = 0;
   Histogram* invoke_latency_us_ = nullptr;  // owned by the registry
 };
 

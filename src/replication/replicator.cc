@@ -30,7 +30,58 @@ Status DecodeShipment(std::string_view payload, ShardId* shard, uint64_t* epoch,
   return Status::OK();
 }
 
+// Backups ack a shipment with their applied sequence (varint64); the
+// primary records it per peer so callers (checkers, obs) can see how far
+// each backup trails. Chain acks aggregate the minimum down-chain.
+std::string EncodeAck(uint64_t applied_seq) {
+  std::string out;
+  PutVarint64(&out, applied_seq);
+  return out;
+}
+
+uint64_t DecodeAck(std::string_view payload) {
+  Reader reader{payload};
+  uint64_t applied = 0;
+  reader.GetVarint64(&applied);
+  return applied;
+}
+
 }  // namespace
+
+ReadMode ParseReadMode(std::string_view name, ReadMode fallback) {
+  if (name == "off" || name == "primary") return ReadMode::kPrimaryOnly;
+  if (name == "strict") return ReadMode::kStrict;
+  if (name == "bounded") return ReadMode::kBounded;
+  if (name == "eventual") return ReadMode::kEventual;
+  if (name == "tail") return ReadMode::kTail;
+  return fallback;
+}
+
+std::string_view ReadModeName(ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kPrimaryOnly: return "off";
+    case ReadMode::kStrict: return "strict";
+    case ReadMode::kBounded: return "bounded";
+    case ReadMode::kEventual: return "eventual";
+    case ReadMode::kTail: return "tail";
+  }
+  return "off";
+}
+
+std::string EncodeTokenWrapped(const EpochToken& token, std::string_view body) {
+  std::string out;
+  PutVarint64(&out, token.epoch);
+  PutVarint64(&out, token.seq);
+  PutLengthPrefixed(&out, body);
+  return out;
+}
+
+bool DecodeTokenWrapped(std::string_view payload, EpochToken* token,
+                        std::string_view* body) {
+  Reader reader{payload};
+  return reader.GetVarint64(&token->epoch) && reader.GetVarint64(&token->seq) &&
+         reader.GetLengthPrefixed(body);
+}
 
 Replicator::Replicator(sim::RpcEndpoint* rpc, storage::DB* db, Mode mode)
     : rpc_(rpc), db_(db), mode_(mode) {
@@ -47,7 +98,8 @@ Replicator::Replicator(sim::RpcEndpoint* rpc, storage::DB* db, Mode mode)
 void Replicator::Configure(ShardId shard, uint64_t epoch, bool is_primary,
                            std::vector<sim::NodeId> peers) {
   ShardState& state = shards_[shard];
-  if (is_primary && !state.is_primary && state.epoch > 0) {
+  bool promoted = is_primary && !state.is_primary && state.epoch > 0;
+  if (promoted) {
     // Promotion: this backup takes over the shard. Its applied prefix is
     // exactly the acknowledged history (the old primary never acked a
     // batch before every backup applied it), so continuing from
@@ -62,6 +114,9 @@ void Replicator::Configure(ShardId shard, uint64_t epoch, bool is_primary,
   // Buffered out-of-order batches from the dead epoch can never fill
   // their gap; the clients that sent them will retry under the new epoch.
   state.reorder_buffer.clear();
+  // Ack bookkeeping from the old role is meaningless under the new one.
+  state.peer_applied.clear();
+  if (promoted && promotion_hook_) promotion_hook_(shard, epoch);
 }
 
 bool Replicator::is_primary(ShardId shard) const {
@@ -77,6 +132,70 @@ uint64_t Replicator::epoch(ShardId shard) const {
 uint64_t Replicator::applied_seq(ShardId shard) const {
   auto it = shards_.find(shard);
   return it == shards_.end() ? 0 : it->second.applied_seq;
+}
+
+uint64_t Replicator::max_applied_seq() const {
+  uint64_t max_seq = 0;
+  for (const auto& [shard, state] : shards_) {
+    max_seq = std::max(max_seq, state.applied_seq);
+  }
+  return max_seq;
+}
+
+EpochToken Replicator::ApplyToken(ShardId shard) const {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) return {};
+  return {it->second.epoch, it->second.applied_seq};
+}
+
+uint64_t Replicator::backup_applied_seq(ShardId shard, sim::NodeId peer) const {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) return 0;
+  auto peer_it = it->second.peer_applied.find(peer);
+  return peer_it == it->second.peer_applied.end() ? 0 : peer_it->second;
+}
+
+bool Replicator::is_chain_tail(ShardId shard) const {
+  if (mode_ != Mode::kChain) return false;
+  auto it = shards_.find(shard);
+  return it != shards_.end() && !it->second.is_primary &&
+         it->second.peers.empty() && it->second.epoch > 0;
+}
+
+Status Replicator::CheckFollowerRead(ShardId shard, const EpochToken& token,
+                                     ReadMode mode,
+                                     uint64_t staleness_epochs) const {
+  auto it = shards_.find(shard);
+  const ShardState* state = it == shards_.end() ? nullptr : &it->second;
+  if (state != nullptr && state->is_primary) return Status::OK();
+  switch (mode) {
+    case ReadMode::kPrimaryOnly:
+      return Status::NotPrimary("follower reads disabled");
+    case ReadMode::kEventual:
+      return Status::OK();
+    case ReadMode::kTail:
+      // Chain commit = tail applied, so the tail serves unconditionally;
+      // every other position bounces.
+      if (is_chain_tail(shard)) return Status::OK();
+      return Status::EpochBehind("not the chain tail");
+    case ReadMode::kStrict:
+    case ReadMode::kBounded: {
+      if (token.epoch == 0) return Status::OK();  // client has seen nothing
+      if (state == nullptr || token.epoch != state->epoch) {
+        // Tokens from another configuration epoch — including one minted
+        // by a primary that has since been deposed — never silently
+        // serve: the sequence spaces are not comparable across epochs.
+        return Status::EpochBehind("token from epoch " +
+                                   std::to_string(token.epoch));
+      }
+      uint64_t slack = mode == ReadMode::kBounded ? staleness_epochs : 0;
+      if (state->applied_seq + slack >= token.seq) return Status::OK();
+      return Status::EpochBehind(
+          "applied " + std::to_string(state->applied_seq) + " < token " +
+          std::to_string(token.seq));
+    }
+  }
+  return Status::EpochBehind("unknown read mode");
 }
 
 Status Replicator::ApplyLocal(const storage::WriteBatch& batch,
@@ -109,27 +228,36 @@ sim::Task<Status> Replicator::ReplicateAndApply(ShardId shard,
 
   if (mode_ == Mode::kChain) {
     // The write flows down the chain; the deepest ack unwinds back
-    // through the nested RPCs.
+    // through the nested RPCs, carrying the minimum applied seq of every
+    // node below this one.
     auto ack = co_await rpc_->Call(
         state.peers.front(), "repl.chain", payload,
         ack_timeout * static_cast<int64_t>(state.peers.size()), trace);
     if (!ack.ok()) co_return ack.status();
+    uint64_t& chain_applied = state.peer_applied[state.peers.front()];
+    chain_applied = std::max(chain_applied, DecodeAck(*ack));
     co_return Status::OK();
   }
 
-  // Primary-backup: fan out in parallel, await all acks.
+  // Primary-backup: fan out in parallel, await all acks. The peer list
+  // is copied: a Configure arriving while acks are in flight must not
+  // shift which node an ack is attributed to.
+  std::vector<sim::NodeId> peers = state.peers;
   std::vector<sim::Future<Result<std::string>>> acks;
-  acks.reserve(state.peers.size());
-  for (sim::NodeId peer : state.peers) {
+  acks.reserve(peers.size());
+  for (sim::NodeId peer : peers) {
     acks.emplace_back(rpc_->Call(peer, "repl.apply", payload, ack_timeout, trace));
   }
   Status failure = Status::OK();
-  for (auto& ack : acks) {
-    auto reply = co_await ack.Wait();
+  for (size_t i = 0; i < acks.size(); i++) {
+    auto reply = co_await acks[i].Wait();
     if (!reply.ok()) {
       metrics_.failed_peer_acks++;
       if (failure.ok()) failure = reply.status();
+      continue;
     }
+    uint64_t& peer_applied = state.peer_applied[peers[i]];
+    peer_applied = std::max(peer_applied, DecodeAck(*reply));
   }
   if (!failure.ok()) {
     // A backup is unreachable: surface Unavailable so the client retries
@@ -176,17 +304,17 @@ sim::Task<Result<std::string>> Replicator::HandleApply(sim::NodeId,
     metrics_.stale_epoch_rejections++;
     co_return Status::Aborted("stale epoch");
   }
-  if (seq <= state.applied_seq) co_return std::string("dup");  // re-send
+  if (seq <= state.applied_seq) co_return EncodeAck(state.applied_seq);  // re-send
   if (seq != state.applied_seq + 1) {
     metrics_.reordered_arrivals++;
     state.reorder_buffer.emplace(seq, std::move(batch));
     LO_CO_RETURN_IF_ERROR(co_await AwaitInOrderApply(state, seq));
-    co_return std::string("ok");
+    co_return EncodeAck(state.applied_seq);
   }
   LO_CO_RETURN_IF_ERROR(ApplyLocal(batch, trace));
   state.applied_seq = seq;
   DrainReorderBuffer(state);
-  co_return std::string("ok");
+  co_return EncodeAck(state.applied_seq);
 }
 
 sim::Task<Result<std::string>> Replicator::HandleChain(sim::NodeId,
@@ -213,13 +341,21 @@ sim::Task<Result<std::string>> Replicator::HandleChain(sim::NodeId,
     }
   }
   // Forward down the chain (peers holds this node's successors only).
+  // The ack carries the minimum applied seq of this node and everything
+  // below it, so the head learns how far the whole chain has applied.
+  uint64_t chain_applied = state.applied_seq;
   if (!state.peers.empty()) {
+    sim::NodeId successor = state.peers.front();
     auto ack = co_await rpc_->Call(
-        state.peers.front(), "repl.chain", payload,
+        successor, "repl.chain", payload,
         ack_timeout * static_cast<int64_t>(state.peers.size()), trace);
     if (!ack.ok()) co_return ack.status();
+    uint64_t downstream = DecodeAck(*ack);
+    uint64_t& recorded = state.peer_applied[successor];
+    recorded = std::max(recorded, downstream);
+    chain_applied = std::min(chain_applied, downstream);
   }
-  co_return std::string("ok");
+  co_return EncodeAck(chain_applied);
 }
 
 // ------------------------------------------------------------ ReplicatedLog

@@ -32,6 +32,44 @@ enum class Mode { kPrimaryBackup, kChain };
 
 using ShardId = uint32_t;
 
+/// What a client has observed of a shard: the configuration epoch it last
+/// talked to and the highest replication sequence it knows is applied.
+/// Every token-wrapped write ack carries one; a follower read presents it
+/// and the backup serves only if its own apply state covers the token
+/// (read-your-writes). Ordered component-wise: a later config epoch
+/// supersedes any sequence from an earlier one.
+struct EpochToken {
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+};
+
+/// Staleness contract a follower read requests (LO_FOLLOWER_READS):
+///   kPrimaryOnly  every read at the primary (the pre-follower baseline)
+///   kStrict       backup serves iff apply-epoch >= the client's token
+///                 (read-your-writes; bounces otherwise)
+///   kBounded      backup may trail the token by <= staleness_epochs
+///   kEventual     any replica serves unconditionally
+///   kTail         chain-mode tail serves (linearizable: a chain commit
+///                 implies the tail already applied it)
+enum class ReadMode : uint8_t {
+  kPrimaryOnly = 0,
+  kStrict = 1,
+  kBounded = 2,
+  kEventual = 3,
+  kTail = 4,
+};
+
+/// "strict" -> kStrict etc.; unknown strings return `fallback`.
+ReadMode ParseReadMode(std::string_view name, ReadMode fallback);
+std::string_view ReadModeName(ReadMode mode);
+
+/// Wire helpers for token-wrapped responses (lambda.invoke2 /
+/// lambda.create2 / lambda.read): varint64 epoch | varint64 seq |
+/// length-prefixed body.
+std::string EncodeTokenWrapped(const EpochToken& token, std::string_view body);
+bool DecodeTokenWrapped(std::string_view payload, EpochToken* token,
+                        std::string_view* body);
+
 class Replicator {
  public:
   /// Registers the "repl.apply" / "repl.chain" services on `rpc`.
@@ -49,14 +87,50 @@ class Replicator {
                                       obs::TraceContext trace = {});
 
   /// Called on every locally applied batch (primary and backups) —
-  /// the runtime hooks cache invalidation here.
+  /// the runtime hooks cache invalidation here. Replicated batches carry
+  /// the write set, so a backup invalidates result-cache entries exactly
+  /// like the primary that executed the write.
   void SetApplyHook(std::function<void(const storage::WriteBatch&)> hook) {
     apply_hook_ = std::move(hook);
+  }
+
+  /// Called when Configure promotes this node (backup -> primary) for a
+  /// shard, with the new epoch. The storage node hooks "drop every cached
+  /// result from before the promotion" here: entries cached while backup
+  /// were valid for the *old* primary's history, and serving them under
+  /// the new epoch could leak results the failover rolled over.
+  void SetPromotionHook(std::function<void(ShardId, uint64_t epoch)> hook) {
+    promotion_hook_ = std::move(hook);
   }
 
   bool is_primary(ShardId shard) const;
   uint64_t epoch(ShardId shard) const;
   uint64_t applied_seq(ShardId shard) const;
+  /// Highest applied sequence across every shard this node replicates —
+  /// the node's apply-epoch, exported as repl.apply_epoch via obs.
+  uint64_t max_applied_seq() const;
+
+  /// This node's apply state for `shard`, in token form.
+  EpochToken ApplyToken(ShardId shard) const;
+
+  /// Last sequence `peer` acknowledged as applied for `shard` (0 if it
+  /// never acked). In chain mode the direct successor's entry carries the
+  /// minimum applied seq down the whole chain, since acks aggregate on
+  /// the way back up.
+  uint64_t backup_applied_seq(ShardId shard, sim::NodeId peer) const;
+
+  /// True if this node is the tail of `shard`'s chain (chain mode, backup
+  /// role, no successors). The tail applied every committed batch before
+  /// the primary acked it, so tail reads are linearizable.
+  bool is_chain_tail(ShardId shard) const;
+
+  /// Gate for serving a read at this replica under `mode`. OK means this
+  /// node's applied state satisfies the client's token (or the mode does
+  /// not care); kEpochBehind means the caller should bounce the read to
+  /// the primary. The primary always serves. A zero token (client that
+  /// never wrote) is satisfied by any state.
+  Status CheckFollowerRead(ShardId shard, const EpochToken& token,
+                           ReadMode mode, uint64_t staleness_epochs) const;
 
   struct Metrics {
     uint64_t replicated_batches = 0;
@@ -83,6 +157,8 @@ class Replicator {
     uint64_t next_seq = 1;     // primary: next sequence to assign
     uint64_t applied_seq = 0;  // last applied in-order sequence
     std::map<uint64_t, storage::WriteBatch> reorder_buffer;
+    /// Primary: last applied seq each peer reported in its ack.
+    std::map<sim::NodeId, uint64_t> peer_applied;
   };
 
   sim::Task<Result<std::string>> HandleApply(sim::NodeId from,
@@ -101,6 +177,7 @@ class Replicator {
   Mode mode_;
   std::map<ShardId, ShardState> shards_;
   std::function<void(const storage::WriteBatch&)> apply_hook_;
+  std::function<void(ShardId, uint64_t)> promotion_hook_;
   Metrics metrics_;
 };
 

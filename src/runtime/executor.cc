@@ -10,9 +10,23 @@ namespace lo::runtime {
 
 ParallelNode::ParallelNode(storage::DB* db, const TypeRegistry* types,
                            ParallelNodeOptions options)
-    : db_(db),
-      options_(options),
-      committer_(std::make_unique<storage::GroupCommitter>(db, options.group_commit)) {
+    : db_(db), types_(types), options_(options) {
+  // Wrap the group-commit hook: advance this node's apply-epoch to the
+  // group's sequence first (so it is visible before any waiter of that
+  // group unblocks — the committer calls on_commit before releasing
+  // waiters), then chain whatever hook the embedder installed (the
+  // replication shipper).
+  storage::GroupCommitterOptions gc = options_.group_commit;
+  gc.on_commit = [this, user_hook = gc.on_commit](
+                     uint64_t seq, const storage::WriteBatch& batch) {
+    uint64_t cur = apply_epoch_.load(std::memory_order_relaxed);
+    while (seq > cur && !apply_epoch_.compare_exchange_weak(
+                            cur, seq, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+    }
+    if (user_hook) user_hook(seq, batch);
+  };
+  committer_ = std::make_unique<storage::GroupCommitter>(db, gc);
   size_t lane_count = std::max<size_t>(1, options_.lanes);
   lanes_.reserve(lane_count);
   for (size_t i = 0; i < lane_count; ++i) {
@@ -230,6 +244,79 @@ std::future<Result<std::string>> ParallelNode::CreateObject(ObjectId oid,
                     [promise](Result<std::string> result) {
                       promise->set_value(std::move(result));
                     });
+  return future;
+}
+
+Status ParallelNode::ApplyReplicated(storage::WriteBatch batch, uint64_t epoch) {
+  storage::WriteOptions write_opts;
+  write_opts.sync = true;
+  Status status = db_->Write(write_opts, &batch);
+  if (!status.ok()) return status;
+  // Invalidation barrier: every lane must drop result-cache entries whose
+  // read set the batch wrote before the epoch advances — once it does,
+  // the gate admits reads that rely on those entries being gone. The
+  // batch lives on this frame; the barrier keeps it alive past the jobs.
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+  } barrier{.pending = lanes_.size()};
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    Runtime* rt = lanes_[i]->runtime.get();
+    Enqueue(i, [rt, &batch, &barrier] {
+      rt->OnExternalCommit(batch);
+      std::lock_guard<std::mutex> lock(barrier.mu);
+      if (--barrier.pending == 0) barrier.cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(barrier.mu);
+    barrier.cv.wait(lock, [&] { return barrier.pending == 0; });
+  }
+  uint64_t cur = apply_epoch_.load(std::memory_order_relaxed);
+  while (epoch > cur && !apply_epoch_.compare_exchange_weak(
+                            cur, epoch, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+std::future<Result<std::string>> ParallelNode::InvokeRead(ObjectId oid,
+                                                          std::string method,
+                                                          std::string argument,
+                                                          uint64_t min_epoch) {
+  auto promise = std::make_shared<std::promise<Result<std::string>>>();
+  auto future = promise->get_future();
+  size_t lane_index = LaneFor(oid);
+  Runtime* rt = lanes_[lane_index]->runtime.get();
+  Enqueue(lane_index, [this, rt, oid = std::move(oid),
+                       method = std::move(method),
+                       argument = std::move(argument), min_epoch,
+                       promise]() mutable {
+    uint64_t applied = apply_epoch_.load(std::memory_order_acquire);
+    if (applied < min_epoch) {
+      promise->set_value(Status::EpochBehind(
+          "applied " + std::to_string(applied) + " < required " +
+          std::to_string(min_epoch)));
+      return;
+    }
+    // Only registered read-only methods may run through the gated path —
+    // a mutating method on a backup would fork history.
+    auto type_name = db_->Get({}, ObjectExistsKey(oid));
+    if (!type_name.ok()) {
+      promise->set_value(type_name.status());
+      return;
+    }
+    const ObjectType* type = types_->Find(*type_name);
+    const MethodImpl* impl =
+        type == nullptr ? nullptr : type->FindMethod(method);
+    if (impl == nullptr || impl->kind != MethodKind::kReadOnly) {
+      promise->set_value(Status::NotPrimary("not a read-only method"));
+      return;
+    }
+    promise->set_value(RunSync(
+        rt->Invoke(std::move(oid), std::move(method), std::move(argument))));
+  });
   return future;
 }
 

@@ -34,6 +34,7 @@
 // methods" rule applies to both engines.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -132,6 +133,34 @@ class ParallelNode {
   /// in-flight work drained. Returns immediately.
   void RunOnLane(const ObjectId& oid, std::function<void(Runtime&)> job);
 
+  /// Applies a replicated batch (shipped from a primary's group-commit
+  /// stream) and stamps this node's apply-epoch to `epoch` — the
+  /// shipping primary's commit sequence. Writes the batch to the DB,
+  /// then invalidates every lane's result cache (blocking until each
+  /// lane ran its invalidation job) *before* advancing the epoch, so a
+  /// read admitted by the epoch gate can never hit an entry cached
+  /// against pre-batch state. Call from the (single, ordered)
+  /// replication-apply thread — never from a lane worker.
+  Status ApplyReplicated(storage::WriteBatch batch, uint64_t epoch);
+
+  /// This node's apply-epoch: the last group-commit sequence it has
+  /// locally committed (primary) or applied via ApplyReplicated (backup).
+  /// Advances before any waiter of that commit unblocks, so a client
+  /// that saw a write ack reads apply_epoch() >= that write's sequence.
+  uint64_t apply_epoch() const {
+    return apply_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch-gated follower read: runs `method` (which must be registered
+  /// read-only) on the object's lane iff apply_epoch() >= min_epoch at
+  /// execution time; resolves with kEpochBehind otherwise. The gate is
+  /// checked on the lane thread, after any invalidation job already
+  /// barriered through the lane, so an admitted read observes
+  /// post-invalidation cache state.
+  std::future<Result<std::string>> InvokeRead(ObjectId oid, std::string method,
+                                              std::string argument,
+                                              uint64_t min_epoch);
+
   /// Blocks until all lanes are idle and all group commits resolved.
   void Drain();
 
@@ -179,7 +208,12 @@ class ParallelNode {
                                   std::function<void(Callback)> start);
 
   storage::DB* db_;
+  const TypeRegistry* types_;
   ParallelNodeOptions options_;
+  /// Last commit sequence locally durable / applied (see apply_epoch()).
+  std::atomic<uint64_t> apply_epoch_{0};
+  /// Constructed in the ctor body: its on_commit hook (which advances
+  /// apply_epoch_ and chains any user hook) captures `this`.
   std::unique_ptr<storage::GroupCommitter> committer_;
   PeerLocalFn peer_is_local_;
   PeerInvokeFn peer_invoke_;

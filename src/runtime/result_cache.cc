@@ -52,7 +52,8 @@ void ResultCache::Insert(const std::string& cache_key, std::string output,
   }
 }
 
-void ResultCache::InvalidateWrites(std::span<const std::string> written_keys) {
+void ResultCache::InvalidateWrites(std::span<const std::string> written_keys,
+                                   bool remote) {
   for (const auto& key : written_keys) {
     auto [begin, end] = by_read_key_.equal_range(key);
     // Collect first: Erase mutates by_read_key_.
@@ -61,6 +62,7 @@ void ResultCache::InvalidateWrites(std::span<const std::string> written_keys) {
     for (const auto& victim : victims) {
       if (entries_.contains(victim)) {
         stats_.invalidations++;
+        if (remote) stats_.remote_invalidations++;
         Erase(victim);
       }
     }

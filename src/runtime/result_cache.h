@@ -29,6 +29,10 @@ class ResultCache {
     uint64_t insertions = 0;
     uint64_t invalidations = 0;  // entries dropped by writes
     uint64_t evictions = 0;      // entries dropped by capacity
+    /// Subset of `invalidations` triggered by *replicated* batches —
+    /// writes that executed on another node and arrived over the
+    /// replication stream (a backup keeping its cache consistent).
+    uint64_t remote_invalidations = 0;
   };
 
   /// Cache key for (object, method, argument).
@@ -41,8 +45,11 @@ class ResultCache {
   void Insert(const std::string& cache_key, std::string output,
               std::vector<ReadSetEntry> reads);
 
-  /// Drops every entry that read one of these storage keys.
-  void InvalidateWrites(std::span<const std::string> written_keys);
+  /// Drops every entry that read one of these storage keys. `remote`
+  /// marks the write as having arrived via replication rather than a
+  /// local commit (counted separately in stats).
+  void InvalidateWrites(std::span<const std::string> written_keys,
+                        bool remote = false);
 
   void Clear();
   size_t size() const { return entries_.size(); }

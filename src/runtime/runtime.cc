@@ -290,7 +290,9 @@ void Runtime::OnExternalCommit(const storage::WriteBatch& batch) {
     void Delete(std::string_view key) override { keys.emplace_back(key); }
   } collector;
   batch.Iterate(&collector).ok();
-  cache_.InvalidateWrites(collector.keys);
+  cache_.InvalidateWrites(collector.keys, /*remote=*/true);
 }
+
+void Runtime::ClearResultCache() { cache_.Clear(); }
 
 }  // namespace lo::runtime

@@ -84,8 +84,15 @@ class Runtime {
   void SetCpuCharger(CpuCharger charger) { cpu_charger_ = std::move(charger); }
 
   /// Cache invalidation hook for writes that bypass this runtime (e.g.
-  /// replicated batches applied on a backup).
+  /// replicated batches applied on a backup). Counted as remote
+  /// invalidations in cache stats.
   void OnExternalCommit(const storage::WriteBatch& batch);
+
+  /// Drops every cached result. Called on promotion (backup -> primary):
+  /// entries cached while backup reflect the old primary's history and
+  /// must not survive into the new epoch.
+  void ClearResultCache();
+  size_t result_cache_size() const { return cache_.size(); }
 
   struct Metrics {
     uint64_t invocations = 0;

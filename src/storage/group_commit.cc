@@ -87,6 +87,13 @@ void GroupCommitter::CommitterLoop() {
     WriteOptions write_opts;
     write_opts.sync = true;
     Status status = db_->Write(write_opts, &combined);
+    // Listener-before-ack: a successful group is handed to on_commit
+    // before any of its waiters unblock, so an acked write has already
+    // been seen by the shipping hook. commit_seq_ is committer-thread
+    // private and needs no lock.
+    if (status.ok() && options_.on_commit) {
+      options_.on_commit(++commit_seq_, combined);
+    }
     lock.lock();
 
     stats_.commits += group.size();

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -37,6 +38,13 @@ struct GroupCommitterOptions {
   /// (grouping then comes purely from backpressure while a sync is in
   /// flight, which is the LevelDB behavior).
   int64_t max_batch_delay_us = 0;
+  /// Invoked on the committer thread after each group's DB::Write
+  /// succeeds, with the group's commit sequence (1, 2, ...) and the
+  /// combined batch — *before* the group's waiters are released, so by
+  /// the time a Commit() caller observes its ack, every listener has
+  /// seen the batch (replication shipping hooks here). Runs unlocked;
+  /// must not re-enter the committer.
+  std::function<void(uint64_t seq, const WriteBatch& batch)> on_commit;
 };
 
 class GroupCommitter {
@@ -83,6 +91,7 @@ class GroupCommitter {
   std::condition_variable done_cv_;  // waiters: some group resolved
   std::deque<Waiter*> queue_;
   uint64_t in_flight_ = 0;  // waiters taken off the queue, not yet resolved
+  uint64_t commit_seq_ = 0;  // committer-thread-only: groups written so far
   bool stop_ = false;
   Stats stats_;
   std::thread committer_;  // last member: started after everything above

@@ -251,6 +251,37 @@ TEST(ClusterdCluster, RoutesAcrossNodesAndRedirects) {
   EXPECT_GE(total_invokes, static_cast<uint64_t>(2 * kObjects));
 }
 
+TEST(ClusterdCluster, EpochGatedReadsAreMonotonic) {
+  net::RpcClient rpc;
+  Cluster cluster = Cluster::Start(2);
+
+  ClientOptions options;
+  options.remote.read_mode = 1;  // strict: reads gated on the apply token
+  Client client(&rpc, cluster.coordinator.address(), options);
+  const std::string oid = "user/rr";
+  ASSERT_TRUE(client.Create(oid, "user").ok());
+
+  for (int i = 0; i < 5; i++) {
+    std::string message = "m" + std::to_string(i);
+    auto stored = client.Invoke(oid, "store_post", PostBlob("a", 1, message));
+    ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+    // "lambda.read" lands at the shard's owner, which committed the write
+    // before acking it: read-your-writes through the gated path.
+    auto timeline =
+        client.InvokeRead(oid, "get_timeline", retwis::EncodeU64(10));
+    ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+    EXPECT_EQ(TimelineMessages(*timeline).count(message), 1u);
+  }
+  auto [epoch, seq] = client.read_token();
+  EXPECT_EQ(epoch, 0u);  // the real path has no config epochs
+  EXPECT_GT(seq, 0u);    // the apply-seq advanced with the commits
+
+  // Later reads never regress the token (monotonic reads across retries).
+  auto again = client.InvokeRead(oid, "get_timeline", retwis::EncodeU64(10));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_GE(client.read_token().second, seq);
+}
+
 TEST(ClusterdCluster, MigrationMovesObjectAndClientFollows) {
   net::RpcClient rpc;
   Cluster cluster = Cluster::Start(2);

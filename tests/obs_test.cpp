@@ -305,9 +305,9 @@ TEST_F(ObsClusterTest, SpanNestingAcrossRpcHop) {
   ASSERT_TRUE(Invoke("user/alice", "init", "alice").ok());
 
   // Find the most recent complete trace: root "invoke" span minted by
-  // the client, an "rpc.lambda.invoke" child (client side of the hop), a
-  // "srv.lambda.invoke" child of that (server side), and under it the
-  // node-internal dispatch/vm_exec spans.
+  // the client, an "rpc.lambda.invoke2" child (client side of the
+  // token-wrapped hop), a "srv.lambda.invoke2" child of that (server
+  // side), and under it the node-internal dispatch/vm_exec spans.
   auto spans = tracer_.Spans();
   ASSERT_FALSE(spans.empty());
   const SpanRecord* root = nullptr;
@@ -325,9 +325,9 @@ TEST_F(ObsClusterTest, SpanNestingAcrossRpcHop) {
     }
     return nullptr;
   };
-  const SpanRecord* rpc = find_child(root->span_id, "rpc.lambda.invoke");
+  const SpanRecord* rpc = find_child(root->span_id, "rpc.lambda.invoke2");
   ASSERT_NE(rpc, nullptr);
-  const SpanRecord* srv = find_child(rpc->span_id, "srv.lambda.invoke");
+  const SpanRecord* srv = find_child(rpc->span_id, "srv.lambda.invoke2");
   ASSERT_NE(srv, nullptr);
   // Client and server sides of the hop ran on different nodes.
   EXPECT_NE(rpc->node, srv->node);

@@ -1,11 +1,18 @@
 // Replication tests: primary-backup batch shipping (ordering, epochs,
 // reordered delivery, unreachable backups), chain replication latency
-// ordering, and the replicated log used by the baseline's load balancer.
+// ordering, the epoch-gated follower-read path (gate matrix, failover
+// read safety, end-to-end read-your-writes), and the replicated log
+// used by the baseline's load balancer.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "cluster/deployment.h"
+#include "obs/metrics.h"
 #include "replication/replicator.h"
+#include "runtime/runtime.h"
 #include "storage/env.h"
 
 namespace lo::replication {
@@ -134,6 +141,65 @@ TEST_P(ReplicationTest, StaleEpochShipmentsRejected) {
   EXPECT_GE(nodes_[1]->replicator.metrics().stale_epoch_rejections, 1u);
 }
 
+TEST_P(ReplicationTest, FollowerReadGateAndBackupAckTracking) {
+  for (int i = 1; i <= 3; i++) {
+    ASSERT_TRUE(Replicate("k" + std::to_string(i), "v").ok());
+  }
+  Replicator& primary = nodes_[0]->replicator;
+  Replicator& backup = nodes_[2]->replicator;
+  EpochToken token = primary.ApplyToken(0);
+  EXPECT_EQ(token.epoch, 1u);
+  EXPECT_EQ(token.seq, 3u);
+  EXPECT_EQ(primary.max_applied_seq(), 3u);
+
+  // The ack path reports how far each backup applied: the primary's
+  // direct peers in primary-backup mode; in chain mode the successor's
+  // entry aggregates the minimum applied seq down the whole chain.
+  if (GetParam() == Mode::kPrimaryBackup) {
+    EXPECT_EQ(primary.backup_applied_seq(0, 2), 3u);
+    EXPECT_EQ(primary.backup_applied_seq(0, 3), 3u);
+  } else {
+    EXPECT_EQ(primary.backup_applied_seq(0, 2), 3u);
+    EXPECT_EQ(nodes_[1]->replicator.backup_applied_seq(0, 3), 3u);
+  }
+
+  // The primary serves under every mode, whatever the token says.
+  EXPECT_TRUE(primary.CheckFollowerRead(0, {1, 99}, ReadMode::kStrict, 0).ok());
+  EXPECT_TRUE(
+      primary.CheckFollowerRead(0, token, ReadMode::kPrimaryOnly, 0).ok());
+
+  // Backup gate matrix at applied_seq = 3, epoch 1.
+  EXPECT_EQ(backup.CheckFollowerRead(0, token, ReadMode::kPrimaryOnly, 0).code(),
+            StatusCode::kNotPrimary);
+  EXPECT_TRUE(backup.CheckFollowerRead(0, token, ReadMode::kStrict, 0).ok());
+  EXPECT_TRUE(backup.CheckFollowerRead(0, {}, ReadMode::kStrict, 0).ok())
+      << "a client that never wrote is satisfied by any state";
+  EXPECT_EQ(backup.CheckFollowerRead(0, {1, 4}, ReadMode::kStrict, 0).code(),
+            StatusCode::kEpochBehind);
+  EXPECT_TRUE(backup.CheckFollowerRead(0, {1, 4}, ReadMode::kBounded, 1).ok());
+  EXPECT_EQ(backup.CheckFollowerRead(0, {1, 6}, ReadMode::kBounded, 1).code(),
+            StatusCode::kEpochBehind);
+  EXPECT_TRUE(backup.CheckFollowerRead(0, {1, 99}, ReadMode::kEventual, 0).ok());
+  // Tokens from another configuration epoch never silently serve.
+  EXPECT_EQ(backup.CheckFollowerRead(0, {2, 1}, ReadMode::kStrict, 0).code(),
+            StatusCode::kEpochBehind);
+
+  // Tail reads: only the chain's tail is linearizable; everyone else
+  // (and every primary-backup backup) bounces.
+  if (GetParam() == Mode::kChain) {
+    EXPECT_FALSE(nodes_[1]->replicator.is_chain_tail(0));
+    EXPECT_TRUE(backup.is_chain_tail(0));
+    EXPECT_TRUE(backup.CheckFollowerRead(0, token, ReadMode::kTail, 0).ok());
+    EXPECT_EQ(nodes_[1]->replicator.CheckFollowerRead(0, token, ReadMode::kTail, 0)
+                  .code(),
+              StatusCode::kEpochBehind);
+  } else {
+    EXPECT_FALSE(backup.is_chain_tail(0));
+    EXPECT_EQ(backup.CheckFollowerRead(0, token, ReadMode::kTail, 0).code(),
+              StatusCode::kEpochBehind);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, ReplicationTest,
                          ::testing::Values(Mode::kPrimaryBackup, Mode::kChain),
                          [](const auto& info) {
@@ -221,6 +287,198 @@ TEST(ReplicationFaults, OneWayPartitionFailsCommitThenPromotionRecovers) {
   EXPECT_FALSE(s.ok());
   EXPECT_GE(nodes[1]->replicator.metrics().stale_epoch_rejections, 1u);
   EXPECT_TRUE(nodes[1]->db->Get({}, "d").status().IsNotFound());
+}
+
+TEST(FollowerReadFailover, StaleTokenFromDeadPrimaryBounces) {
+  sim::Simulator sim(31);
+  sim::Network net(sim, sim::NetworkConfig{});
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (sim::NodeId id = 1; id <= 3; id++) {
+    nodes.push_back(std::make_unique<Node>(net, id, Mode::kPrimaryBackup));
+  }
+  nodes[0]->replicator.Configure(0, 1, true, {2, 3});
+  nodes[1]->replicator.Configure(0, 1, false, {});
+  nodes[2]->replicator.Configure(0, 1, false, {});
+
+  auto replicate = [&](Node* node, std::string key, std::string value) {
+    Status out = Status::Unavailable("not run");
+    Detach([](Node* n, std::string k, std::string v, Status* out) -> Task<void> {
+      storage::WriteBatch batch;
+      batch.Put(k, v);
+      *out = co_await n->replicator.ReplicateAndApply(0, std::move(batch));
+    }(node, std::move(key), std::move(value), &out));
+    sim.Run();
+    return out;
+  };
+
+  ASSERT_TRUE(replicate(nodes[0].get(), "a", "1").ok());
+  EpochToken stale = nodes[0]->replicator.ApplyToken(0);
+  EXPECT_EQ(stale.epoch, 1u);
+  EXPECT_EQ(stale.seq, 1u);
+  // While epoch 1 is live, the token strictly serves at any backup.
+  ASSERT_TRUE(
+      nodes[2]->replicator.CheckFollowerRead(0, stale, ReadMode::kStrict, 0).ok());
+
+  // The primary dies; backup 2 is promoted and 3 follows it in epoch 2.
+  net.SetNodeUp(1, false);
+  nodes[1]->replicator.Configure(0, 2, true, {3});
+  nodes[2]->replicator.Configure(0, 2, false, {});
+  EXPECT_EQ(nodes[1]->replicator.metrics().promotions, 1u);
+  ASSERT_TRUE(replicate(nodes[1].get(), "b", "2").ok());
+
+  // The dead primary's token must bounce under strict *and* bounded —
+  // its sequence space is not comparable across the epoch bump — while
+  // eventual reads still serve.
+  EXPECT_EQ(
+      nodes[2]->replicator.CheckFollowerRead(0, stale, ReadMode::kStrict, 0).code(),
+      StatusCode::kEpochBehind);
+  EXPECT_EQ(nodes[2]
+                ->replicator.CheckFollowerRead(0, stale, ReadMode::kBounded, 100)
+                .code(),
+            StatusCode::kEpochBehind);
+  EXPECT_TRUE(
+      nodes[2]->replicator.CheckFollowerRead(0, stale, ReadMode::kEventual, 0).ok());
+
+  // A token minted by the new primary serves once the backup applied it.
+  EpochToken fresh = nodes[1]->replicator.ApplyToken(0);
+  EXPECT_EQ(fresh.epoch, 2u);
+  EXPECT_EQ(fresh.seq, 2u);
+  EXPECT_TRUE(
+      nodes[2]->replicator.CheckFollowerRead(0, fresh, ReadMode::kStrict, 0).ok());
+}
+
+// ----------------------------------------------- deployment-level reads
+
+// The counter type the deployment tests run: "add" mutates, "read" is
+// the deterministic read-only method follower reads serve (and cache).
+void RegisterCounterType(runtime::TypeRegistry* types) {
+  runtime::ObjectType type;
+  type.name = "counter";
+  type.methods["add"] = runtime::MethodImpl{
+      .kind = runtime::MethodKind::kReadWrite,
+      .native = [](runtime::InvocationContext& ctx,
+                   std::string arg) -> Task<Result<std::string>> {
+        uint64_t delta = arg.empty() ? 1 : std::stoull(arg);
+        auto current = co_await ctx.Get("value");
+        uint64_t value = current.ok() ? std::stoull(*current) : 0;
+        value += delta;
+        LO_CO_RETURN_IF_ERROR(co_await ctx.Set("value", std::to_string(value)));
+        co_return std::to_string(value);
+      }};
+  type.methods["read"] = runtime::MethodImpl{
+      .kind = runtime::MethodKind::kReadOnly,
+      .deterministic = true,
+      .native = [](runtime::InvocationContext& ctx,
+                   std::string) -> Task<Result<std::string>> {
+        auto value = co_await ctx.Get("value");
+        co_return value.ok() ? *value : std::string("0");
+      }};
+  LO_CHECK(types->Register(std::move(type)).ok());
+}
+
+// Drives one client coroutine to completion inside the simulator.
+Result<std::string> RunClient(sim::Simulator& sim,
+                              sim::Task<Result<std::string>> task) {
+  Result<std::string> out = Status::Unavailable("not run");
+  bool done = false;
+  Detach([](sim::Task<Result<std::string>> t, Result<std::string>* out,
+            bool* done) -> Task<void> {
+    *out = co_await std::move(t);
+    *done = true;
+  }(std::move(task), &out, &done));
+  while (!done) EXPECT_TRUE(sim.Step());
+  return out;
+}
+
+// End-to-end read-your-writes through the real replication stream: a
+// strict-mode client alternates writes and follower reads; every read
+// must observe its own latest write, wherever it was served.
+TEST(FollowerReadsEndToEnd, StrictReadsAreNeverStale) {
+  sim::Simulator sim(53);
+  runtime::TypeRegistry types;
+  RegisterCounterType(&types);
+  obs::MetricsRegistry registry;
+  cluster::DeploymentOptions options;
+  options.client.read_mode = ReadMode::kStrict;
+  options.metrics_registry = &registry;
+  cluster::AggregatedDeployment deployment(sim, &types, options);
+  deployment.WaitUntilReady();
+  cluster::Client& client = deployment.NewClient();
+
+  ASSERT_TRUE(RunClient(sim, client.Create("c/s", "counter")).ok());
+  for (int i = 1; i <= 15; i++) {
+    auto wrote = RunClient(sim, client.Invoke("c/s", "add", "1"));
+    ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+    ASSERT_EQ(*wrote, std::to_string(i));
+    auto read = RunClient(sim, client.InvokeRead("c/s", "read", ""));
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(*read, std::to_string(i)) << "strict read served stale state";
+  }
+  // The write acks actually carried tokens, and reads actually spread
+  // beyond the primary (bounces count: they prove the gate fired).
+  EXPECT_GT(client.TokenFor("c/s").seq, 0u);
+  const auto& metrics = client.metrics();
+  EXPECT_GT(metrics.follower_reads + metrics.read_bounces, 0u);
+
+  // The obs registry exports the replication read-path counters.
+  bool apply_epoch_exported = false;
+  bool follower_reads_exported = false;
+  for (const auto& sample : registry.Snapshot()) {
+    if (sample.name == "repl.apply_epoch" && sample.value > 0) {
+      apply_epoch_exported = true;
+    }
+    if (sample.name == "repl.follower_reads") follower_reads_exported = true;
+  }
+  EXPECT_TRUE(apply_epoch_exported) << "repl.apply_epoch missing or zero";
+  EXPECT_TRUE(follower_reads_exported);
+}
+
+// After a failover the promoted backup must not serve results it cached
+// while it was a backup: they were valid for the old primary's history.
+TEST(FollowerReadFailover, PromotedBackupDropsPrePromotionCachedResults) {
+  sim::Simulator sim(41);
+  runtime::TypeRegistry types;
+  RegisterCounterType(&types);
+  cluster::DeploymentOptions options;
+  options.client.read_mode = ReadMode::kEventual;
+  cluster::AggregatedDeployment deployment(sim, &types, options);
+  deployment.WaitUntilReady();
+  cluster::Client& client = deployment.NewClient();
+
+  ASSERT_TRUE(RunClient(sim, client.Create("c/f", "counter")).ok());
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(RunClient(sim, client.Invoke("c/f", "add", "1")).ok());
+  }
+  // Spread eventual reads until every backup served (and cached) one.
+  // Replication is synchronous in this deployment, so none are stale.
+  for (int i = 0; i < 30; i++) {
+    auto read = RunClient(sim, client.InvokeRead("c/f", "read", ""));
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(*read, "3");
+  }
+  uint64_t follower_served = 0;
+  for (int i = 1; i < deployment.num_nodes(); i++) {
+    EXPECT_GT(deployment.node(i).runtime().result_cache_size(), 0u)
+        << "backup " << i << " never cached a follower read";
+    follower_served += deployment.node(i).metrics().follower_reads;
+  }
+  EXPECT_GT(follower_served, 0u);
+
+  deployment.KillStorageNode(0);  // bootstrap primary of the only shard
+  sim.RunFor(sim::Millis(400));   // failure detection + reconfiguration
+
+  int promoted = -1;
+  for (int i = 1; i < deployment.num_nodes(); i++) {
+    if (deployment.node(i).replicator().metrics().promotions > 0) promoted = i;
+  }
+  ASSERT_NE(promoted, -1) << "no backup was promoted";
+  EXPECT_EQ(deployment.node(promoted).runtime().result_cache_size(), 0u)
+      << "promotion left pre-failover cached results servable";
+
+  // And the promoted primary answers reads with the true state.
+  auto read = RunClient(sim, client.InvokeRead("c/f", "read", ""));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, "3");
 }
 
 TEST(ReplicatedLogTest, AppendReplicatesToFollowers) {

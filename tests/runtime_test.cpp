@@ -537,6 +537,72 @@ TEST(ResultCacheUnit, InvalidateOnlyAffectedEntries) {
   EXPECT_FALSE(cache.Lookup("b").has_value());
   EXPECT_TRUE(cache.Lookup("c").has_value());
   EXPECT_EQ(cache.stats().invalidations, 2u);
+  // Local invalidations never count toward the replication-stream stat.
+  EXPECT_EQ(cache.stats().remote_invalidations, 0u);
+}
+
+TEST(ResultCacheUnit, RemoteInvalidationsCountedSeparately) {
+  ResultCache cache(16);
+  cache.Insert("a", "1", {{"shared", 1}});
+  cache.Insert("b", "2", {{"only-b", 2}});
+  std::vector<std::string> written = {"shared"};
+  cache.InvalidateWrites(written, /*remote=*/true);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("b").has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().remote_invalidations, 1u);
+  // A remote batch touching nothing cached drops nothing and counts nothing.
+  std::vector<std::string> unrelated = {"missing"};
+  cache.InvalidateWrites(unrelated, /*remote=*/true);
+  EXPECT_EQ(cache.stats().remote_invalidations, 1u);
+}
+
+// A replicated batch shipped from a primary (OnExternalCommit) must
+// invalidate exactly the cached reads whose read set it overwrote —
+// counted as remote invalidations — and the next read re-executes
+// against the applied state.
+TEST_F(RuntimeTest, ExternalCommitInvalidatesOverlappingCachedReads) {
+  Create("counter/a");
+  Create("counter/b");
+  ASSERT_TRUE(Invoke("counter/a", "incr", "1").ok());
+  ASSERT_TRUE(Invoke("counter/b", "incr", "2").ok());
+  EXPECT_EQ(*Invoke("counter/a", "read"), "1");  // populate the cache
+  EXPECT_EQ(*Invoke("counter/b", "read"), "2");
+
+  // The primary's shipped batch overwrites a's value field.
+  storage::WriteBatch batch;
+  batch.Put(FieldKey("counter/a", "value"), "41");
+  ASSERT_TRUE(db_->Write({.sync = true}, &batch).ok());
+  auto before = runtime_->cache_stats();
+  runtime_->OnExternalCommit(batch);
+  auto after = runtime_->cache_stats();
+  EXPECT_EQ(after.remote_invalidations, before.remote_invalidations + 1);
+
+  // a re-executes and observes the replicated write; b's entry survived
+  // and still serves from cache.
+  EXPECT_EQ(*Invoke("counter/a", "read"), "41");
+  auto hits_before = runtime_->cache_stats().hits;
+  EXPECT_EQ(*Invoke("counter/b", "read"), "2");
+  EXPECT_EQ(runtime_->cache_stats().hits, hits_before + 1);
+}
+
+// ClearResultCache (the promotion hook) drops every entry at once: no
+// result cached while this node was a backup survives into its term as
+// primary.
+TEST_F(RuntimeTest, ClearResultCacheDropsAllEntries) {
+  Create("counter/a");
+  Create("counter/b");
+  ASSERT_TRUE(Invoke("counter/a", "incr", "1").ok());
+  ASSERT_TRUE(Invoke("counter/b", "incr", "2").ok());
+  EXPECT_EQ(*Invoke("counter/a", "read"), "1");
+  EXPECT_EQ(*Invoke("counter/b", "read"), "2");
+  EXPECT_GT(runtime_->result_cache_size(), 0u);
+  runtime_->ClearResultCache();
+  EXPECT_EQ(runtime_->result_cache_size(), 0u);
+  // Reads still work (re-executed, not served from the dropped entries).
+  auto hits_before = runtime_->cache_stats().hits;
+  EXPECT_EQ(*Invoke("counter/a", "read"), "1");
+  EXPECT_EQ(runtime_->cache_stats().hits, hits_before);
 }
 
 // Property test: concurrent mixed workload on several objects — final
