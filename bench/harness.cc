@@ -245,6 +245,55 @@ retwis::DriverResult RunExperiment(bool aggregated, retwis::OpType op,
   return result;
 }
 
+PoissonSchedule::PoissonSchedule(double rate_per_sec, uint64_t seed)
+    : mean_interval_us_(1e6 / (rate_per_sec > 0 ? rate_per_sec : 1.0)),
+      rng_(seed) {}
+
+int64_t PoissonSchedule::NextArrivalUs() {
+  next_us_ += rng_.Exponential(mean_interval_us_);
+  return static_cast<int64_t>(next_us_);
+}
+
+void PoissonSchedule::SetRate(double rate_per_sec) {
+  mean_interval_us_ = 1e6 / (rate_per_sec > 0 ? rate_per_sec : 1.0);
+}
+
+void OpenLoopRecorder::RecordOk(int64_t scheduled_us, int64_t completed_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_us_.Record(completed_us - scheduled_us);
+}
+
+void OpenLoopRecorder::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shed_++;
+}
+
+void OpenLoopRecorder::RecordError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  errors_++;
+}
+
+OpenLoopRecorder::Summary OpenLoopRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Summary s;
+  s.completed = latency_us_.count();
+  s.shed = shed_;
+  s.errors = errors_;
+  s.p50_us = latency_us_.Percentile(0.5);
+  s.p99_us = latency_us_.Percentile(0.99);
+  s.max_us = latency_us_.Max();
+  return s;
+}
+
+OpenLoopRecorder::Summary OpenLoopRecorder::Drain() {
+  Summary s = Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_us_.Clear();
+  shed_ = 0;
+  errors_ = 0;
+  return s;
+}
+
 void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

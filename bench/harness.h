@@ -8,8 +8,12 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
 
 #include "baseline/deployment.h"
 #include "cluster/deployment.h"
@@ -171,6 +175,69 @@ RealNetConfig RealNetFromEnv();
 /// cannot be spawned or does not come up.
 retwis::DriverResult RunRealNetExperiment(retwis::OpType op,
                                           const ExperimentConfig& config);
+
+// --- open-loop (Poisson arrival) workload helpers ----------------------
+//
+// The closed-loop driver above measures capacity: N clients, each
+// waiting for its reply before sending again, so an overloaded server
+// just slows the clients down. Contention experiments (bench/tenancy)
+// need the opposite: an arrival process that does NOT slow down when the
+// server does, so queueing delay shows up in the latencies instead of
+// silently thinning the load (coordinated omission).
+
+/// Poisson arrival schedule: exponential inter-arrivals at
+/// `rate_per_sec`, yielding absolute scheduled times in microseconds
+/// from 0. Deterministic per seed. Not thread-safe — one schedule per
+/// arrival generator.
+class PoissonSchedule {
+ public:
+  PoissonSchedule(double rate_per_sec, uint64_t seed);
+
+  /// Absolute scheduled time of the next arrival (µs since the schedule
+  /// epoch). Monotone nondecreasing.
+  int64_t NextArrivalUs();
+
+  /// Replaces the rate going forward (aggressor ramps). The current
+  /// position in time is kept.
+  void SetRate(double rate_per_sec);
+
+ private:
+  double mean_interval_us_;
+  double next_us_ = 0;
+  Rng rng_;
+};
+
+/// Coordinated-omission-correct latency recording for open-loop runs:
+/// every latency is measured from the *scheduled* arrival time, not the
+/// send time, so an arrival that waited behind a backlog is charged its
+/// full queueing delay and no arrival is ever skipped. Thread-safe.
+class OpenLoopRecorder {
+ public:
+  /// One arrival answered OK.
+  void RecordOk(int64_t scheduled_us, int64_t completed_us);
+  /// One arrival shed by admission control (kTenantThrottled).
+  void RecordShed();
+  /// One arrival failed for any other reason.
+  void RecordError();
+
+  struct Summary {
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    uint64_t errors = 0;
+    int64_t p50_us = 0;
+    int64_t p99_us = 0;
+    int64_t max_us = 0;
+  };
+  Summary Snapshot() const;
+  /// Snapshot, then reset — one measurement window's worth.
+  Summary Drain();
+
+ private:
+  mutable std::mutex mu_;
+  Histogram latency_us_;
+  uint64_t shed_ = 0;
+  uint64_t errors_ = 0;
+};
 
 // --- output helpers ----------------------------------------------------
 

@@ -176,6 +176,10 @@ retwis::DriverResult RunRealNetExperiment(retwis::OpType op,
       // fan-outs, like the sim bench client (cluster request_timeout).
       options.request_timeout_us = 5'000'000;
       options.retry_budget_us = 10'000'000;
+      // Tenant identity for QoS experiments against a server started
+      // with --tenants (see docs/tenancy.md); 0 = unattributed.
+      options.tenant_id =
+          static_cast<uint32_t>(IntEnv("LO_TENANT_ID", 0));
       net::RemoteClient client(&rpc, {address}, options);
       Rng rng(config.workload.seed ^
               (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1)));

@@ -21,6 +21,7 @@ Client::Client(sim::Network& net, sim::NodeId id,
                           &metrics_.budget_exhausted);
     reg->RegisterExternal("client.follower_reads", id, &metrics_.follower_reads);
     reg->RegisterExternal("client.read_bounces", id, &metrics_.read_bounces);
+    reg->RegisterExternal("rpc.throttled", id, &metrics_.throttled);
     invoke_latency_us_ = reg->GetHistogram("client.invoke_latency_us", id);
   }
 }
@@ -82,8 +83,10 @@ sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
   Status last = Status::Unavailable("no attempts made");
   const sim::Time deadline = rpc_.sim().Now() + options_.retry_budget;
   sim::Duration backoff = options_.retry_backoff;
+  int throttles = 0;
+  bool throttled_pause = false;  // previous iteration already slept
   for (int attempt = 0; attempt < options_.max_attempts; attempt++) {
-    if (attempt > 0) {
+    if (attempt > 0 && !throttled_pause) {
       // Exponential backoff with ±25% jitter (seeded RNG, so a replayed
       // fault schedule reproduces the same retry timeline). Jitter keeps
       // the client herd from re-converging on a recovering primary.
@@ -98,6 +101,7 @@ sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
       co_await rpc_.sim().Sleep(pause);
       backoff = std::min(backoff * 2, options_.retry_backoff_max);
     }
+    throttled_pause = false;
     if (shard_map_.empty() && !coordinators_.empty()) co_await RefreshConfig();
     sim::NodeId primary = shard_map_.PrimaryFor(oid);
     if (primary == 0) {
@@ -105,7 +109,8 @@ sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
       continue;
     }
     auto result = co_await rpc_.Call(primary, service, payload,
-                                     options_.request_timeout, trace);
+                                     options_.request_timeout, trace,
+                                     options_.tenant_id);
     if (result.ok()) co_return result;
     last = result.status();
     switch (last.code()) {
@@ -115,6 +120,20 @@ sim::Task<Result<std::string>> Client::CallWithRouting(const std::string& oid,
       case StatusCode::kUnavailable:
         // Stale routing or mid-failover; refresh and retry.
         if (!coordinators_.empty()) co_await RefreshConfig();
+        continue;
+      case StatusCode::kTenantThrottled:
+        // Admission pushback, not a fault: pause on the dedicated
+        // throttle backoff and re-send without consuming a failure
+        // attempt, bounded by its own cap and the wall-clock budget.
+        metrics_.throttled++;
+        if (++throttles > options_.max_throttle_retries) co_return last;
+        if (rpc_.sim().Now() + options_.throttle_backoff >= deadline) {
+          metrics_.budget_exhausted++;
+          co_return last;
+        }
+        co_await rpc_.sim().Sleep(options_.throttle_backoff);
+        throttled_pause = true;
+        attempt--;
         continue;
       default:
         co_return last;  // application-level error: surface it
@@ -181,7 +200,8 @@ sim::Task<Result<std::string>> Client::InvokeRead(std::string oid,
     }
     if (target != 0) {
       auto reply = co_await rpc_.Call(target, "lambda.read", payload,
-                                      options_.request_timeout, trace);
+                                      options_.request_timeout, trace,
+                                      options_.tenant_id);
       if (reply.ok()) {
         metrics_.follower_reads++;
         FinishRootTrace(trace, started);
@@ -219,7 +239,8 @@ sim::Task<Result<std::string>> Client::InvokeReadAny(std::string oid,
     size_t which = rpc_.sim().rng().Uniform(config->backups.size() + 1);
     if (which < config->backups.size()) {
       auto reply = co_await rpc_.Call(config->backups[which], "lambda.invoke",
-                                      payload, options_.request_timeout, trace);
+                                      payload, options_.request_timeout, trace,
+                                      options_.tenant_id);
       if (reply.ok()) {
         FinishRootTrace(trace, started);
         co_return reply;

@@ -44,6 +44,15 @@ struct ClientOptions {
   replication::ReadMode read_mode = replication::ReadMode::kPrimaryOnly;
   /// Epoch slack a kBounded read tolerates (LO_STALENESS_EPOCHS).
   uint64_t staleness_epochs = 0;
+  /// Tenant id stamped on every request (0 = untenanted legacy traffic).
+  /// Servers running with a TenantRegistry gate admission and fuel on it.
+  uint32_t tenant_id = 0;
+  /// kTenantThrottled is admission pushback, not a fault: the client
+  /// pauses `throttle_backoff` and re-sends without consuming a failure
+  /// attempt, bounded by `max_throttle_retries` and the wall-clock
+  /// retry_budget. Counted separately as rpc.throttled.
+  sim::Duration throttle_backoff = sim::Millis(5);
+  int max_throttle_retries = 16;
 };
 
 class Client {
@@ -98,6 +107,9 @@ class Client {
     /// InvokeRead requests a backup bounced (kEpochBehind) and the
     /// client re-issued at the primary.
     uint64_t read_bounces = 0;
+    /// Requests the server shed with kTenantThrottled (each re-send after
+    /// the dedicated throttle pause counts again).
+    uint64_t throttled = 0;
   };
   const Metrics& metrics() const { return metrics_; }
 

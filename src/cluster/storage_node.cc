@@ -59,6 +59,7 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
   db_ = std::move(*storage::DB::Open(db_options, "/lambdastore"));
   options_.runtime.tracer = options.tracer;
   options_.runtime.node_label = id;
+  options_.runtime.tenants = options.tenants;  // per-tenant fuel + DRR lanes
   runtime_ = std::make_unique<runtime::Runtime>(&net.sim(), db_.get(), types,
                                                 options_.runtime);
   replicator_ = std::make_unique<replication::Replicator>(
@@ -126,23 +127,45 @@ StorageNode::StorageNode(sim::Network& net, sim::NodeId id,
         [this](const coord::ClusterState& state) { ApplyConfig(state); });
   }
 
-  rpc_.Handle("lambda.invoke", [this](sim::NodeId from, obs::TraceContext trace,
+  // Serving handlers take the full request meta: the wire-level tenant id
+  // gates admission before any lane or storage work happens.
+  rpc_.Handle("lambda.invoke", [this](sim::RpcEndpoint::RequestMeta meta,
                                       std::string payload) {
-    return HandleInvoke(from, trace, std::move(payload));
+    return Admitted(meta.tenant,
+                    [this, meta, payload = std::move(payload)]() mutable {
+                      return HandleInvoke(meta.trace, meta.tenant,
+                                          std::move(payload));
+                    });
   });
-  rpc_.Handle("lambda.create", [this](sim::NodeId from, std::string payload) {
-    return HandleCreate(from, std::move(payload));
+  rpc_.Handle("lambda.create", [this](sim::RpcEndpoint::RequestMeta meta,
+                                      std::string payload) {
+    return Admitted(meta.tenant,
+                    [this, payload = std::move(payload)]() mutable {
+                      return HandleCreate(std::move(payload));
+                    });
   });
-  rpc_.Handle("lambda.invoke2", [this](sim::NodeId from, obs::TraceContext trace,
+  rpc_.Handle("lambda.invoke2", [this](sim::RpcEndpoint::RequestMeta meta,
                                        std::string payload) {
-    return HandleInvoke2(from, trace, std::move(payload));
+    return Admitted(meta.tenant,
+                    [this, meta, payload = std::move(payload)]() mutable {
+                      return HandleInvoke2(meta.trace, meta.tenant,
+                                           std::move(payload));
+                    });
   });
-  rpc_.Handle("lambda.create2", [this](sim::NodeId from, std::string payload) {
-    return HandleCreate2(from, std::move(payload));
+  rpc_.Handle("lambda.create2", [this](sim::RpcEndpoint::RequestMeta meta,
+                                       std::string payload) {
+    return Admitted(meta.tenant,
+                    [this, payload = std::move(payload)]() mutable {
+                      return HandleCreate2(std::move(payload));
+                    });
   });
-  rpc_.Handle("lambda.read", [this](sim::NodeId from, obs::TraceContext trace,
+  rpc_.Handle("lambda.read", [this](sim::RpcEndpoint::RequestMeta meta,
                                     std::string payload) {
-    return HandleRead(from, trace, std::move(payload));
+    return Admitted(meta.tenant,
+                    [this, meta, payload = std::move(payload)]() mutable {
+                      return HandleRead(meta.trace, meta.tenant,
+                                        std::move(payload));
+                    });
   });
   rpc_.Handle("kv.get", [this](sim::NodeId from, std::string payload) {
     return HandleKvGet(from, std::move(payload));
@@ -387,15 +410,30 @@ sim::Task<Result<std::string>> StorageNode::InvokeLocal(runtime::ObjectId oid,
                                                         std::string method,
                                                         std::string argument,
                                                         obs::TraceContext trace,
-                                                        std::string token) {
+                                                        std::string token,
+                                                        tenant::TenantId tenant) {
   metrics_.invokes_served++;
   co_return co_await runtime_->Invoke(std::move(oid), std::move(method),
                                       std::move(argument), trace,
-                                      std::move(token));
+                                      std::move(token), tenant);
 }
 
-sim::Task<Result<std::string>> StorageNode::HandleInvoke(sim::NodeId,
-                                                         obs::TraceContext trace,
+sim::Task<Result<std::string>> StorageNode::Admitted(
+    uint32_t tenant, std::function<sim::Task<Result<std::string>>()> body) {
+  tenant::TenantRegistry* tenants = options_.tenants;
+  if (tenants != nullptr) {
+    Status admitted = tenants->Admit(tenant);
+    if (!admitted.ok()) co_return admitted;
+  }
+  // Errors travel in-band as statuses, so the single resume point below
+  // covers every exit: the in-flight slot is always released once.
+  auto result = co_await body();
+  if (tenants != nullptr) tenants->Release(tenant);
+  co_return result;
+}
+
+sim::Task<Result<std::string>> StorageNode::HandleInvoke(obs::TraceContext trace,
+                                                         uint32_t tenant,
                                                          std::string payload) {
   std::string_view oid, method, argument, token;
   if (!DecodeInvoke(payload, &oid, &method, &argument, &token)) {
@@ -420,11 +458,10 @@ sim::Task<Result<std::string>> StorageNode::HandleInvoke(sim::NodeId,
   }
   co_return co_await InvokeLocal(runtime::ObjectId(oid), std::string(method),
                                  std::string(argument), trace,
-                                 std::string(token));
+                                 std::string(token), tenant);
 }
 
-sim::Task<Result<std::string>> StorageNode::HandleCreate(sim::NodeId,
-                                                         std::string payload) {
+sim::Task<Result<std::string>> StorageNode::HandleCreate(std::string payload) {
   Reader reader{payload};
   std::string_view oid, type_name;
   if (!reader.GetLengthPrefixed(&oid) || !reader.GetLengthPrefixed(&type_name)) {
@@ -439,36 +476,35 @@ sim::Task<Result<std::string>> StorageNode::HandleCreate(sim::NodeId,
                                             std::string(token));
 }
 
-sim::Task<Result<std::string>> StorageNode::HandleInvoke2(sim::NodeId from,
-                                                          obs::TraceContext trace,
+sim::Task<Result<std::string>> StorageNode::HandleInvoke2(obs::TraceContext trace,
+                                                          uint32_t tenant,
                                                           std::string payload) {
   std::string_view oid, method, argument, token;
   if (!DecodeInvoke(payload, &oid, &method, &argument, &token)) {
     co_return Status::Corruption("bad invoke payload");
   }
   coord::ShardId shard = shard_map_.ShardFor(oid);
-  auto result = co_await HandleInvoke(from, trace, std::move(payload));
+  auto result = co_await HandleInvoke(trace, tenant, std::move(payload));
   if (!result.ok()) co_return result.status();
   co_return replication::EncodeTokenWrapped(replicator_->ApplyToken(shard),
                                             *result);
 }
 
-sim::Task<Result<std::string>> StorageNode::HandleCreate2(sim::NodeId from,
-                                                          std::string payload) {
+sim::Task<Result<std::string>> StorageNode::HandleCreate2(std::string payload) {
   Reader reader{payload};
   std::string_view oid;
   if (!reader.GetLengthPrefixed(&oid)) {
     co_return Status::Corruption("bad create payload");
   }
   coord::ShardId shard = shard_map_.ShardFor(oid);
-  auto result = co_await HandleCreate(from, std::move(payload));
+  auto result = co_await HandleCreate(std::move(payload));
   if (!result.ok()) co_return result.status();
   co_return replication::EncodeTokenWrapped(replicator_->ApplyToken(shard),
                                             *result);
 }
 
-sim::Task<Result<std::string>> StorageNode::HandleRead(sim::NodeId,
-                                                       obs::TraceContext trace,
+sim::Task<Result<std::string>> StorageNode::HandleRead(obs::TraceContext trace,
+                                                       uint32_t tenant,
                                                        std::string payload) {
   // Request: LP oid | LP method | LP arg | varint32 mode |
   //          varint64 token.epoch | varint64 token.seq | varint64 staleness.
@@ -505,7 +541,7 @@ sim::Task<Result<std::string>> StorageNode::HandleRead(sim::NodeId,
     }
   }
   auto result = co_await InvokeLocal(runtime::ObjectId(oid), std::string(method),
-                                     std::string(argument), trace);
+                                     std::string(argument), trace, {}, tenant);
   if (!result.ok()) co_return result.status();
   if (!primary) metrics_.follower_reads++;
   co_return replication::EncodeTokenWrapped(replicator_->ApplyToken(shard),

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -34,6 +35,7 @@
 #include "sim/rpc.h"
 #include "storage/db.h"
 #include "storage/env.h"
+#include "tenant/tenant.h"
 
 namespace lo::cluster {
 
@@ -82,6 +84,13 @@ struct StorageNodeOptions {
   /// every sampled invocation that touches this node.
   obs::MetricsRegistry* metrics_registry = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Optional multi-tenant QoS (not owned; must outlive the node; usually
+  /// shared by every node in the cluster). Serving requests pass admission
+  /// (token bucket / in-flight cap / fuel window → kTenantThrottled) and
+  /// invocations debit their tenant's fuel window as the VM runs. The
+  /// caller registers the registry's metrics once, not per node. See
+  /// docs/tenancy.md.
+  tenant::TenantRegistry* tenants = nullptr;
 };
 
 class StorageNode {
@@ -112,7 +121,8 @@ class StorageNode {
                                              std::string method,
                                              std::string argument,
                                              obs::TraceContext trace = {},
-                                             std::string token = {});
+                                             std::string token = {},
+                                             tenant::TenantId tenant = 0);
 
   struct Metrics {
     uint64_t invokes_served = 0;
@@ -138,22 +148,28 @@ class StorageNode {
   /// Records `name` as a child span of `trace` if tracing is active.
   void RecordSpan(const obs::TraceContext& trace, const char* name,
                   sim::Time started);
-  sim::Task<Result<std::string>> HandleInvoke(sim::NodeId from,
-                                              obs::TraceContext trace,
+  /// Tenant admission wrapper for the serving handlers: sheds with
+  /// kTenantThrottled before `body` starts when the tenant is over
+  /// budget, else runs it and releases the in-flight slot when the
+  /// response is ready. No-op pass-through when tenancy is off.
+  sim::Task<Result<std::string>> Admitted(
+      uint32_t tenant, std::function<sim::Task<Result<std::string>>()> body);
+  sim::Task<Result<std::string>> HandleInvoke(obs::TraceContext trace,
+                                              uint32_t tenant,
                                               std::string payload);
-  sim::Task<Result<std::string>> HandleCreate(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleCreate(std::string payload);
   /// Token-wrapped variants: same request wire format, response prefixed
   /// with this node's apply token (epoch + seq) for the object's shard so
   /// clients can do read-your-writes follower reads.
-  sim::Task<Result<std::string>> HandleInvoke2(sim::NodeId from,
-                                               obs::TraceContext trace,
+  sim::Task<Result<std::string>> HandleInvoke2(obs::TraceContext trace,
+                                               uint32_t tenant,
                                                std::string payload);
-  sim::Task<Result<std::string>> HandleCreate2(sim::NodeId from, std::string payload);
+  sim::Task<Result<std::string>> HandleCreate2(std::string payload);
   /// Epoch-gated read path ("lambda.read"): serves deterministic
   /// read-only invocations at the primary or any backup whose apply
   /// state satisfies the client's token, else kEpochBehind.
-  sim::Task<Result<std::string>> HandleRead(sim::NodeId from,
-                                            obs::TraceContext trace,
+  sim::Task<Result<std::string>> HandleRead(obs::TraceContext trace,
+                                            uint32_t tenant,
                                             std::string payload);
   sim::Task<Result<std::string>> HandleKvGet(sim::NodeId from, std::string payload);
   sim::Task<Result<std::string>> HandleKvPut(sim::NodeId from,

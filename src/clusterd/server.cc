@@ -36,7 +36,11 @@ ServerNode::ServerNode(storage::DB* db, const runtime::TypeRegistry* types,
   node_options.lanes = options_.lanes;
   node_options.runtime = options_.runtime;
   node_options.group_commit = options_.group_commit;
+  node_options.tenants = options_.tenants;
   node_ = std::make_unique<runtime::ParallelNode>(db_, types, node_options);
+  if (options_.tenants != nullptr) {
+    options_.tenants->RegisterMetrics(options_.metrics_registry);
+  }
   if (!coordinator_.empty()) {
     // Nested invocations of objects owned by a peer leave the process:
     // the lane blocks (helping with its own queue) while the forward
@@ -90,6 +94,25 @@ void ServerNode::CountRequest(const std::string& oid) {
   }
 }
 
+bool ServerNode::AdmitTenant(uint32_t tenant,
+                             net::RpcServer::Responder* respond) {
+  if (options_.tenants == nullptr) return true;
+  Status admitted = options_.tenants->Admit(tenant);
+  if (!admitted.ok()) {
+    (*respond)(std::move(admitted));
+    return false;
+  }
+  // Release exactly once, when the (possibly lane-deferred) response
+  // goes out. Responder copies share the flag.
+  auto released = std::make_shared<std::atomic<bool>>(false);
+  *respond = [registry = options_.tenants, tenant, released,
+              inner = std::move(*respond)](Result<std::string> result) {
+    if (!released->exchange(true)) registry->Release(tenant);
+    inner(std::move(result));
+  };
+  return true;
+}
+
 void ServerNode::InstallHandlers() {
   server_.Handle("lambda.invoke", [this](net::RpcServer::Request request,
                                          net::RpcServer::Responder respond) {
@@ -106,11 +129,13 @@ void ServerNode::InstallHandlers() {
       respond(Status::WrongShard("object not served here"));
       return;
     }
+    uint32_t tenant = request.tenant;
+    if (!AdmitTenant(tenant, &respond)) return;
     int64_t deadline_us = request.deadline_us;
     node_->RunOnLane(
         oid_str, [this, oid = std::move(oid_str), method = std::string(method),
                   argument = std::string(argument), token = std::string(token),
-                  deadline_us, respond](runtime::Runtime& rt) mutable {
+                  deadline_us, tenant, respond](runtime::Runtime& rt) mutable {
           // Lane-level shed: the request waited behind a busy lane past
           // its deadline. Counts into the same counter as arrival sheds.
           if (deadline_us != 0 && net::EventLoop::NowUs() > deadline_us) {
@@ -131,8 +156,9 @@ void ServerNode::InstallHandlers() {
           }
           respond(runtime::RunSync(rt.Invoke(std::move(oid), std::move(method),
                                              std::move(argument), {},
-                                             std::move(token))));
-        });
+                                             std::move(token), tenant)));
+        },
+        tenant);
   });
 
   server_.Handle("lambda.create", [this](net::RpcServer::Request request,
@@ -150,6 +176,8 @@ void ServerNode::InstallHandlers() {
       respond(Status::WrongShard("object not served here"));
       return;
     }
+    uint32_t tenant = request.tenant;
+    if (!AdmitTenant(tenant, &respond)) return;
     int64_t deadline_us = request.deadline_us;
     node_->RunOnLane(
         oid_str, [this, oid = std::move(oid_str),
@@ -163,7 +191,8 @@ void ServerNode::InstallHandlers() {
           }
           respond(runtime::RunSync(rt.CreateObject(
               std::move(oid), std::move(type_name), std::move(token))));
-        });
+        },
+        tenant);
   });
 
   // Epoch-gated read path, wire-compatible with the sim's "lambda.read".
@@ -200,11 +229,13 @@ void ServerNode::InstallHandlers() {
     } else if (mode == 2) {
       min_epoch = token_seq > staleness ? token_seq - staleness : 0;
     }
+    uint32_t tenant = request.tenant;
+    if (!AdmitTenant(tenant, &respond)) return;
     int64_t deadline_us = request.deadline_us;
     node_->RunOnLane(
         oid_str, [this, oid = std::move(oid_str), method = std::string(method),
                   argument = std::string(argument), min_epoch, deadline_us,
-                  respond](runtime::Runtime& rt) mutable {
+                  tenant, respond](runtime::Runtime& rt) mutable {
           if (deadline_us != 0 && net::EventLoop::NowUs() > deadline_us) {
             server_.RecordShed();
             respond(Status::Timeout("deadline expired before execution"));
@@ -238,8 +269,10 @@ void ServerNode::InstallHandlers() {
             respond(Status::NotPrimary("not a read-only method"));
             return;
           }
-          auto result = runtime::RunSync(
-              rt.Invoke(std::move(oid), std::move(method), std::move(argument)));
+          auto result = runtime::RunSync(rt.Invoke(std::move(oid),
+                                                   std::move(method),
+                                                   std::move(argument), {}, {},
+                                                   tenant));
           if (!result.ok()) {
             respond(result.status());
             return;
@@ -251,7 +284,8 @@ void ServerNode::InstallHandlers() {
           PutVarint64(&out, node_->apply_epoch());
           PutLengthPrefixed(&out, *result);
           respond(std::move(out));
-        });
+        },
+        tenant);
   });
 
   // Live migration, source side. Extraction runs on the object's lane,

@@ -42,6 +42,7 @@
 #include "obs/metrics.h"
 #include "runtime/executor.h"
 #include "storage/db.h"
+#include "tenant/tenant.h"
 
 namespace lo::clusterd {
 
@@ -72,6 +73,12 @@ struct ServerNodeOptions {
   int place_attempts = 3;
   obs::MetricsRegistry* metrics_registry = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Optional multi-tenant QoS (not owned; must outlive the node).
+  /// Requests carrying a tenant id pass token-bucket/in-flight/fuel
+  /// admission before touching a lane (over-budget → kTenantThrottled),
+  /// queue DRR-fairly per lane, and debit their tenant's fuel window as
+  /// the VM runs. See docs/tenancy.md.
+  tenant::TenantRegistry* tenants = nullptr;
 };
 
 class ServerNode {
@@ -121,6 +128,11 @@ class ServerNode {
 
  private:
   void InstallHandlers();
+  /// Tenant admission gate shared by the serving handlers: sheds with
+  /// kTenantThrottled (answering via `respond`) when over budget, else
+  /// wraps `respond` so the tenant's in-flight slot is released exactly
+  /// once when the response goes out. Returns false when shed.
+  bool AdmitTenant(uint32_t tenant, net::RpcServer::Responder* respond);
   void CountRequest(const std::string& oid);
   /// Cluster-mode ownership check; standalone always owns.
   bool OwnsForExecution(const std::string& oid) const;

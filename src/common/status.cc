@@ -19,6 +19,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kNotPrimary: return "NotPrimary";
     case StatusCode::kWrongShard: return "WrongShard";
     case StatusCode::kEpochBehind: return "EpochBehind";
+    case StatusCode::kTenantThrottled: return "TenantThrottled";
   }
   return "Unknown";
 }

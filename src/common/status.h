@@ -31,6 +31,7 @@ enum class StatusCode : uint8_t {
   kNotPrimary,     // mutation sent to a backup replica
   kWrongShard,     // object's microshard moved; refresh the directory
   kEpochBehind,    // follower read behind the client's epoch token; retry at primary
+  kTenantThrottled,  // tenant over its admission/fuel budget; back off, not a fault
 };
 
 /// Human-readable name of a status code, e.g. "NotFound".
@@ -58,6 +59,7 @@ class [[nodiscard]] Status {
   static Status NotPrimary(std::string m = "") { return {StatusCode::kNotPrimary, std::move(m)}; }
   static Status WrongShard(std::string m = "") { return {StatusCode::kWrongShard, std::move(m)}; }
   static Status EpochBehind(std::string m = "") { return {StatusCode::kEpochBehind, std::move(m)}; }
+  static Status TenantThrottled(std::string m = "") { return {StatusCode::kTenantThrottled, std::move(m)}; }
 
   bool ok() const noexcept { return code_ == StatusCode::kOk; }
   StatusCode code() const noexcept { return code_; }
@@ -66,6 +68,7 @@ class [[nodiscard]] Status {
   bool IsTimeout() const noexcept { return code_ == StatusCode::kTimeout; }
   bool IsUnavailable() const noexcept { return code_ == StatusCode::kUnavailable; }
   bool IsTrap() const noexcept { return code_ == StatusCode::kTrap; }
+  bool IsTenantThrottled() const noexcept { return code_ == StatusCode::kTenantThrottled; }
   const std::string& message() const noexcept { return message_; }
 
   /// "OK" or "<Code>: <message>".

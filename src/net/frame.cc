@@ -15,6 +15,7 @@ std::string EncodeRequestBody(const RequestFrame& request) {
   PutVarint64(&body, static_cast<uint64_t>(request.deadline_us));
   PutLengthPrefixed(&body, request.service);
   PutLengthPrefixed(&body, request.payload);
+  PutVarint32(&body, request.tenant);
   return body;
 }
 
@@ -96,6 +97,9 @@ bool DecodeMessage(std::string_view body, Message* out, FrameStats* stats) {
       return false;
     }
     req.deadline_us = static_cast<int64_t>(deadline);
+    // Trailing optional tenant id: absent in pre-tenancy frames → 0.
+    uint32_t tenant = 0;
+    req.tenant = reader.GetVarint32(&tenant) ? tenant : 0;
     out->kind = MessageKind::kRequest;
     return true;
   }

@@ -10,8 +10,13 @@
 // and the body is either a request or a response:
 //
 //   request:  kRequest(1) | rpc_id varint | trace_id varint |
-//             span_id varint | deadline_us varint | service lp | payload lp
+//             span_id varint | deadline_us varint | service lp | payload lp |
+//             tenant varint
 //   response: kResponse(1) | rpc_id varint | status_code(1) | body lp
+//
+// `tenant` is a trailing optional field: encoders always write it, but
+// decoders treat a body ending after `payload` as tenant 0 (unattributed),
+// so pre-tenancy frames and hand-crafted test frames still decode.
 //
 // (`lp` = varint length-prefixed bytes.) The CRC uses the LevelDB-style
 // mask from common/crc32c, so both transports reject torn or corrupted
@@ -48,6 +53,7 @@ struct RequestFrame {
   uint64_t trace_id = 0;   // obs trace propagation (0 = unsampled)
   uint64_t span_id = 0;
   int64_t deadline_us = 0; // absolute, transport clock domain; 0 = none
+  uint32_t tenant = 0;     // QoS identity (src/tenant); 0 = unattributed
   std::string_view service;
   std::string_view payload;
 };

@@ -32,6 +32,7 @@ RemoteClient::RemoteClient(RpcClient* rpc, std::vector<std::string> nodes,
     reg->RegisterExternal("client.budget_exhausted", label,
                           &metrics_.budget_exhausted);
     reg->RegisterExternal("client.redirects", label, &metrics_.redirects);
+    reg->RegisterExternal("rpc.throttled", label, &metrics_.throttled);
     invoke_latency_us_ = reg->GetHistogram("client.invoke_latency_us", label);
   }
 }
@@ -59,7 +60,9 @@ Result<std::string> RemoteClient::CallWithRetry(const std::string& oid,
   Status last = Status::Unavailable("no attempts made");
   int64_t backoff_us = options_.retry_backoff_us;
   int redirects = 0;
-  bool redirected = false;  // last iteration was a directory-refresh re-send
+  int throttles = 0;
+  bool redirected = false;  // last iteration was a directory-refresh
+                            // re-send or a throttle pause (already slept)
   for (int attempt = 0; attempt < options_.max_attempts; attempt++) {
     if (attempt > 0 && !redirected) {
       // Exponential backoff with ±25% jitter — the same policy the sim
@@ -83,7 +86,8 @@ Result<std::string> RemoteClient::CallWithRetry(const std::string& oid,
       last = Status::WrongShard("no route for " + oid);
     } else {
       auto result = rpc_->CallSync(address, service, payload,
-                                   options_.request_timeout_us, trace);
+                                   options_.request_timeout_us, trace,
+                                   options_.tenant_id);
       if (result.ok()) {
         if (obs::Tracing(options_.tracer, trace)) {
           int64_t now_us = EventLoop::NowUs();
@@ -121,6 +125,22 @@ Result<std::string> RemoteClient::CallWithRetry(const std::string& oid,
       case StatusCode::kTimeout:
       case StatusCode::kUnavailable:
         continue;  // transient or mid-failover; back off and re-send
+      case StatusCode::kTenantThrottled:
+        // Admission pushback, not a fault: pause on the dedicated
+        // throttle backoff and re-send without consuming a failure
+        // attempt, bounded by its own cap and the wall-clock budget.
+        metrics_.throttled++;
+        if (++throttles > options_.max_throttle_retries) return last;
+        if (EventLoop::NowUs() + options_.throttle_backoff_us >=
+            budget_deadline_us) {
+          metrics_.budget_exhausted++;
+          return last;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.throttle_backoff_us));
+        redirected = true;  // skip the exponential pause; we just slept
+        attempt--;
+        continue;
       default:
         return last;  // application-level error: surface it
     }

@@ -59,6 +59,15 @@ struct RemoteClientOptions {
   /// Apply-epoch slack a bounded (mode 2) read tolerates
   /// (LO_STALENESS_EPOCHS).
   uint64_t staleness_epochs = 0;
+  /// Tenant id stamped on every request (0 = untenanted legacy traffic).
+  /// Servers running with --tenants gate admission and fuel on it
+  /// (docs/tenancy.md). bench/harness reads LO_TENANT_ID into it.
+  uint32_t tenant_id = 0;
+  /// kTenantThrottled is admission pushback, not a fault: pause this
+  /// long and re-send without consuming a failure attempt, bounded by
+  /// `max_throttle_retries` and the wall-clock retry budget.
+  int64_t throttle_backoff_us = 5'000;
+  int max_throttle_retries = 16;
 };
 
 class RemoteClient {
@@ -115,6 +124,9 @@ class RemoteClient {
     uint64_t budget_exhausted = 0;
     /// kWrongShard bounces answered by a directory refresh + re-send.
     uint64_t redirects = 0;
+    /// Requests the server shed with kTenantThrottled (each re-send
+    /// after the throttle pause counts again).
+    uint64_t throttled = 0;
   };
   const Metrics& metrics() const { return metrics_; }
 

@@ -45,7 +45,7 @@ void RpcClient::RegisterMetrics() {
 
 void RpcClient::Call(const std::string& address, std::string service,
                      std::string payload, int64_t timeout_us, Callback done,
-                     obs::TraceContext trace) {
+                     obs::TraceContext trace, uint32_t tenant) {
   if (stopped_) {
     done(Status::Unavailable("rpc client stopped"));
     return;
@@ -53,7 +53,7 @@ void RpcClient::Call(const std::string& address, std::string service,
   uint64_t rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
   loop_.RunInLoop([this, address, service = std::move(service),
                    payload = std::move(payload), timeout_us,
-                   done = std::move(done), trace, rpc_id]() mutable {
+                   done = std::move(done), trace, tenant, rpc_id]() mutable {
     if (stopped_) {  // raced Stop(); runs via DrainNow after the loop died
       done(Status::Unavailable("rpc client stopped"));
       return;
@@ -69,6 +69,7 @@ void RpcClient::Call(const std::string& address, std::string service,
     frame.trace_id = span_ctx.trace_id;
     frame.span_id = span_ctx.span_id;
     frame.deadline_us = timeout_us > 0 ? now_us + timeout_us : 0;
+    frame.tenant = tenant;
     frame.service = service;
     frame.payload = payload;
 
@@ -105,7 +106,8 @@ void RpcClient::Call(const std::string& address, std::string service,
 Result<std::string> RpcClient::CallSync(const std::string& address,
                                         std::string service, std::string payload,
                                         int64_t timeout_us,
-                                        obs::TraceContext trace) {
+                                        obs::TraceContext trace,
+                                        uint32_t tenant) {
   LO_CHECK_MSG(!loop_.InLoopThread(), "CallSync would deadlock the loop thread");
   auto promise = std::make_shared<std::promise<Result<std::string>>>();
   auto future = promise->get_future();
@@ -113,7 +115,7 @@ Result<std::string> RpcClient::CallSync(const std::string& address,
        [promise](Result<std::string> result) {
          promise->set_value(std::move(result));
        },
-       trace);
+       trace, tenant);
   return future.get();
 }
 

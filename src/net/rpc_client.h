@@ -69,13 +69,15 @@ class RpcClient {
   /// a relative timeout; the frame carries the absolute deadline so the
   /// server can shed expired work. A sampled `trace` context propagates
   /// in the frame and the call is recorded as an "rpc.<service>" span.
+  /// `tenant` rides in the frame for server-side QoS (0 = unattributed).
   void Call(const std::string& address, std::string service, std::string payload,
-            int64_t timeout_us, Callback done, obs::TraceContext trace = {});
+            int64_t timeout_us, Callback done, obs::TraceContext trace = {},
+            uint32_t tenant = 0);
 
   /// Blocking convenience for worker threads (benchmarks, RemoteClient).
   Result<std::string> CallSync(const std::string& address, std::string service,
                                std::string payload, int64_t timeout_us,
-                               obs::TraceContext trace = {});
+                               obs::TraceContext trace = {}, uint32_t tenant = 0);
 
   /// Fails outstanding calls with Unavailable and joins the loop thread.
   /// Idempotent; the destructor calls it.

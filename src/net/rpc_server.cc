@@ -176,6 +176,7 @@ void RpcServer::DispatchRequest(Connection* conn, const RequestFrame& request) {
   req.service.assign(request.service);
   req.payload.assign(request.payload);
   req.deadline_us = request.deadline_us;
+  req.tenant = request.tenant;
   obs::TraceContext caller_ctx;
   caller_ctx.trace_id = request.trace_id;
   caller_ctx.span_id = request.span_id;

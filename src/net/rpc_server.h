@@ -56,6 +56,8 @@ class RpcServer {
     obs::TraceContext trace;
     /// Absolute CLOCK_MONOTONIC µs deadline from the frame; 0 = none.
     int64_t deadline_us = 0;
+    /// Tenant QoS identity from the frame; 0 = unattributed.
+    uint32_t tenant = 0;
 
     bool Expired() const {
       return deadline_us != 0 && EventLoop::NowUs() > deadline_us;

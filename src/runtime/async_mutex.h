@@ -3,9 +3,18 @@
 // concurrency control" (paper §4.2) by never running two read-write
 // invocations of the same object concurrently — same-object invocations
 // share a lane, so the lane lock is the object lock.
+//
+// Multi-tenant fairness: Lock() optionally carries a (tenant, weight)
+// pair. Waiters are grouped per tenant and Unlock() hands ownership
+// deficit-round-robin across the groups — a tenant with weight w gets w
+// consecutive grants per rotation — so one tenant's queue depth cannot
+// monopolize the lane. With a single tenant (the default, tenant 0) the
+// grant order is exactly the old FIFO.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 
 #include "common/log.h"
@@ -15,34 +24,70 @@ namespace lo::runtime {
 
 class AsyncMutex {
  public:
-  sim::Task<void> Lock() {
-    if (!locked_) {
+  sim::Task<void> Lock(uint32_t tenant = 0, uint32_t weight = 1) {
+    if (!locked_ && waiters_ == 0) {
       locked_ = true;
       co_return;
     }
     auto slot = std::make_shared<sim::OneShot<bool>>();
-    waiters_.push_back(slot);
+    Group& group = groups_[tenant];
+    group.weight = weight == 0 ? 1 : weight;
+    group.slots.push_back(slot);
+    if (!group.active) {
+      group.active = true;
+      rotation_.push_back(tenant);
+    }
+    waiters_++;
     co_await slot->Wait();
     // Ownership was handed to us directly by Unlock().
   }
 
   void Unlock() {
     LO_CHECK_MSG(locked_, "unlock of unlocked AsyncMutex");
-    if (waiters_.empty()) {
-      locked_ = false;
+    while (!rotation_.empty()) {
+      uint32_t tenant = rotation_.front();
+      Group& group = groups_[tenant];
+      if (group.slots.empty()) {
+        group.active = false;
+        group.credits = 0;
+        rotation_.pop_front();
+        continue;
+      }
+      if (group.credits == 0) group.credits = group.weight;
+      auto next = group.slots.front();
+      group.slots.pop_front();
+      group.credits--;
+      waiters_--;
+      if (group.credits == 0 || group.slots.empty()) {
+        group.credits = 0;
+        rotation_.pop_front();
+        if (!group.slots.empty()) {
+          rotation_.push_back(tenant);
+        } else {
+          group.active = false;
+        }
+      }
+      next->Fulfill(true);  // lock stays held; ownership transfers DRR
       return;
     }
-    auto next = waiters_.front();
-    waiters_.pop_front();
-    next->Fulfill(true);  // lock stays held; ownership transfers FIFO
+    locked_ = false;
   }
 
   bool locked() const { return locked_; }
-  size_t queue_length() const { return waiters_.size(); }
+  size_t queue_length() const { return waiters_; }
 
  private:
+  struct Group {
+    std::deque<std::shared_ptr<sim::OneShot<bool>>> slots;
+    uint32_t weight = 1;
+    uint32_t credits = 0;
+    bool active = false;  // present in rotation_
+  };
+
   bool locked_ = false;
-  std::deque<std::shared_ptr<sim::OneShot<bool>>> waiters_;
+  size_t waiters_ = 0;
+  std::map<uint32_t, Group> groups_;
+  std::deque<uint32_t> rotation_;
 };
 
 }  // namespace lo::runtime

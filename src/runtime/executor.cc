@@ -34,6 +34,7 @@ ParallelNode::ParallelNode(storage::DB* db, const TypeRegistry* types,
     lane->sim = std::make_unique<sim::Simulator>();
     RuntimeOptions rt_options = options_.runtime;
     rt_options.lanes = 1;  // one worker thread == one internal lane
+    rt_options.tenants = options_.tenants;  // per-tenant VM fuel accounting
     lane->runtime = std::make_unique<Runtime>(lane->sim.get(), db_, types, rt_options);
     // All lanes commit through the shared group committer: the worker
     // thread blocks inside Commit() until its batch's shared fsync lands.
@@ -150,10 +151,7 @@ Result<std::string> ParallelNode::HelpingWait(
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(self.mu);
-      if (!self.queue.empty()) {
-        job = std::move(self.queue.front());
-        self.queue.pop_front();
-      }
+      PopJob(&self, &job);
     }
     if (job) {
       job();
@@ -169,81 +167,112 @@ void ParallelNode::SetPeerInvoker(PeerLocalFn is_local, PeerInvokeFn invoke) {
 }
 
 void ParallelNode::RunOnLane(const ObjectId& oid,
-                             std::function<void(Runtime&)> job) {
+                             std::function<void(Runtime&)> job,
+                             tenant::TenantId tenant) {
   size_t lane_index = LaneFor(oid);
   Runtime* rt = lanes_[lane_index]->runtime.get();
-  Enqueue(lane_index, [rt, job = std::move(job)] { job(*rt); });
+  Enqueue(lane_index, [rt, job = std::move(job)] { job(*rt); }, tenant);
 }
 
-void ParallelNode::Enqueue(size_t lane_index, std::function<void()> job) {
+void ParallelNode::Enqueue(size_t lane_index, std::function<void()> job,
+                           tenant::TenantId tenant) {
   Lane& lane = *lanes_[lane_index];
+  uint32_t weight =
+      options_.tenants != nullptr ? options_.tenants->WeightFor(tenant) : 1;
+  int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
   {
     std::unique_lock<std::mutex> lock(lane.mu);
-    lane.queue.push_back(std::move(job));
+    lane.queue.Push(std::move(job), tenant, weight, now_us);
   }
   lane.work_cv.notify_one();
 }
 
+bool ParallelNode::PopJob(Lane* lane, std::function<void()>* job) {
+  tenant::FairQueue::Item item;
+  if (!lane->queue.Pop(&item)) return false;
+  if (options_.tenants != nullptr) {
+    int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+    options_.tenants->RecordQueueWait(item.tenant,
+                                      std::max<int64_t>(0, now_us - item.enqueued_us));
+  }
+  *job = std::move(item.job);
+  return true;
+}
+
 void ParallelNode::InvokeAsync(ObjectId oid, std::string method,
                                std::string argument, std::string token,
-                               Callback done, std::function<bool()> shed) {
+                               Callback done, std::function<bool()> shed,
+                               tenant::TenantId tenant) {
   size_t lane_index = LaneFor(oid);
   Runtime* rt = lanes_[lane_index]->runtime.get();
-  Enqueue(lane_index, [rt, oid = std::move(oid), method = std::move(method),
-                       argument = std::move(argument), token = std::move(token),
-                       done = std::move(done), shed = std::move(shed)]() mutable {
-    // Shed decision happens here — at execution time, not enqueue time —
-    // because the interesting case is a deadline that expired while the
-    // job sat behind a busy lane.
-    if (shed && shed()) {
-      done(Status::Timeout("deadline expired before execution"));
-      return;
-    }
-    done(RunSync(rt->Invoke(std::move(oid), std::move(method),
-                            std::move(argument), {}, std::move(token))));
-  });
+  Enqueue(lane_index,
+          [rt, oid = std::move(oid), method = std::move(method),
+           argument = std::move(argument), token = std::move(token),
+           done = std::move(done), shed = std::move(shed), tenant]() mutable {
+            // Shed decision happens here — at execution time, not enqueue
+            // time — because the interesting case is a deadline that
+            // expired while the job sat behind a busy lane.
+            if (shed && shed()) {
+              done(Status::Timeout("deadline expired before execution"));
+              return;
+            }
+            done(RunSync(rt->Invoke(std::move(oid), std::move(method),
+                                    std::move(argument), {}, std::move(token),
+                                    tenant)));
+          },
+          tenant);
 }
 
 void ParallelNode::CreateObjectAsync(ObjectId oid, std::string type_name,
                                      std::string token, Callback done,
-                                     std::function<bool()> shed) {
+                                     std::function<bool()> shed,
+                                     tenant::TenantId tenant) {
   size_t lane_index = LaneFor(oid);
   Runtime* rt = lanes_[lane_index]->runtime.get();
-  Enqueue(lane_index, [rt, oid = std::move(oid),
-                       type_name = std::move(type_name), token = std::move(token),
-                       done = std::move(done), shed = std::move(shed)]() mutable {
-    if (shed && shed()) {
-      done(Status::Timeout("deadline expired before execution"));
-      return;
-    }
-    done(RunSync(rt->CreateObject(std::move(oid), std::move(type_name),
-                                  std::move(token))));
-  });
+  Enqueue(lane_index,
+          [rt, oid = std::move(oid), type_name = std::move(type_name),
+           token = std::move(token), done = std::move(done),
+           shed = std::move(shed)]() mutable {
+            if (shed && shed()) {
+              done(Status::Timeout("deadline expired before execution"));
+              return;
+            }
+            done(RunSync(rt->CreateObject(std::move(oid), std::move(type_name),
+                                          std::move(token))));
+          },
+          tenant);
 }
 
 std::future<Result<std::string>> ParallelNode::Invoke(ObjectId oid,
                                                       std::string method,
                                                       std::string argument,
-                                                      std::string token) {
+                                                      std::string token,
+                                                      tenant::TenantId tenant) {
   auto promise = std::make_shared<std::promise<Result<std::string>>>();
   auto future = promise->get_future();
   InvokeAsync(std::move(oid), std::move(method), std::move(argument),
               std::move(token),
               [promise](Result<std::string> result) {
                 promise->set_value(std::move(result));
-              });
+              },
+              {}, tenant);
   return future;
 }
 
-std::future<Result<std::string>> ParallelNode::CreateObject(ObjectId oid,
-                                                            std::string type_name,
-                                                            std::string token) {
+std::future<Result<std::string>> ParallelNode::CreateObject(
+    ObjectId oid, std::string type_name, std::string token,
+    tenant::TenantId tenant) {
   auto promise = std::make_shared<std::promise<Result<std::string>>>();
   auto future = promise->get_future();
   CreateObjectAsync(std::move(oid), std::move(type_name), std::move(token),
                     [promise](Result<std::string> result) {
                       promise->set_value(std::move(result));
-                    });
+                    },
+                    {}, tenant);
   return future;
 }
 
@@ -281,17 +310,16 @@ Status ParallelNode::ApplyReplicated(storage::WriteBatch batch, uint64_t epoch) 
   return Status::OK();
 }
 
-std::future<Result<std::string>> ParallelNode::InvokeRead(ObjectId oid,
-                                                          std::string method,
-                                                          std::string argument,
-                                                          uint64_t min_epoch) {
+std::future<Result<std::string>> ParallelNode::InvokeRead(
+    ObjectId oid, std::string method, std::string argument, uint64_t min_epoch,
+    tenant::TenantId tenant) {
   auto promise = std::make_shared<std::promise<Result<std::string>>>();
   auto future = promise->get_future();
   size_t lane_index = LaneFor(oid);
   Runtime* rt = lanes_[lane_index]->runtime.get();
   Enqueue(lane_index, [this, rt, oid = std::move(oid),
                        method = std::move(method),
-                       argument = std::move(argument), min_epoch,
+                       argument = std::move(argument), min_epoch, tenant,
                        promise]() mutable {
     uint64_t applied = apply_epoch_.load(std::memory_order_acquire);
     if (applied < min_epoch) {
@@ -314,8 +342,9 @@ std::future<Result<std::string>> ParallelNode::InvokeRead(ObjectId oid,
       promise->set_value(Status::NotPrimary("not a read-only method"));
       return;
     }
-    promise->set_value(RunSync(
-        rt->Invoke(std::move(oid), std::move(method), std::move(argument))));
+    promise->set_value(RunSync(rt->Invoke(std::move(oid), std::move(method),
+                                          std::move(argument), {}, {},
+                                          tenant)));
   });
   return future;
 }
@@ -336,8 +365,8 @@ void ParallelNode::WorkerLoop(Lane* lane) {
       if (lane->stop) return;
       continue;
     }
-    std::function<void()> job = std::move(lane->queue.front());
-    lane->queue.pop_front();
+    std::function<void()> job;
+    if (!PopJob(lane, &job)) continue;
     lane->busy = true;
     lock.unlock();
     job();

@@ -54,6 +54,7 @@
 #include "sim/simulator.h"
 #include "storage/db.h"
 #include "storage/group_commit.h"
+#include "tenant/tenant.h"
 
 namespace lo::runtime {
 
@@ -77,6 +78,12 @@ struct ParallelNodeOptions {
   /// to 1 — threading is this executor's job, not the lane runtime's).
   RuntimeOptions runtime;
   storage::GroupCommitterOptions group_commit;
+  /// Optional multi-tenant QoS (not owned; must outlive the node). When
+  /// set, each lane's queue becomes a deficit-round-robin FairQueue over
+  /// the tenant ids submitted with each job, queue waits are recorded
+  /// per tenant, and the per-lane runtimes charge VM fuel to it. With
+  /// only tenant 0 traffic the lanes behave exactly like the old FIFO.
+  tenant::TenantRegistry* tenants = nullptr;
 };
 
 class ParallelNode {
@@ -95,12 +102,16 @@ class ParallelNode {
   /// Thread-safe. Enqueues on the object's lane; the future resolves when
   /// the invocation has executed and its writes (if any) are durable.
   /// Submission order from one thread = execution order on the lane.
+  /// `tenant` attributes the work for QoS (DRR share, queue-wait metric,
+  /// VM fuel); 0 = unattributed, always plain FIFO behavior.
   std::future<Result<std::string>> Invoke(ObjectId oid, std::string method,
                                           std::string argument,
-                                          std::string token = {});
+                                          std::string token = {},
+                                          tenant::TenantId tenant = 0);
   std::future<Result<std::string>> CreateObject(ObjectId oid,
                                                 std::string type_name,
-                                                std::string token = {});
+                                                std::string token = {},
+                                                tenant::TenantId tenant = 0);
 
   using Callback = std::function<void(Result<std::string>)>;
   /// Callback-style Invoke for async servers (net::RpcServer handlers):
@@ -112,9 +123,11 @@ class ParallelNode {
   /// waited behind a busy lane.
   void InvokeAsync(ObjectId oid, std::string method, std::string argument,
                    std::string token, Callback done,
-                   std::function<bool()> shed = {});
+                   std::function<bool()> shed = {},
+                   tenant::TenantId tenant = 0);
   void CreateObjectAsync(ObjectId oid, std::string type_name, std::string token,
-                         Callback done, std::function<bool()> shed = {});
+                         Callback done, std::function<bool()> shed = {},
+                         tenant::TenantId tenant = 0);
 
   /// True if this node should execute `oid` itself; false routes the
   /// nested invocation to `invoke` (an async peer call, e.g. RPC to the
@@ -131,7 +144,8 @@ class ParallelNode {
   /// behind every invocation of that object already queued — the hook
   /// microshard migration uses to extract an object only after its
   /// in-flight work drained. Returns immediately.
-  void RunOnLane(const ObjectId& oid, std::function<void(Runtime&)> job);
+  void RunOnLane(const ObjectId& oid, std::function<void(Runtime&)> job,
+                 tenant::TenantId tenant = 0);
 
   /// Applies a replicated batch (shipped from a primary's group-commit
   /// stream) and stamps this node's apply-epoch to `epoch` — the
@@ -159,7 +173,8 @@ class ParallelNode {
   /// post-invalidation cache state.
   std::future<Result<std::string>> InvokeRead(ObjectId oid, std::string method,
                                               std::string argument,
-                                              uint64_t min_epoch);
+                                              uint64_t min_epoch,
+                                              tenant::TenantId tenant = 0);
 
   /// Blocks until all lanes are idle and all group commits resolved.
   void Drain();
@@ -182,7 +197,10 @@ class ParallelNode {
     std::mutex mu;
     std::condition_variable work_cv;
     std::condition_variable idle_cv;
-    std::deque<std::function<void()>> queue;
+    /// DRR multi-queue guarded by mu; pure FIFO when only tenant 0 is
+    /// active, so single-tenant ordering is byte-identical to the old
+    /// std::deque.
+    tenant::FairQueue queue;
     bool busy = false;
     bool stop = false;
     uint64_t executed = 0;
@@ -190,7 +208,11 @@ class ParallelNode {
   };
 
   void WorkerLoop(Lane* lane);
-  void Enqueue(size_t lane_index, std::function<void()> job);
+  void Enqueue(size_t lane_index, std::function<void()> job,
+               tenant::TenantId tenant = 0);
+  /// Pops per DRR under the caller's lock and records the job's queue
+  /// wait against its tenant.
+  bool PopJob(Lane* lane, std::function<void()>* job);
   /// Runs a nested invocation pinned to another lane. Blocks the calling
   /// worker thread, helping with its own lane's queued jobs while it
   /// waits (see the header's deadlock note). Runs on lane worker threads

@@ -61,10 +61,12 @@ size_t Runtime::BusyLanes() const {
   return busy;
 }
 
-sim::Task<void> Runtime::AcquireLane(size_t lane) {
+sim::Task<void> Runtime::AcquireLane(size_t lane, tenant::TenantId tenant) {
   AsyncMutex& lock = *lanes_[lane];
   if (lock.locked()) metrics_.lock_waits++;
-  co_await lock.Lock();
+  uint32_t weight =
+      options_.tenants != nullptr ? options_.tenants->WeightFor(tenant) : 1;
+  co_await lock.Lock(tenant, weight);
   lane_acquisitions_[lane]++;
   size_t busy = BusyLanes();
   if (busy > metrics_.max_busy_lanes) metrics_.max_busy_lanes = busy;
@@ -108,7 +110,8 @@ sim::Task<Result<std::string>> Runtime::CreateObject(ObjectId oid,
 sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
                                                std::string argument,
                                                obs::TraceContext trace,
-                                               std::string token) {
+                                               std::string token,
+                                               tenant::TenantId tenant) {
   metrics_.invocations++;
   Result<std::string> type_name = TypeOf(oid);
   if (!type_name.ok()) {
@@ -138,7 +141,8 @@ sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
     InvocationContext ctx(this, oid, MethodKind::kReadOnly, snapshot);
     ctx.set_trace(trace);
     uint64_t fuel = 0;
-    auto result = co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel);
+    auto result =
+        co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel, tenant);
     db_->ReleaseSnapshot(snapshot);
     if (cpu_charger_) {
       sim::Time exec_started = sim_->Now();
@@ -161,13 +165,14 @@ sim::Task<Result<std::string>> Runtime::Invoke(ObjectId oid, std::string method,
   // different lanes and run concurrently.
   size_t lane = LaneIndexFor(oid);
   AsyncMutex& lock = *lanes_[lane];
-  co_await AcquireLane(lane);
+  co_await AcquireLane(lane, tenant);
   InvocationContext ctx(this, oid, MethodKind::kReadWrite, /*snapshot=*/nullptr);
   ctx.set_object_lock(&lock);
   ctx.set_trace(trace);
   ctx.set_idempotency_token(std::move(token));
   uint64_t fuel = 0;
-  auto result = co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel);
+  auto result =
+      co_await RunMethod(*impl, method, ctx, std::move(argument), &fuel, tenant);
   if (result.ok()) {
     sim::Time commit_started = sim_->Now();
     bool had_writes = ctx.has_writes();
@@ -200,13 +205,31 @@ sim::Task<Result<std::string>> Runtime::RunMethod(const MethodImpl& impl,
                                                   std::string_view method_name,
                                                   InvocationContext& ctx,
                                                   std::string argument,
-                                                  uint64_t* fuel) {
+                                                  uint64_t* fuel,
+                                                  tenant::TenantId tenant) {
+  tenant::TenantRegistry* tenants =
+      tenant != 0 ? options_.tenants : nullptr;
   if (impl.native) {
     *fuel = options_.native_fuel_estimate;
     metrics_.fuel_executed += *fuel;
+    if (tenants != nullptr) {
+      // Native methods are not metered instruction-by-instruction; charge
+      // the flat estimate up front and refuse to run on a dry window.
+      Status charged = tenants->ChargeFuel(tenant, *fuel);
+      if (!charged.ok()) co_return charged;
+    }
     co_return co_await impl.native(ctx, std::move(argument));
   }
-  vm::Instance instance(impl.module.get(), options_.vm_limits);
+  vm::VmLimits limits = options_.vm_limits;
+  if (tenants != nullptr) {
+    // Debit the tenant's window as the VM burns fuel: a mid-invocation
+    // exhaustion traps the invocation (buffered writes are discarded by
+    // the abort path in Invoke) with the throttle status.
+    limits.fuel_tap = [tenants, tenant](uint64_t spent) {
+      return tenants->ChargeFuel(tenant, spent);
+    };
+  }
+  vm::Instance instance(impl.module.get(), limits);
   auto result =
       co_await instance.Invoke(method_name, std::move(argument), &ctx);
   *fuel = instance.metrics().fuel_used;

@@ -25,6 +25,7 @@
 #include "runtime/result_cache.h"
 #include "sim/simulator.h"
 #include "storage/db.h"
+#include "tenant/tenant.h"
 
 namespace lo::runtime {
 
@@ -45,6 +46,12 @@ struct RuntimeOptions {
   obs::Tracer* tracer = nullptr;
   /// Node label stamped on recorded spans (the hosting node's id).
   uint32_t node_label = 0;
+  /// Optional multi-tenant QoS registry (not owned). When set, an
+  /// invocation carrying a nonzero tenant id debits that tenant's fuel
+  /// window as the VM runs (VmLimits::fuel_tap) — an exhausted window
+  /// traps the invocation with kTenantThrottled — and lane-lock waits
+  /// are granted deficit-round-robin by tenant weight.
+  tenant::TenantRegistry* tenants = nullptr;
 };
 
 class Runtime {
@@ -71,10 +78,14 @@ class Runtime {
   /// non-empty `token` (stable across client retries) makes the commits
   /// idempotent: a commit whose marker is already present is skipped, so
   /// a retry after a lost ack or a failover never double-applies.
+  /// A nonzero `tenant` attributes the invocation for QoS: DRR lane-lock
+  /// scheduling and per-tenant fuel-window accounting (see
+  /// RuntimeOptions::tenants).
   sim::Task<Result<std::string>> Invoke(ObjectId oid, std::string method,
                                         std::string argument,
                                         obs::TraceContext trace = {},
-                                        std::string token = {});
+                                        std::string token = {},
+                                        tenant::TenantId tenant = 0);
 
   /// Type name of an existing object (NotFound otherwise).
   Result<std::string> TypeOf(const ObjectId& oid);
@@ -149,10 +160,12 @@ class Runtime {
   sim::Task<Result<std::string>> RunMethod(const MethodImpl& method,
                                            std::string_view method_name,
                                            InvocationContext& ctx,
-                                           std::string argument, uint64_t* fuel);
+                                           std::string argument, uint64_t* fuel,
+                                           tenant::TenantId tenant = 0);
   AsyncMutex& LockFor(const ObjectId& oid);
-  /// Awaits the lane lock and updates wait/occupancy metrics.
-  sim::Task<void> AcquireLane(size_t lane);
+  /// Awaits the lane lock and updates wait/occupancy metrics. The tenant
+  /// id selects the DRR grant group (see async_mutex.h).
+  sim::Task<void> AcquireLane(size_t lane, tenant::TenantId tenant = 0);
 
   sim::Simulator* sim_;
   storage::DB* db_;

@@ -14,20 +14,27 @@ RpcEndpoint::RpcEndpoint(Network& net, NodeId node) : net_(net), node_(node) {
 
 void RpcEndpoint::Handle(std::string service, Handler handler) {
   handlers_[std::move(service)] =
-      [handler = std::move(handler)](NodeId from, obs::TraceContext,
-                                     std::string payload) {
-        return handler(from, std::move(payload));
+      [handler = std::move(handler)](RequestMeta meta, std::string payload) {
+        return handler(meta.from, std::move(payload));
       };
 }
 
 void RpcEndpoint::Handle(std::string service, TracedHandler handler) {
+  handlers_[std::move(service)] =
+      [handler = std::move(handler)](RequestMeta meta, std::string payload) {
+        return handler(meta.from, meta.trace, std::move(payload));
+      };
+}
+
+void RpcEndpoint::Handle(std::string service, MetaHandler handler) {
   handlers_[std::move(service)] = std::move(handler);
 }
 
 Task<Result<std::string>> RpcEndpoint::Call(NodeId to, std::string service,
                                             std::string payload,
                                             Duration timeout,
-                                            obs::TraceContext trace) {
+                                            obs::TraceContext trace,
+                                            uint32_t tenant) {
   calls_started_++;
   uint64_t rpc_id = next_rpc_id_++;
   // The rpc itself is a span: its wire context is a child of the
@@ -44,6 +51,7 @@ Task<Result<std::string>> RpcEndpoint::Call(NodeId to, std::string service,
   // Absolute sim-time deadline: the server sheds this request if it is
   // still undelivered/undispatched when the caller has already given up.
   frame.deadline_us = timeout > 0 ? (started + timeout) / 1000 : 0;
+  frame.tenant = tenant;
   frame.service = service;
   frame.payload = payload;
   net_.Send(node_, to, net::EncodeRequest(frame));
@@ -87,11 +95,14 @@ void RpcEndpoint::OnMessage(NodeId from, std::string raw) {
   }
   if (message.kind == net::MessageKind::kRequest) {
     const net::RequestFrame& request = message.request;
-    obs::TraceContext trace;
-    trace.trace_id = request.trace_id;
-    trace.span_id = request.span_id;
-    DispatchRequest(from, request.rpc_id, trace, request.deadline_us,
-                    std::string(request.service), std::string(request.payload));
+    RequestMeta meta;
+    meta.from = from;
+    meta.trace.trace_id = request.trace_id;
+    meta.trace.span_id = request.span_id;
+    meta.tenant = request.tenant;
+    meta.deadline_us = request.deadline_us;
+    DispatchRequest(meta, request.rpc_id, std::string(request.service),
+                    std::string(request.payload));
   } else {
     const net::ResponseFrame& response = message.response;
     auto it = pending_.find(response.rpc_id);
@@ -105,45 +116,46 @@ void RpcEndpoint::OnMessage(NodeId from, std::string raw) {
   }
 }
 
-void RpcEndpoint::DispatchRequest(NodeId from, uint64_t rpc_id,
-                                  obs::TraceContext trace, int64_t deadline_us,
+void RpcEndpoint::DispatchRequest(RequestMeta meta, uint64_t rpc_id,
                                   std::string service, std::string payload) {
-  if (deadline_us != 0 && sim().Now() / 1000 > deadline_us) {
+  if (meta.deadline_us != 0 && sim().Now() / 1000 > meta.deadline_us) {
     // The caller's deadline passed while this request sat in the network
     // or a queue: the response would be ignored, so don't do the work.
     // (The reply still goes out — on the sim transport it documents the
     // shed; the caller's OneShot has already been fulfilled by timeout.)
     deadline_sheds_++;
-    net_.Send(node_, from,
+    net_.Send(node_, meta.from,
               net::EncodeResponse(
                   rpc_id, Status::Timeout("deadline expired at server")));
     return;
   }
   auto it = handlers_.find(service);
   if (it == handlers_.end()) {
-    net_.Send(node_, from,
+    net_.Send(node_, meta.from,
               net::EncodeResponse(
                   rpc_id, Status::NotFound("no such service: " + service)));
     return;
   }
   // Run the handler as a detached coroutine; it may itself await RPCs.
-  Detach([](RpcEndpoint* self, TracedHandler* handler, NodeId from,
-            uint64_t rpc_id, obs::TraceContext trace, std::string service,
+  Detach([](RpcEndpoint* self, MetaHandler* handler, RequestMeta meta,
+            uint64_t rpc_id, std::string service,
             std::string payload) -> Task<void> {
     // Server-side span: handler time, recorded as "srv.<service>" under
     // the caller's rpc span; the handler parents its own spans under it.
-    obs::TraceContext server_ctx = obs::Tracing(self->tracer_, trace)
-                                       ? self->tracer_->Child(trace)
+    obs::TraceContext server_ctx = obs::Tracing(self->tracer_, meta.trace)
+                                       ? self->tracer_->Child(meta.trace)
                                        : obs::TraceContext{};
+    NodeId from = meta.from;
+    if (server_ctx.sampled()) meta.trace = server_ctx;
     Time started = self->sim().Now();
-    Result<std::string> result = co_await (*handler)(
-        from, server_ctx.sampled() ? server_ctx : trace, std::move(payload));
+    Result<std::string> result =
+        co_await (*handler)(std::move(meta), std::move(payload));
     if (server_ctx.sampled()) {
       self->tracer_->Record(server_ctx, "srv." + service, self->node_, started,
                             self->sim().Now());
     }
     self->net_.Send(self->node_, from, net::EncodeResponse(rpc_id, result));
-  }(this, &it->second, from, rpc_id, trace, service, std::move(payload)));
+  }(this, &it->second, std::move(meta), rpc_id, service, std::move(payload)));
 }
 
 }  // namespace lo::sim

@@ -35,6 +35,17 @@ class RpcEndpoint {
   /// the request frame) for span recording and further propagation.
   using TracedHandler = std::function<Task<Result<std::string>>(
       NodeId from, obs::TraceContext trace, std::string payload)>;
+  /// Everything decoded from a request frame besides the payload. Only
+  /// tenant-aware services need this; the simpler handler shapes above
+  /// adapt into it internally.
+  struct RequestMeta {
+    NodeId from = 0;
+    obs::TraceContext trace;
+    uint32_t tenant = 0;     // QoS identity from the frame; 0 = unattributed
+    int64_t deadline_us = 0; // absolute sim-time deadline; 0 = none
+  };
+  using MetaHandler = std::function<Task<Result<std::string>>(
+      RequestMeta meta, std::string payload)>;
 
   /// Registers this endpoint as `node`'s receive handler on `net`.
   /// The endpoint must outlive all scheduled simulator events.
@@ -52,14 +63,17 @@ class RpcEndpoint {
   /// Installs the handler for `service`. Replaces any previous handler.
   void Handle(std::string service, Handler handler);
   void Handle(std::string service, TracedHandler handler);
+  void Handle(std::string service, MetaHandler handler);
 
   /// Sends a request and suspends until response or timeout.
   /// Errors returned by the remote handler come back as their Status.
   /// A sampled `trace` context travels in the frame; the call itself is
   /// recorded as an "rpc.<service>" span on this endpoint's tracer.
+  /// `tenant` rides in the frame for server-side QoS (0 = unattributed).
   Task<Result<std::string>> Call(NodeId to, std::string service,
                                  std::string payload, Duration timeout,
-                                 obs::TraceContext trace = {});
+                                 obs::TraceContext trace = {},
+                                 uint32_t tenant = 0);
 
   uint64_t calls_started() const { return calls_started_; }
   uint64_t timeouts() const { return timeouts_; }
@@ -71,8 +85,7 @@ class RpcEndpoint {
 
  private:
   void OnMessage(NodeId from, std::string raw);
-  void DispatchRequest(NodeId from, uint64_t rpc_id, obs::TraceContext trace,
-                       int64_t deadline_us, std::string service,
+  void DispatchRequest(RequestMeta meta, uint64_t rpc_id, std::string service,
                        std::string payload);
 
   Network& net_;
@@ -83,7 +96,7 @@ class RpcEndpoint {
   uint64_t timeouts_ = 0;
   uint64_t deadline_sheds_ = 0;
   net::FrameStats frame_stats_;
-  std::unordered_map<std::string, TracedHandler> handlers_;
+  std::unordered_map<std::string, MetaHandler> handlers_;
   std::unordered_map<uint64_t, std::shared_ptr<OneShot<Result<std::string>>>> pending_;
 };
 

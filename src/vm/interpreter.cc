@@ -70,6 +70,26 @@ bool Instance::ChargeFuel(uint64_t amount) {
   }
   fuel_left_ -= amount;
   metrics_.fuel_used += amount;
+  if (limits_.fuel_tap) {
+    // Chunked so the common path is integer arithmetic, not a
+    // std::function call per instruction.
+    constexpr uint64_t kFuelTapChunk = 4096;
+    tap_pending_ += amount;
+    if (tap_pending_ >= kFuelTapChunk && !FlushFuelTap()) return false;
+  }
+  return true;
+}
+
+bool Instance::FlushFuelTap() {
+  if (tap_pending_ == 0 || !limits_.fuel_tap) return true;
+  uint64_t spent = tap_pending_;
+  tap_pending_ = 0;
+  Status vetoed = limits_.fuel_tap(spent);
+  if (!vetoed.ok()) {
+    // The tap's status (e.g. kTenantThrottled) wins over a generic trap.
+    if (trap_status_.ok()) trap_status_ = std::move(vetoed);
+    return false;
+  }
   return true;
 }
 
@@ -86,7 +106,15 @@ sim::Task<Result<std::string>> Instance::Invoke(std::string_view function,
   if (fn.num_params != 0) {
     co_return Status::InvalidArgument("exported function must take 0 params");
   }
-  co_return co_await Run(*index);
+  Result<std::string> result = co_await Run(*index);
+  // Account the final partial chunk (also charged when the run trapped):
+  // the tap must see every unit the meter recorded. A veto here does not
+  // retroactively fail a completed invocation.
+  if (limits_.fuel_tap && tap_pending_ > 0) {
+    limits_.fuel_tap(tap_pending_);
+    tap_pending_ = 0;
+  }
+  co_return result;
 }
 
 sim::Task<Result<std::string>> Instance::Run(uint32_t function_index) {

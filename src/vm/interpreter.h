@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,11 +36,21 @@ class HostApi {
   virtual void DebugLog(std::string_view message) { (void)message; }
 };
 
+/// External fuel sink: receives fuel amounts as the instance burns them
+/// and may veto further execution by returning a non-OK status (which
+/// becomes the invocation's trap status). The VM stays policy-agnostic —
+/// the runtime installs a tap that debits the invoking tenant's budget
+/// and returns kTenantThrottled when the window is dry.
+using FuelTap = std::function<Status(uint64_t spent)>;
+
 struct VmLimits {
   uint64_t fuel = 10'000'000;
   uint64_t max_memory = 1 << 20;
   uint32_t max_call_depth = 64;
   uint32_t max_stack = 4096;
+  /// Optional; called every ~4096 fuel (and once at invocation end) so
+  /// the per-instruction hot path stays a bare integer decrement.
+  FuelTap fuel_tap;
 };
 
 struct VmMetrics {
@@ -72,6 +83,9 @@ class Instance {
   bool ReadMem(uint64_t addr, uint64_t len, std::string_view* out);
   bool WriteMem(uint64_t addr, std::string_view bytes);
   bool ChargeFuel(uint64_t amount);
+  /// Pushes accumulated fuel into limits_.fuel_tap. Returns false (with
+  /// the tap's status as the trap status) if the tap vetoes execution.
+  bool FlushFuelTap();
   void Trap(std::string message);
 
   const Module* module_;
@@ -82,6 +96,7 @@ class Instance {
   std::string result_;
   bool result_set_ = false;
   uint64_t fuel_left_ = 0;
+  uint64_t tap_pending_ = 0;  // fuel burned since the last tap flush
   uint32_t depth_ = 0;
   Status trap_status_;
   HostApi* host_ = nullptr;

@@ -32,6 +32,9 @@
 //   --subcompactions=N   parallel sub-compactions per compaction (default 1)
 //   --compaction-rate-mb=N  compaction write cap, MB/s (0 = unlimited)
 //   --wal-prealloc-mb=N  preallocate WAL files to N MiB and recycle them
+//   --tenants=SPEC   per-tenant QoS contracts (also LO_TENANTS), e.g.
+//                    "1:weight=4,rate=2000,burst=200,fuel=5000000,inflight=64;2:weight=1"
+//   --tenant-window-ms=N  fuel-budget window length (also LO_TENANT_WINDOW_MS)
 //
 // See docs/tuning.md for how these interact with the workload.
 //
@@ -57,6 +60,7 @@
 #include "retwis/workload.h"
 #include "storage/db.h"
 #include "storage/env.h"
+#include "tenant/tenant.h"
 
 namespace {
 
@@ -77,6 +81,8 @@ struct Flags {
   int64_t subcompactions = -1;
   int64_t compaction_rate_mb = -1;
   int64_t wal_prealloc_mb = -1;  // >0 also turns on WAL recycling
+  std::string tenants;           // QoS spec; empty = tenancy off
+  int64_t tenant_window_ms = 1000;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -90,6 +96,12 @@ Flags ParseFlags(int argc, char** argv) {
   Flags flags;
   if (const char* env_port = std::getenv("LO_NET_PORT")) {
     flags.port = static_cast<uint16_t>(std::atoi(env_port));
+  }
+  if (const char* env_tenants = std::getenv("LO_TENANTS")) {
+    flags.tenants = env_tenants;
+  }
+  if (const char* env_window = std::getenv("LO_TENANT_WINDOW_MS")) {
+    flags.tenant_window_ms = std::atoll(env_window);
   }
   for (int i = 1; i < argc; i++) {
     std::string value;
@@ -125,6 +137,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.compaction_rate_mb = std::stoll(value);
     } else if (ParseFlag(argv[i], "wal-prealloc-mb", &value)) {
       flags.wal_prealloc_mb = std::stoll(value);
+    } else if (ParseFlag(argv[i], "tenants", &value)) {
+      flags.tenants = value;
+    } else if (ParseFlag(argv[i], "tenant-window-ms", &value)) {
+      flags.tenant_window_ms = std::stoll(value);
     } else {
       fprintf(stderr, "unknown flag: %s\n", argv[i]);
       exit(2);
@@ -209,6 +225,20 @@ int main(int argc, char** argv) {
   }
   if (flags.gc_delay_us >= 0) {
     options.group_commit.max_batch_delay_us = flags.gc_delay_us;
+  }
+
+  // Multi-tenant QoS: outlives the node (handlers hold the pointer).
+  lo::tenant::TenantRegistry::Options tenant_options;
+  tenant_options.window_ms = flags.tenant_window_ms;
+  lo::tenant::TenantRegistry tenants(tenant_options);
+  if (!flags.tenants.empty()) {
+    auto parsed = lo::tenant::ParseTenantSpec(flags.tenants);
+    if (!parsed.ok()) {
+      fprintf(stderr, "--tenants: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    tenants.ConfigureAll(*parsed);
+    options.tenants = &tenants;
   }
 
   lo::clusterd::ServerNode node(db.get(), &types, options);

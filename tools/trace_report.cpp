@@ -9,6 +9,11 @@
 // replication, storage round-trips, network, other. Phase self times
 // partition each root span's duration, so the phase medians sum to
 // (approximately) the end-to-end median.
+//
+// Metrics snapshot dumps (BENCH_*_metrics.json, a top-level "metrics"
+// array) are detected automatically; for those the tool prints the
+// per-tenant QoS rollup instead — admitted/shed/fuel/queue-wait per
+// tenant id (the tenant.* metrics use the node field as the tenant id).
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -55,6 +60,55 @@ void PrintShardRollup(const std::vector<obs::SpanRecord>& spans) {
   }
 }
 
+/// Per-tenant QoS rollup from a metrics snapshot dump: the tenant.*
+/// metrics are registered with the metric node carrying the tenant id
+/// (src/tenant), so grouping by node reconstructs the per-tenant table.
+int ReportTenantRollup(const std::string& path, const obs::JsonValue& doc) {
+  const obs::JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || metrics->type != obs::JsonValue::Type::kArray) {
+    std::fprintf(stderr, "trace-report: %s: no \"metrics\" array\n",
+                 path.c_str());
+    return 1;
+  }
+  struct Row {
+    double admitted = 0, shed = 0, fuel = 0, queue_p50 = 0, queue_p99 = 0;
+  };
+  std::map<uint32_t, Row> rows;
+  size_t samples = 0;
+  for (const obs::JsonValue& entry : metrics->array) {
+    const obs::JsonValue* name = entry.Find("name");
+    const obs::JsonValue* node = entry.Find("node");
+    const obs::JsonValue* value = entry.Find("value");
+    if (name == nullptr || node == nullptr || value == nullptr) continue;
+    samples++;
+    if (name->string_value.rfind("tenant.", 0) != 0) continue;
+    Row& row = rows[static_cast<uint32_t>(node->number)];
+    if (name->string_value == "tenant.admitted") row.admitted = value->number;
+    else if (name->string_value == "tenant.shed") row.shed = value->number;
+    else if (name->string_value == "tenant.fuel_used") row.fuel = value->number;
+    else if (name->string_value == "tenant.queue_us_p50")
+      row.queue_p50 = value->number;
+    else if (name->string_value == "tenant.queue_us_p99")
+      row.queue_p99 = value->number;
+  }
+  std::printf("== %s (%zu metric samples) ==\n", path.c_str(), samples);
+  if (rows.empty()) {
+    std::printf("no tenant.* metrics (single-tenant run or QoS disabled)\n");
+    return 0;
+  }
+  std::printf("per-tenant QoS:\n");
+  std::printf("  %-8s %10s %10s %7s %14s %12s %12s\n", "tenant", "admitted",
+              "shed", "shed%", "fuel_used", "queue_p50_us", "queue_p99_us");
+  for (const auto& [tenant, row] : rows) {
+    double offered = row.admitted + row.shed;
+    std::printf("  %-8u %10.0f %10.0f %6.1f%% %14.0f %12.0f %12.0f\n", tenant,
+                row.admitted, row.shed,
+                offered > 0 ? 100.0 * row.shed / offered : 0.0, row.fuel,
+                row.queue_p50, row.queue_p99);
+  }
+  return 0;
+}
+
 int Report(const std::string& path) {
   auto text = ReadFile(path);
   if (!text.ok()) {
@@ -67,6 +121,7 @@ int Report(const std::string& path) {
                  doc.status().ToString().c_str());
     return 1;
   }
+  if (doc->Find("metrics") != nullptr) return ReportTenantRollup(path, *doc);
   auto spans = obs::SpansFromChromeTrace(*doc);
   if (!spans.ok()) {
     std::fprintf(stderr, "trace-report: %s: not a trace dump: %s\n",
