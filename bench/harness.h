@@ -176,6 +176,42 @@ RealNetConfig RealNetFromEnv();
 retwis::DriverResult RunRealNetExperiment(retwis::OpType op,
                                           const ExperimentConfig& config);
 
+// --- A13: small-RPC transport saturation (bench/realnet_saturation) ----
+
+/// One arm of the A13 sweep: spawns a lambdastore-server with the given
+/// transport config and saturates it with a raw-socket pipelining
+/// loadgen — `connections` blocking sockets, each keeping a window of
+/// `window` "ping" echo requests on the wire (whole windows written
+/// with one syscall, responses matched FIFO). Tiny payloads make
+/// syscall and copy costs dominate, which is what the sharded/coalesced
+/// transport exists to shrink.
+struct SaturationConfig {
+  int net_threads = 1;
+  std::string backend = "epoll";  // epoll | uring (server may fall back)
+  bool coalesce = true;           // false = write-per-response baseline
+  int connections = 4;
+  int window = 64;                // pipelined requests per connection
+  size_t payload_bytes = 16;
+  double warmup_s = 0.3;
+  double measure_s = 2.0;
+};
+
+struct SaturationResult {
+  double rpcs_per_sec = 0;
+  /// Round-trip of one full pipelined window (write W → last response).
+  double p50_us = 0;
+  double p99_us = 0;
+  /// Server-side (data syscalls + poll waits) / responses, diffed from
+  /// admin.stats snapshots around the measure window.
+  double syscalls_per_rpc = 0;
+  std::string backend;  // server-reported; uring may fall back to epoll
+  int reactors = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+};
+
+SaturationResult RunRealNetSaturation(const SaturationConfig& config);
+
 // --- open-loop (Poisson arrival) workload helpers ----------------------
 //
 // The closed-loop driver above measures capacity: N clients, each

@@ -23,6 +23,9 @@ ServerNode::ServerNode(storage::DB* db, const runtime::TypeRegistry* types,
         net::RpcServerOptions server_options;
         server_options.bind_address = options.bind_address;
         server_options.port = options.port;
+        server_options.net_threads = options.net_threads;
+        server_options.backend = options.net_backend;
+        server_options.coalesce_flush = options.net_coalesce_flush;
         server_options.metrics_registry = options.metrics_registry;
         server_options.tracer = options.tracer;
         return server_options;
@@ -638,7 +641,15 @@ std::string ServerNode::StatsText() {
   out += "requests=" + std::to_string(stats.requests.load()) + "\n";
   out += "responses=" + std::to_string(stats.responses.load()) + "\n";
   out += "deadline_shed=" + std::to_string(stats.deadline_shed.load()) + "\n";
+  out += "backlog_shed=" + std::to_string(stats.backlog_shed.load()) + "\n";
   out += "frame_rejects=" + std::to_string(server_.frame_stats().rejects()) + "\n";
+  // Transport syscall accounting for the A13 saturation bench: the
+  // loadgen diffs two snapshots around its measure window.
+  out += "net_backend=" + std::string(server_.backend_name()) + "\n";
+  out += "net_reactors=" + std::to_string(server_.reactors()) + "\n";
+  out += "net_syscalls=" + std::to_string(stats.syscalls.load()) + "\n";
+  out += "net_poll_waits=" + std::to_string(server_.poll_waits()) + "\n";
+  out += "net_bytes_out=" + std::to_string(stats.bytes_out.load()) + "\n";
   out += "lanes=" + std::to_string(node_->lanes()) + "\n";
   uint64_t executed = 0;
   for (size_t i = 0; i < node_->lanes(); i++) executed += node_->lane_executed(i);

@@ -1,5 +1,6 @@
 #include "net/event_loop.h"
 
+#include <signal.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <time.h>
@@ -18,9 +19,14 @@ int64_t EventLoop::NowUs() {
   return static_cast<int64_t>(ts.tv_sec) * 1'000'000 + ts.tv_nsec / 1000;
 }
 
-EventLoop::EventLoop() {
-  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  LO_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+EventLoop::EventLoop(NetBackend backend) : poller_(MakePoller(backend)) {
+  // Writes race peer hangups: a flush to a connection whose peer already
+  // closed must surface as EPIPE from writev, not kill the process.
+  static const int sigpipe_ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)sigpipe_ignored;
   wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   LO_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
   current_tick_ = NowUs() / kTickUs;
@@ -33,28 +39,17 @@ EventLoop::EventLoop() {
 
 EventLoop::~EventLoop() {
   if (wake_fd_ >= 0) close(wake_fd_);
-  if (epoll_fd_ >= 0) close(epoll_fd_);
 }
 
 void EventLoop::AddFd(int fd, uint32_t events, FdCallback callback) {
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.fd = fd;
-  int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-  LO_CHECK_MSG(rc == 0, "epoll_ctl(ADD) failed");
+  poller_->Add(fd, events);
   fd_callbacks_[fd] = std::move(callback);
 }
 
-void EventLoop::ModFd(int fd, uint32_t events) {
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.fd = fd;
-  int rc = epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
-  LO_CHECK_MSG(rc == 0, "epoll_ctl(MOD) failed");
-}
+void EventLoop::ModFd(int fd, uint32_t events) { poller_->Mod(fd, events); }
 
 void EventLoop::RemoveFd(int fd) {
-  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  poller_->Del(fd);
   fd_callbacks_.erase(fd);
 }
 
@@ -150,19 +145,19 @@ void EventLoop::DrainPending() {
 }
 
 void EventLoop::Run() {
-  loop_thread_ = std::this_thread::get_id();
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     running_ = !stop_requested_;
   }
-  epoll_event events[64];
+  PollEvent events[64];
   while (running_) {
-    int n = epoll_wait(epoll_fd_, events, 64, PollTimeoutMs());
-    iterations_++;
+    int n = poller_->Wait(events, 64, PollTimeoutMs());
+    iterations_.fetch_add(1, std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       // Look the callback up fresh: an earlier callback in this batch may
       // have removed (or replaced) this fd.
-      auto it = fd_callbacks_.find(events[i].data.fd);
+      auto it = fd_callbacks_.find(events[i].fd);
       if (it == fd_callbacks_.end()) continue;
       // Copy: the callback may RemoveFd its own registration mid-call.
       FdCallback callback = it->second;
@@ -170,6 +165,9 @@ void EventLoop::Run() {
     }
     AdvanceWheel(NowUs());
     DrainPending();
+    // Everything this iteration produced is queued; coalesced flushes
+    // drain it with one writev per dirty connection.
+    if (end_of_iteration_) end_of_iteration_();
   }
 }
 

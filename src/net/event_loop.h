@@ -1,5 +1,6 @@
-// Non-blocking epoll event loop: the reactor under net::RpcServer and
-// net::RpcClient.
+// Non-blocking event loop: the reactor under net::RpcServer and
+// net::RpcClient. Readiness notification is pluggable (net/poller.h):
+// epoll by default, io_uring as the LO_NET_BACKEND=uring ablation arm.
 //
 // One thread calls Run(); everything else talks to the loop through
 // RunInLoop (a mutex-guarded queue drained after each poll, with an
@@ -14,15 +15,18 @@
 // would buy nothing and cost a busier poll loop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "net/poller.h"
 
 namespace lo::net {
 
@@ -33,7 +37,9 @@ class EventLoop {
   /// Bitmask passed to fd callbacks; values match EPOLLIN/EPOLLOUT etc.
   using FdCallback = std::function<void(uint32_t events)>;
 
-  EventLoop();
+  /// Default backend comes from LO_NET_BACKEND (epoll unless =uring).
+  EventLoop() : EventLoop(NetBackendFromEnv()) {}
+  explicit EventLoop(NetBackend backend);
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -69,11 +75,33 @@ class EventLoop {
   /// Executes work queued with RunInLoop after the loop has stopped
   /// (shutdown stragglers). Caller must guarantee Run() has returned.
   void DrainNow() { DrainPending(); }
+  /// True on the thread currently inside Run(). Safe from any thread
+  /// (the id is published atomically when the loop starts).
   bool InLoopThread() const {
-    return std::this_thread::get_id() == loop_thread_;
+    return std::this_thread::get_id() ==
+           loop_thread_.load(std::memory_order_acquire);
   }
 
-  uint64_t iterations() const { return iterations_; }
+  /// Runs `fn` once per loop iteration, after fd events, due timers,
+  /// and RunInLoop work have all executed. The transport's flush
+  /// coalescing hangs off this: every response completed during the
+  /// iteration — inline from a handler or marshalled in via RunInLoop —
+  /// is queued first, then drained with one writev per connection.
+  /// Loop-thread-only; set before Run().
+  void SetEndOfIteration(std::function<void()> fn) {
+    end_of_iteration_ = std::move(fn);
+  }
+
+  /// Actual backend in use ("epoll"/"uring") — may differ from the
+  /// requested one when io_uring is unavailable on this kernel.
+  const char* backend_name() const { return poller_->name(); }
+
+  uint64_t iterations() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+  /// Blocking readiness waits issued so far (one per iteration); feeds
+  /// the transport's syscalls-per-RPC accounting. Readable off-loop.
+  uint64_t poll_waits() const { return iterations(); }
   size_t armed_timers() const { return armed_timers_; }
 
  private:
@@ -94,11 +122,12 @@ class EventLoop {
   void DrainPending();
   void Wakeup();
 
-  int epoll_fd_ = -1;
+  std::unique_ptr<Poller> poller_;
   int wake_fd_ = -1;  // eventfd
-  std::thread::id loop_thread_;
+  std::atomic<std::thread::id> loop_thread_;
   bool running_ = false;
-  uint64_t iterations_ = 0;
+  std::atomic<uint64_t> iterations_{0};
+  std::function<void()> end_of_iteration_;
 
   std::unordered_map<int, FdCallback> fd_callbacks_;
 

@@ -57,6 +57,34 @@ std::string EncodeResponse(uint64_t rpc_id, const Result<std::string>& result) {
   return out;
 }
 
+ResponseParts EncodeResponseParts(uint64_t rpc_id, Result<std::string>&& result) {
+  ResponseParts parts;
+  if (result.ok()) {
+    parts.payload = std::move(result).value();
+  } else {
+    parts.payload = std::string(result.status().message());
+  }
+  // Body preamble: everything before the payload bytes. The payload's
+  // varint length prefix belongs to the preamble so `payload` itself
+  // stays exactly the handler's buffer.
+  std::string preamble;
+  preamble.push_back(static_cast<char>(MessageKind::kResponse));
+  PutVarint64(&preamble, rpc_id);
+  preamble.push_back(static_cast<char>(result.ok() ? StatusCode::kOk
+                                                   : result.status().code()));
+  PutVarint32(&preamble, static_cast<uint32_t>(parts.payload.size()));
+
+  uint32_t crc = crc32c::Extend(0, preamble.data(), preamble.size());
+  crc = crc32c::Extend(crc, parts.payload.data(), parts.payload.size());
+
+  parts.head.reserve(kFrameHeaderBytes + preamble.size());
+  PutFixed32(&parts.head,
+             static_cast<uint32_t>(preamble.size() + parts.payload.size()));
+  PutFixed32(&parts.head, crc32c::Mask(crc));
+  parts.head.append(preamble);
+  return parts;
+}
+
 DecodeResult TryDecodeFrame(std::string_view buffer, size_t* consumed,
                             std::string_view* body, FrameStats* stats) {
   if (buffer.size() < kFrameHeaderBytes) return DecodeResult::kNeedMore;

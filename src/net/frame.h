@@ -93,6 +93,21 @@ std::string EncodeRequest(const RequestFrame& request);
 /// Encodes a complete framed response carrying a value or an error.
 std::string EncodeResponse(uint64_t rpc_id, const Result<std::string>& result);
 
+/// A framed response split for scatter-gather writes: `head` owns the
+/// frame header plus the body preamble (kind, rpc_id, status, payload
+/// length prefix); `payload` is the handler's result moved in place.
+/// Concatenated they are byte-identical to EncodeResponse — the CRC in
+/// `head` covers the preamble and payload incrementally, so the payload
+/// is never copied into a contiguous staging buffer.
+struct ResponseParts {
+  std::string head;
+  std::string payload;
+};
+
+/// Scatter-gather form of EncodeResponse. Consumes `result`'s value;
+/// error responses carry the status message as the payload.
+ResponseParts EncodeResponseParts(uint64_t rpc_id, Result<std::string>&& result);
+
 /// Wraps an already-encoded body in a frame (tests, fuzzing).
 void AppendFrame(std::string* out, std::string_view body);
 

@@ -1,0 +1,63 @@
+// Readiness-notification backend under net::EventLoop.
+//
+// The loop's contract is epoll-shaped — register an fd for a
+// level-triggered interest mask, block until something is ready — and
+// two engines implement it:
+//
+//   * kEpoll  — epoll_create1/epoll_ctl/epoll_wait, the default.
+//   * kUring  — io_uring (raw syscalls, no liburing dependency): one
+//     multishot IORING_OP_POLL_ADD per registered fd, interest changes
+//     and cancellations batched into the submission queue and flushed
+//     with a single io_uring_enter per loop iteration. This is the
+//     ablation backend bench/realnet's A13 sweep compares against
+//     epoll; it is compile-time detected (linux/io_uring.h) and
+//     runtime-probed (io_uring_setup is often seccomp-blocked in
+//     containers), falling back to epoll with a warning when absent.
+//
+// Select with LO_NET_BACKEND=epoll|uring (or explicitly via
+// EventLoop's constructor). Event masks use the EPOLL* values, which
+// are numerically identical to the POLL* values io_uring's poll opcode
+// speaks, so callbacks never translate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace lo::net {
+
+enum class NetBackend : uint8_t { kEpoll, kUring };
+
+/// LO_NET_BACKEND=epoll|uring; anything else (or unset) = epoll.
+NetBackend NetBackendFromEnv();
+const char* NetBackendName(NetBackend backend);
+
+/// One-time runtime probe: does this kernel/sandbox allow io_uring?
+/// (io_uring_setup commonly returns EPERM/ENOSYS under seccomp.)
+bool UringAvailable();
+
+struct PollEvent {
+  int fd = -1;
+  uint32_t events = 0;  // EPOLLIN/EPOLLOUT/EPOLLERR/EPOLLHUP bits
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  virtual void Add(int fd, uint32_t events) = 0;
+  virtual void Mod(int fd, uint32_t events) = 0;
+  virtual void Del(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = until an event) and fills `out`
+  /// with up to `max_events` ready fds. Returns the count (0 on
+  /// timeout). Exactly one blocking syscall per call.
+  virtual int Wait(PollEvent* out, int max_events, int timeout_ms) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Builds `preferred`, falling back to epoll (with a LO_WARN) when the
+/// uring backend is unavailable at runtime.
+std::unique_ptr<Poller> MakePoller(NetBackend preferred);
+
+}  // namespace lo::net

@@ -1,0 +1,86 @@
+#include <string.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+#include "net/poller.h"
+
+namespace lo::net {
+
+NetBackend NetBackendFromEnv() {
+  const char* backend = std::getenv("LO_NET_BACKEND");
+  if (backend != nullptr && std::string(backend) == "uring") {
+    return NetBackend::kUring;
+  }
+  return NetBackend::kEpoll;
+}
+
+const char* NetBackendName(NetBackend backend) {
+  return backend == NetBackend::kUring ? "uring" : "epoll";
+}
+
+namespace {
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    LO_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  }
+  ~EpollPoller() override {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+  }
+
+  void Add(int fd, uint32_t events) override { Ctl(EPOLL_CTL_ADD, fd, events); }
+  void Mod(int fd, uint32_t events) override { Ctl(EPOLL_CTL_MOD, fd, events); }
+  void Del(int fd) override { epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+  int Wait(PollEvent* out, int max_events, int timeout_ms) override {
+    epoll_event events[kMaxBatch];
+    if (max_events > kMaxBatch) max_events = kMaxBatch;
+    int n = epoll_wait(epoll_fd_, events, max_events, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      out[i].fd = events[i].data.fd;
+      out[i].events = events[i].events;
+    }
+    return n < 0 ? 0 : n;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  static constexpr int kMaxBatch = 128;
+
+  void Ctl(int op, int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    int rc = epoll_ctl(epoll_fd_, op, fd, &ev);
+    LO_CHECK_MSG(rc == 0, "epoll_ctl failed");
+  }
+
+  int epoll_fd_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> MakeEpollPoller() {
+  return std::make_unique<EpollPoller>();
+}
+
+// Defined in poller_uring.cc (returns nullptr when unsupported).
+std::unique_ptr<Poller> MakeUringPoller();
+
+std::unique_ptr<Poller> MakePoller(NetBackend preferred) {
+  if (preferred == NetBackend::kUring) {
+    if (auto poller = MakeUringPoller(); poller != nullptr) return poller;
+    LO_WARN << "LO_NET_BACKEND=uring requested but io_uring is unavailable "
+               "on this kernel/sandbox; falling back to epoll";
+  }
+  return MakeEpollPoller();
+}
+
+}  // namespace lo::net

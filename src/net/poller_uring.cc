@@ -1,0 +1,291 @@
+// io_uring readiness backend (LO_NET_BACKEND=uring) — raw syscalls, no
+// liburing. Each registered fd holds one multishot IORING_OP_POLL_ADD;
+// interest changes are a POLL_REMOVE + fresh POLL_ADD pair. All SQEs
+// queued since the last Wait() flush in the same io_uring_enter that
+// blocks for completions, so an iteration that re-arms a dozen fds
+// still costs one syscall. Stale completions (a CQE racing a Mod/Del)
+// are fenced by a per-registration generation tag in user_data.
+#include <memory>
+
+#include "net/poller.h"
+
+#if !__has_include(<linux/io_uring.h>)
+
+// Toolchain without io_uring uapi headers: the backend compiles out and
+// MakePoller falls back to epoll.
+namespace lo::net {
+bool UringAvailable() { return false; }
+std::unique_ptr<Poller> MakeUringPoller() { return nullptr; }
+}  // namespace lo::net
+
+#else
+
+#include <errno.h>
+#include <linux/io_uring.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace lo::net {
+namespace {
+
+int UringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, params));
+}
+
+int UringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags, void* arg, size_t argsz) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                  min_complete, flags, arg, argsz));
+}
+
+uint32_t LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void StoreRelease(unsigned* p, uint32_t value) {
+  __atomic_store_n(p, value, __ATOMIC_RELEASE);
+}
+
+/// CQEs whose outcome nobody consumes (poll cancellations).
+constexpr uint64_t kIgnoreCookie = ~0ULL;
+
+uint64_t PollCookie(int fd, uint32_t gen) {
+  return (static_cast<uint64_t>(gen) << 32) | static_cast<uint32_t>(fd);
+}
+
+class UringPoller final : public Poller {
+ public:
+  ~UringPoller() override {
+    if (sq_ptr_ != MAP_FAILED) munmap(sq_ptr_, sq_map_bytes_);
+    if (cq_ptr_ != MAP_FAILED && cq_ptr_ != sq_ptr_) munmap(cq_ptr_, cq_map_bytes_);
+    if (sqes_ != MAP_FAILED) munmap(sqes_, sqe_map_bytes_);
+    if (ring_fd_ >= 0) close(ring_fd_);
+  }
+
+  bool Init() {
+    io_uring_params params;
+    memset(&params, 0, sizeof(params));
+    ring_fd_ = UringSetup(kEntries, &params);
+    if (ring_fd_ < 0) return false;
+
+    sq_map_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_map_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_map_bytes_ = cq_map_bytes_ = std::max(sq_map_bytes_, cq_map_bytes_);
+    }
+    sq_ptr_ = mmap(nullptr, sq_map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) return false;
+    cq_ptr_ = single_mmap
+                  ? sq_ptr_
+                  : mmap(nullptr, cq_map_bytes_, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ptr_ == MAP_FAILED) return false;
+    sqe_map_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = mmap(nullptr, sqe_map_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes_ == MAP_FAILED) return false;
+
+    auto sq_base = static_cast<char*>(sq_ptr_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+    sq_entries_ = params.sq_entries;
+
+    auto cq_base = static_cast<char*>(cq_ptr_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+    return true;
+  }
+
+  void Add(int fd, uint32_t events) override {
+    FdState& state = fds_[fd];
+    state.events = events;
+    state.gen = next_gen_++;
+    PushPollAdd(fd, events, state.gen);
+  }
+
+  void Mod(int fd, uint32_t events) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      Add(fd, events);
+      return;
+    }
+    PushPollRemove(PollCookie(fd, it->second.gen));
+    it->second.events = events;
+    it->second.gen = next_gen_++;
+    PushPollAdd(fd, events, it->second.gen);
+  }
+
+  void Del(int fd) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return;
+    PushPollRemove(PollCookie(fd, it->second.gen));
+    fds_.erase(it);
+  }
+
+  int Wait(PollEvent* out, int max_events, int timeout_ms) override {
+    // Only block when the completion ring is empty; otherwise submit
+    // whatever is queued without sleeping and reap what is already
+    // there.
+    if (LoadAcquire(cq_tail_) == *cq_head_) {
+      unsigned flags = IORING_ENTER_GETEVENTS;
+      int rc;
+      if (timeout_ms >= 0) {
+        // Layout of struct __kernel_timespec, spelled locally so the
+        // file builds against older uapi headers too.
+        struct KernelTimespec {
+          int64_t tv_sec;
+          long long tv_nsec;
+        } ts{timeout_ms / 1000, static_cast<long long>(timeout_ms % 1000) * 1'000'000};
+        io_uring_getevents_arg arg;
+        memset(&arg, 0, sizeof(arg));
+        arg.ts = reinterpret_cast<uint64_t>(&ts);
+        rc = UringEnter(ring_fd_, to_submit_, 1,
+                        flags | IORING_ENTER_EXT_ARG, &arg, sizeof(arg));
+      } else {
+        rc = UringEnter(ring_fd_, to_submit_, 1, flags, nullptr, 0);
+      }
+      if (rc >= 0) {
+        to_submit_ -= std::min<unsigned>(to_submit_, static_cast<unsigned>(rc));
+      } else if (errno != EINTR && errno != ETIME && errno != EBUSY) {
+        LO_WARN << "io_uring_enter: " << strerror(errno);
+      }
+    } else if (to_submit_ > 0) {
+      int rc = UringEnter(ring_fd_, to_submit_, 0, 0, nullptr, 0);
+      if (rc > 0) to_submit_ -= std::min<unsigned>(to_submit_, static_cast<unsigned>(rc));
+    }
+    return Reap(out, max_events);
+  }
+
+  const char* name() const override { return "uring"; }
+
+ private:
+  static constexpr unsigned kEntries = 256;
+
+  struct FdState {
+    uint32_t events = 0;
+    uint32_t gen = 0;
+  };
+
+  io_uring_sqe* NextSqe() {
+    // Producer-side fullness check; the kernel consumes entries as they
+    // submit, so flushing makes room.
+    if (*sq_tail_ - LoadAcquire(sq_head_) >= sq_entries_) {
+      int rc = UringEnter(ring_fd_, to_submit_, 0, 0, nullptr, 0);
+      if (rc > 0) to_submit_ -= std::min<unsigned>(to_submit_, static_cast<unsigned>(rc));
+    }
+    unsigned tail = *sq_tail_;
+    unsigned index = tail & sq_mask_;
+    io_uring_sqe* sqe = &static_cast<io_uring_sqe*>(sqes_)[index];
+    memset(sqe, 0, sizeof(*sqe));
+    sq_array_[index] = index;
+    StoreRelease(sq_tail_, tail + 1);
+    to_submit_++;
+    return sqe;
+  }
+
+  void PushPollAdd(int fd, uint32_t events, uint32_t gen) {
+    io_uring_sqe* sqe = NextSqe();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    // EPOLL* and POLL* masks share values; poll32_events is the
+    // endian-stable 32-bit form.
+    sqe->poll32_events = events;
+    sqe->len = IORING_POLL_ADD_MULTI;
+    sqe->user_data = PollCookie(fd, gen);
+  }
+
+  void PushPollRemove(uint64_t target_cookie) {
+    io_uring_sqe* sqe = NextSqe();
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->fd = -1;
+    sqe->addr = target_cookie;
+    sqe->user_data = kIgnoreCookie;
+  }
+
+  int Reap(PollEvent* out, int max_events) {
+    unsigned head = *cq_head_;
+    unsigned tail = LoadAcquire(cq_tail_);
+    int produced = 0;
+    while (head != tail && produced < max_events) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      head++;
+      if (cqe.user_data == kIgnoreCookie) continue;
+      int fd = static_cast<int>(cqe.user_data & 0xffffffffu);
+      auto gen = static_cast<uint32_t>(cqe.user_data >> 32);
+      auto it = fds_.find(fd);
+      if (it == fds_.end() || it->second.gen != gen) continue;  // stale
+      if (cqe.res < 0) {
+        // -ECANCELED races a Mod/Del; anything else re-arms below.
+        if (cqe.res != -ECANCELED) PushPollAdd(fd, it->second.events, gen);
+        continue;
+      }
+      out[produced].fd = fd;
+      out[produced].events = static_cast<uint32_t>(cqe.res);
+      produced++;
+      if ((cqe.flags & IORING_CQE_F_MORE) == 0) {
+        // Multishot terminated (the kernel may downgrade it); re-arm.
+        PushPollAdd(fd, it->second.events, gen);
+      }
+    }
+    StoreRelease(cq_head_, head);
+    return produced;
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ptr_ = MAP_FAILED;
+  void* cq_ptr_ = MAP_FAILED;
+  void* sqes_ = MAP_FAILED;
+  size_t sq_map_bytes_ = 0;
+  size_t cq_map_bytes_ = 0;
+  size_t sqe_map_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned to_submit_ = 0;
+  uint32_t next_gen_ = 1;
+  std::unordered_map<int, FdState> fds_;
+};
+
+}  // namespace
+
+bool UringAvailable() {
+  static const bool available = [] {
+    io_uring_params params;
+    memset(&params, 0, sizeof(params));
+    int fd = UringSetup(4, &params);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return available;
+}
+
+std::unique_ptr<Poller> MakeUringPoller() {
+  if (!UringAvailable()) return nullptr;
+  auto poller = std::make_unique<UringPoller>();
+  if (!poller->Init()) return nullptr;
+  return poller;
+}
+
+}  // namespace lo::net
+
+#endif  // __has_include(<linux/io_uring.h>)

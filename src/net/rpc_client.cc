@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <string.h>
 #include <sys/epoll.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -14,6 +15,12 @@
 #include "net/socket.h"
 
 namespace lo::net {
+namespace {
+
+/// Iovecs per writev; matches the server's flush batch width.
+constexpr int kMaxIovecs = 64;
+
+}  // namespace
 
 RpcClient::RpcClient(RpcClientOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
@@ -298,8 +305,7 @@ void RpcClient::ConnLost(Connection* conn, const Status& reason) {
     conn->fd = -1;
   }
   conn->inbuf.clear();
-  conn->outbuf.clear();
-  conn->out_offset = 0;
+  conn->sendq.Clear();
   conn->want_write = false;
   if (conn->connect_timer != 0) {
     loop_.CancelTimer(conn->connect_timer);
@@ -327,36 +333,34 @@ void RpcClient::FlushUnsent(Connection* conn) {
     auto it = conn->pending.find(id);
     if (it == conn->pending.end()) continue;  // timed out while queued
     it->second.sent = true;
-    conn->outbuf.append(it->second.frame);
+    conn->sendq.Append(std::move(it->second.frame));
     it->second.frame.clear();
-    it->second.frame.shrink_to_fit();
     queued = true;
   }
   if (queued) FlushOutbuf(conn);
 }
 
 void RpcClient::FlushOutbuf(Connection* conn) {
-  while (conn->out_offset < conn->outbuf.size()) {
-    ssize_t n = write(conn->fd, conn->outbuf.data() + conn->out_offset,
-                      conn->outbuf.size() - conn->out_offset);
+  while (!conn->sendq.empty()) {
+    struct iovec iov[kMaxIovecs];
+    int iov_count = conn->sendq.FillIovecs(iov, kMaxIovecs);
+    ssize_t n = writev(conn->fd, iov, iov_count);
     if (n > 0) {
-      conn->out_offset += static_cast<size_t>(n);
+      conn->sendq.Consume(static_cast<size_t>(n));
       stats_.bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       if (!conn->want_write) {
         conn->want_write = true;
         loop_.ModFd(conn->fd, EPOLLIN | EPOLLOUT);
       }
       return;
     }
-    if (errno == EINTR) continue;
+    if (n < 0 && errno == EINTR) continue;
     ConnLost(conn, Status::Unavailable(std::string("write: ") + strerror(errno)));
     return;
   }
-  conn->outbuf.clear();
-  conn->out_offset = 0;
   if (conn->want_write) {
     conn->want_write = false;
     loop_.ModFd(conn->fd, EPOLLIN);

@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "net/event_loop.h"
 #include "net/frame.h"
+#include "net/send_queue.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -117,8 +118,9 @@ class RpcClient {
     int fd = -1;
     ConnState state = ConnState::kBackoff;
     std::string inbuf;
-    std::string outbuf;
-    size_t out_offset = 0;
+    /// Encoded request frames queued for the wire; drained with writev
+    /// so a burst of pipelined calls costs one syscall.
+    SendQueue sendq;
     bool want_write = false;
     int64_t backoff_us = 0;
     TimerId connect_timer = 0;    // connect-timeout watchdog

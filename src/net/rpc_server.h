@@ -1,10 +1,27 @@
 // Async TCP RPC server on net::EventLoop — the real-transport
 // counterpart of the server half of sim::RpcEndpoint.
 //
-// One loop thread owns every connection: accept, frame decode (CRC
-// verified, corrupt streams are closed), request dispatch, response
-// writes. Handlers receive a Responder that may be called from ANY
-// thread exactly once — completion marshals back onto the loop thread —
+// The server runs `net_threads` reactor threads. Each reactor owns its
+// own EventLoop, its own SO_REUSEPORT listener (the kernel hashes
+// incoming connections across the listeners by 4-tuple), and every
+// connection it accepted: accept, frame decode (CRC verified, corrupt
+// streams are closed), request dispatch, and response writes all happen
+// on the owning reactor thread, so connection state needs no locking
+// and a response never hops between transport threads. When
+// SO_REUSEPORT sharding is unavailable, reactor 0 runs the lone
+// acceptor and deals accepted fds round-robin to its peers.
+//
+// Responses coalesce: a completed response appends to the connection's
+// iovec send queue and the reactor flushes every dirty connection with
+// one writev at the end of the loop iteration, so a pipelined burst of
+// N responses costs one write syscall instead of N. Responses are
+// encoded scatter-gather (frame.h EncodeResponseParts): the handler's
+// payload buffer is moved into the queue, never re-copied into a
+// contiguous staging buffer. `coalesce_flush=false` restores the
+// legacy write-per-response behavior as the A13 ablation baseline.
+//
+// Handlers receive a Responder that may be called from ANY thread
+// exactly once — completion marshals back onto the owning reactor —
 // so a handler can hand the request to worker threads (the lambdastore
 // server enqueues onto runtime::ParallelNode lanes) and return
 // immediately.
@@ -16,6 +33,9 @@
 // work now only burns CPU on a response nobody reads). Handlers that
 // queue work should re-check Request::Expired() at execution time; both
 // shed points count into stats().deadline_shed via RecordShed.
+// A connection whose pending-response backlog exceeds
+// `max_conn_backlog_bytes` sheds new requests the same way (the client
+// stopped reading; finishing more work for it only grows the queue).
 #pragma once
 
 #include <atomic>
@@ -25,10 +45,12 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "net/event_loop.h"
 #include "net/frame.h"
+#include "net/send_queue.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,6 +61,20 @@ struct RpcServerOptions {
   /// 0 binds an ephemeral port; read the real one back with port().
   uint16_t port = 0;
   size_t max_frame_bytes = kMaxFrameBytes;
+  /// Reactor threads (one EventLoop + listener each). 0 reads
+  /// LO_NET_THREADS, defaulting to 1.
+  int net_threads = 0;
+  /// Poller backend for every reactor; default follows LO_NET_BACKEND.
+  NetBackend backend = NetBackendFromEnv();
+  /// End-of-iteration writev coalescing. false = flush each response
+  /// with its own write() immediately (the pre-sharding behavior, kept
+  /// as the syscalls-per-RPC ablation baseline).
+  bool coalesce_flush = true;
+  /// Shed requests once a connection's unsent responses exceed this.
+  size_t max_conn_backlog_bytes = 8u << 20;
+  /// >0: SO_SNDBUF for accepted sockets. Tests use the kernel minimum
+  /// to force partial writev returns across iovec boundaries.
+  int sndbuf_bytes = 0;
   /// Observability (nullptr = off). Counters register under `node_label`
   /// as net.server.*; sampled requests get "srv.<service>" spans with
   /// CLOCK_MONOTONIC-µs timestamps, parented under the caller's rpc span
@@ -79,13 +115,21 @@ class RpcServer {
   /// Installs the handler for `service`. Call before Start().
   void Handle(std::string service, Handler handler);
 
-  /// Binds, listens, and spawns the loop thread.
+  /// Binds the listeners and spawns the reactor threads.
   Status Start();
-  /// Closes every connection and joins the loop thread. Idempotent.
+  /// Closes every connection and joins the reactor threads. Idempotent.
   void Stop();
 
   /// Actual bound port (after Start with port 0).
   uint16_t port() const { return port_; }
+  /// Reactor threads actually running (after Start).
+  int reactors() const { return static_cast<int>(reactors_.size()); }
+  /// Poller actually in use ("epoll"/"uring") — may differ from the
+  /// requested backend when io_uring is unavailable. Valid after Start.
+  const char* backend_name() const;
+  /// True when each reactor has its own SO_REUSEPORT listener; false in
+  /// the single-acceptor round-robin fallback.
+  bool reuseport_sharding() const { return reuseport_sharding_; }
 
   struct Stats {
     std::atomic<uint64_t> connections_accepted{0};
@@ -93,8 +137,14 @@ class RpcServer {
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> responses{0};
     std::atomic<uint64_t> deadline_shed{0};
+    std::atomic<uint64_t> backlog_shed{0};  // subset of deadline_shed
     std::atomic<uint64_t> bytes_in{0};
     std::atomic<uint64_t> bytes_out{0};
+    /// Data-path syscalls issued: every read/writev/write/accept4 call,
+    /// including ones that return EAGAIN.
+    std::atomic<uint64_t> syscalls{0};
+    /// Unsent response bytes queued across all live connections (gauge).
+    std::atomic<uint64_t> backlog_bytes{0};
   };
   const Stats& stats() const { return stats_; }
   const FrameStats& frame_stats() const { return frame_stats_; }
@@ -102,36 +152,61 @@ class RpcServer {
   /// checks) report it here so one counter covers both shed points.
   void RecordShed() { stats_.deadline_shed.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Blocking readiness waits across all reactors.
+  uint64_t poll_waits() const;
+  /// (data syscalls + poll waits) / responses — the per-RPC syscall
+  /// budget the coalesced flush path exists to shrink. 0 before any
+  /// response.
+  double syscalls_per_rpc() const;
+
  private:
   struct Connection {
     uint64_t id = 0;
     int fd = -1;
     std::string inbuf;
-    std::string outbuf;
-    size_t out_offset = 0;  // bytes of outbuf already written
-    bool want_write = false;
+    SendQueue sendq;
+    bool want_write = false;  // EAGAIN hit; EPOLLOUT armed and drives flush
+    bool dirty = false;       // queued on the reactor's flush list
   };
 
-  void AcceptReady();
-  void ConnReady(uint64_t conn_id, uint32_t events);
+  /// One reactor thread: loop + listener + the connections it accepted.
+  /// All fields except the loop handle are loop-thread-only.
+  struct Reactor {
+    int index = 0;
+    EventLoop loop;
+    std::thread thread;
+    int listen_fd = -1;
+    uint64_t next_conn_seq = 1;
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    std::vector<uint64_t> flush_list;  // dirty connections this iteration
+
+    explicit Reactor(NetBackend backend) : loop(backend) {}
+  };
+
+  void AcceptReady(Reactor* reactor);
+  /// Registers an accepted fd on `reactor` (its loop thread).
+  void AdoptFd(Reactor* reactor, int fd);
+  void ConnReady(Reactor* reactor, uint64_t conn_id, uint32_t events);
   /// Returns false when the connection was closed mid-processing.
-  bool DrainInbuf(Connection* conn);
-  void DispatchRequest(Connection* conn, const RequestFrame& request);
-  /// Queues bytes on the connection and flushes what the socket accepts.
-  void SendOnConn(Connection* conn, std::string frame);
-  void FlushConn(Connection* conn);
-  void CloseConn(uint64_t conn_id);
+  bool DrainInbuf(Reactor* reactor, Connection* conn);
+  void DispatchRequest(Reactor* reactor, Connection* conn,
+                       const RequestFrame& request);
+  /// Queues an encoded response; the reactor's end-of-iteration hook
+  /// (or EPOLLOUT) flushes it. With coalescing off, flushes now.
+  void SendOnConn(Reactor* reactor, Connection* conn, ResponseParts parts);
+  void FlushConn(Reactor* reactor, Connection* conn);
+  /// End-of-iteration hook: one writev per dirty connection.
+  void FlushDirty(Reactor* reactor);
+  void CloseConn(Reactor* reactor, uint64_t conn_id);
   void RegisterMetrics();
 
   RpcServerOptions options_;
-  EventLoop loop_;
-  std::thread loop_thread_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   bool started_ = false;
-  int listen_fd_ = -1;
+  bool reuseport_sharding_ = false;
+  std::atomic<uint32_t> round_robin_{0};  // fallback acceptor's next target
   uint16_t port_ = 0;
-  uint64_t next_conn_id_ = 1;
   std::unordered_map<std::string, Handler> handlers_;
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
   Stats stats_;
   FrameStats frame_stats_;
 };

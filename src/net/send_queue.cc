@@ -1,0 +1,50 @@
+#include "net/send_queue.h"
+
+#include <sys/uio.h>
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace lo::net {
+
+void SendQueue::Append(std::string buf) {
+  if (buf.empty()) return;
+  bytes_ += buf.size();
+  bufs_.push_back(std::move(buf));
+}
+
+int SendQueue::FillIovecs(struct iovec* iov, int max) const {
+  int n = 0;
+  for (const std::string& buf : bufs_) {
+    if (n == max) break;
+    size_t skip = (n == 0) ? head_offset_ : 0;
+    iov[n].iov_base = const_cast<char*>(buf.data()) + skip;
+    iov[n].iov_len = buf.size() - skip;
+    n++;
+  }
+  return n;
+}
+
+void SendQueue::Consume(size_t n) {
+  LO_CHECK_MSG(n <= bytes_, "SendQueue::Consume past end");
+  bytes_ -= n;
+  while (n > 0) {
+    size_t head_remaining = bufs_.front().size() - head_offset_;
+    if (n < head_remaining) {
+      head_offset_ += n;
+      return;
+    }
+    n -= head_remaining;
+    bufs_.pop_front();
+    head_offset_ = 0;
+  }
+}
+
+void SendQueue::Clear() {
+  bufs_.clear();
+  head_offset_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace lo::net

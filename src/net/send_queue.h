@@ -1,0 +1,52 @@
+// Per-connection output queue for the coalesced writev flush path.
+//
+// Completed responses (and pipelined client requests) append as owned
+// buffers — no concatenation copy — and a flush drains as many entries
+// as one writev accepts. Partial writes are the whole point of the
+// class being separate: Consume() advances an offset into the head
+// buffer and retires entries strictly in order as the byte count
+// crosses their boundaries, so a short write never re-sends a drained
+// entry and never skips an undrained one. FillIovecs() always starts
+// at the first unsent byte.
+//
+// The scatter-gather response encode (net/frame.h EncodeResponseParts)
+// leans on this: a response lands as two entries — a small owned
+// header+preamble buffer and the payload string moved from the handler
+// — and the wire sees them contiguously through one writev.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+struct iovec;
+
+namespace lo::net {
+
+class SendQueue {
+ public:
+  /// Queues `buf` (moved; empty buffers are dropped).
+  void Append(std::string buf);
+
+  bool empty() const { return bytes_ == 0; }
+  /// Unsent bytes across all queued buffers (the connection backlog).
+  size_t bytes() const { return bytes_; }
+
+  /// Fills up to `max` iovecs starting at the first unsent byte.
+  /// Returns the count. The pointers stay valid until Consume/Clear.
+  int FillIovecs(struct iovec* iov, int max) const;
+
+  /// Marks `n` bytes as written, retiring whole buffers as the count
+  /// crosses their boundaries and offsetting into the first survivor.
+  /// `n` must not exceed bytes().
+  void Consume(size_t n);
+
+  void Clear();
+
+ private:
+  std::deque<std::string> bufs_;
+  size_t head_offset_ = 0;  // bytes of bufs_.front() already written
+  size_t bytes_ = 0;
+};
+
+}  // namespace lo::net

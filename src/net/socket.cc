@@ -51,11 +51,18 @@ Status SetNoDelay(int fd) {
   return Status::OK();
 }
 
-Result<int> ListenTcp(const std::string& host, uint16_t port) {
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      bool reuseport) {
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    Status st = Errno("setsockopt(SO_REUSEPORT)");
+    close(fd);
+    return st;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -102,6 +109,13 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port) {
     return st;
   }
   return fd;
+}
+
+Status SetSendBuf(int fd, int bytes) {
+  if (setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    return Errno("setsockopt(SO_SNDBUF)");
+  }
+  return Status::OK();
 }
 
 Status ConnectError(int fd) {

@@ -15,7 +15,11 @@ Status ParseAddress(const std::string& address, std::string* host,
 
 /// Non-blocking listening socket bound to host:port with SO_REUSEADDR.
 /// port 0 binds an ephemeral port — read it back with LocalPort.
-Result<int> ListenTcp(const std::string& host, uint16_t port);
+/// With `reuseport`, SO_REUSEPORT is set before bind so several
+/// listeners can share the port (the kernel hashes connections across
+/// them — the per-reactor listener sharding in net::RpcServer).
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      bool reuseport = false);
 
 /// Starts a non-blocking connect. The returned fd is usually still
 /// connecting (EINPROGRESS) — wait for EPOLLOUT, then check
@@ -31,5 +35,8 @@ Result<uint16_t> LocalPort(int fd);
 Status SetNonBlocking(int fd);
 /// Disables Nagle: RPC frames are latency-sensitive and self-contained.
 Status SetNoDelay(int fd);
+/// Shrinks/grows the send buffer (tests force partial writev returns by
+/// setting this to the minimum the kernel allows).
+Status SetSendBuf(int fd, int bytes);
 
 }  // namespace lo::net
